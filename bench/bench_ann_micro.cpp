@@ -1,0 +1,103 @@
+// Microbenchmark: HNSW vs brute-force KNN (build time, query throughput,
+// recall@10). Supports the merging-phase design choice of the paper
+// (HNSW balances accuracy and efficiency; Section III-C).
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+#include "embed/embedding.h"
+#include "util/rng.h"
+
+namespace multiem::bench {
+namespace {
+
+constexpr size_t kDim = 384;
+
+embed::EmbeddingMatrix RandomVectors(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  embed::EmbeddingMatrix m(n, kDim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& x : m.Row(i)) x = static_cast<float>(rng.Normal());
+    embed::L2NormalizeInPlace(m.Row(i));
+  }
+  return m;
+}
+
+void BM_HnswBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = RandomVectors(n, 1);
+  for (auto _ : state) {
+    ann::HnswIndex index(kDim, ann::Metric::kCosine);
+    index.AddBatch(data);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HnswBuild)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_HnswQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = RandomVectors(n, 2);
+  auto queries = RandomVectors(256, 3);
+  ann::HnswIndex index(kDim, ann::Metric::kCosine);
+  index.AddBatch(data);
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = index.Search(queries.Row(q % 256), 10);
+    benchmark::DoNotOptimize(hits.data());
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswQuery)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = RandomVectors(n, 2);
+  auto queries = RandomVectors(256, 3);
+  ann::BruteForceIndex index(kDim, ann::Metric::kCosine);
+  index.AddBatch(data);
+  size_t q = 0;
+  for (auto _ : state) {
+    auto hits = index.Search(queries.Row(q % 256), 10);
+    benchmark::DoNotOptimize(hits.data());
+    ++q;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// Recall is reported as a counter so the bench run logs accuracy next to
+// throughput.
+void BM_HnswRecallAt10(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto data = RandomVectors(n, 4);
+  auto queries = RandomVectors(64, 5);
+  ann::HnswIndex hnsw(kDim, ann::Metric::kCosine);
+  ann::BruteForceIndex exact(kDim, ann::Metric::kCosine);
+  hnsw.AddBatch(data);
+  exact.AddBatch(data);
+  double recall = 0.0;
+  for (auto _ : state) {
+    size_t found = 0;
+    for (size_t q = 0; q < queries.num_rows(); ++q) {
+      auto approx = hnsw.Search(queries.Row(q), 10);
+      auto truth = exact.Search(queries.Row(q), 10);
+      std::unordered_set<size_t> truth_ids;
+      for (const auto& h : truth) truth_ids.insert(h.id);
+      for (const auto& h : approx) found += truth_ids.count(h.id);
+    }
+    recall = static_cast<double>(found) / (queries.num_rows() * 10);
+    benchmark::DoNotOptimize(recall);
+  }
+  state.counters["recall@10"] = recall;
+}
+BENCHMARK(BM_HnswRecallAt10)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace multiem::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Microbenchmark: sentence-encoder throughput (the representation phase's
+// unit cost), serial vs thread-pool batch encoding, and tokenizer speed.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/music.h"
+#include "embed/hashing_encoder.h"
+#include "embed/serialize.h"
+#include "util/thread_pool.h"
+
+namespace multiem::bench {
+namespace {
+
+std::vector<std::string> MusicTexts(size_t n) {
+  datagen::MusicConfig config;
+  config.num_entities = n / 4 + 1;
+  config.presence_prob = 1.0;
+  config.num_sources = 4;
+  datagen::MultiSourceBenchmark bench = datagen::GenerateMusic(config);
+  std::vector<std::string> texts;
+  for (const auto& t : bench.tables) {
+    auto serialized = embed::SerializeTable(t);
+    texts.insert(texts.end(), serialized.begin(), serialized.end());
+    if (texts.size() >= n) break;
+  }
+  texts.resize(n);
+  return texts;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  auto texts = MusicTexts(1024);
+  embed::Tokenizer tokenizer;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto tokens = tokenizer.Tokenize(texts[i % texts.size()]);
+    benchmark::DoNotOptimize(tokens.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_EncodeSingle(benchmark::State& state) {
+  auto texts = MusicTexts(1024);
+  embed::HashingSentenceEncoder encoder;
+  encoder.FitFrequencies(texts);
+  std::vector<float> out(encoder.dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    encoder.EncodeInto(texts[i % texts.size()], out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeSingle);
+
+void BM_EncodeBatch(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  auto texts = MusicTexts(n);
+  embed::HashingSentenceEncoder encoder;
+  encoder.FitFrequencies(texts);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  for (auto _ : state) {
+    auto matrix = encoder.EncodeBatch(texts, pool.get());
+    benchmark::DoNotOptimize(matrix.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EncodeBatch)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace multiem::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Reproduces Figure 6: hyperparameter sensitivity of MultiEM.
+//   (a) F1 vs gamma in {0.80, 0.85, 0.90, 0.95}
+//   (b) F1 vs merge-order seed in {0, 1, 2, 3}
+//   (c) F1 vs m in {0.05, 0.2, 0.35, 0.5}  (d) normalized time vs m
+//   (e) F1 vs eps in {0.7, 0.8, 0.9, 1.0}  (f) normalized time vs eps
+//
+// Shape targets (paper):
+//  * gamma moves F1 (attribute sets change);
+//  * the merge order barely moves F1 (avg variation ~1.4 points);
+//  * F1 is sensitive to m; time decreases slightly as m grows;
+//  * F1 and time are both stable in eps.
+//
+// Runs on the three small datasets by default (Geo, Music-20, Shopee);
+// --datasets=all adds the rest, --exp=<gamma|seed|m|eps> restricts.
+
+#include "bench/bench_common.h"
+
+namespace multiem::bench {
+namespace {
+
+struct Series {
+  std::string dataset;
+  std::vector<double> f1;
+  std::vector<double> seconds;
+};
+
+void PrintSeries(const char* title, const std::vector<double>& xs,
+                 const std::vector<Series>& series, bool normalized_time) {
+  std::printf("--- %s ---\n%-11s", title, "x:");
+  for (double x : xs) std::printf(" %7.2f", x);
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%-11s", s.dataset.c_str());
+    for (double f1 : s.f1) std::printf(" %7.1f", f1 * 100.0);
+    std::printf("   (F1)\n");
+    if (normalized_time) {
+      double base = s.seconds.empty() || s.seconds[0] <= 0 ? 1 : s.seconds[0];
+      std::printf("%-11s", "");
+      for (double t : s.seconds) std::printf(" %7.2f", t / base);
+      std::printf("   (normalized time)\n");
+    }
+  }
+  std::printf("\n");
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 0.5);
+  std::string exp = flags.Get("exp", "all");
+  std::vector<std::string> names = {"geo", "music-20", "shopee"};
+  if (flags.Get("datasets", "small") == "all") {
+    names = datagen::DatasetNames();
+  }
+  auto datasets = LoadDatasets(scale, names);
+  PrintDatasetBanner(datasets, scale);
+  std::printf("=== Figure 6: sensitivity analysis ===\n\n");
+
+  auto sweep = [&](const std::vector<double>& xs, auto tweak) {
+    std::vector<Series> all;
+    for (const auto& d : datasets) {
+      Series s;
+      s.dataset = d.data.name;
+      for (double x : xs) {
+        CellResult cell = RunMultiEm(
+            d, [&](core::MultiEmConfig& c) { tweak(c, x); });
+        s.f1.push_back(cell.tuple.f1);
+        s.seconds.push_back(cell.seconds);
+      }
+      all.push_back(std::move(s));
+    }
+    return all;
+  };
+
+  if (exp == "all" || exp == "gamma") {
+    std::vector<double> gammas{0.80, 0.85, 0.90, 0.95};
+    auto series = sweep(gammas, [](core::MultiEmConfig& c, double gamma) {
+      c.gamma = gamma;
+    });
+    PrintSeries("(a) F1 vs gamma", gammas, series, false);
+  }
+  if (exp == "all" || exp == "seed") {
+    std::vector<double> seeds{0, 1, 2, 3};
+    auto series = sweep(seeds, [](core::MultiEmConfig& c, double seed) {
+      c.seed = static_cast<uint64_t>(seed);
+    });
+    PrintSeries("(b) F1 vs merge-order seed", seeds, series, false);
+    for (const Series& s : series) {
+      double lo = 1.0;
+      double hi = 0.0;
+      for (double f1 : s.f1) {
+        lo = std::min(lo, f1);
+        hi = std::max(hi, f1);
+      }
+      std::printf("    %-11s F1 spread across seeds: %.1f points\n",
+                  s.dataset.c_str(), (hi - lo) * 100.0);
+    }
+    std::printf("\n");
+  }
+  if (exp == "all" || exp == "m") {
+    std::vector<double> ms{0.05, 0.2, 0.35, 0.5};
+    auto series = sweep(ms, [](core::MultiEmConfig& c, double m) {
+      c.m = static_cast<float>(m);
+    });
+    PrintSeries("(c)+(d) F1 / normalized time vs m", ms, series, true);
+  }
+  if (exp == "all" || exp == "eps") {
+    std::vector<double> epss{0.7, 0.8, 0.9, 1.0};
+    auto series = sweep(epss, [](core::MultiEmConfig& c, double eps) {
+      c.eps = static_cast<float>(eps);
+    });
+    PrintSeries("(e)+(f) F1 / normalized time vs eps", epss, series, true);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace multiem::bench
+
+int main(int argc, char** argv) { return multiem::bench::Main(argc, argv); }

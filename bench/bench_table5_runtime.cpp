@@ -1,0 +1,107 @@
+// Reproduces Table V: running-time comparison of every method, including
+// MultiEM(parallel).
+//
+// Shape targets (paper):
+//  * MultiEM is orders of magnitude faster than every baseline;
+//  * the parallel variant wins on the larger datasets but adds overhead on
+//    tiny Geo;
+//  * large datasets are gated for the baselines (the paper's "\\" / "-").
+
+#include "bench/bench_common.h"
+
+namespace multiem::bench {
+namespace {
+
+std::string Cell(const CellResult& cell) {
+  if (!cell.ran) return cell.gate;
+  return util::FormatDuration(cell.seconds);
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  auto datasets = LoadDatasets(scale, datagen::DatasetNames());
+  PrintDatasetBanner(datasets, scale);
+
+  struct Row {
+    std::string method;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows(11);
+  rows[0].method = "PromptEM (pw)";
+  rows[1].method = "Ditto (pw)";
+  rows[2].method = "AutoFJ (pw)";
+  rows[3].method = "PromptEM (c)";
+  rows[4].method = "Ditto (c)";
+  rows[5].method = "AutoFJ (c)";
+  rows[6].method = "ALMSER-GB";
+  rows[7].method = "MSCD-HAC";
+  rows[8].method = "MultiEM";
+  rows[9].method = "MultiEM (par)";
+  rows[10].method = "speedup best";
+
+  for (const auto& d : datasets) {
+    std::fprintf(stderr, "[table5] dataset %s ...\n", d.data.name.c_str());
+    bool any_baseline =
+        PairwiseWork(d.data) <= kMaxPairEvaluations ||
+        baselines::MscdQuadraticBytes(d.data.NumEntities()) <=
+            kMaxQuadraticBytes;
+    baselines::BaselineContext ctx;
+    if (any_baseline) ctx = baselines::BaselineContext::Build(d.data.tables);
+
+    std::vector<CellResult> cells;
+    cells.push_back(
+        RunSupervisedProxy(d, ctx, "PromptEM-proxy", 5, Extension::kPairwise));
+    cells.push_back(
+        RunSupervisedProxy(d, ctx, "Ditto-proxy", 3, Extension::kPairwise));
+    cells.push_back(RunAutoFj(d, ctx, Extension::kPairwise));
+    cells.push_back(
+        RunSupervisedProxy(d, ctx, "PromptEM-proxy", 5, Extension::kChain));
+    cells.push_back(
+        RunSupervisedProxy(d, ctx, "Ditto-proxy", 3, Extension::kChain));
+    cells.push_back(RunAutoFj(d, ctx, Extension::kChain));
+    cells.push_back(RunAlmser(d, ctx));
+    cells.push_back(RunMscdHac(d, ctx));
+
+    CellResult serial = RunMultiEm(d);
+    CellResult parallel =
+        RunMultiEm(d, [](core::MultiEmConfig& c) { c.num_threads = 0; });
+    cells.push_back(serial);
+    cells.push_back(parallel);
+
+    double slowest_baseline = 0.0;
+    for (size_t i = 0; i < 8; ++i) {
+      if (cells[i].ran) slowest_baseline =
+          std::max(slowest_baseline, cells[i].seconds);
+    }
+    double best_multiem = std::min(serial.seconds, parallel.seconds);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      rows[i].cells.push_back(Cell(cells[i]));
+    }
+    char speedup[32];
+    if (slowest_baseline > 0) {
+      std::snprintf(speedup, sizeof(speedup), "%.0fx",
+                    slowest_baseline / best_multiem);
+    } else {
+      std::snprintf(speedup, sizeof(speedup), "n/a");
+    }
+    rows[10].cells.push_back(speedup);
+  }
+
+  std::printf("=== Table V: running time ===\n\n%-14s", "Method");
+  for (const auto& d : datasets) std::printf(" %10s", d.data.name.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-14s", row.method.c_str());
+    for (const auto& cell : row.cells) std::printf(" %10s", cell.c_str());
+    std::printf("\n");
+  }
+  std::printf("\n\"speedup best\" = slowest completed baseline / best MultiEM "
+              "variant.\n\"-\" = memory gate, \"\\\" = time gate.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace multiem::bench
+
+int main(int argc, char** argv) { return multiem::bench::Main(argc, argv); }

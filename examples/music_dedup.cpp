@@ -1,0 +1,90 @@
+// Music-catalog integration: five music services export overlapping song
+// catalogs with inconsistent metadata (per-source ids, re-measured track
+// lengths, drifting years). The task is to produce one integrated catalog —
+// the MSCD/Music benchmark family of the paper.
+//
+//   $ ./examples/music_dedup
+//
+// Shows the full feature surface: automated attribute selection report,
+// serial vs parallel run, per-phase timing, accuracy against ground truth,
+// and the ablation switches.
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datagen/music.h"
+#include "eval/metrics.h"
+
+using namespace multiem;
+
+namespace {
+
+void Report(const char* label, const core::PipelineResult& result,
+            const datagen::MultiSourceBenchmark& bench) {
+  eval::Prf tuple_prf = eval::EvaluateTuples(result.ToTupleSet(), bench.truth);
+  eval::Prf pair_prf = eval::EvaluatePairs(result.ToTupleSet(), bench.truth);
+  std::printf("%-22s tuples=%-5zu F1=%5.1f%% pair-F1=%5.1f%% total=%.2fs "
+              "(S %.2f / R %.2f / M %.2f / P %.2f)\n",
+              label, result.tuples.size(), tuple_prf.f1 * 100,
+              pair_prf.f1 * 100, result.timings.TotalSeconds(),
+              result.timings.Get(core::kPhaseSelection),
+              result.timings.Get(core::kPhaseRepresentation),
+              result.timings.Get(core::kPhaseMerging),
+              result.timings.Get(core::kPhasePruning));
+}
+
+}  // namespace
+
+int main() {
+  datagen::MusicConfig data_config;
+  data_config.num_entities = 1500;
+  datagen::MultiSourceBenchmark bench = datagen::GenerateMusic(data_config);
+  std::printf("catalog: %zu sources, %zu rows, %zu ground-truth groups\n\n",
+              bench.tables.size(), bench.NumEntities(), bench.NumTuples());
+
+  core::MultiEmConfig config;
+  config.m = 0.5f;
+  config.gamma = 0.9;
+
+  // Full pipeline, serial.
+  auto serial = core::MultiEmPipeline(config).Run(bench.tables);
+  serial.status().CheckOk();
+  std::printf("attribute selection kept:");
+  for (const auto& name : serial->selection.selected_names) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n(noisy id/number/length/year/language rejected, as in "
+              "Table VII)\n\n");
+  Report("MultiEM (serial)", *serial, bench);
+
+  // Parallel variant: same tuples, faster merge/prune.
+  core::MultiEmConfig parallel_config = config;
+  parallel_config.num_threads = 0;  // hardware concurrency
+  auto parallel = core::MultiEmPipeline(parallel_config).Run(bench.tables);
+  parallel.status().CheckOk();
+  Report("MultiEM (parallel)", *parallel, bench);
+  std::printf("parallel tuples identical to serial: %s\n\n",
+              serial->ToTupleSet().tuples() == parallel->ToTupleSet().tuples()
+                  ? "yes"
+                  : "NO (bug!)");
+
+  // Ablations (Table IV's w/o EER and w/o DP rows).
+  core::MultiEmConfig no_eer = config;
+  no_eer.enable_attribute_selection = false;
+  auto without_eer = core::MultiEmPipeline(no_eer).Run(bench.tables);
+  without_eer.status().CheckOk();
+  Report("w/o attribute sel.", *without_eer, bench);
+
+  core::MultiEmConfig no_dp = config;
+  no_dp.enable_pruning = false;
+  auto without_dp = core::MultiEmPipeline(no_dp).Run(bench.tables);
+  without_dp.status().CheckOk();
+  Report("w/o pruning", *without_dp, bench);
+
+  std::printf("\nmerge levels: %zu; mutual pairs found: %zu; outliers "
+              "pruned: %zu\n",
+              serial->merge_stats.levels.size(),
+              serial->merge_stats.total_mutual_pairs,
+              serial->prune_stats.outliers_removed);
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "ann/brute_force.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace multiem::ann {
+
+BruteForceIndex::BruteForceIndex(size_t dim, Metric metric)
+    : dim_(dim), metric_(metric) {
+  if (dim_ == 0) std::abort();
+}
+
+void BruteForceIndex::Add(std::span<const float> vec) {
+  if (vec.size() != dim_) std::abort();
+  size_t offset = data_.size();
+  data_.insert(data_.end(), vec.begin(), vec.end());
+  if (metric_ == Metric::kCosine) {
+    embed::L2NormalizeInPlace(
+        std::span<float>(data_.data() + offset, dim_));
+  }
+  ++num_vectors_;
+}
+
+std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
+                                              size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(num_vectors_);
+  if (metric_ == Metric::kCosine) {
+    // Stored rows are unit-norm; normalize the query once and use 1 - dot.
+    std::vector<float> q(query.begin(), query.end());
+    embed::L2NormalizeInPlace(q);
+    for (size_t i = 0; i < num_vectors_; ++i) {
+      std::span<const float> row(data_.data() + i * dim_, dim_);
+      all.push_back({i, 1.0f - embed::Dot(q, row)});
+    }
+  } else {
+    for (size_t i = 0; i < num_vectors_; ++i) {
+      std::span<const float> row(data_.data() + i * dim_, dim_);
+      all.push_back({i, Distance(metric_, query, row)});
+    }
+  }
+  k = std::min(k, all.size());
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace multiem::ann

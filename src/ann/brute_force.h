@@ -1,0 +1,38 @@
+#ifndef MULTIEM_ANN_BRUTE_FORCE_H_
+#define MULTIEM_ANN_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "ann/index.h"
+
+namespace multiem::ann {
+
+/// Exact k-nearest-neighbor index by linear scan. O(n * dim) per query.
+///
+/// Serves two purposes: the recall oracle for HNSW in tests, and the index
+/// behind the `use_exact_knn` pipeline ablation. Cosine queries are computed
+/// against L2-normalized copies so results are consistent with HnswIndex.
+class BruteForceIndex : public VectorIndex {
+ public:
+  /// `dim` is the vector dimensionality; all Add/Search calls must match it.
+  BruteForceIndex(size_t dim, Metric metric);
+
+  void Add(std::span<const float> vec) override;
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               size_t k) const override;
+  size_t size() const override { return num_vectors_; }
+  size_t SizeBytes() const override {
+    return data_.capacity() * sizeof(float);
+  }
+  Metric metric() const override { return metric_; }
+
+ private:
+  size_t dim_;
+  Metric metric_;
+  size_t num_vectors_ = 0;
+  std::vector<float> data_;  // row-major, normalized copies for cosine
+};
+
+}  // namespace multiem::ann
+
+#endif  // MULTIEM_ANN_BRUTE_FORCE_H_

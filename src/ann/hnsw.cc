@@ -1,0 +1,297 @@
+#include "ann/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <queue>
+
+namespace multiem::ann {
+
+namespace {
+
+// Max-heap comparator on distance: top() is the *farthest* result, which is
+// what the result-set heap needs.
+struct FartherFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.distance < b.distance;
+  }
+};
+
+// Min-heap comparator on distance: top() is the *closest* candidate.
+struct CloserFirst {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    return a.distance > b.distance;
+  }
+};
+
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, Metric metric, HnswConfig config)
+    : dim_(dim),
+      metric_(metric),
+      config_(config),
+      level_rng_(config.seed) {
+  if (dim_ == 0) std::abort();
+  if (config_.m < 2) config_.m = 2;
+  if (config_.m0 < config_.m) config_.m0 = 2 * config_.m;
+  if (config_.ef_construction < config_.m) {
+    config_.ef_construction = config_.m * 2;
+  }
+  level_lambda_ = 1.0 / std::log(static_cast<double>(config_.m));
+}
+
+HnswIndex::~HnswIndex() = default;
+
+float HnswIndex::NodeDistance(std::span<const float> query,
+                              uint32_t node) const {
+  std::span<const float> v = NodeVector(node);
+  if (metric_ == Metric::kCosine) {
+    // Both sides are unit norm here.
+    return 1.0f - embed::Dot(query, v);
+  }
+  return Distance(metric_, query, v);
+}
+
+HnswIndex::VisitedList* HnswIndex::AcquireVisited() const {
+  std::lock_guard<std::mutex> lock(visited_mu_);
+  if (!visited_pool_.empty()) {
+    VisitedList* list = visited_pool_.back().release();
+    visited_pool_.pop_back();
+    if (list->stamps.size() < num_nodes_) list->stamps.resize(num_nodes_, 0);
+    return list;
+  }
+  auto* list = new VisitedList();
+  list->stamps.resize(num_nodes_, 0);
+  return list;
+}
+
+void HnswIndex::ReleaseVisited(VisitedList* list) const {
+  std::lock_guard<std::mutex> lock(visited_mu_);
+  visited_pool_.emplace_back(list);
+}
+
+uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
+                                      uint32_t entry, int level) const {
+  uint32_t current = entry;
+  float current_dist = NodeDistance(query, current);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t neighbor : Links(current, level)) {
+      float d = NodeDistance(query, neighbor);
+      if (d < current_dist) {
+        current = neighbor;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(std::span<const float> query,
+                                             uint32_t entry, size_t ef,
+                                             int level) const {
+  VisitedList* visited = AcquireVisited();
+  if (++visited->current == 0) {
+    // Stamp counter wrapped; reset all marks once.
+    std::fill(visited->stamps.begin(), visited->stamps.end(), 0);
+    visited->current = 1;
+  }
+  const uint32_t stamp = visited->current;
+
+  std::priority_queue<Neighbor, std::vector<Neighbor>, CloserFirst> candidates;
+  std::priority_queue<Neighbor, std::vector<Neighbor>, FartherFirst> results;
+
+  float entry_dist = NodeDistance(query, entry);
+  candidates.push({entry, entry_dist});
+  results.push({entry, entry_dist});
+  visited->stamps[entry] = stamp;
+
+  while (!candidates.empty()) {
+    Neighbor closest = candidates.top();
+    if (closest.distance > results.top().distance && results.size() >= ef) {
+      break;  // Every remaining candidate is farther than the worst result.
+    }
+    candidates.pop();
+    for (uint32_t neighbor : Links(static_cast<uint32_t>(closest.id), level)) {
+      if (visited->stamps[neighbor] == stamp) continue;
+      visited->stamps[neighbor] = stamp;
+      float d = NodeDistance(query, neighbor);
+      if (results.size() < ef || d < results.top().distance) {
+        candidates.push({neighbor, d});
+        results.push({neighbor, d});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+  ReleaseVisited(visited);
+
+  std::vector<Neighbor> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // ascending by distance
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    std::span<const float> query, const std::vector<Neighbor>& candidates,
+    size_t max_count) const {
+  // candidates must be sorted ascending by distance (SearchLayer guarantees
+  // this). Diversity heuristic: keep c only if it is closer to the query
+  // than to every kept neighbor, so links spread around the query.
+  std::vector<uint32_t> selected;
+  selected.reserve(max_count);
+  for (const Neighbor& c : candidates) {
+    if (selected.size() >= max_count) break;
+    bool keep = true;
+    std::span<const float> cv = NodeVector(static_cast<uint32_t>(c.id));
+    for (uint32_t s : selected) {
+      float dist_to_selected =
+          metric_ == Metric::kCosine
+              ? 1.0f - embed::Dot(cv, NodeVector(s))
+              : Distance(metric_, cv, NodeVector(s));
+      if (dist_to_selected < c.distance) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(static_cast<uint32_t>(c.id));
+  }
+  // Backfill with the nearest rejected candidates if diversity pruning left
+  // the node underlinked (keeps the graph connected on tiny inputs).
+  if (selected.size() < max_count) {
+    for (const Neighbor& c : candidates) {
+      if (selected.size() >= max_count) break;
+      uint32_t id = static_cast<uint32_t>(c.id);
+      if (std::find(selected.begin(), selected.end(), id) == selected.end()) {
+        selected.push_back(id);
+      }
+    }
+  }
+  return selected;
+}
+
+void HnswIndex::ShrinkLinks(uint32_t node, int level) {
+  size_t cap = (level == 0) ? config_.m0 : config_.m;
+  std::vector<uint32_t>& links = Links(node, level);
+  if (links.size() <= cap) return;
+  std::vector<Neighbor> candidates;
+  candidates.reserve(links.size());
+  std::span<const float> nv = NodeVector(node);
+  for (uint32_t neighbor : links) {
+    candidates.push_back({neighbor, NodeDistance(nv, neighbor)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  links = SelectNeighbors(nv, candidates, cap);
+}
+
+void HnswIndex::Add(std::span<const float> vec) {
+  if (vec.size() != dim_) std::abort();
+  uint32_t node = static_cast<uint32_t>(num_nodes_);
+
+  // Store (normalized) vector.
+  size_t offset = vectors_.size();
+  vectors_.insert(vectors_.end(), vec.begin(), vec.end());
+  if (metric_ == Metric::kCosine) {
+    embed::L2NormalizeInPlace(std::span<float>(vectors_.data() + offset, dim_));
+  }
+
+  // Draw the node's top level: floor(-ln(U) * 1/ln(M)).
+  double u = level_rng_.UniformDouble();
+  if (u <= 0.0) u = 1e-12;
+  int level = static_cast<int>(-std::log(u) * level_lambda_);
+
+  node_level_.push_back(level);
+  links_.emplace_back(static_cast<size_t>(level) + 1);
+  ++num_nodes_;
+
+  if (node == 0) {
+    max_level_ = level;
+    entry_point_ = 0;
+    return;
+  }
+
+  std::span<const float> query = NodeVector(node);
+  uint32_t current = entry_point_;
+
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    current = GreedySearchLayer(query, current, l);
+  }
+
+  // Beam-search insertion on each layer the node participates in.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<Neighbor> candidates =
+        SearchLayer(query, current, config_.ef_construction, l);
+    size_t cap = (l == 0) ? config_.m0 : config_.m;
+    std::vector<uint32_t> neighbors =
+        SelectNeighbors(query, candidates, config_.m);
+    Links(node, l) = neighbors;
+    for (uint32_t neighbor : neighbors) {
+      Links(neighbor, l).push_back(node);
+      if (Links(neighbor, l).size() > cap) ShrinkLinks(neighbor, l);
+    }
+    if (!candidates.empty()) {
+      current = static_cast<uint32_t>(candidates.front().id);
+    }
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
+                                        size_t k) const {
+  return SearchEf(query, k, std::max(k, config_.ef_search));
+}
+
+std::vector<Neighbor> HnswIndex::SearchEf(std::span<const float> query,
+                                          size_t k, size_t ef) const {
+  if (num_nodes_ == 0 || k == 0) return {};
+  ef = std::max(ef, k);
+
+  std::vector<float> normalized;
+  std::span<const float> q = query;
+  if (metric_ == Metric::kCosine) {
+    normalized.assign(query.begin(), query.end());
+    embed::L2NormalizeInPlace(normalized);
+    q = normalized;
+  }
+
+  uint32_t current = entry_point_;
+  for (int l = max_level_; l > 0; --l) {
+    current = GreedySearchLayer(q, current, l);
+  }
+  std::vector<Neighbor> results = SearchLayer(q, current, ef, 0);
+  if (results.size() > k) results.resize(k);
+  // Deterministic tie order.
+  std::sort(results.begin(), results.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return results;
+}
+
+size_t HnswIndex::SizeBytes() const {
+  size_t bytes = vectors_.capacity() * sizeof(float);
+  bytes += node_level_.capacity() * sizeof(int);
+  for (const auto& per_node : links_) {
+    bytes += sizeof(per_node);
+    for (const auto& level_links : per_node) {
+      bytes += sizeof(level_links) + level_links.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace multiem::ann

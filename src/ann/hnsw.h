@@ -1,0 +1,130 @@
+#ifndef MULTIEM_ANN_HNSW_H_
+#define MULTIEM_ANN_HNSW_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ann/index.h"
+#include "util/rng.h"
+
+namespace multiem::ann {
+
+/// Construction/search knobs of the HNSW graph; defaults follow common
+/// hnswlib practice, which is what the paper used in its merging phase.
+struct HnswConfig {
+  /// Max out-degree on layers >= 1 (the paper/hnswlib "M").
+  size_t m = 16;
+  /// Max out-degree on layer 0 (hnswlib uses 2*M).
+  size_t m0 = 32;
+  /// Beam width while inserting.
+  size_t ef_construction = 200;
+  /// Default beam width while searching; raised to k when k is larger.
+  size_t ef_search = 64;
+  /// Seed for the level generator (layer assignment is randomized).
+  uint64_t seed = 0x48435753ULL;  // "HNSW"
+};
+
+/// Hierarchical Navigable Small World index (Malkov & Yashunin, TPAMI 2020),
+/// implemented from scratch — see DESIGN.md.
+///
+/// Structure: every vector is a node assigned a top layer drawn from a
+/// geometric-like distribution (level = floor(-ln(U) * 1/ln(M))). Layers > 0
+/// form progressively sparser navigable graphs used for greedy descent;
+/// layer 0 holds all nodes. Insertion runs a beam search per layer
+/// (ef_construction candidates) and connects the node to neighbors chosen by
+/// the diversity heuristic (Algorithm 4 of the HNSW paper); over-full
+/// adjacency lists are re-pruned with the same heuristic.
+///
+/// Cosine metric: vectors are L2-normalized on insert and queries normalized
+/// per call, so distance reduces to 1 - dot.
+///
+/// Thread-safety: Add is single-threaded; Search is const and safe to call
+/// concurrently (per-call visited marks come from an internal pool).
+class HnswIndex : public VectorIndex {
+ public:
+  HnswIndex(size_t dim, Metric metric, HnswConfig config = {});
+  ~HnswIndex() override;
+
+  void Add(std::span<const float> vec) override;
+
+  std::vector<Neighbor> Search(std::span<const float> query,
+                               size_t k) const override;
+
+  /// Search with an explicit beam width (ef >= k recommended).
+  std::vector<Neighbor> SearchEf(std::span<const float> query, size_t k,
+                                 size_t ef) const;
+
+  size_t size() const override { return num_nodes_; }
+  size_t SizeBytes() const override;
+  Metric metric() const override { return metric_; }
+
+  /// Highest layer currently in use (-1 when empty); exposed for tests.
+  int max_level() const { return max_level_; }
+
+  const HnswConfig& config() const { return config_; }
+
+ private:
+  struct VisitedList {
+    std::vector<uint32_t> stamps;
+    uint32_t current = 0;
+  };
+
+  /// Distance from `query` (already normalized for cosine) to stored node.
+  float NodeDistance(std::span<const float> query, uint32_t node) const;
+
+  std::span<const float> NodeVector(uint32_t node) const {
+    return std::span<const float>(vectors_.data() + size_t{node} * dim_, dim_);
+  }
+
+  /// Greedy hill-climb on `level` starting at `entry`; returns the closest
+  /// node found (used to descend through the upper layers).
+  uint32_t GreedySearchLayer(std::span<const float> query, uint32_t entry,
+                             int level) const;
+
+  /// Beam search on `level` with beam width `ef`; returns up to `ef`
+  /// (node, distance) pairs sorted ascending by distance.
+  std::vector<Neighbor> SearchLayer(std::span<const float> query,
+                                    uint32_t entry, size_t ef,
+                                    int level) const;
+
+  /// HNSW Algorithm 4: keeps candidates that are closer to the query than to
+  /// every already-kept neighbor (diversity pruning), up to `max_count`.
+  std::vector<uint32_t> SelectNeighbors(std::span<const float> query,
+                                        const std::vector<Neighbor>& candidates,
+                                        size_t max_count) const;
+
+  /// Re-prunes `node`'s adjacency on `level` when it exceeds the cap.
+  void ShrinkLinks(uint32_t node, int level);
+
+  std::vector<uint32_t>& Links(uint32_t node, int level) {
+    return links_[node][level];
+  }
+  const std::vector<uint32_t>& Links(uint32_t node, int level) const {
+    return links_[node][level];
+  }
+
+  VisitedList* AcquireVisited() const;
+  void ReleaseVisited(VisitedList* list) const;
+
+  size_t dim_;
+  Metric metric_;
+  HnswConfig config_;
+  double level_lambda_;  // 1 / ln(M)
+  util::Rng level_rng_;
+
+  size_t num_nodes_ = 0;
+  std::vector<float> vectors_;              // row-major (normalized if cosine)
+  std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]
+  std::vector<int> node_level_;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+
+  mutable std::mutex visited_mu_;
+  mutable std::vector<std::unique_ptr<VisitedList>> visited_pool_;
+};
+
+}  // namespace multiem::ann
+
+#endif  // MULTIEM_ANN_HNSW_H_

@@ -1,0 +1,55 @@
+#ifndef MULTIEM_ANN_INDEX_H_
+#define MULTIEM_ANN_INDEX_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ann/metric.h"
+#include "embed/embedding.h"
+
+namespace multiem::ann {
+
+/// One search hit: index of the stored vector and its distance to the query.
+struct Neighbor {
+  size_t id;
+  float distance;
+
+  friend bool operator==(const Neighbor& a, const Neighbor& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+/// Common interface of the nearest-neighbor indexes (HNSW and brute force),
+/// so the merging phase can swap implementations (the `use_exact_knn`
+/// ablation in MultiEmConfig).
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Inserts a vector; its id is the insertion order (0-based).
+  virtual void Add(std::span<const float> vec) = 0;
+
+  /// Inserts every row of `vectors` in row order.
+  void AddBatch(const embed::EmbeddingMatrix& vectors) {
+    for (size_t i = 0; i < vectors.num_rows(); ++i) Add(vectors.Row(i));
+  }
+
+  /// Top-`k` nearest stored vectors to `query`, sorted by ascending distance
+  /// (ties broken by id). Returns fewer than k when the index is smaller.
+  virtual std::vector<Neighbor> Search(std::span<const float> query,
+                                       size_t k) const = 0;
+
+  /// Number of stored vectors.
+  virtual size_t size() const = 0;
+
+  /// Approximate heap footprint (memory-accounting bench).
+  virtual size_t SizeBytes() const = 0;
+
+  /// The metric this index was built with.
+  virtual Metric metric() const = 0;
+};
+
+}  // namespace multiem::ann
+
+#endif  // MULTIEM_ANN_INDEX_H_

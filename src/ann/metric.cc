@@ -1,0 +1,32 @@
+#include "ann/metric.h"
+
+#include "embed/embedding.h"
+
+namespace multiem::ann {
+
+std::string_view MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kEuclidean:
+      return "euclidean";
+    case Metric::kInnerProduct:
+      return "inner_product";
+  }
+  return "unknown";
+}
+
+float Distance(Metric metric, std::span<const float> a,
+               std::span<const float> b) {
+  switch (metric) {
+    case Metric::kCosine:
+      return embed::CosineDistance(a, b);
+    case Metric::kEuclidean:
+      return embed::EuclideanDistance(a, b);
+    case Metric::kInnerProduct:
+      return -embed::Dot(a, b);
+  }
+  return 0.0f;
+}
+
+}  // namespace multiem::ann

@@ -1,0 +1,26 @@
+#ifndef MULTIEM_ANN_METRIC_H_
+#define MULTIEM_ANN_METRIC_H_
+
+#include <span>
+#include <string_view>
+
+namespace multiem::ann {
+
+/// Distance metrics supported by the nearest-neighbor indexes.
+enum class Metric {
+  kCosine,      ///< 1 - cosine similarity (merging-phase metric).
+  kEuclidean,   ///< L2 distance (pruning-phase metric).
+  kInnerProduct ///< -dot(a, b); useful for maximum-inner-product search.
+};
+
+/// Canonical name of a metric ("cosine", "euclidean", "inner_product").
+std::string_view MetricName(Metric metric);
+
+/// Distance between two equal-length vectors under `metric`. Smaller is
+/// closer for every metric (inner product is negated).
+float Distance(Metric metric, std::span<const float> a,
+               std::span<const float> b);
+
+}  // namespace multiem::ann
+
+#endif  // MULTIEM_ANN_METRIC_H_

@@ -1,0 +1,84 @@
+#include "ann/mutual_topk.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+
+namespace multiem::ann {
+
+namespace {
+
+std::unique_ptr<VectorIndex> BuildIndex(const embed::EmbeddingMatrix& vectors,
+                                        const MutualTopKOptions& options) {
+  std::unique_ptr<VectorIndex> index;
+  if (options.use_exact) {
+    index = std::make_unique<BruteForceIndex>(vectors.dim(), options.metric);
+  } else {
+    HnswConfig config;
+    config.m = options.hnsw_m;
+    config.m0 = options.hnsw_m * 2;
+    config.ef_construction = options.hnsw_ef_construction;
+    config.ef_search = options.hnsw_ef_search;
+    config.seed = options.hnsw_seed;
+    index = std::make_unique<HnswIndex>(vectors.dim(), options.metric, config);
+  }
+  index->AddBatch(vectors);
+  return index;
+}
+
+}  // namespace
+
+std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
+                                   const embed::EmbeddingMatrix& right,
+                                   const MutualTopKOptions& options,
+                                   util::ThreadPool* pool) {
+  std::vector<MutualPair> out;
+  if (left.num_rows() == 0 || right.num_rows() == 0 || options.k == 0) {
+    return out;
+  }
+
+  std::unique_ptr<VectorIndex> right_index = BuildIndex(right, options);
+  std::unique_ptr<VectorIndex> left_index = BuildIndex(left, options);
+
+  // topK(e) for every left row against the right index, and vice versa.
+  std::vector<std::vector<Neighbor>> left_to_right(left.num_rows());
+  util::ParallelFor(pool, left.num_rows(), [&](size_t i) {
+    left_to_right[i] = right_index->Search(left.Row(i), options.k);
+  }, /*min_block_size=*/16);
+
+  std::vector<std::vector<Neighbor>> right_to_left(right.num_rows());
+  util::ParallelFor(pool, right.num_rows(), [&](size_t j) {
+    right_to_left[j] = left_index->Search(right.Row(j), options.k);
+  }, /*min_block_size=*/16);
+
+  // Hash the right->left relation for O(1) mutuality checks.
+  std::unordered_set<uint64_t> right_picks;
+  right_picks.reserve(right.num_rows() * options.k);
+  for (size_t j = 0; j < right.num_rows(); ++j) {
+    for (const Neighbor& n : right_to_left[j]) {
+      right_picks.insert(static_cast<uint64_t>(j) << 32 |
+                         static_cast<uint64_t>(n.id));
+    }
+  }
+
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    for (const Neighbor& n : left_to_right[i]) {
+      if (n.distance > options.max_distance) continue;
+      uint64_t key = static_cast<uint64_t>(n.id) << 32 |
+                     static_cast<uint64_t>(i);
+      if (right_picks.count(key) > 0) {
+        out.push_back({i, n.id, n.distance});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const MutualPair& a, const MutualPair& b) {
+    if (a.left != b.left) return a.left < b.left;
+    return a.right < b.right;
+  });
+  return out;
+}
+
+}  // namespace multiem::ann

@@ -1,0 +1,49 @@
+#ifndef MULTIEM_ANN_MUTUAL_TOPK_H_
+#define MULTIEM_ANN_MUTUAL_TOPK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ann/index.h"
+#include "embed/embedding.h"
+#include "util/thread_pool.h"
+
+namespace multiem::ann {
+
+/// A mutual top-K match between row `left` of the left matrix and row
+/// `right` of the right matrix, at the given distance.
+struct MutualPair {
+  size_t left;
+  size_t right;
+  float distance;
+};
+
+/// Options for the mutual top-K search of the merging phase (Eq. 1).
+struct MutualTopKOptions {
+  /// Top-K depth (paper default k = 1).
+  size_t k = 1;
+  /// Distance threshold m: pairs farther than this are discarded.
+  float max_distance = 0.35f;
+  Metric metric = Metric::kCosine;
+  /// false selects HnswIndex; true selects exact BruteForceIndex (ablation).
+  bool use_exact = false;
+  /// HNSW knobs (ignored for exact search).
+  size_t hnsw_m = 16;
+  size_t hnsw_ef_construction = 200;
+  size_t hnsw_ef_search = 64;
+  uint64_t hnsw_seed = 0x48435753ULL;
+};
+
+/// Computes Eq. 1 of the paper:
+///   P_m = { (e, e') | e' in topK(e) and e in topK(e') and dist(e, e') <= m }
+/// by building one index per side and intersecting the two top-K relations.
+/// Queries run in parallel over `pool` when provided. Pairs are returned
+/// sorted by (left, right); each (left, right) appears at most once.
+std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
+                                   const embed::EmbeddingMatrix& right,
+                                   const MutualTopKOptions& options,
+                                   util::ThreadPool* pool = nullptr);
+
+}  // namespace multiem::ann
+
+#endif  // MULTIEM_ANN_MUTUAL_TOPK_H_

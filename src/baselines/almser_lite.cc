@@ -1,0 +1,105 @@
+#include "baselines/almser_lite.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/threshold_classifier.h"
+#include "embed/embedding.h"
+#include "eval/pairs_to_tuples.h"
+
+namespace multiem::baselines {
+
+namespace {
+
+struct ScoredPair {
+  eval::Pair pair;
+  double score;
+};
+
+}  // namespace
+
+std::vector<eval::Pair> AlmserLiteMatcher::RunPairs(
+    const BaselineContext& ctx, const eval::LabeledSplit& split) const {
+  // Step 1: learn the global threshold from the labeled seed (reuse the
+  // threshold learner).
+  ThresholdClassifierConfig tc;
+  tc.candidate_k = config_.candidate_k;
+  ThresholdClassifierMatcher learner(tc);
+  learner.Train(ctx, split);
+  double threshold = learner.threshold();
+
+  // Step 2: score candidates across every source pair.
+  std::vector<ScoredPair> candidates;
+  for (uint32_t i = 0; i < ctx.num_sources(); ++i) {
+    std::vector<table::EntityId> left = ctx.SourceEntities(i);
+    for (uint32_t j = i + 1; j < ctx.num_sources(); ++j) {
+      std::vector<table::EntityId> right = ctx.SourceEntities(j);
+      std::vector<std::pair<float, size_t>> sims(right.size());
+      for (table::EntityId l : left) {
+        std::span<const float> lv = ctx.Embedding(l);
+        for (size_t r = 0; r < right.size(); ++r) {
+          sims[r] = {embed::CosineSimilarity(lv, ctx.Embedding(right[r])), r};
+        }
+        size_t k = std::min(config_.candidate_k, sims.size());
+        std::partial_sort(
+            sims.begin(), sims.begin() + k, sims.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+        for (size_t c = 0; c < k; ++c) {
+          // Keep anything near or above threshold; the graph stage decides.
+          if (sims[c].first >= threshold - config_.margin) {
+            candidates.push_back(
+                {eval::MakePair(l, right[sims[c].second]), sims[c].first});
+          }
+        }
+      }
+    }
+  }
+
+  // Step 3: graph boosting. Build adjacency over the *confident* pairs and
+  // use common-neighbor support to promote/demote the borderline ones.
+  std::unordered_map<table::EntityId, std::vector<table::EntityId>> adjacency;
+  for (const ScoredPair& sp : candidates) {
+    if (sp.score >= threshold) {
+      adjacency[sp.pair.a].push_back(sp.pair.b);
+      adjacency[sp.pair.b].push_back(sp.pair.a);
+    }
+  }
+  auto support = [&](const eval::Pair& p) {
+    auto it_a = adjacency.find(p.a);
+    auto it_b = adjacency.find(p.b);
+    if (it_a == adjacency.end() || it_b == adjacency.end()) return size_t{0};
+    std::unordered_set<table::EntityId> neighbors_a(it_a->second.begin(),
+                                                    it_a->second.end());
+    size_t common = 0;
+    for (table::EntityId n : it_b->second) {
+      if (n != p.a && n != p.b && neighbors_a.count(n) > 0) ++common;
+    }
+    return common;
+  };
+
+  std::vector<eval::Pair> out;
+  for (const ScoredPair& sp : candidates) {
+    bool above = sp.score >= threshold;
+    bool borderline_above = above && sp.score < threshold + config_.margin;
+    if (above) {
+      if (config_.demote_unsupported && borderline_above &&
+          support(sp.pair) == 0) {
+        continue;  // graph veto
+      }
+      out.push_back(sp.pair);
+    } else if (support(sp.pair) >= config_.support_needed) {
+      out.push_back(sp.pair);  // graph promotion
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+eval::TupleSet AlmserLiteMatcher::Run(const BaselineContext& ctx,
+                                      const eval::LabeledSplit& split) const {
+  return eval::PairsToTuples(RunPairs(ctx, split));
+}
+
+}  // namespace multiem::baselines

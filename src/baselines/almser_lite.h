@@ -1,0 +1,51 @@
+#ifndef MULTIEM_BASELINES_ALMSER_LITE_H_
+#define MULTIEM_BASELINES_ALMSER_LITE_H_
+
+#include "baselines/context.h"
+#include "eval/split.h"
+#include "eval/tuples.h"
+
+namespace multiem::baselines {
+
+/// Configuration of the ALMSER-GB-style multi-source matcher.
+struct AlmserLiteConfig {
+  /// Candidate depth per entity per source pair.
+  size_t candidate_k = 3;
+  /// Graph-boost margin: a candidate pair below the learned threshold is
+  /// promoted when its graph support (common matched neighbors) is >=
+  /// `support_needed` and its score is within `margin` of the threshold.
+  double margin = 0.06;
+  size_t support_needed = 1;
+  /// Pairs above threshold but with zero support and score within `margin`
+  /// of the threshold are demoted (the graph veto).
+  bool demote_unsupported = true;
+};
+
+/// Multi-source matcher standing in for ALMSER-GB (Primpeli & Bizer,
+/// ISWC'21) — see DESIGN.md "Substitutions". The published method actively
+/// labels pairs and boosts a learner with features from the multi-source
+/// similarity graph; this proxy keeps the pipeline shape: (1) learn a
+/// decision threshold from the labeled seed, (2) score cross-source
+/// candidates, (3) use the match-graph structure (common-neighbor support)
+/// to promote/demote borderline pairs, (4) convert pairs to tuples with
+/// Algorithm 5.
+class AlmserLiteMatcher {
+ public:
+  explicit AlmserLiteMatcher(AlmserLiteConfig config = {})
+      : config_(config) {}
+
+  /// Runs end-to-end on all sources. `split` is the labeled seed (5%+5%).
+  eval::TupleSet Run(const BaselineContext& ctx,
+                     const eval::LabeledSplit& split) const;
+
+  /// Raw boosted pair list (before tuple conversion).
+  std::vector<eval::Pair> RunPairs(const BaselineContext& ctx,
+                                   const eval::LabeledSplit& split) const;
+
+ private:
+  AlmserLiteConfig config_;
+};
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_ALMSER_LITE_H_

@@ -1,0 +1,84 @@
+#include "baselines/autofj_lite.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "embed/embedding.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace multiem::baselines {
+
+std::vector<eval::Pair> AutoFjLiteMatcher::Match(
+    const BaselineContext& ctx, std::span<const table::EntityId> left,
+    std::span<const table::EntityId> right) const {
+  std::vector<eval::Pair> out;
+  if (left.empty() || right.empty()) return out;
+
+  // Null distribution of the string similarity over random pairs: the
+  // auto-threshold estimates "how similar do *non*-matches look here".
+  util::Rng rng(left.size() * 2654435761u + right.size());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t samples = std::max<size_t>(16, config_.null_samples);
+  for (size_t i = 0; i < samples; ++i) {
+    table::EntityId a = left[rng.NextBounded(left.size())];
+    table::EntityId b = right[rng.NextBounded(right.size())];
+    double s = util::NgramJaccard(ctx.Text(a), ctx.Text(b), config_.ngram);
+    sum += s;
+    sum_sq += s * s;
+  }
+  double mean = sum / static_cast<double>(samples);
+  double variance =
+      std::max(0.0, sum_sq / static_cast<double>(samples) - mean * mean);
+  double threshold = mean + config_.z_score * std::sqrt(variance);
+  threshold = std::clamp(threshold, 0.35, 0.95);
+
+  // Candidate generation via the embedding blocker, then n-gram scoring.
+  struct Candidate {
+    double score;
+    size_t left_index;
+    size_t right_index;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<std::pair<float, size_t>> sims(right.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    std::span<const float> lv = ctx.Embedding(left[i]);
+    for (size_t j = 0; j < right.size(); ++j) {
+      sims[j] = {embed::CosineSimilarity(lv, ctx.Embedding(right[j])), j};
+    }
+    size_t k = std::min(config_.candidate_k, sims.size());
+    std::partial_sort(
+        sims.begin(), sims.begin() + k, sims.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (size_t c = 0; c < k; ++c) {
+      size_t j = sims[c].second;
+      double s = util::NgramJaccard(ctx.Text(left[i]), ctx.Text(right[j]),
+                                    config_.ngram);
+      if (s >= threshold) candidates.push_back({s, i, j});
+    }
+  }
+
+  // Greedy one-to-one assignment, best score first (fuzzy-join semantics).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  std::unordered_set<size_t> used_left;
+  std::unordered_set<size_t> used_right;
+  for (const Candidate& c : candidates) {
+    if (config_.one_to_one) {
+      if (used_left.count(c.left_index) > 0 ||
+          used_right.count(c.right_index) > 0) {
+        continue;
+      }
+      used_left.insert(c.left_index);
+      used_right.insert(c.right_index);
+    }
+    out.push_back(eval::MakePair(left[c.left_index], right[c.right_index]));
+  }
+  return out;
+}
+
+}  // namespace multiem::baselines

@@ -1,0 +1,50 @@
+#ifndef MULTIEM_BASELINES_AUTOFJ_LITE_H_
+#define MULTIEM_BASELINES_AUTOFJ_LITE_H_
+
+#include <string>
+
+#include "baselines/two_table_matcher.h"
+
+namespace multiem::baselines {
+
+/// Configuration of the AutoFuzzyJoin-style unsupervised matcher.
+struct AutoFjLiteConfig {
+  /// Character n-gram size of the string similarity.
+  size_t ngram = 3;
+  /// Candidate depth from the embedding blocker.
+  size_t candidate_k = 5;
+  /// Auto-tuned threshold = null-mean + z_score * null-stddev, where the
+  /// null distribution is sampled from random (non-candidate) pairs; this is
+  /// the precision-first spirit of AutoFJ's reference-set estimation.
+  double z_score = 4.0;
+  /// Sampled random pairs for the null distribution.
+  size_t null_samples = 512;
+  /// Enforce one-to-one greedy assignment like a fuzzy join.
+  bool one_to_one = true;
+};
+
+/// Unsupervised fuzzy-join matcher standing in for AutoFuzzyJoin (Li et al.,
+/// SIGMOD'21) — see DESIGN.md "Substitutions". Candidates come from an
+/// embedding blocker; the join score is character-n-gram Jaccard similarity
+/// of the serialized records; the join threshold is auto-tuned from a null
+/// distribution of random pair scores so precision stays high without labels
+/// (AutoFJ's core contract). Memory: the O(n^2-ish) candidate scoring makes
+/// it the memory-fragile baseline of Tables V/VI, as published.
+class AutoFjLiteMatcher : public TwoTableMatcher {
+ public:
+  explicit AutoFjLiteMatcher(AutoFjLiteConfig config = {})
+      : config_(config) {}
+
+  std::string name() const override { return "AutoFJ-lite"; }
+
+  std::vector<eval::Pair> Match(
+      const BaselineContext& ctx, std::span<const table::EntityId> left,
+      std::span<const table::EntityId> right) const override;
+
+ private:
+  AutoFjLiteConfig config_;
+};
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_AUTOFJ_LITE_H_

@@ -1,0 +1,48 @@
+#include "baselines/context.h"
+
+#include "embed/hashing_encoder.h"
+#include "embed/serialize.h"
+
+namespace multiem::baselines {
+
+BaselineContext BaselineContext::Build(
+    const std::vector<table::Table>& tables, size_t dim, uint64_t seed,
+    util::ThreadPool* pool) {
+  BaselineContext ctx;
+  ctx.tables = &tables;
+
+  embed::HashingEncoderConfig config;
+  config.dim = dim;
+  config.seed ^= seed;
+  embed::HashingSentenceEncoder encoder(config);
+
+  std::vector<std::string> corpus;
+  for (const table::Table& t : tables) {
+    std::vector<std::string> texts = embed::SerializeTable(t);
+    corpus.insert(corpus.end(), texts.begin(), texts.end());
+    ctx.texts.push_back(std::move(texts));
+  }
+  encoder.FitFrequencies(corpus);
+  for (const auto& texts : ctx.texts) {
+    ctx.store.AddSource(encoder.EncodeBatch(texts, pool));
+  }
+  return ctx;
+}
+
+std::vector<table::EntityId> BaselineContext::SourceEntities(
+    uint32_t source) const {
+  std::vector<table::EntityId> out;
+  out.reserve(texts[source].size());
+  for (size_t r = 0; r < texts[source].size(); ++r) {
+    out.push_back(table::EntityId(source, r));
+  }
+  return out;
+}
+
+size_t BaselineContext::NumEntities() const {
+  size_t total = 0;
+  for (const auto& t : texts) total += t.size();
+  return total;
+}
+
+}  // namespace multiem::baselines

@@ -1,0 +1,49 @@
+#ifndef MULTIEM_BASELINES_CONTEXT_H_
+#define MULTIEM_BASELINES_CONTEXT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/merge_table.h"
+#include "table/entity_id.h"
+#include "table/table.h"
+#include "util/thread_pool.h"
+
+namespace multiem::baselines {
+
+/// Shared inputs of every baseline: the source tables, their full-attribute
+/// serializations, and embeddings from the same frozen sentence encoder the
+/// MultiEM pipeline uses (but *without* the enhanced-representation module —
+/// baselines represent entities with all attributes, like the published
+/// systems do).
+struct BaselineContext {
+  const std::vector<table::Table>* tables = nullptr;
+  core::EntityEmbeddingStore store;
+  /// texts[source][row] = serialized entity.
+  std::vector<std::vector<std::string>> texts;
+
+  /// Builds serializations and embeddings for `tables` (kept alive by the
+  /// caller for the context's lifetime).
+  static BaselineContext Build(const std::vector<table::Table>& tables,
+                               size_t dim = 384, uint64_t seed = 0,
+                               util::ThreadPool* pool = nullptr);
+
+  std::span<const float> Embedding(table::EntityId id) const {
+    return store.Row(id);
+  }
+  const std::string& Text(table::EntityId id) const {
+    return texts[id.source()][id.row()];
+  }
+  size_t num_sources() const { return texts.size(); }
+
+  /// All entity ids of one source, in row order.
+  std::vector<table::EntityId> SourceEntities(uint32_t source) const;
+
+  /// Total number of entities across sources.
+  size_t NumEntities() const;
+};
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_CONTEXT_H_

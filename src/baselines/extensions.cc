@@ -1,0 +1,57 @@
+#include "baselines/extensions.h"
+
+#include <unordered_set>
+
+#include "eval/pairs_to_tuples.h"
+
+namespace multiem::baselines {
+
+std::vector<eval::Pair> PairwiseMatchingPairs(const TwoTableMatcher& matcher,
+                                              const BaselineContext& ctx) {
+  std::vector<eval::Pair> all;
+  for (uint32_t i = 0; i < ctx.num_sources(); ++i) {
+    std::vector<table::EntityId> left = ctx.SourceEntities(i);
+    for (uint32_t j = i + 1; j < ctx.num_sources(); ++j) {
+      std::vector<table::EntityId> right = ctx.SourceEntities(j);
+      std::vector<eval::Pair> pairs = matcher.Match(ctx, left, right);
+      all.insert(all.end(), pairs.begin(), pairs.end());
+    }
+  }
+  return all;
+}
+
+eval::TupleSet PairwiseMatching(const TwoTableMatcher& matcher,
+                                const BaselineContext& ctx) {
+  return eval::PairsToTuples(PairwiseMatchingPairs(matcher, ctx));
+}
+
+std::vector<eval::Pair> ChainMatchingPairs(const TwoTableMatcher& matcher,
+                                           const BaselineContext& ctx) {
+  std::vector<eval::Pair> all;
+  if (ctx.num_sources() == 0) return all;
+  std::vector<table::EntityId> base = ctx.SourceEntities(0);
+  for (uint32_t s = 1; s < ctx.num_sources(); ++s) {
+    std::vector<table::EntityId> next = ctx.SourceEntities(s);
+    std::vector<eval::Pair> pairs = matcher.Match(ctx, base, next);
+
+    // Entities of source s that matched are absorbed into existing base
+    // entries; the unmatched ones are retained, growing the base (Lemma 2).
+    std::unordered_set<table::EntityId> matched_right;
+    for (const eval::Pair& p : pairs) {
+      // The right-side member is whichever end lives in source s.
+      matched_right.insert(p.a.source() == s ? p.a : p.b);
+    }
+    for (table::EntityId id : next) {
+      if (matched_right.count(id) == 0) base.push_back(id);
+    }
+    all.insert(all.end(), pairs.begin(), pairs.end());
+  }
+  return all;
+}
+
+eval::TupleSet ChainMatching(const TwoTableMatcher& matcher,
+                             const BaselineContext& ctx) {
+  return eval::PairsToTuples(ChainMatchingPairs(matcher, ctx));
+}
+
+}  // namespace multiem::baselines

@@ -1,0 +1,32 @@
+#ifndef MULTIEM_BASELINES_EXTENSIONS_H_
+#define MULTIEM_BASELINES_EXTENSIONS_H_
+
+#include <vector>
+
+#include "baselines/two_table_matcher.h"
+#include "eval/tuples.h"
+
+namespace multiem::baselines {
+
+/// Figure 2(a): pairwise matching. Runs the two-table matcher on every
+/// unordered pair of sources — S*(S-1)/2 invocations — collects all pairs,
+/// and converts them to tuples with Algorithm 5 (eval::PairsToTuples).
+eval::TupleSet PairwiseMatching(const TwoTableMatcher& matcher,
+                                const BaselineContext& ctx);
+
+/// Figure 2(c): chain matching. Starts from source 0 as the base, matches
+/// each subsequent source against the (growing) base, and retains that
+/// source's unmatched entities in the base — so the base table grows along
+/// the chain exactly as the paper's complexity analysis assumes (Lemma 2).
+eval::TupleSet ChainMatching(const TwoTableMatcher& matcher,
+                             const BaselineContext& ctx);
+
+/// Raw pair lists of the two extensions (for pair-level diagnostics).
+std::vector<eval::Pair> PairwiseMatchingPairs(const TwoTableMatcher& matcher,
+                                              const BaselineContext& ctx);
+std::vector<eval::Pair> ChainMatchingPairs(const TwoTableMatcher& matcher,
+                                           const BaselineContext& ctx);
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_EXTENSIONS_H_

@@ -1,0 +1,74 @@
+#include "baselines/mscd.h"
+
+#include <unordered_map>
+
+namespace multiem::baselines {
+
+namespace {
+
+// Flattens every source's entities into one matrix, keeping ids and sources.
+struct Flattened {
+  embed::EmbeddingMatrix points;
+  std::vector<table::EntityId> ids;
+  std::vector<uint32_t> sources;
+};
+
+Flattened Flatten(const BaselineContext& ctx) {
+  Flattened out;
+  size_t total = ctx.NumEntities();
+  out.points = embed::EmbeddingMatrix(total, ctx.store.dim());
+  out.ids.reserve(total);
+  out.sources.reserve(total);
+  size_t row = 0;
+  for (uint32_t s = 0; s < ctx.num_sources(); ++s) {
+    const embed::EmbeddingMatrix& source = ctx.store.source(s);
+    for (size_t r = 0; r < source.num_rows(); ++r) {
+      std::span<const float> v = source.Row(r);
+      std::copy(v.begin(), v.end(), out.points.Row(row).begin());
+      out.ids.push_back(table::EntityId(s, r));
+      out.sources.push_back(s);
+      ++row;
+    }
+  }
+  return out;
+}
+
+eval::TupleSet LabelsToTuples(const std::vector<int>& labels,
+                              const std::vector<table::EntityId>& ids) {
+  std::unordered_map<int, eval::Tuple> clusters;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) continue;
+    clusters[labels[i]].push_back(ids[i]);
+  }
+  std::vector<eval::Tuple> tuples;
+  tuples.reserve(clusters.size());
+  for (auto& [label, members] : clusters) tuples.push_back(std::move(members));
+  return eval::TupleSet(std::move(tuples));
+}
+
+}  // namespace
+
+eval::TupleSet MscdHac(const BaselineContext& ctx,
+                       const MscdHacConfig& config) {
+  Flattened flat = Flatten(ctx);
+  cluster::AgglomerativeConfig hac;
+  hac.linkage = config.linkage;
+  hac.distance_threshold = config.distance_threshold;
+  hac.metric = ann::Metric::kCosine;
+  hac.source_constraint = true;
+  cluster::AgglomerativeClustering clustering(hac);
+  std::vector<int> labels = clustering.Cluster(flat.points, flat.sources);
+  return LabelsToTuples(labels, flat.ids);
+}
+
+eval::TupleSet MscdAp(const BaselineContext& ctx, const MscdApConfig& config) {
+  Flattened flat = Flatten(ctx);
+  std::vector<int> labels = cluster::AffinityPropagation(flat.points, config.ap);
+  return LabelsToTuples(labels, flat.ids);
+}
+
+size_t MscdQuadraticBytes(size_t num_entities) {
+  return num_entities * num_entities * sizeof(float);
+}
+
+}  // namespace multiem::baselines

@@ -1,0 +1,42 @@
+#ifndef MULTIEM_BASELINES_MSCD_H_
+#define MULTIEM_BASELINES_MSCD_H_
+
+#include "baselines/context.h"
+#include "cluster/agglomerative.h"
+#include "cluster/affinity_propagation.h"
+#include "eval/tuples.h"
+
+namespace multiem::baselines {
+
+/// MSCD-HAC (Saeedi et al., KEOD'21): multi-source entity clustering with
+/// source-constrained hierarchical agglomerative clustering — at most one
+/// record per source per cluster. O(n^2) memory / ~O(n^3) time by
+/// construction, which is exactly why Tables V/VI show it timing out beyond
+/// the smallest dataset.
+struct MscdHacConfig {
+  cluster::Linkage linkage = cluster::Linkage::kAverage;
+  /// Stop merging above this cosine distance.
+  float distance_threshold = 0.35f;
+};
+
+/// Runs MSCD-HAC over every entity of every source; clusters with >= 2
+/// members become tuples.
+eval::TupleSet MscdHac(const BaselineContext& ctx,
+                       const MscdHacConfig& config = {});
+
+/// MSCD-AP (Lerm et al., BTW'21): multi-source entity clustering by affinity
+/// propagation. Same contract as MscdHac.
+struct MscdApConfig {
+  cluster::AffinityPropagationConfig ap;
+};
+
+eval::TupleSet MscdAp(const BaselineContext& ctx,
+                      const MscdApConfig& config = {});
+
+/// n^2-bytes estimate used by benches to reproduce the paper's "-" (memory
+/// gate) and "\" (time gate) cells honestly instead of crashing the host.
+size_t MscdQuadraticBytes(size_t num_entities);
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_MSCD_H_

@@ -1,0 +1,99 @@
+#include "baselines/threshold_classifier.h"
+
+#include <algorithm>
+
+#include "embed/embedding.h"
+
+namespace multiem::baselines {
+
+void ThresholdClassifierMatcher::Train(const BaselineContext& ctx,
+                                       const eval::LabeledSplit& split) {
+  // Score every labeled pair with the encoder similarity.
+  struct Scored {
+    double score;
+    bool is_match;
+  };
+  auto score_all = [&](const std::vector<eval::LabeledPair>& pairs) {
+    std::vector<Scored> out;
+    out.reserve(pairs.size());
+    for (const eval::LabeledPair& lp : pairs) {
+      double s = embed::CosineSimilarity(ctx.Embedding(lp.pair.a),
+                                         ctx.Embedding(lp.pair.b));
+      out.push_back({s, lp.is_match});
+    }
+    return out;
+  };
+  std::vector<Scored> train = score_all(split.train);
+  std::vector<Scored> valid = score_all(split.valid);
+  if (valid.empty()) valid = train;
+  if (valid.empty()) return;
+
+  // Candidate thresholds = observed train scores (plus the fallback);
+  // pick the one with the best F1 on the validation scores.
+  std::vector<double> candidates;
+  candidates.reserve(train.size() + 1);
+  for (const Scored& s : train) candidates.push_back(s.score);
+  candidates.push_back(config_.threshold);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best_f1 = -1.0;
+  double best_threshold = config_.threshold;
+  for (double t : candidates) {
+    size_t tp = 0;
+    size_t fp = 0;
+    size_t fn = 0;
+    for (const Scored& s : valid) {
+      bool predicted = s.score >= t;
+      if (predicted && s.is_match) ++tp;
+      if (predicted && !s.is_match) ++fp;
+      if (!predicted && s.is_match) ++fn;
+    }
+    double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0;
+    double recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0;
+    double f1 = precision + recall > 0
+                    ? 2 * precision * recall / (precision + recall)
+                    : 0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = t;
+    }
+  }
+  config_.threshold = best_threshold;
+}
+
+std::vector<eval::Pair> ThresholdClassifierMatcher::Match(
+    const BaselineContext& ctx, std::span<const table::EntityId> left,
+    std::span<const table::EntityId> right) const {
+  std::vector<eval::Pair> out;
+  if (left.empty() || right.empty()) return out;
+
+  // Exact candidate generation: score every (left, right) pair and keep the
+  // top-k per left entity — the deliberately quadratic path (see header).
+  std::vector<std::pair<float, size_t>> scores(right.size());
+  for (table::EntityId l : left) {
+    std::span<const float> lv = ctx.Embedding(l);
+    for (size_t j = 0; j < right.size(); ++j) {
+      float sim = 0.0f;
+      for (size_t rep = 0; rep < std::max<size_t>(1, config_.score_repeats);
+           ++rep) {
+        sim = embed::CosineSimilarity(lv, ctx.Embedding(right[j]));
+      }
+      scores[j] = {sim, j};
+    }
+    size_t k = std::min(config_.candidate_k, scores.size());
+    std::partial_sort(scores.begin(), scores.begin() + k, scores.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first > b.first;
+                      });
+    for (size_t c = 0; c < k; ++c) {
+      if (scores[c].first >= config_.threshold) {
+        out.push_back(eval::MakePair(l, right[scores[c].second]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace multiem::baselines

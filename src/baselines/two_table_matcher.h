@@ -1,0 +1,33 @@
+#ifndef MULTIEM_BASELINES_TWO_TABLE_MATCHER_H_
+#define MULTIEM_BASELINES_TWO_TABLE_MATCHER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/context.h"
+#include "eval/tuples.h"
+
+namespace multiem::baselines {
+
+/// Interface of a two-table entity matcher: given two entity lists (each
+/// drawn from the baseline context), emit matched pairs. The pairwise and
+/// chain extensions (Figure 2(a)/(c) of the paper) lift any implementation
+/// of this interface to the multi-table setting.
+class TwoTableMatcher {
+ public:
+  virtual ~TwoTableMatcher() = default;
+
+  /// Display name used by the benches ("Ditto (pw)" etc. come from this
+  /// plus the extension suffix).
+  virtual std::string name() const = 0;
+
+  /// Matches `left` against `right`; returns canonical pairs.
+  virtual std::vector<eval::Pair> Match(
+      const BaselineContext& ctx, std::span<const table::EntityId> left,
+      std::span<const table::EntityId> right) const = 0;
+};
+
+}  // namespace multiem::baselines
+
+#endif  // MULTIEM_BASELINES_TWO_TABLE_MATCHER_H_

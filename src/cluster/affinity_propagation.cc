@@ -1,0 +1,124 @@
+#include "cluster/affinity_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace multiem::cluster {
+
+std::vector<int> AffinityPropagation(const embed::EmbeddingMatrix& points,
+                                     const AffinityPropagationConfig& config) {
+  size_t n = points.num_rows();
+  if (n == 0) return {};
+  if (n == 1) return {0};
+
+  // Similarity matrix s = -distance.
+  std::vector<double> s(n * n, 0.0);
+  std::vector<double> off_diagonal;
+  off_diagonal.reserve(n * (n - 1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      double sim = -static_cast<double>(
+          ann::Distance(config.metric, points.Row(i), points.Row(j)));
+      s[i * n + j] = sim;
+      off_diagonal.push_back(sim);
+    }
+  }
+  double preference = config.preference;
+  if (std::isnan(preference)) {
+    // Median off-diagonal similarity.
+    size_t mid = off_diagonal.size() / 2;
+    std::nth_element(off_diagonal.begin(), off_diagonal.begin() + mid,
+                     off_diagonal.end());
+    preference = off_diagonal[mid];
+  }
+  for (size_t i = 0; i < n; ++i) s[i * n + i] = preference;
+
+  std::vector<double> r(n * n, 0.0);  // responsibilities
+  std::vector<double> a(n * n, 0.0);  // availabilities
+  std::vector<int> exemplar(n, -1);
+  size_t stable_iterations = 0;
+
+  for (size_t iter = 0; iter < config.max_iterations; ++iter) {
+    // Responsibility update: r(i,k) = s(i,k) - max_{k'!=k} (a(i,k')+s(i,k')).
+    for (size_t i = 0; i < n; ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      double second = best;
+      size_t best_k = 0;
+      for (size_t k = 0; k < n; ++k) {
+        double v = a[i * n + k] + s[i * n + k];
+        if (v > best) {
+          second = best;
+          best = v;
+          best_k = k;
+        } else if (v > second) {
+          second = v;
+        }
+      }
+      for (size_t k = 0; k < n; ++k) {
+        double competitor = (k == best_k) ? second : best;
+        double fresh = s[i * n + k] - competitor;
+        r[i * n + k] =
+            config.damping * r[i * n + k] + (1.0 - config.damping) * fresh;
+      }
+    }
+
+    // Availability update:
+    // a(i,k) = min(0, r(k,k) + sum_{i' not in {i,k}} max(0, r(i',k))), and
+    // a(k,k) = sum_{i'!=k} max(0, r(i',k)).
+    for (size_t k = 0; k < n; ++k) {
+      double positive_sum = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i == k) continue;
+        positive_sum += std::max(0.0, r[i * n + k]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double fresh;
+        if (i == k) {
+          fresh = positive_sum;
+        } else {
+          double without_i = positive_sum - std::max(0.0, r[i * n + k]);
+          fresh = std::min(0.0, r[k * n + k] + without_i);
+        }
+        a[i * n + k] =
+            config.damping * a[i * n + k] + (1.0 - config.damping) * fresh;
+      }
+    }
+
+    // Exemplar assignment: argmax_k a(i,k) + r(i,k).
+    std::vector<int> fresh_exemplar(n);
+    for (size_t i = 0; i < n; ++i) {
+      double best = -std::numeric_limits<double>::infinity();
+      int best_k = 0;
+      for (size_t k = 0; k < n; ++k) {
+        double v = a[i * n + k] + r[i * n + k];
+        if (v > best) {
+          best = v;
+          best_k = static_cast<int>(k);
+        }
+      }
+      fresh_exemplar[i] = best_k;
+    }
+    if (fresh_exemplar == exemplar) {
+      if (++stable_iterations >= config.convergence_iterations) break;
+    } else {
+      stable_iterations = 0;
+      exemplar = std::move(fresh_exemplar);
+    }
+  }
+
+  // Points sharing an exemplar share a cluster; exemplars that chose
+  // themselves anchor the clusters, others fall back to their own id.
+  std::vector<int> labels(n, -1);
+  int next_label = 0;
+  std::vector<int> label_of_exemplar(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    int k = exemplar[i];
+    if (label_of_exemplar[k] == -1) label_of_exemplar[k] = next_label++;
+    labels[i] = label_of_exemplar[k];
+  }
+  return labels;
+}
+
+}  // namespace multiem::cluster

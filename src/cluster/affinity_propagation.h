@@ -1,0 +1,37 @@
+#ifndef MULTIEM_CLUSTER_AFFINITY_PROPAGATION_H_
+#define MULTIEM_CLUSTER_AFFINITY_PROPAGATION_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "ann/metric.h"
+#include "embed/embedding.h"
+
+namespace multiem::cluster {
+
+/// Parameters of affinity propagation (Frey & Dueck, Science 2007).
+struct AffinityPropagationConfig {
+  /// Damping factor in [0.5, 1) applied to message updates.
+  double damping = 0.7;
+  size_t max_iterations = 200;
+  /// Stop after this many iterations without exemplar changes.
+  size_t convergence_iterations = 15;
+  /// Self-responsibility prior. NaN (default) uses the median similarity,
+  /// the standard choice; lower values yield fewer clusters.
+  double preference = std::numeric_limits<double>::quiet_NaN();
+  ann::Metric metric = ann::Metric::kCosine;
+};
+
+/// Affinity propagation clustering on the rows of `points`: exchanges
+/// responsibility/availability messages over the full similarity matrix
+/// (similarity = -distance) until exemplars stabilize. O(n^2) memory per
+/// iteration — the substrate of the MSCD-AP baseline, and intentionally as
+/// heavy as the published algorithm.
+/// Returns cluster labels 0..k-1 per row (every row assigned).
+std::vector<int> AffinityPropagation(const embed::EmbeddingMatrix& points,
+                                     const AffinityPropagationConfig& config);
+
+}  // namespace multiem::cluster
+
+#endif  // MULTIEM_CLUSTER_AFFINITY_PROPAGATION_H_

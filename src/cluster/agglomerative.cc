@@ -1,0 +1,122 @@
+#include "cluster/agglomerative.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace multiem::cluster {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+}  // namespace
+
+std::vector<int> AgglomerativeClustering::Cluster(
+    const embed::EmbeddingMatrix& points,
+    const std::vector<uint32_t>& sources) const {
+  size_t n = points.num_rows();
+  std::vector<int> labels(n, 0);
+  if (n == 0) return labels;
+
+  // Full condensed distance matrix; `dist[i][j]` is the current
+  // cluster-to-cluster distance (Lance-Williams updated in place).
+  std::vector<std::vector<float>> dist(n, std::vector<float>(n, 0.0f));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      float d = ann::Distance(config_.metric, points.Row(i), points.Row(j));
+      dist[i][j] = d;
+      dist[j][i] = d;
+    }
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<size_t> cluster_size(n, 1);
+  // Cluster id -> bitmask-ish source list (small vectors; sources per
+  // cluster stay tiny under the constraint).
+  std::vector<std::vector<uint32_t>> cluster_sources(n);
+  bool use_sources = config_.source_constraint && sources.size() == n;
+  if (use_sources) {
+    for (size_t i = 0; i < n; ++i) cluster_sources[i].push_back(sources[i]);
+  }
+  // Each point starts as its own cluster; cluster_of maps point -> current id.
+  std::vector<size_t> cluster_of(n);
+  for (size_t i = 0; i < n; ++i) cluster_of[i] = i;
+
+  auto shares_source = [&](size_t a, size_t b) {
+    for (uint32_t sa : cluster_sources[a]) {
+      for (uint32_t sb : cluster_sources[b]) {
+        if (sa == sb) return true;
+      }
+    }
+    return false;
+  };
+
+  for (;;) {
+    // Find the closest admissible pair of active clusters.
+    float best = kInf;
+    size_t best_a = 0;
+    size_t best_b = 0;
+    for (size_t a = 0; a < n; ++a) {
+      if (!active[a]) continue;
+      for (size_t b = a + 1; b < n; ++b) {
+        if (!active[b]) continue;
+        if (dist[a][b] < best) {
+          if (use_sources && shares_source(a, b)) continue;
+          best = dist[a][b];
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best > config_.distance_threshold || best == kInf) break;
+
+    // Merge best_b into best_a with the Lance-Williams update.
+    size_t sa = cluster_size[best_a];
+    size_t sb = cluster_size[best_b];
+    for (size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == best_a || c == best_b) continue;
+      float dac = dist[best_a][c];
+      float dbc = dist[best_b][c];
+      float merged;
+      switch (config_.linkage) {
+        case Linkage::kSingle:
+          merged = std::min(dac, dbc);
+          break;
+        case Linkage::kComplete:
+          merged = std::max(dac, dbc);
+          break;
+        case Linkage::kAverage:
+          merged = (dac * static_cast<float>(sa) +
+                    dbc * static_cast<float>(sb)) /
+                   static_cast<float>(sa + sb);
+          break;
+      }
+      dist[best_a][c] = merged;
+      dist[c][best_a] = merged;
+    }
+    cluster_size[best_a] = sa + sb;
+    active[best_b] = false;
+    if (use_sources) {
+      auto& merged_sources = cluster_sources[best_a];
+      merged_sources.insert(merged_sources.end(),
+                            cluster_sources[best_b].begin(),
+                            cluster_sources[best_b].end());
+      cluster_sources[best_b].clear();
+    }
+    for (size_t p = 0; p < n; ++p) {
+      if (cluster_of[p] == best_b) cluster_of[p] = best_a;
+    }
+  }
+
+  // Compact cluster ids to 0..k-1 in first-appearance order.
+  std::vector<int> compact(n, -1);
+  int next = 0;
+  for (size_t p = 0; p < n; ++p) {
+    size_t c = cluster_of[p];
+    if (compact[c] == -1) compact[c] = next++;
+    labels[p] = compact[c];
+  }
+  return labels;
+}
+
+}  // namespace multiem::cluster

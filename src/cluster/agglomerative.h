@@ -1,0 +1,60 @@
+#ifndef MULTIEM_CLUSTER_AGGLOMERATIVE_H_
+#define MULTIEM_CLUSTER_AGGLOMERATIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ann/metric.h"
+#include "embed/embedding.h"
+
+namespace multiem::cluster {
+
+/// Cluster-distance definitions for agglomerative clustering.
+enum class Linkage {
+  kSingle,    ///< min pairwise distance between clusters
+  kComplete,  ///< max pairwise distance
+  kAverage,   ///< mean pairwise distance (UPGMA)
+};
+
+/// Parameters of hierarchical agglomerative clustering.
+struct AgglomerativeConfig {
+  Linkage linkage = Linkage::kAverage;
+  /// Stop merging when the closest pair of clusters is farther than this.
+  float distance_threshold = 0.5f;
+  ann::Metric metric = ann::Metric::kCosine;
+  /// Source-aware constraint from MSCD-HAC (Saeedi et al., KEOD'21): when
+  /// true, two clusters merge only if they share no source id, so a cluster
+  /// holds at most one record per source ("clean" sources assumption).
+  bool source_constraint = false;
+};
+
+/// Hierarchical agglomerative clustering with the Lance-Williams update.
+///
+/// This is the substrate of the MSCD-HAC baseline. Complexity is
+/// Theta(n^2) memory and O(n^2 log n)-ish time via nearest-neighbor-chain
+/// style scanning — intentionally faithful to the baseline's scalability
+/// profile (the paper's Tables V/VI show it failing beyond small inputs).
+class AgglomerativeClustering {
+ public:
+  explicit AgglomerativeClustering(AgglomerativeConfig config = {})
+      : config_(config) {}
+
+  /// Clusters the rows of `points`. `sources[i]` is the source id of row i
+  /// (used only when source_constraint is set; pass {} otherwise).
+  /// Returns cluster labels 0..num_clusters-1 per row.
+  std::vector<int> Cluster(const embed::EmbeddingMatrix& points,
+                           const std::vector<uint32_t>& sources) const;
+
+  /// Estimated bytes needed for the n x n distance matrix; used by the
+  /// memory-gating logic in the benches (the "-"/out-of-memory cells of
+  /// Tables V/VI).
+  static size_t EstimatedBytes(size_t n) { return n * n * sizeof(float); }
+
+ private:
+  AgglomerativeConfig config_;
+};
+
+}  // namespace multiem::cluster
+
+#endif  // MULTIEM_CLUSTER_AGGLOMERATIVE_H_

@@ -1,0 +1,102 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+namespace multiem::cluster {
+
+namespace {
+
+// Neighborhood lists (self included) for an explicit subset of rows.
+std::vector<std::vector<size_t>> NeighborLists(
+    const embed::EmbeddingMatrix& points, std::span<const size_t> rows,
+    const DbscanConfig& config) {
+  size_t n = rows.size();
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) neighbors[i].push_back(i);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      float d = ann::Distance(config.metric, points.Row(rows[i]),
+                              points.Row(rows[j]));
+      if (d <= config.eps) {
+        neighbors[i].push_back(j);
+        neighbors[j].push_back(i);
+      }
+    }
+  }
+  return neighbors;
+}
+
+std::vector<PointRole> ClassifyFromNeighbors(
+    const std::vector<std::vector<size_t>>& neighbors, size_t min_pts) {
+  size_t n = neighbors.size();
+  std::vector<PointRole> roles(n, PointRole::kOutlier);
+  // Pass 1: core points (Definition 3).
+  for (size_t i = 0; i < n; ++i) {
+    if (neighbors[i].size() >= min_pts) roles[i] = PointRole::kCore;
+  }
+  // Pass 2: reachable points — non-core with a core point in range
+  // (Definition 4); everything else stays an outlier (Definition 5).
+  for (size_t i = 0; i < n; ++i) {
+    if (roles[i] == PointRole::kCore) continue;
+    for (size_t j : neighbors[i]) {
+      if (j != i && roles[j] == PointRole::kCore) {
+        roles[i] = PointRole::kReachable;
+        break;
+      }
+    }
+  }
+  return roles;
+}
+
+}  // namespace
+
+std::vector<PointRole> ClassifyDensity(const embed::EmbeddingMatrix& points,
+                                       std::span<const size_t> rows,
+                                       const DbscanConfig& config) {
+  return ClassifyFromNeighbors(NeighborLists(points, rows, config),
+                               config.min_pts);
+}
+
+std::vector<PointRole> ClassifyDensity(const embed::EmbeddingMatrix& points,
+                                       const DbscanConfig& config) {
+  std::vector<size_t> rows(points.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return ClassifyDensity(points, rows, config);
+}
+
+DbscanResult Dbscan(const embed::EmbeddingMatrix& points,
+                    const DbscanConfig& config) {
+  std::vector<size_t> rows(points.num_rows());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  auto neighbors = NeighborLists(points, rows, config);
+
+  DbscanResult result;
+  result.roles = ClassifyFromNeighbors(neighbors, config.min_pts);
+  result.labels.assign(points.num_rows(), DbscanResult::kNoise);
+
+  // Expand clusters by BFS from unlabeled core points; reachable points take
+  // the label of the first core point that reaches them.
+  for (size_t seed = 0; seed < points.num_rows(); ++seed) {
+    if (result.roles[seed] != PointRole::kCore ||
+        result.labels[seed] != DbscanResult::kNoise) {
+      continue;
+    }
+    int label = result.num_clusters++;
+    std::deque<size_t> frontier{seed};
+    result.labels[seed] = label;
+    while (!frontier.empty()) {
+      size_t current = frontier.front();
+      frontier.pop_front();
+      if (result.roles[current] != PointRole::kCore) continue;
+      for (size_t next : neighbors[current]) {
+        if (result.labels[next] != DbscanResult::kNoise) continue;
+        if (result.roles[next] == PointRole::kOutlier) continue;
+        result.labels[next] = label;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace multiem::cluster

@@ -1,0 +1,61 @@
+#ifndef MULTIEM_CLUSTER_DBSCAN_H_
+#define MULTIEM_CLUSTER_DBSCAN_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ann/metric.h"
+#include "embed/embedding.h"
+
+namespace multiem::cluster {
+
+/// Role assigned to each point by density classification (Definitions 3-5 of
+/// the paper: core, reachable, outlier).
+enum class PointRole { kCore, kReachable, kOutlier };
+
+/// Parameters of density classification / DBSCAN.
+struct DbscanConfig {
+  /// Neighborhood radius (the paper's pruning grid: {0.8, 1.0} under L2 on
+  /// unit-norm embeddings).
+  float eps = 1.0f;
+  /// Minimum neighborhood size (including the point itself, matching
+  /// sklearn.cluster.DBSCAN, which the paper's implementation uses) for a
+  /// point to be core. Paper default: 2.
+  size_t min_pts = 2;
+  ann::Metric metric = ann::Metric::kEuclidean;
+};
+
+/// Result of full DBSCAN clustering.
+struct DbscanResult {
+  /// Cluster label per point; kNoise (== -1) for outliers.
+  std::vector<int> labels;
+  /// Role per point.
+  std::vector<PointRole> roles;
+  /// Number of clusters found.
+  int num_clusters = 0;
+
+  static constexpr int kNoise = -1;
+};
+
+/// Classifies each row of `points` as core / reachable / outlier
+/// (Algorithm 4 of the paper). This is the primitive the pruning phase uses
+/// on each candidate tuple; it does not assign cluster ids.
+std::vector<PointRole> ClassifyDensity(const embed::EmbeddingMatrix& points,
+                                       const DbscanConfig& config);
+
+/// Same classification over an explicit row subset (avoids copying tuple
+/// member embeddings). `rows` indexes into `points`.
+std::vector<PointRole> ClassifyDensity(const embed::EmbeddingMatrix& points,
+                                       std::span<const size_t> rows,
+                                       const DbscanConfig& config);
+
+/// Full DBSCAN (Ester et al., KDD'96): density classification plus cluster
+/// assignment by core-connectivity. O(n^2) distance evaluation; intended for
+/// the moderate n of this library's workloads.
+DbscanResult Dbscan(const embed::EmbeddingMatrix& points,
+                    const DbscanConfig& config);
+
+}  // namespace multiem::cluster
+
+#endif  // MULTIEM_CLUSTER_DBSCAN_H_

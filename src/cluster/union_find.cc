@@ -1,0 +1,49 @@
+#include "cluster/union_find.h"
+
+#include <numeric>
+
+namespace multiem::cluster {
+
+UnionFind::UnionFind(size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Groups() {
+  // first_member[root] -> group index, keyed by smallest member for
+  // deterministic ordering.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<size_t> group_of(parent_.size(), static_cast<size_t>(-1));
+  for (size_t x = 0; x < parent_.size(); ++x) {
+    size_t root = Find(x);
+    if (group_of[root] == static_cast<size_t>(-1)) {
+      group_of[root] = groups.size();
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(x);
+  }
+  return groups;
+}
+
+}  // namespace multiem::cluster

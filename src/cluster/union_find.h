@@ -1,0 +1,49 @@
+#ifndef MULTIEM_CLUSTER_UNION_FIND_H_
+#define MULTIEM_CLUSTER_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace multiem::cluster {
+
+/// Disjoint-set forest with union by size and path compression.
+///
+/// This is the transitivity engine of the merging phase (Algorithm 3 line 8:
+/// "Merge based on the transitivity"): matched pairs are union operations,
+/// and the resulting sets are the candidate tuples.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets with ids 0..n-1.
+  explicit UnionFind(size_t n);
+
+  /// Representative of the set containing `x` (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the sets of `a` and `b`; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True iff `a` and `b` are in the same set.
+  bool Connected(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets remaining.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Size of the set containing `x`.
+  size_t SetSize(size_t x) { return size_[Find(x)]; }
+
+  /// All sets as vectors of member ids; members and groups are emitted in
+  /// ascending id order, so output is deterministic.
+  std::vector<std::vector<size_t>> Groups();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace multiem::cluster
+
+#endif  // MULTIEM_CLUSTER_UNION_FIND_H_

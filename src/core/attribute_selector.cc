@@ -1,0 +1,57 @@
+#include "core/attribute_selector.h"
+
+#include "embed/embedding.h"
+#include "embed/serialize.h"
+
+namespace multiem::core {
+
+util::Result<AttributeSelection> AttributeSelector::Run(
+    const std::vector<table::Table>& tables, util::ThreadPool* pool) const {
+  // Line 1: concatenate all tables into one.
+  auto concat = table::Concat(tables);
+  if (!concat.ok()) return concat.status();
+
+  // Line 2: sample rows (ratio r).
+  util::Rng rng(config_.seed ^ 0xA77251ULL);
+  table::Table sample = table::SampleRows(*concat, config_.sample_ratio, rng);
+  if (sample.num_rows() == 0) {
+    return util::Status::InvalidArgument(
+        "attribute selection: no rows to sample");
+  }
+
+  // Line 3: initial embeddings of the (full-schema) serializations.
+  std::vector<std::string> base_texts = embed::SerializeTable(sample);
+  embed::EmbeddingMatrix base = encoder_->EncodeBatch(base_texts, pool);
+
+  AttributeSelection out;
+  size_t num_columns = sample.num_columns();
+  out.shuffle_similarity.resize(num_columns, 1.0);
+
+  // Lines 5-11: per-attribute shuffle, re-embed, score.
+  for (size_t col = 0; col < num_columns; ++col) {
+    table::Table shuffled = table::ShuffleColumn(sample, col, rng);
+    std::vector<std::string> texts = embed::SerializeTable(shuffled);
+    embed::EmbeddingMatrix perturbed = encoder_->EncodeBatch(texts, pool);
+    double total = 0.0;
+    for (size_t r = 0; r < base.num_rows(); ++r) {
+      total += embed::CosineSimilarity(base.Row(r), perturbed.Row(r));
+    }
+    out.shuffle_similarity[col] = total / static_cast<double>(base.num_rows());
+    if (out.shuffle_similarity[col] <= config_.gamma) {
+      out.selected_columns.push_back(col);
+    }
+  }
+
+  // Fallback: keep everything rather than represent entities with nothing.
+  if (out.selected_columns.empty()) {
+    for (size_t col = 0; col < num_columns; ++col) {
+      out.selected_columns.push_back(col);
+    }
+  }
+  for (size_t col : out.selected_columns) {
+    out.selected_names.push_back(sample.schema().name(col));
+  }
+  return out;
+}
+
+}  // namespace multiem::core

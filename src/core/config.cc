@@ -1,0 +1,34 @@
+#include "core/config.h"
+
+namespace multiem::core {
+
+util::Status MultiEmConfig::Validate() const {
+  if (embedding_dim == 0) {
+    return util::Status::InvalidArgument("embedding_dim must be > 0");
+  }
+  if (sample_ratio <= 0.0 || sample_ratio > 1.0) {
+    return util::Status::InvalidArgument("sample_ratio must be in (0, 1]");
+  }
+  if (gamma <= 0.0 || gamma > 1.0) {
+    return util::Status::InvalidArgument("gamma must be in (0, 1]");
+  }
+  if (k == 0) {
+    return util::Status::InvalidArgument("k must be >= 1");
+  }
+  if (m < 0.0f || m > 2.0f) {
+    return util::Status::InvalidArgument(
+        "m must be in [0, 2] (cosine distance)");
+  }
+  if (eps < 0.0f) {
+    return util::Status::InvalidArgument("eps must be >= 0");
+  }
+  if (min_pts == 0) {
+    return util::Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (hnsw_m < 2) {
+    return util::Status::InvalidArgument("hnsw_m must be >= 2");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace multiem::core

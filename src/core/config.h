@@ -1,0 +1,81 @@
+#ifndef MULTIEM_CORE_CONFIG_H_
+#define MULTIEM_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace multiem::core {
+
+/// How a merged item (a candidate tuple holding several entities) is
+/// re-embedded for the next merging hierarchy.
+enum class MergedItemRepr {
+  /// L2-normalized mean of the member entities' embeddings (default; the
+  /// natural "representation of the item" for Algorithm 3 line 1).
+  kCentroid,
+  /// Embedding of the first (lowest-id) member; cheaper, noisier.
+  kFirstMember,
+};
+
+/// All knobs of the MultiEM pipeline. Defaults follow Section IV-A of the
+/// paper (k=1, MinPts=2, r=0.2, max sequence length 64; m, eps, gamma from
+/// the middle of the published grids).
+struct MultiEmConfig {
+  // --- Enhanced entity representation (Section III-B) ---
+  /// Embedding dimensionality (384 = all-MiniLM-L12-v2).
+  size_t embedding_dim = 384;
+  /// Maximum tokens per serialized entity.
+  size_t max_tokens = 64;
+  /// Enables automated attribute selection (the EER module). Disabling this
+  /// reproduces the "MultiEM w/o EER" ablation row of Table IV.
+  bool enable_attribute_selection = true;
+  /// Row-sampling ratio r for attribute selection (paper: 0.2 normally,
+  /// 0.05 for the 5M-entity Person dataset).
+  double sample_ratio = 0.2;
+  /// Attribute-significance threshold gamma, grid {0.8, 0.9}. An attribute
+  /// is selected when the mean cosine similarity between original and
+  /// column-shuffled embeddings is <= gamma (large displacement = the
+  /// attribute matters; see Example 1 of the paper).
+  double gamma = 0.9;
+
+  // --- Table-wise hierarchical merging (Section III-C) ---
+  /// Mutual top-K depth (paper default 1).
+  size_t k = 1;
+  /// Distance threshold m on cosine distance, grid {0.05, 0.2, 0.35, 0.5}.
+  float m = 0.35f;
+  /// Representation of merged items across hierarchies.
+  MergedItemRepr merged_repr = MergedItemRepr::kCentroid;
+  /// true replaces HNSW with exact brute-force KNN (ablation).
+  bool use_exact_knn = false;
+  /// HNSW construction/search knobs. The defaults are tuned for the mutual
+  /// top-1 queries of the merging phase (k=1 with a distance cap needs far
+  /// less beam width than a recall@100 workload).
+  size_t hnsw_m = 16;
+  size_t hnsw_ef_construction = 100;
+  size_t hnsw_ef_search = 48;
+
+  // --- Density-based pruning (Section III-D) ---
+  /// Enables outlier pruning. Disabling reproduces "MultiEM w/o DP".
+  bool enable_pruning = true;
+  /// Neighborhood radius eps (Euclidean on unit-norm embeddings),
+  /// grid {0.8, 1.0}.
+  float eps = 1.0f;
+  /// MinPts, neighborhood size (self included) for a core entity.
+  size_t min_pts = 2;
+
+  // --- Parallelism (Section III-E) & determinism ---
+  /// 1 = serial MultiEM; >1 = MultiEM(parallel) with this many workers;
+  /// 0 = hardware concurrency.
+  size_t num_threads = 1;
+  /// Seed for the random merge order of Algorithm 2 (Figure 6(b) sweeps it)
+  /// and for every other randomized component.
+  uint64_t seed = 0;
+
+  /// Verifies parameter ranges; returns InvalidArgument on nonsense values.
+  util::Status Validate() const;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_CONFIG_H_

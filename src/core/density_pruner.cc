@@ -1,0 +1,76 @@
+#include "core/density_pruner.h"
+
+#include <atomic>
+
+#include "cluster/dbscan.h"
+
+namespace multiem::core {
+
+std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
+                                              util::ThreadPool* pool,
+                                              PruneStats* stats) const {
+  // Collect candidate items (>= 2 members) up front so the parallel loop
+  // indexes a dense list.
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < integrated.num_items(); ++i) {
+    if (integrated.item(i).members.size() >= 2) candidates.push_back(i);
+  }
+
+  std::vector<eval::Tuple> pruned(candidates.size());
+  std::atomic<size_t> outliers_removed{0};
+
+  cluster::DbscanConfig dbscan;
+  dbscan.eps = config_.eps;
+  dbscan.min_pts = config_.min_pts;
+  dbscan.metric = ann::Metric::kEuclidean;
+
+  util::ParallelFor(
+      pool, candidates.size(),
+      [&](size_t c) {
+        const MergeItem& item = integrated.item(candidates[c]);
+        if (!config_.enable_pruning) {
+          pruned[c] = item.members;
+          return;
+        }
+        // Gather member embeddings into a small local matrix (tuples are
+        // tiny: at most ~S entities).
+        embed::EmbeddingMatrix points(item.members.size(), store_->dim());
+        for (size_t i = 0; i < item.members.size(); ++i) {
+          std::span<const float> row = store_->Row(item.members[i]);
+          std::copy(row.begin(), row.end(), points.Row(i).begin());
+        }
+        std::vector<cluster::PointRole> roles =
+            cluster::ClassifyDensity(points, dbscan);
+        eval::Tuple kept;
+        size_t dropped = 0;
+        for (size_t i = 0; i < roles.size(); ++i) {
+          if (roles[i] == cluster::PointRole::kOutlier) {
+            ++dropped;
+          } else {
+            kept.push_back(item.members[i]);
+          }
+        }
+        outliers_removed.fetch_add(dropped, std::memory_order_relaxed);
+        pruned[c] = std::move(kept);
+      },
+      /*min_block_size=*/8);
+
+  std::vector<eval::Tuple> tuples;
+  tuples.reserve(pruned.size());
+  size_t tuples_dropped = 0;
+  for (eval::Tuple& t : pruned) {
+    if (t.size() >= 2) {
+      tuples.push_back(std::move(t));
+    } else {
+      ++tuples_dropped;
+    }
+  }
+  if (stats != nullptr) {
+    stats->items_examined = candidates.size();
+    stats->outliers_removed = outliers_removed.load();
+    stats->tuples_dropped = tuples_dropped;
+  }
+  return tuples;
+}
+
+}  // namespace multiem::core

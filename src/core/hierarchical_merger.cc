@@ -1,0 +1,66 @@
+#include "core/hierarchical_merger.h"
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace multiem::core {
+
+MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
+                                   util::ThreadPool* pool,
+                                   HierarchicalMergeStats* stats) const {
+  if (tables.empty()) return MergeTable();
+  util::Rng rng(config_.seed ^ 0x4D455247ULL);  // "MERG"
+  bool parallel_pairs = config_.num_threads != 1 && pool != nullptr;
+
+  // Line 1: iterate until one table remains.
+  while (tables.size() > 1) {
+    // Line 3: random pairing — shuffle, then take consecutive pairs.
+    std::vector<size_t> order(tables.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(order);
+
+    size_t num_pairs = tables.size() / 2;
+    std::vector<MergeTable> next(num_pairs + tables.size() % 2);
+    std::vector<TwoTableMergeStats> pair_stats(num_pairs);
+
+    auto merge_pair = [&](size_t p) {
+      const MergeTable& a = tables[order[2 * p]];
+      const MergeTable& b = tables[order[2 * p + 1]];
+      // In parallel mode the pair is the unit of parallelism, so the inner
+      // merge must not also fan out onto the pool (see header).
+      next[p] = merger_.Merge(a, b, parallel_pairs ? nullptr : pool,
+                              &pair_stats[p]);
+    };
+
+    if (parallel_pairs && num_pairs > 1) {
+      for (size_t p = 0; p < num_pairs; ++p) {
+        pool->Submit([&, p] { merge_pair(p); });
+      }
+      pool->Wait();
+    } else {
+      for (size_t p = 0; p < num_pairs; ++p) merge_pair(p);
+    }
+
+    // Odd table carries to the next level untouched (Algorithm 2 keeps
+    // sampling until fewer than two tables remain).
+    if (tables.size() % 2 == 1) {
+      next[num_pairs] = std::move(tables[order[tables.size() - 1]]);
+    }
+
+    if (stats != nullptr) {
+      MergeLevelStats level;
+      level.tables_in = tables.size();
+      level.pairs_merged = num_pairs;
+      for (const TwoTableMergeStats& s : pair_stats) {
+        level.mutual_pairs += s.mutual_pairs;
+      }
+      stats->total_mutual_pairs += level.mutual_pairs;
+      stats->levels.push_back(level);
+    }
+    tables = std::move(next);
+  }
+  return std::move(tables[0]);
+}
+
+}  // namespace multiem::core

@@ -1,0 +1,56 @@
+#ifndef MULTIEM_CORE_HIERARCHICAL_MERGER_H_
+#define MULTIEM_CORE_HIERARCHICAL_MERGER_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/merge_table.h"
+#include "core/two_table_merger.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// Per-hierarchy-level counters.
+struct MergeLevelStats {
+  size_t tables_in = 0;
+  size_t pairs_merged = 0;      ///< table pairs processed at this level
+  size_t mutual_pairs = 0;      ///< sum of |P_m| across the level's merges
+};
+
+/// Counters for the whole hierarchical merge.
+struct HierarchicalMergeStats {
+  std::vector<MergeLevelStats> levels;
+  size_t total_mutual_pairs = 0;
+};
+
+/// Algorithm 2 of the paper: iteratively merges random table pairs until one
+/// integrated table remains — ceil(log2 S) levels for S tables (Figure 2(b)).
+///
+/// Parallel mode (Section III-E, "Merging in parallel"): when the config asks
+/// for more than one thread, the pairs of each level are merged concurrently
+/// on `pool` (the two-table merges themselves then run single-threaded, since
+/// pairs are the unit of parallelism). Serial mode instead parallelizes the
+/// ANN queries inside each two-table merge if a pool is supplied.
+class HierarchicalMerger {
+ public:
+  HierarchicalMerger(const MultiEmConfig& config,
+                     const EntityEmbeddingStore* store)
+      : config_(config), store_(store), merger_(config, store) {}
+
+  /// Consumes `tables` and returns the final integrated table. The pairing
+  /// order is a deterministic shuffle of config.seed per level (Figure 6(b)
+  /// studies sensitivity to this order). An empty input yields an empty
+  /// table; a single table is returned unchanged.
+  MergeTable Run(std::vector<MergeTable> tables,
+                 util::ThreadPool* pool = nullptr,
+                 HierarchicalMergeStats* stats = nullptr) const;
+
+ private:
+  MultiEmConfig config_;
+  const EntityEmbeddingStore* store_;
+  TwoTableMerger merger_;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_HIERARCHICAL_MERGER_H_

@@ -1,0 +1,41 @@
+#include "core/merge_table.h"
+
+namespace multiem::core {
+
+MergeTable MergeTable::FromSource(uint32_t source,
+                                  const embed::EmbeddingMatrix& embeddings) {
+  MergeTable out;
+  out.Reserve(embeddings.num_rows(), embeddings.dim());
+  for (size_t r = 0; r < embeddings.num_rows(); ++r) {
+    MergeItem item;
+    item.members.push_back(table::EntityId(source, r));
+    out.Append(std::move(item), embeddings.Row(r));
+  }
+  return out;
+}
+
+void MergeTable::Append(MergeItem item, std::span<const float> embedding) {
+  items_.push_back(std::move(item));
+  embeddings_.AppendRow(embedding);
+}
+
+void MergeTable::Reserve(size_t n, size_t dim) {
+  items_.reserve(n);
+  embeddings_.mutable_data().reserve(n * dim);
+}
+
+size_t MergeTable::TotalMembers() const {
+  size_t total = 0;
+  for (const MergeItem& item : items_) total += item.members.size();
+  return total;
+}
+
+size_t MergeTable::SizeBytes() const {
+  size_t bytes = embeddings_.SizeBytes();
+  for (const MergeItem& item : items_) {
+    bytes += sizeof(item) + item.members.capacity() * sizeof(table::EntityId);
+  }
+  return bytes;
+}
+
+}  // namespace multiem::core

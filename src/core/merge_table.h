@@ -1,0 +1,89 @@
+#ifndef MULTIEM_CORE_MERGE_TABLE_H_
+#define MULTIEM_CORE_MERGE_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "table/entity_id.h"
+
+namespace multiem::core {
+
+/// One item of a merge table: either a single entity (initial hierarchy) or
+/// a candidate tuple of entities merged so far. Members stay sorted.
+struct MergeItem {
+  std::vector<table::EntityId> members;
+};
+
+/// Read-only store of the embeddings of every original entity, indexed by
+/// EntityId (per-source matrices). Built once in the representation phase;
+/// merged-item centroids are recomputed from these base vectors so centroid
+/// drift never accumulates across hierarchies.
+class EntityEmbeddingStore {
+ public:
+  EntityEmbeddingStore() = default;
+
+  /// Adds the embedding matrix of the next source (source ids are assigned
+  /// in call order: first call = source 0, ...).
+  void AddSource(embed::EmbeddingMatrix embeddings) {
+    sources_.push_back(std::move(embeddings));
+  }
+
+  /// Embedding of entity `id`.
+  std::span<const float> Row(table::EntityId id) const {
+    return sources_[id.source()].Row(id.row());
+  }
+
+  size_t num_sources() const { return sources_.size(); }
+  const embed::EmbeddingMatrix& source(size_t s) const { return sources_[s]; }
+
+  /// Embedding dimensionality (0 when empty).
+  size_t dim() const { return sources_.empty() ? 0 : sources_[0].dim(); }
+
+  /// Total payload bytes (memory accounting).
+  size_t SizeBytes() const {
+    size_t total = 0;
+    for (const auto& m : sources_) total += m.SizeBytes();
+    return total;
+  }
+
+ private:
+  std::vector<embed::EmbeddingMatrix> sources_;
+};
+
+/// A table in the merging hierarchy: items plus one embedding per item
+/// (the E_i of Algorithm 2/3 after the first hierarchy level).
+class MergeTable {
+ public:
+  MergeTable() = default;
+
+  /// Initial merge table of one source: item i = entity (source, i), with
+  /// the entity's own embedding.
+  static MergeTable FromSource(uint32_t source,
+                               const embed::EmbeddingMatrix& embeddings);
+
+  size_t num_items() const { return items_.size(); }
+  const MergeItem& item(size_t i) const { return items_[i]; }
+  const std::vector<MergeItem>& items() const { return items_; }
+  const embed::EmbeddingMatrix& embeddings() const { return embeddings_; }
+
+  /// Appends an item with its representation.
+  void Append(MergeItem item, std::span<const float> embedding);
+
+  /// Reserves space for `n` items of dimension `dim`.
+  void Reserve(size_t n, size_t dim);
+
+  /// Total number of entity memberships across items.
+  size_t TotalMembers() const;
+
+  /// Approximate heap bytes (memory accounting).
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<MergeItem> items_;
+  embed::EmbeddingMatrix embeddings_;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_MERGE_TABLE_H_

@@ -1,0 +1,118 @@
+#include "core/pipeline.h"
+
+#include <memory>
+
+#include "embed/serialize.h"
+#include "util/logging.h"
+
+namespace multiem::core {
+
+util::Result<PipelineResult> MultiEmPipeline::Run(
+    const std::vector<table::Table>& tables) const {
+  MULTIEM_RETURN_IF_ERROR(config_.Validate());
+  if (tables.size() < 2) {
+    return util::Status::InvalidArgument(
+        "multi-table EM needs at least 2 tables, got " +
+        std::to_string(tables.size()));
+  }
+  for (const table::Table& t : tables) {
+    if (t.schema() != tables[0].schema()) {
+      return util::Status::InvalidArgument(
+          "table '" + t.name() + "' does not share the common schema");
+    }
+  }
+
+  PipelineResult result;
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.num_threads != 1) {
+    pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+
+  // Encoder setup: fit SIF frequencies on the full-schema corpus.
+  embed::HashingEncoderConfig encoder_config;
+  encoder_config.dim = config_.embedding_dim;
+  encoder_config.max_tokens = config_.max_tokens;
+  encoder_config.seed ^= config_.seed;
+  embed::HashingSentenceEncoder encoder(encoder_config);
+  {
+    std::vector<std::string> corpus;
+    for (const table::Table& t : tables) {
+      std::vector<std::string> texts = embed::SerializeTable(t);
+      corpus.insert(corpus.end(), std::make_move_iterator(texts.begin()),
+                    std::make_move_iterator(texts.end()));
+    }
+    encoder.FitFrequencies(corpus);
+  }
+
+  // Phase S: automated attribute selection (Algorithm 1).
+  {
+    util::ScopedPhaseTimer timer(&result.timings, kPhaseSelection);
+    if (config_.enable_attribute_selection) {
+      AttributeSelector selector(&encoder, config_);
+      auto selection = selector.Run(tables, pool.get());
+      if (!selection.ok()) return selection.status();
+      result.selection = std::move(*selection);
+    } else {
+      for (size_t c = 0; c < tables[0].num_columns(); ++c) {
+        result.selection.selected_columns.push_back(c);
+        result.selection.selected_names.push_back(tables[0].schema().name(c));
+      }
+      result.selection.shuffle_similarity.assign(tables[0].num_columns(), 0.0);
+    }
+  }
+
+  // Phase R: serialize with the selected attributes and embed every entity.
+  EntityEmbeddingStore store;
+  {
+    util::ScopedPhaseTimer timer(&result.timings, kPhaseRepresentation);
+    // Re-fit frequencies on the selected-column corpus so SIF weights match
+    // what is actually encoded.
+    std::vector<std::vector<std::string>> texts_per_source;
+    texts_per_source.reserve(tables.size());
+    std::vector<std::string> corpus;
+    for (const table::Table& t : tables) {
+      texts_per_source.push_back(
+          embed::SerializeTable(t, result.selection.selected_columns));
+      corpus.insert(corpus.end(), texts_per_source.back().begin(),
+                    texts_per_source.back().end());
+    }
+    encoder.FitFrequencies(corpus);
+    for (const auto& texts : texts_per_source) {
+      store.AddSource(encoder.EncodeBatch(texts, pool.get()));
+    }
+  }
+
+  // Phase M: table-wise hierarchical merging (Algorithm 2).
+  MergeTable integrated;
+  {
+    util::ScopedPhaseTimer timer(&result.timings, kPhaseMerging);
+    std::vector<MergeTable> merge_tables;
+    merge_tables.reserve(tables.size());
+    for (size_t s = 0; s < tables.size(); ++s) {
+      merge_tables.push_back(MergeTable::FromSource(
+          static_cast<uint32_t>(s), store.source(s)));
+    }
+    size_t initial_bytes = store.SizeBytes();
+    for (const MergeTable& mt : merge_tables) initial_bytes += mt.SizeBytes();
+    result.approx_peak_bytes = std::max(result.approx_peak_bytes,
+                                        2 * initial_bytes);
+    HierarchicalMerger merger(config_, &store);
+    integrated = merger.Run(std::move(merge_tables), pool.get(),
+                            &result.merge_stats);
+  }
+
+  // Phase P: density-based pruning (Algorithm 4).
+  {
+    util::ScopedPhaseTimer timer(&result.timings, kPhasePruning);
+    DensityPruner pruner(config_, &store);
+    result.tuples = pruner.Prune(integrated, pool.get(), &result.prune_stats);
+  }
+
+  MULTIEM_LOG(kDebug) << "MultiEM finished: " << result.tuples.size()
+                      << " tuples, "
+                      << result.prune_stats.outliers_removed
+                      << " outliers removed";
+  return result;
+}
+
+}  // namespace multiem::core

@@ -1,0 +1,74 @@
+#ifndef MULTIEM_CORE_PIPELINE_H_
+#define MULTIEM_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/attribute_selector.h"
+#include "core/config.h"
+#include "core/density_pruner.h"
+#include "core/hierarchical_merger.h"
+#include "eval/tuples.h"
+#include "table/table.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace multiem::core {
+
+/// Phase names used in PipelineResult::timings; they correspond to the
+/// modules of Figure 5: S (attribute selection), R (representation),
+/// M (merging), P (pruning).
+inline constexpr const char* kPhaseSelection = "selection";
+inline constexpr const char* kPhaseRepresentation = "representation";
+inline constexpr const char* kPhaseMerging = "merging";
+inline constexpr const char* kPhasePruning = "pruning";
+
+/// Everything MultiEM produces for one run.
+struct PipelineResult {
+  /// Final matched tuples (each with >= 2 entities).
+  std::vector<eval::Tuple> tuples;
+  /// Attribute selection outcome (all columns when EER is disabled).
+  AttributeSelection selection;
+  /// Wall time per phase (Figure 5's S/R/M/P breakdown).
+  util::PhaseTimings timings;
+  /// Merging and pruning counters.
+  HierarchicalMergeStats merge_stats;
+  PruneStats prune_stats;
+  /// Approximate peak bytes of the pipeline-owned data structures
+  /// (embeddings + merge tables); used by the Table VI bench.
+  size_t approx_peak_bytes = 0;
+
+  /// Canonicalized tuple set for evaluation.
+  eval::TupleSet ToTupleSet() const { return eval::TupleSet(tuples); }
+};
+
+/// The end-to-end MultiEM pipeline (Figure 3): enhanced entity
+/// representation -> table-wise hierarchical merging -> density-based
+/// pruning. Serial by default; set config.num_threads != 1 for
+/// MultiEM(parallel).
+///
+/// Usage:
+///   MultiEmConfig cfg;
+///   MultiEmPipeline pipeline(cfg);
+///   auto result = pipeline.Run(tables);
+///   if (result.ok()) { use result->tuples ... }
+class MultiEmPipeline {
+ public:
+  explicit MultiEmPipeline(MultiEmConfig config = {})
+      : config_(config) {}
+
+  /// Matches `tables` (>= 2 tables, identical schemas). Deterministic given
+  /// config.seed and config.num_threads == 1; parallel runs produce the same
+  /// tuples (the merge schedule is seed-driven, not thread-driven).
+  util::Result<PipelineResult> Run(
+      const std::vector<table::Table>& tables) const;
+
+  const MultiEmConfig& config() const { return config_; }
+
+ private:
+  MultiEmConfig config_;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_PIPELINE_H_

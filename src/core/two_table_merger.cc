@@ -1,0 +1,88 @@
+#include "core/two_table_merger.h"
+
+#include <algorithm>
+
+#include "ann/mutual_topk.h"
+#include "cluster/union_find.h"
+
+namespace multiem::core {
+
+MergeTable TwoTableMerger::Merge(const MergeTable& a, const MergeTable& b,
+                                 util::ThreadPool* pool,
+                                 TwoTableMergeStats* stats) const {
+  // Step 1 (Algorithm 3 lines 3-5): mutual top-K pairs under the cap m.
+  ann::MutualTopKOptions options;
+  options.k = config_.k;
+  options.max_distance = config_.m;
+  options.metric = ann::Metric::kCosine;
+  options.use_exact = config_.use_exact_knn;
+  options.hnsw_m = config_.hnsw_m;
+  options.hnsw_ef_construction = config_.hnsw_ef_construction;
+  options.hnsw_ef_search = config_.hnsw_ef_search;
+  options.hnsw_seed = config_.seed ^ 0x484E5357ULL;
+  std::vector<ann::MutualPair> matches =
+      ann::MutualTopK(a.embeddings(), b.embeddings(), options, pool);
+
+  // Step 2 (lines 6-10): union by transitivity. Items of `a` take union-find
+  // ids [0, a.num_items()); items of `b` take [a.num_items(), ...). The
+  // within-item matched sets (MatchedPairs(E_i)) are already encoded by the
+  // items' member lists, so only cross-table unions are needed here.
+  cluster::UnionFind uf(a.num_items() + b.num_items());
+  for (const ann::MutualPair& match : matches) {
+    uf.Union(match.left, a.num_items() + match.right);
+  }
+  if (stats != nullptr) stats->mutual_pairs = matches.size();
+
+  auto item_at = [&](size_t uf_id) -> const MergeItem& {
+    return uf_id < a.num_items() ? a.item(uf_id)
+                                 : b.item(uf_id - a.num_items());
+  };
+  auto embedding_at = [&](size_t uf_id) {
+    return uf_id < a.num_items()
+               ? a.embeddings().Row(uf_id)
+               : b.embeddings().Row(uf_id - a.num_items());
+  };
+
+  MergeTable merged;
+  size_t dim = store_->dim();
+  merged.Reserve(uf.num_sets(), dim);
+  std::vector<float> centroid(dim);
+
+  for (const std::vector<size_t>& group : uf.Groups()) {
+    MergeItem item;
+    for (size_t uf_id : group) {
+      const MergeItem& source_item = item_at(uf_id);
+      item.members.insert(item.members.end(), source_item.members.begin(),
+                          source_item.members.end());
+    }
+    std::sort(item.members.begin(), item.members.end());
+    item.members.erase(std::unique(item.members.begin(), item.members.end()),
+                       item.members.end());
+
+    if (group.size() == 1) {
+      // Carried over unchanged: keep its existing representation.
+      if (stats != nullptr) ++stats->carried_items;
+      merged.Append(std::move(item), embedding_at(group[0]));
+      continue;
+    }
+    if (stats != nullptr) ++stats->merged_items;
+    if (config_.merged_repr == MergedItemRepr::kFirstMember) {
+      std::span<const float> first = store_->Row(item.members.front());
+      merged.Append(std::move(item), first);
+      continue;
+    }
+    // Centroid of the base entity embeddings, re-normalized.
+    std::fill(centroid.begin(), centroid.end(), 0.0f);
+    for (table::EntityId member : item.members) {
+      std::span<const float> row = store_->Row(member);
+      for (size_t d = 0; d < dim; ++d) centroid[d] += row[d];
+    }
+    float inv = 1.0f / static_cast<float>(item.members.size());
+    for (float& x : centroid) x *= inv;
+    embed::L2NormalizeInPlace(centroid);
+    merged.Append(std::move(item), centroid);
+  }
+  return merged;
+}
+
+}  // namespace multiem::core

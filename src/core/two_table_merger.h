@@ -1,0 +1,47 @@
+#ifndef MULTIEM_CORE_TWO_TABLE_MERGER_H_
+#define MULTIEM_CORE_TWO_TABLE_MERGER_H_
+
+#include <cstddef>
+
+#include "core/config.h"
+#include "core/merge_table.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// Counters reported by one two-table merge.
+struct TwoTableMergeStats {
+  size_t mutual_pairs = 0;    ///< |P_m| of Eq. 1 after the distance cap.
+  size_t merged_items = 0;    ///< items of the output that absorbed a match
+  size_t carried_items = 0;   ///< items carried over unmatched
+};
+
+/// Algorithm 3 of the paper: merges two merge tables into one.
+///
+/// Step 1 finds mutual top-K pairs between the items of E_i and E_j under
+/// cosine distance with threshold m (HNSW indexes by default). Step 2 unions
+/// the matched items by transitivity — each item already carries its own
+/// matched set from earlier hierarchies (MatchedPairs(E_i) in the paper) —
+/// and carries every unmatched item into the output unchanged.
+class TwoTableMerger {
+ public:
+  /// `store` supplies base entity embeddings for centroid recomputation.
+  TwoTableMerger(const MultiEmConfig& config,
+                 const EntityEmbeddingStore* store)
+      : config_(config), store_(store) {}
+
+  /// Merges `a` and `b`. `pool` parallelizes the ANN queries; pass nullptr
+  /// when the caller itself runs inside a pool task (MultiEM(parallel)
+  /// parallelizes across table pairs instead — Section III-E).
+  MergeTable Merge(const MergeTable& a, const MergeTable& b,
+                   util::ThreadPool* pool = nullptr,
+                   TwoTableMergeStats* stats = nullptr) const;
+
+ private:
+  MultiEmConfig config_;
+  const EntityEmbeddingStore* store_;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_TWO_TABLE_MERGER_H_

@@ -1,0 +1,63 @@
+#include "datagen/benchmark_data.h"
+
+#include <numeric>
+
+namespace multiem::datagen {
+
+MultiSourceAssembler::MultiSourceAssembler(size_t num_sources,
+                                           table::Schema schema)
+    : num_sources_(num_sources),
+      schema_(std::move(schema)),
+      rows_per_source_(num_sources) {}
+
+void MultiSourceAssembler::AddEntity(std::vector<Copy> copies) {
+  std::vector<std::pair<uint32_t, size_t>> placed;
+  placed.reserve(copies.size());
+  for (Copy& copy : copies) {
+    auto& rows = rows_per_source_[copy.source];
+    placed.emplace_back(copy.source, rows.size());
+    rows.push_back(std::move(copy.cells));
+  }
+  entity_copies_.push_back(std::move(placed));
+}
+
+MultiSourceBenchmark MultiSourceAssembler::Finish(std::string name,
+                                                  util::Rng& rng) {
+  MultiSourceBenchmark out;
+  out.name = std::move(name);
+
+  // Shuffle each source; remember where each pre-shuffle row landed.
+  std::vector<std::vector<size_t>> new_position(num_sources_);
+  for (size_t s = 0; s < num_sources_; ++s) {
+    size_t n = rows_per_source_[s].size();
+    std::vector<size_t> perm(n);  // perm[new_index] = old_index
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.Shuffle(perm);
+    new_position[s].resize(n);
+    for (size_t new_index = 0; new_index < n; ++new_index) {
+      new_position[s][perm[new_index]] = new_index;
+    }
+    table::Table t("source_" + std::to_string(s), schema_);
+    t.Reserve(n);
+    for (size_t new_index = 0; new_index < n; ++new_index) {
+      t.AppendRow(std::move(rows_per_source_[s][perm[new_index]])).CheckOk();
+    }
+    out.tables.push_back(std::move(t));
+  }
+
+  // Ground truth: entities with >= 2 copies anywhere.
+  std::vector<eval::Tuple> truth;
+  for (const auto& copies : entity_copies_) {
+    if (copies.size() < 2) continue;
+    eval::Tuple t;
+    t.reserve(copies.size());
+    for (auto [source, old_row] : copies) {
+      t.push_back(table::EntityId(source, new_position[source][old_row]));
+    }
+    truth.push_back(std::move(t));
+  }
+  out.truth = eval::TupleSet(std::move(truth));
+  return out;
+}
+
+}  // namespace multiem::datagen

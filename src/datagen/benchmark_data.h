@@ -1,0 +1,68 @@
+#ifndef MULTIEM_DATAGEN_BENCHMARK_DATA_H_
+#define MULTIEM_DATAGEN_BENCHMARK_DATA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "eval/tuples.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace multiem::datagen {
+
+/// A generated multi-source EM benchmark: S tables plus ground truth.
+struct MultiSourceBenchmark {
+  std::string name;
+  std::vector<table::Table> tables;
+  /// Ground-truth matched tuples (entities present in >= 2 sources).
+  eval::TupleSet truth;
+
+  /// Table III statistics.
+  size_t NumSources() const { return tables.size(); }
+  size_t NumEntities() const {
+    size_t total = 0;
+    for (const auto& t : tables) total += t.num_rows();
+    return total;
+  }
+  size_t NumTuples() const { return truth.size(); }
+  size_t NumPairs() const { return truth.ToPairs().size(); }
+  size_t NumAttributes() const {
+    return tables.empty() ? 0 : tables[0].num_columns();
+  }
+};
+
+/// Accumulates per-source rendered copies of canonical entities, then
+/// shuffles each source table (so row order carries no identity signal) and
+/// emits the benchmark with correctly remapped ground-truth EntityIds.
+class MultiSourceAssembler {
+ public:
+  /// `schema` is shared by all sources.
+  MultiSourceAssembler(size_t num_sources, table::Schema schema);
+
+  /// One rendered copy of an entity in one source.
+  struct Copy {
+    uint32_t source;
+    std::vector<std::string> cells;
+  };
+
+  /// Registers all copies of the next canonical entity. Copies in >= 2
+  /// distinct sources produce a ground-truth tuple. Multiple copies in the
+  /// same source are allowed (dirty-source scenarios).
+  void AddEntity(std::vector<Copy> copies);
+
+  /// Builds the benchmark: shuffles every source table with `rng`, remaps
+  /// truth ids, names tables "source_0".."source_{S-1}".
+  MultiSourceBenchmark Finish(std::string name, util::Rng& rng);
+
+ private:
+  size_t num_sources_;
+  table::Schema schema_;
+  std::vector<std::vector<std::vector<std::string>>> rows_per_source_;
+  /// Per entity: list of (source, pre-shuffle row index).
+  std::vector<std::vector<std::pair<uint32_t, size_t>>> entity_copies_;
+};
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_BENCHMARK_DATA_H_

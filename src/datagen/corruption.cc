@@ -1,0 +1,85 @@
+#include "datagen/corruption.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace multiem::datagen {
+
+std::string CorruptionModel::ApplyTypo(std::string_view token,
+                                       util::Rng& rng) {
+  std::string out(token);
+  if (out.size() < 2) return out;
+  constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz";
+  size_t pos = rng.NextBounded(out.size());
+  switch (rng.NextBounded(4)) {
+    case 0:  // swap adjacent characters
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(out.begin() + pos,
+                 kAlphabet[rng.NextBounded(kAlphabet.size())]);
+      break;
+    default:  // replace
+      out[pos] = kAlphabet[rng.NextBounded(kAlphabet.size())];
+      break;
+  }
+  return out;
+}
+
+std::string CorruptionModel::CorruptDigits(std::string_view value,
+                                           double per_digit_prob,
+                                           util::Rng& rng) {
+  std::string out(value);
+  for (char& c : out) {
+    if (c >= '0' && c <= '9' && rng.Bernoulli(per_digit_prob)) {
+      c = static_cast<char>('0' + rng.NextBounded(10));
+    }
+  }
+  return out;
+}
+
+std::string CorruptionModel::CorruptText(std::string_view text,
+                                         util::Rng& rng) const {
+  std::vector<std::string> tokens = util::SplitWhitespace(text);
+  if (tokens.empty()) return std::string(text);
+
+  // Token drops (keep at least one token).
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    bool last_chance = kept.empty() && i + 1 == tokens.size();
+    if (!last_chance && rng.Bernoulli(config_.drop_token_prob)) continue;
+    kept.push_back(std::move(tokens[i]));
+  }
+
+  // Adjacent swap.
+  if (kept.size() >= 2 && rng.Bernoulli(config_.swap_tokens_prob)) {
+    size_t i = rng.NextBounded(kept.size() - 1);
+    std::swap(kept[i], kept[i + 1]);
+  }
+
+  // Character-level edits.
+  for (std::string& token : kept) {
+    if (rng.Bernoulli(config_.abbreviate_prob) && token.size() > 4) {
+      token.resize(3 + rng.NextBounded(2));
+    } else if (rng.Bernoulli(config_.typo_prob)) {
+      token = ApplyTypo(token, rng);
+    }
+  }
+
+  // Source boilerplate.
+  if (!config_.filler_words.empty() && rng.Bernoulli(config_.filler_prob)) {
+    size_t extra = 1 + rng.NextBounded(2);
+    for (size_t i = 0; i < extra; ++i) {
+      kept.push_back(
+          config_.filler_words[rng.NextBounded(config_.filler_words.size())]);
+    }
+  }
+  return util::Join(kept, " ");
+}
+
+}  // namespace multiem::datagen

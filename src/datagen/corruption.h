@@ -1,0 +1,55 @@
+#ifndef MULTIEM_DATAGEN_CORRUPTION_H_
+#define MULTIEM_DATAGEN_CORRUPTION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace multiem::datagen {
+
+/// Probabilities of the textual noise operators applied when rendering an
+/// entity into one source. Models the cross-platform title/description drift
+/// of Figure 1 in the paper ("apple iphone 8 plus 64gb" vs "apple iphone 8
+/// plus 5.5 64gb 4g unlocked sim free", ...).
+struct CorruptionConfig {
+  /// Per-token chance of one character-level typo (swap/delete/insert/replace).
+  double typo_prob = 0.06;
+  /// Per-token chance of being dropped (never drops the last token).
+  double drop_token_prob = 0.04;
+  /// Chance of swapping one adjacent token pair in the text.
+  double swap_tokens_prob = 0.05;
+  /// Per-token chance of truncation to a 3-4 character abbreviation.
+  double abbreviate_prob = 0.02;
+  /// Chance of appending 1-2 filler words (source-specific boilerplate).
+  double filler_prob = 0.0;
+  /// Filler vocabulary (required when filler_prob > 0).
+  std::vector<std::string> filler_words;
+};
+
+/// Deterministic (given the Rng) text noise generator.
+class CorruptionModel {
+ public:
+  explicit CorruptionModel(CorruptionConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Applies token-level and character-level noise to `text`.
+  std::string CorruptText(std::string_view text, util::Rng& rng) const;
+
+  /// Applies at most one random character edit to `token`.
+  static std::string ApplyTypo(std::string_view token, util::Rng& rng);
+
+  /// Replaces each digit with probability `per_digit_prob` (postcode noise).
+  static std::string CorruptDigits(std::string_view value,
+                                   double per_digit_prob, util::Rng& rng);
+
+  const CorruptionConfig& config() const { return config_; }
+
+ private:
+  CorruptionConfig config_;
+};
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_CORRUPTION_H_

@@ -1,0 +1,80 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+
+#include "datagen/geo.h"
+#include "datagen/music.h"
+#include "datagen/person.h"
+#include "datagen/shopee.h"
+#include "util/string_util.h"
+
+namespace multiem::datagen {
+
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(8, static_cast<size_t>(base * scale));
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  return {"geo", "music-20", "music-200", "music-2000", "person", "shopee"};
+}
+
+util::Result<MultiSourceBenchmark> MakeDataset(std::string_view name,
+                                               double scale,
+                                               uint64_t seed_offset) {
+  std::string key = util::ToLower(name);
+  if (key == "geo") {
+    GeoConfig config;
+    config.num_entities = Scaled(820, scale);
+    config.seed += seed_offset;
+    MultiSourceBenchmark b = GenerateGeo(config);
+    b.name = "Geo";
+    return b;
+  }
+  if (key == "music-20" || key == "music20") {
+    MusicConfig config;
+    config.num_entities = Scaled(600, scale);
+    config.seed = 20 + seed_offset;
+    MultiSourceBenchmark b = GenerateMusic(config);
+    b.name = "Music-20";
+    return b;
+  }
+  if (key == "music-200" || key == "music200") {
+    MusicConfig config;
+    config.num_entities = Scaled(3000, scale);
+    config.seed = 200 + seed_offset;
+    MultiSourceBenchmark b = GenerateMusic(config);
+    b.name = "Music-200";
+    return b;
+  }
+  if (key == "music-2000" || key == "music2000") {
+    MusicConfig config;
+    config.num_entities = Scaled(8000, scale);
+    config.seed = 2000 + seed_offset;
+    MultiSourceBenchmark b = GenerateMusic(config);
+    b.name = "Music-2000";
+    return b;
+  }
+  if (key == "person") {
+    PersonConfig config;
+    config.num_entities = Scaled(7000, scale);
+    config.seed = 5 + seed_offset;
+    MultiSourceBenchmark b = GeneratePerson(config);
+    b.name = "Person";
+    return b;
+  }
+  if (key == "shopee") {
+    ShopeeConfig config;
+    config.num_families = Scaled(1800, scale);
+    config.seed = 34 + seed_offset;
+    MultiSourceBenchmark b = GenerateShopee(config);
+    b.name = "Shopee";
+    return b;
+  }
+  return util::Status::NotFound("unknown dataset: " + std::string(name));
+}
+
+}  // namespace multiem::datagen

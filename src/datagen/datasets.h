@@ -1,0 +1,27 @@
+#ifndef MULTIEM_DATAGEN_DATASETS_H_
+#define MULTIEM_DATAGEN_DATASETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datagen/benchmark_data.h"
+#include "util/status.h"
+
+namespace multiem::datagen {
+
+/// Names of the six paper benchmarks in Table III order.
+std::vector<std::string> DatasetNames();
+
+/// Builds the laptop-scaled counterpart of a paper dataset by name:
+/// "geo", "music-20", "music-200", "music-2000", "person", "shopee"
+/// (case-insensitive). `scale` multiplies the default entity count
+/// (1.0 = the scaled defaults documented in DESIGN.md; the paper-sized
+/// corpora are ~1-100x larger — every bench prints the scale it ran at).
+util::Result<MultiSourceBenchmark> MakeDataset(std::string_view name,
+                                               double scale = 1.0,
+                                               uint64_t seed_offset = 0);
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_DATASETS_H_

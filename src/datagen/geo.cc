@@ -1,0 +1,98 @@
+#include "datagen/geo.h"
+
+#include <cstdio>
+
+#include "datagen/corruption.h"
+#include "datagen/vocab.h"
+
+namespace multiem::datagen {
+
+namespace {
+
+std::string FormatCoordinate(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", value);
+  return buf;
+}
+
+}  // namespace
+
+MultiSourceBenchmark GenerateGeo(const GeoConfig& config) {
+  util::Rng rng(config.seed);
+  table::Schema schema({"name", "longitude", "latitude"});
+  MultiSourceAssembler assembler(config.num_sources, schema);
+
+  CorruptionConfig noise;
+  noise.typo_prob = 0.05;
+  noise.drop_token_prob = 0.03;
+  noise.swap_tokens_prob = 0.03;
+  noise.abbreviate_prob = 0.02;
+  CorruptionModel corruptor(noise);
+
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    // Canonical place name, e.g. "crimson feather falls" / "mount walker".
+    std::string name;
+    switch (rng.NextBounded(3)) {
+      case 0:
+        name = std::string(Pick(Adjectives(), rng)) + " " +
+               std::string(Pick(Nouns(), rng)) + " " +
+               std::string(Pick(GeoFeatures(), rng));
+        break;
+      case 1:
+        name = "mount " + std::string(Pick(Surnames(), rng)) + " " +
+               std::string(Pick(GeoFeatures(), rng));
+        break;
+      default:
+        name = std::string(Pick(Nouns(), rng)) + " " +
+               std::string(Pick(GeoFeatures(), rng)) + " " +
+               std::string(Pick(Suburbs(), rng));
+        break;
+    }
+    // Half the names carry a qualifier, like real gazetteer entries
+    // ("north", "east", "upper" ...).
+    if (rng.Bernoulli(0.5)) {
+      constexpr std::string_view kQualifiers[] = {
+          "north", "south", "east", "west", "upper", "lower", "new", "old"};
+      name = std::string(kQualifiers[rng.NextBounded(8)]) + " " + name;
+    }
+    // Entities cluster into geographic regions, so *different* nearby places
+    // share coarse coordinates (a real confusion source in settlement data);
+    // the region grid is derived from the entity index for determinism.
+    double region_lon = static_cast<double>(rng.NextBounded(48)) * 7.0 - 168.0;
+    double region_lat = static_cast<double>(rng.NextBounded(24)) * 6.5 - 78.0;
+    double lon = region_lon + rng.UniformDouble(-0.25, 0.25);
+    double lat = region_lat + rng.UniformDouble(-0.25, 0.25);
+
+    std::vector<MultiSourceAssembler::Copy> copies;
+    for (uint32_t s = 0; s < config.num_sources; ++s) {
+      if (!rng.Bernoulli(config.presence_prob)) continue;
+      // Cross-source coordinates drift by geocoder jitter; a notable
+      // fraction are plainly wrong (lat/lon swapped or re-geocoded), as in
+      // real multi-source gazetteers.
+      double copy_lon = lon + rng.UniformDouble(-config.coordinate_jitter,
+                                                config.coordinate_jitter);
+      double copy_lat = lat + rng.UniformDouble(-config.coordinate_jitter,
+                                                config.coordinate_jitter);
+      if (rng.Bernoulli(0.15)) {
+        if (rng.Bernoulli(0.5)) {
+          std::swap(copy_lon, copy_lat);
+        } else {
+          copy_lon = rng.UniformDouble(-180.0, 180.0);
+          copy_lat = rng.UniformDouble(-90.0, 90.0);
+        }
+      }
+      MultiSourceAssembler::Copy copy;
+      copy.source = s;
+      copy.cells = {
+          corruptor.CorruptText(name, rng),
+          FormatCoordinate(copy_lon),
+          FormatCoordinate(copy_lat),
+      };
+      copies.push_back(std::move(copy));
+    }
+    assembler.AddEntity(std::move(copies));
+  }
+  return assembler.Finish("Geo", rng);
+}
+
+}  // namespace multiem::datagen

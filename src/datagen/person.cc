@@ -1,0 +1,53 @@
+#include "datagen/person.h"
+
+#include "datagen/corruption.h"
+#include "datagen/vocab.h"
+
+namespace multiem::datagen {
+
+MultiSourceBenchmark GeneratePerson(const PersonConfig& config) {
+  util::Rng rng(config.seed);
+  table::Schema schema({"givenname", "surname", "suburb", "postcode"});
+  MultiSourceAssembler assembler(config.num_sources, schema);
+
+  // Fixed suburb -> postcode mapping (postcodes are meaningful geography,
+  // not random noise — that is why selection keeps them on this dataset).
+  auto suburb_postcode = [](size_t suburb_index) {
+    return std::to_string(2000 + 37 * suburb_index % 8000);
+  };
+
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    std::string given(Pick(GivenNames(), rng));
+    std::string surname(Pick(Surnames(), rng));
+    size_t suburb_index = rng.NextBounded(Suburbs().size());
+    std::string suburb(Suburbs()[suburb_index]);
+    std::string postcode = suburb_postcode(suburb_index);
+
+    std::vector<MultiSourceAssembler::Copy> copies;
+    for (uint32_t s = 0; s < config.num_sources; ++s) {
+      if (!rng.Bernoulli(config.presence_prob)) continue;
+      // Name fields get occasional typos; postcode digits flip rarely.
+      std::string source_given =
+          rng.Bernoulli(0.12) ? CorruptionModel::ApplyTypo(given, rng) : given;
+      std::string source_surname =
+          rng.Bernoulli(0.12) ? CorruptionModel::ApplyTypo(surname, rng)
+                              : surname;
+      std::string source_suburb =
+          rng.Bernoulli(0.06) ? CorruptionModel::ApplyTypo(suburb, rng)
+                              : suburb;
+      MultiSourceAssembler::Copy copy;
+      copy.source = s;
+      copy.cells = {
+          std::move(source_given),
+          std::move(source_surname),
+          std::move(source_suburb),
+          CorruptionModel::CorruptDigits(postcode, config.postcode_noise, rng),
+      };
+      copies.push_back(std::move(copy));
+    }
+    assembler.AddEntity(std::move(copies));
+  }
+  return assembler.Finish("Person", rng);
+}
+
+}  // namespace multiem::datagen

@@ -1,0 +1,50 @@
+#include "datagen/shopee.h"
+
+#include "datagen/corruption.h"
+#include "datagen/vocab.h"
+#include "util/string_util.h"
+
+namespace multiem::datagen {
+
+MultiSourceBenchmark GenerateShopee(const ShopeeConfig& config) {
+  util::Rng rng(config.seed);
+  table::Schema schema({"title"});
+  MultiSourceAssembler assembler(config.num_sources, schema);
+
+  CorruptionConfig noise;
+  noise.typo_prob = 0.08;
+  noise.drop_token_prob = 0.10;
+  noise.swap_tokens_prob = 0.10;
+  noise.abbreviate_prob = 0.04;
+  noise.filler_prob = 0.5;
+  for (std::string_view w : ShopeeFillers()) {
+    noise.filler_words.emplace_back(w);
+  }
+  CorruptionModel corruptor(noise);
+
+  for (size_t f = 0; f < config.num_families; ++f) {
+    // Family stem shared by the confusable entities.
+    std::string stem = std::string(Pick(Brands(), rng)) + " " +
+                       std::string(Pick(ProductNouns(), rng)) + " " +
+                       std::string(Pick(ProductSpecs(), rng));
+    size_t variants = 1 + rng.NextBounded(3);
+    for (size_t v = 0; v < variants; ++v) {
+      // Each variant is a *different* real-world product: same stem, its own
+      // distinguishing spec + color.
+      std::string title = stem + " " + std::string(Pick(ProductSpecs(), rng)) +
+                          " " + std::string(Pick(Colors(), rng));
+      std::vector<MultiSourceAssembler::Copy> copies;
+      for (uint32_t s = 0; s < config.num_sources; ++s) {
+        if (!rng.Bernoulli(config.presence_prob)) continue;
+        MultiSourceAssembler::Copy copy;
+        copy.source = s;
+        copy.cells = {corruptor.CorruptText(title, rng)};
+        copies.push_back(std::move(copy));
+      }
+      assembler.AddEntity(std::move(copies));
+    }
+  }
+  return assembler.Finish("Shopee", rng);
+}
+
+}  // namespace multiem::datagen

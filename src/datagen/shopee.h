@@ -1,0 +1,31 @@
+#ifndef MULTIEM_DATAGEN_SHOPEE_H_
+#define MULTIEM_DATAGEN_SHOPEE_H_
+
+#include <cstdint>
+
+#include "datagen/benchmark_data.h"
+
+namespace multiem::datagen {
+
+/// Synthetic counterpart of the paper's Shopee dataset (Kaggle "Shopee —
+/// Price Match Guarantee"): 20 sources, a single `title` attribute, and —
+/// crucially — families of *confusable* products whose titles differ by one
+/// spec token ("senter mini xpe q5 zoom usb" vs "senter mini xpe u3 zoom
+/// police"). Section IV-B explains that this confusability caps every
+/// method's F1; the generator reproduces it by emitting several distinct
+/// entities per product family.
+struct ShopeeConfig {
+  /// Number of product families; each spawns 1-3 confusable entities.
+  size_t num_families = 1800;
+  size_t num_sources = 20;
+  /// Presence probability per source (~3 average copies over 20 sources).
+  double presence_prob = 0.15;
+  uint64_t seed = 34;
+};
+
+/// Generates the benchmark; deterministic given the config.
+MultiSourceBenchmark GenerateShopee(const ShopeeConfig& config);
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_SHOPEE_H_

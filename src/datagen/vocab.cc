@@ -1,0 +1,194 @@
+#include "datagen/vocab.h"
+
+namespace multiem::datagen {
+
+namespace {
+
+constexpr std::string_view kGivenNames[] = {
+    "james",   "mary",     "robert",  "patricia", "john",    "jennifer",
+    "michael", "linda",    "david",   "elizabeth", "william", "barbara",
+    "richard", "susan",    "joseph",  "jessica",  "thomas",  "sarah",
+    "charles", "karen",    "chris",   "lisa",     "daniel",  "nancy",
+    "matthew", "betty",    "anthony", "margaret", "mark",    "sandra",
+    "donald",  "ashley",   "steven",  "kimberly", "paul",    "emily",
+    "andrew",  "donna",    "joshua",  "michelle", "kenneth", "carol",
+    "kevin",   "amanda",   "brian",   "dorothy",  "george",  "melissa",
+    "edward",  "deborah",  "ronald",  "stephanie", "timothy", "rebecca",
+    "jason",   "sharon",   "jeffrey", "laura",    "ryan",    "cynthia",
+    "jacob",   "kathleen", "gary",    "amy",      "nicholas", "angela",
+    "eric",    "shirley",  "jonathan", "anna",    "stephen", "brenda",
+    "larry",   "pamela",   "justin",  "emma",     "scott",   "nicole",
+    "brandon", "helen",    "benjamin", "samantha", "samuel", "katherine",
+    "gregory", "christine", "frank",  "debra",    "alexander", "rachel",
+    "raymond", "carolyn",  "patrick", "janet",    "jack",    "catherine",
+    "dennis",  "maria",    "jerry",   "heather",  "tyler",   "diane",
+    "aaron",   "ruth",     "jose",    "julie",    "adam",    "olivia",
+    "nathan",  "joyce",    "henry",   "virginia", "douglas", "victoria",
+    "zachary", "kelly",    "peter",   "lauren",   "kyle",    "christina",
+};
+
+constexpr std::string_view kSurnames[] = {
+    "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez", "ortiz",   "morgan",   "cooper",   "peterson", "bailey",
+    "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",     "richardson", "watson", "brooks",   "chavez",   "wood",
+    "james",    "bennett",  "gray",     "mendoza",  "ruiz",     "hughes",
+    "price",    "alvarez",  "castillo", "sanders",  "patel",    "myers",
+    "long",     "ross",     "foster",   "jimenez",
+};
+
+constexpr std::string_view kSuburbs[] = {
+    "ashfield",   "bankstown",  "burwood",     "campsie",    "chatswood",
+    "cronulla",   "darlinghurst", "eastwood",  "epping",     "fairfield",
+    "glebe",      "hornsby",    "hurstville",  "kensington", "kogarah",
+    "lakemba",    "leichhardt", "liverpool",   "manly",      "marrickville",
+    "mascot",     "miranda",    "mosman",      "newtown",    "paddington",
+    "parramatta", "penrith",    "randwick",    "redfern",    "rockdale",
+    "ryde",       "strathfield", "sutherland", "waterloo",   "westmead",
+    "woollahra",  "blacktown",  "auburn",      "granville",  "lidcombe",
+    "carlton",    "richmond",   "fitzroy",     "brunswick",  "coburg",
+    "preston",    "thornbury",  "northcote",   "kew",        "hawthorn",
+    "toorak",     "prahran",    "stkilda",     "elwood",     "brighton",
+    "caulfield",  "malvern",    "camberwell",  "doncaster",  "ringwood",
+};
+
+constexpr std::string_view kAdjectives[] = {
+    "silent",  "golden",  "crimson", "hidden",  "broken",  "velvet",
+    "electric", "burning", "frozen", "endless", "wild",    "lonely",
+    "midnight", "shining", "fading", "distant", "sacred",  "gentle",
+    "hollow",  "silver",  "scarlet", "quiet",   "restless", "ancient",
+    "northern", "southern", "eastern", "western", "rising", "falling",
+    "glass",   "iron",    "paper",   "stone",   "neon",    "lunar",
+    "solar",   "echoing", "wandering", "forgotten",
+};
+
+constexpr std::string_view kNouns[] = {
+    "river",   "sky",      "dream",   "heart",   "road",     "fire",
+    "shadow",  "light",    "storm",   "garden",  "ocean",    "mountain",
+    "city",    "night",    "morning", "summer",  "winter",   "autumn",
+    "mirror",  "window",   "door",    "bridge",  "tower",    "castle",
+    "island",  "desert",   "forest",  "meadow",  "valley",   "canyon",
+    "harbor",  "lantern",  "compass", "anchor",  "feather",  "ember",
+    "crystal", "thunder",  "horizon", "voyage",
+};
+
+constexpr std::string_view kGeoFeatures[] = {
+    "lake",  "ridge",  "falls",  "creek",  "summit", "glacier",
+    "bay",   "point",  "bluff",  "hollow", "spring", "gorge",
+    "mesa",  "butte",  "shoal",  "strait", "basin",  "plateau",
+    "cove",  "lagoon", "marsh",  "rapids", "cliff",  "dune",
+};
+
+constexpr std::string_view kMusicTitleWords[] = {
+    "love",    "night",   "dance",   "heart",  "baby",    "time",
+    "fire",    "rain",    "dream",   "blue",   "moon",    "star",
+    "summer",  "girl",    "boy",     "road",   "home",    "light",
+    "shadow",  "tears",   "smile",   "kiss",   "angel",   "devil",
+    "river",   "sky",     "sun",     "gold",   "wild",    "free",
+    "lonely",  "crazy",   "sweet",   "cold",   "burning", "broken",
+    "forever", "tonight", "yesterday", "tomorrow", "memories", "paradise",
+    "thunder", "lightning", "whisper", "echo",  "rhythm",  "melody",
+    "harmony", "soul",
+};
+
+constexpr std::string_view kAlbumWords[] = {
+    "chronicles", "sessions", "anthology", "collection", "stories",
+    "tales",      "visions",  "reflections", "portraits", "landscapes",
+    "journeys",   "horizons", "fragments", "elements",  "seasons",
+    "colors",     "shadows",  "echoes",    "waves",      "currents",
+    "chameleon",  "mosaic",   "kaleidoscope", "spectrum", "prism",
+    "odyssey",    "voyage",   "expedition", "atlas",     "meridian",
+};
+
+constexpr std::string_view kLanguages[] = {
+    "english", "german", "french", "spanish", "italian",
+};
+
+constexpr std::string_view kBrands[] = {
+    "apple",   "samsung", "xiaomi",  "huawei",  "sony",    "lenovo",
+    "asus",    "acer",    "dell",    "logitech", "philips", "panasonic",
+    "canon",   "nikon",   "bosch",   "miele",   "dyson",   "nespresso",
+    "adidas",  "nike",    "puma",    "uniqlo",  "zara",    "casio",
+    "seiko",   "garmin",  "jbl",     "anker",   "sandisk", "kingston",
+};
+
+constexpr std::string_view kProductNouns[] = {
+    "phone",     "laptop",   "tablet",   "monitor",  "keyboard", "mouse",
+    "headphones", "earbuds", "speaker",  "charger",  "cable",    "adapter",
+    "powerbank", "camera",   "lens",     "tripod",   "backpack", "wallet",
+    "watch",     "band",     "case",     "cover",    "screen",   "protector",
+    "blender",   "kettle",   "toaster",  "vacuum",   "fan",      "heater",
+    "lamp",      "senter",   "flashlight", "router", "drive",    "card",
+};
+
+constexpr std::string_view kProductSpecs[] = {
+    "64gb",  "128gb", "256gb",  "32gb",  "16gb",  "8gb",
+    "pro",   "max",   "mini",   "plus",  "lite",  "ultra",
+    "v2",    "v3",    "mk2",    "gen3",  "xl",    "xs",
+    "4g",    "5g",    "wifi",   "usb",   "typec", "wireless",
+    "55",    "58",    "65",     "13",    "14",    "15",
+    "zoom",  "hd",    "fhd",    "4k",    "led",   "cob",
+};
+
+constexpr std::string_view kColors[] = {
+    "black", "white",  "silver", "gray",   "gold",  "rose",
+    "blue",  "navy",   "red",    "green",  "olive", "purple",
+    "pink",  "yellow", "orange", "bronze", "teal",  "ivory",
+};
+
+constexpr std::string_view kShopeeFillers[] = {
+    "original", "murah",   "promo",    "terbaru", "grosir", "ready",
+    "stock",    "garansi", "official", "import",  "cod",    "bisa",
+    "free",     "shipping", "diskon",  "sale",    "hot",    "new",
+};
+
+}  // namespace
+
+#define MULTIEM_BANK(fn, array)                          \
+  std::span<const std::string_view> fn() {               \
+    return std::span<const std::string_view>(array);     \
+  }
+
+MULTIEM_BANK(GivenNames, kGivenNames)
+MULTIEM_BANK(Surnames, kSurnames)
+MULTIEM_BANK(Suburbs, kSuburbs)
+MULTIEM_BANK(Adjectives, kAdjectives)
+MULTIEM_BANK(Nouns, kNouns)
+MULTIEM_BANK(GeoFeatures, kGeoFeatures)
+MULTIEM_BANK(MusicTitleWords, kMusicTitleWords)
+MULTIEM_BANK(AlbumWords, kAlbumWords)
+MULTIEM_BANK(Languages, kLanguages)
+MULTIEM_BANK(Brands, kBrands)
+MULTIEM_BANK(ProductNouns, kProductNouns)
+MULTIEM_BANK(ProductSpecs, kProductSpecs)
+MULTIEM_BANK(Colors, kColors)
+MULTIEM_BANK(ShopeeFillers, kShopeeFillers)
+
+#undef MULTIEM_BANK
+
+std::string_view Pick(std::span<const std::string_view> bank,
+                      util::Rng& rng) {
+  return bank[rng.NextBounded(bank.size())];
+}
+
+std::string PickPhrase(std::span<const std::string_view> bank, size_t count,
+                       util::Rng& rng) {
+  std::string out;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) out += ' ';
+    out += Pick(bank, rng);
+  }
+  return out;
+}
+
+}  // namespace multiem::datagen

@@ -1,0 +1,38 @@
+#ifndef MULTIEM_DATAGEN_VOCAB_H_
+#define MULTIEM_DATAGEN_VOCAB_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace multiem::datagen {
+
+/// Word banks used by the synthetic dataset generators. Each bank is a
+/// stable, ordered array so generation is deterministic given a seed.
+std::span<const std::string_view> GivenNames();
+std::span<const std::string_view> Surnames();
+std::span<const std::string_view> Suburbs();
+std::span<const std::string_view> Adjectives();
+std::span<const std::string_view> Nouns();
+std::span<const std::string_view> GeoFeatures();     // lake, ridge, falls...
+std::span<const std::string_view> MusicTitleWords();
+std::span<const std::string_view> AlbumWords();
+std::span<const std::string_view> Languages();
+std::span<const std::string_view> Brands();
+std::span<const std::string_view> ProductNouns();
+std::span<const std::string_view> ProductSpecs();    // 64gb, xl, v2, pro...
+std::span<const std::string_view> Colors();
+std::span<const std::string_view> ShopeeFillers();   // promo, original, ...
+
+/// Uniform draw from a bank.
+std::string_view Pick(std::span<const std::string_view> bank, util::Rng& rng);
+
+/// Space-joined draw of `count` distinct-ish words from a bank.
+std::string PickPhrase(std::span<const std::string_view> bank, size_t count,
+                       util::Rng& rng);
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_VOCAB_H_

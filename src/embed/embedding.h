@@ -1,0 +1,66 @@
+#ifndef MULTIEM_EMBED_EMBEDDING_H_
+#define MULTIEM_EMBED_EMBEDDING_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace multiem::embed {
+
+/// Dense row-major matrix of float embeddings; row i is the embedding of
+/// entity/item i. The whole pipeline passes these around by reference; rows
+/// are exposed as std::span so no copies are made on the hot path.
+class EmbeddingMatrix {
+ public:
+  EmbeddingMatrix() : dim_(0) {}
+  /// Creates a zero-initialized num_rows x dim matrix.
+  EmbeddingMatrix(size_t num_rows, size_t dim)
+      : dim_(dim), data_(num_rows * dim, 0.0f) {}
+
+  size_t num_rows() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
+  size_t dim() const { return dim_; }
+
+  /// Mutable view of row `i`.
+  std::span<float> Row(size_t i) {
+    return std::span<float>(data_.data() + i * dim_, dim_);
+  }
+  /// Read-only view of row `i`.
+  std::span<const float> Row(size_t i) const {
+    return std::span<const float>(data_.data() + i * dim_, dim_);
+  }
+
+  /// Appends a row (must have length dim; first append fixes dim when 0).
+  void AppendRow(std::span<const float> row);
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& mutable_data() { return data_; }
+
+  /// Bytes of embedding payload held (for the memory accounting bench).
+  size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+ private:
+  size_t dim_;
+  std::vector<float> data_;
+};
+
+/// Dot product of two equal-length vectors.
+float Dot(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean (L2) norm of `v`.
+float Norm(std::span<const float> v);
+
+/// Scales `v` to unit L2 norm in place; leaves all-zero vectors untouched.
+void L2NormalizeInPlace(std::span<float> v);
+
+/// Cosine similarity in [-1, 1]; returns 0 if either vector is all-zero.
+float CosineSimilarity(std::span<const float> a, std::span<const float> b);
+
+/// Cosine distance = 1 - cosine similarity (the merging-phase metric).
+float CosineDistance(std::span<const float> a, std::span<const float> b);
+
+/// Euclidean distance (the pruning-phase metric).
+float EuclideanDistance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_EMBEDDING_H_

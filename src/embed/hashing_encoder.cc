@@ -1,0 +1,110 @@
+#include "embed/hashing_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace multiem::embed {
+
+namespace {
+
+// Distinguishes word features from n-gram features in hash space so that the
+// word "abc" and the 3-gram "abc" get independent directions.
+constexpr uint64_t kWordSalt = 0x9E3779B97F4A7C15ULL;
+constexpr uint64_t kNgramSalt = 0xC2B2AE3D27D4EB4FULL;
+
+}  // namespace
+
+HashingSentenceEncoder::HashingSentenceEncoder(HashingEncoderConfig config)
+    : config_(config), tokenizer_(config.max_tokens) {
+  if (config_.dim == 0 || config_.dim % 64 != 0) {
+    // Rademacher directions are drawn 64 signs at a time; keep dim a
+    // multiple of 64 (384 = 6 * 64 satisfies this).
+    config_.dim = ((config_.dim / 64) + 1) * 64;
+  }
+  if (config_.min_char_ngram == 0) config_.min_char_ngram = 1;
+  if (config_.max_char_ngram < config_.min_char_ngram) {
+    config_.max_char_ngram = config_.min_char_ngram;
+  }
+}
+
+void HashingSentenceEncoder::FitFrequencies(
+    const std::vector<std::string>& corpus) {
+  token_counts_.clear();
+  total_token_count_ = 0;
+  for (const std::string& text : corpus) {
+    for (const std::string& token : tokenizer_.Tokenize(text)) {
+      ++token_counts_[util::HashString(token)];
+      ++total_token_count_;
+    }
+  }
+}
+
+double HashingSentenceEncoder::TokenWeight(std::string_view token) const {
+  double weight = util::TokenLexicality(token);
+  if (total_token_count_ > 0) {
+    auto it = token_counts_.find(util::HashString(token));
+    double p = 0.0;
+    if (it != token_counts_.end()) {
+      p = static_cast<double>(it->second) /
+          static_cast<double>(total_token_count_);
+    }
+    weight *= config_.sif_a / (config_.sif_a + p);
+  }
+  return weight;
+}
+
+void HashingSentenceEncoder::AddFeature(uint64_t feature_hash, float scale,
+                                        std::span<float> out) const {
+  if (scale == 0.0f) return;
+  util::SplitMix64 bits(feature_hash ^ config_.seed);
+  size_t i = 0;
+  while (i < out.size()) {
+    uint64_t word = bits.Next();
+    for (int b = 0; b < 64 && i < out.size(); ++b, ++i) {
+      // +-scale depending on the next pseudo-random bit.
+      out[i] += ((word >> b) & 1) ? scale : -scale;
+    }
+  }
+}
+
+void HashingSentenceEncoder::EncodeInto(std::string_view text,
+                                        std::span<float> out) const {
+  std::fill(out.begin(), out.end(), 0.0f);
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  if (tokens.empty()) return;
+
+  const float inv_sqrt_dim = 1.0f / std::sqrt(static_cast<float>(out.size()));
+  for (const std::string& token : tokens) {
+    float weight = static_cast<float>(TokenWeight(token));
+    if (weight <= 0.0f) continue;
+
+    // Whole-word feature.
+    AddFeature(util::HashString(token) ^ kWordSalt,
+               weight * config_.word_weight * inv_sqrt_dim, out);
+
+    // Character n-gram features, averaged so long words don't dominate.
+    size_t ngram_count = 0;
+    for (size_t n = config_.min_char_ngram;
+         n <= config_.max_char_ngram && n <= token.size(); ++n) {
+      ngram_count += token.size() - n + 1;
+    }
+    if (ngram_count == 0) continue;
+    float ngram_scale = weight * config_.ngram_weight * inv_sqrt_dim /
+                        static_cast<float>(ngram_count);
+    for (size_t n = config_.min_char_ngram;
+         n <= config_.max_char_ngram && n <= token.size(); ++n) {
+      for (size_t i = 0; i + n <= token.size(); ++i) {
+        uint64_t h = util::HashString(
+                         std::string_view(token.data() + i, n)) ^
+                     kNgramSalt ^ util::Mix64(n);
+        AddFeature(h, ngram_scale, out);
+      }
+    }
+  }
+  L2NormalizeInPlace(out);
+}
+
+}  // namespace multiem::embed

@@ -1,0 +1,92 @@
+#ifndef MULTIEM_EMBED_HASHING_ENCODER_H_
+#define MULTIEM_EMBED_HASHING_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/text_encoder.h"
+#include "embed/tokenizer.h"
+
+namespace multiem::embed {
+
+/// Configuration of the hashing sentence encoder.
+struct HashingEncoderConfig {
+  /// Output dimensionality; the paper's MiniLM backbone emits 384.
+  size_t dim = 384;
+  /// Maximum tokens per text (paper: max sequence length 64).
+  size_t max_tokens = 64;
+  /// Character n-gram sizes folded into each token's representation; these
+  /// give robustness to typos ("iphone" vs "ipone" share most 3-grams).
+  size_t min_char_ngram = 3;
+  size_t max_char_ngram = 4;
+  /// Relative weight of the whole-word feature vs. the char-ngram average.
+  float word_weight = 0.7f;
+  float ngram_weight = 0.3f;
+  /// SIF smoothing constant: token weight *= a / (a + corpus_frequency).
+  /// Matches Arora et al.'s smooth inverse frequency weighting; only applies
+  /// after FitFrequencies() has seen a corpus.
+  double sif_a = 1e-2;
+  /// Seed mixed into every feature hash; changing it re-randomizes the space.
+  uint64_t seed = 0x5EED5EED5EEDULL;
+};
+
+/// Deterministic 384-dim sentence encoder standing in for Sentence-BERT
+/// (all-MiniLM-L12-v2) — see DESIGN.md "Substitutions".
+///
+/// Construction: each feature (word, or char n-gram of a word) is mapped to a
+/// pseudo-random Rademacher direction (+-1/sqrt(dim)) derived from its hash;
+/// a token's vector blends its word feature with the mean of its n-gram
+/// features; the sentence embedding is the weighted sum of token vectors,
+/// L2-normalized (mean pooling + normalization, as in the paper's setup).
+///
+/// Token weights model the two properties MultiEM needs from a trained LM:
+///  * informative words carry most of the signal: weight includes
+///    util::TokenLexicality, which discounts digit strings and opaque
+///    letter-digit codes (cf. paper Example 1: editing an `id` barely moves
+///    the Sentence-BERT embedding, editing `album` moves it a lot);
+///  * very frequent tokens say little: after FitFrequencies(corpus), SIF
+///    weighting a/(a+p(token)) downweights common values (e.g. a `language`
+///    column with five distinct values).
+///
+/// Thread-safety: Encode*/EncodeInto are const and safe to call concurrently
+/// once FitFrequencies (if used) has returned.
+class HashingSentenceEncoder : public TextEncoder {
+ public:
+  explicit HashingSentenceEncoder(HashingEncoderConfig config = {});
+
+  size_t dim() const override { return config_.dim; }
+
+  /// Learns corpus token frequencies for SIF weighting. Call once with the
+  /// serialized entities before encoding; skipping it leaves all SIF weights
+  /// at 1 (pure lexicality weighting).
+  void FitFrequencies(const std::vector<std::string>& corpus);
+
+  /// True once FitFrequencies has been called with a non-empty corpus.
+  bool fitted() const { return total_token_count_ > 0; }
+
+  void EncodeInto(std::string_view text, std::span<float> out) const override;
+
+  /// The effective weight this encoder assigns to `token` (lexicality x SIF);
+  /// exposed for tests and for the attribute-selection diagnostics.
+  double TokenWeight(std::string_view token) const;
+
+  const HashingEncoderConfig& config() const { return config_; }
+
+ private:
+  /// Adds `scale` * direction(feature_hash) into `out`.
+  void AddFeature(uint64_t feature_hash, float scale,
+                  std::span<float> out) const;
+
+  HashingEncoderConfig config_;
+  Tokenizer tokenizer_;
+  /// token hash -> corpus occurrences (read-only after FitFrequencies).
+  std::unordered_map<uint64_t, uint64_t> token_counts_;
+  uint64_t total_token_count_ = 0;
+};
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_HASHING_ENCODER_H_

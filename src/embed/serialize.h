@@ -1,0 +1,33 @@
+#ifndef MULTIEM_EMBED_SERIALIZE_H_
+#define MULTIEM_EMBED_SERIALIZE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+
+namespace multiem::embed {
+
+/// Serializes entity `row` of `t` per Section II-B of the paper: attribute
+/// names are omitted and attribute values are concatenated with single
+/// spaces, in schema order:
+///   serialize(e) ::= val_1 val_2 ... val_p
+/// `columns` restricts (and orders) which attributes participate — this is
+/// how the enhanced entity representation applies attribute selection.
+std::string SerializeEntity(const table::Table& t, size_t row,
+                            const std::vector<size_t>& columns);
+
+/// Serialization over all attributes in schema order.
+std::string SerializeEntity(const table::Table& t, size_t row);
+
+/// Serializes every row of `t` (restricted to `columns`).
+std::vector<std::string> SerializeTable(const table::Table& t,
+                                        const std::vector<size_t>& columns);
+
+/// Serializes every row of `t` over all attributes.
+std::vector<std::string> SerializeTable(const table::Table& t);
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_SERIALIZE_H_

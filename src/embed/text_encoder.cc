@@ -1,0 +1,14 @@
+#include "embed/text_encoder.h"
+
+namespace multiem::embed {
+
+EmbeddingMatrix TextEncoder::EncodeBatch(const std::vector<std::string>& texts,
+                                         util::ThreadPool* pool) const {
+  EmbeddingMatrix out(texts.size(), dim());
+  util::ParallelFor(pool, texts.size(), [&](size_t i) {
+    EncodeInto(texts[i], out.Row(i));
+  });
+  return out;
+}
+
+}  // namespace multiem::embed

@@ -1,0 +1,44 @@
+#ifndef MULTIEM_EMBED_TEXT_ENCODER_H_
+#define MULTIEM_EMBED_TEXT_ENCODER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "util/thread_pool.h"
+
+namespace multiem::embed {
+
+/// Abstract sentence encoder: maps a text sequence to a fixed-length dense
+/// vector (the M of the paper, Section II-B).
+///
+/// MultiEM treats the encoder as a frozen black box (no fine-tuning). The
+/// default implementation here is HashingSentenceEncoder; a real ONNX MiniLM
+/// runner can be slotted in behind this interface without touching the
+/// pipeline.
+class TextEncoder {
+ public:
+  virtual ~TextEncoder() = default;
+
+  /// Embedding dimensionality (384 for the paper's all-MiniLM-L12-v2).
+  virtual size_t dim() const = 0;
+
+  /// Encodes one text into `out` (length dim()). Must be thread-safe.
+  virtual void EncodeInto(std::string_view text, std::span<float> out) const = 0;
+
+  /// Encodes one text, returning a fresh vector.
+  std::vector<float> Encode(std::string_view text) const {
+    std::vector<float> out(dim(), 0.0f);
+    EncodeInto(text, out);
+    return out;
+  }
+
+  /// Encodes a batch, optionally in parallel over `pool`.
+  EmbeddingMatrix EncodeBatch(const std::vector<std::string>& texts,
+                              util::ThreadPool* pool = nullptr) const;
+};
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_TEXT_ENCODER_H_

@@ -1,0 +1,25 @@
+#include "embed/tokenizer.h"
+
+#include <cctype>
+
+namespace multiem::embed {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (unsigned char c : text) {
+    if (std::isalnum(c)) {
+      current += static_cast<char>(std::tolower(c));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+      if (tokens.size() >= max_tokens_) return tokens;
+    }
+  }
+  if (!current.empty() && tokens.size() < max_tokens_) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+}  // namespace multiem::embed

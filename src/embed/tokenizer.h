@@ -1,0 +1,31 @@
+#ifndef MULTIEM_EMBED_TOKENIZER_H_
+#define MULTIEM_EMBED_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multiem::embed {
+
+/// Splits text into lowercase tokens for the sentence encoder.
+///
+/// Rules: ASCII letters and digits are token characters; every other byte is
+/// a separator. "Apple iPhone-8, 64GB!" -> ["apple", "iphone", "8", "64gb"].
+/// `max_tokens` truncates long inputs the way the paper truncates entity
+/// serializations to a maximum sequence length (64 by default).
+class Tokenizer {
+ public:
+  explicit Tokenizer(size_t max_tokens = 64) : max_tokens_(max_tokens) {}
+
+  /// Tokenizes `text`; returns at most max_tokens() tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  size_t max_tokens() const { return max_tokens_; }
+
+ private:
+  size_t max_tokens_;
+};
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_TOKENIZER_H_

@@ -1,0 +1,71 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace multiem::eval {
+
+Prf PrfFromCounts(size_t true_positives, size_t predicted, size_t actual) {
+  Prf out;
+  if (predicted > 0) {
+    out.precision =
+        static_cast<double>(true_positives) / static_cast<double>(predicted);
+  }
+  if (actual > 0) {
+    out.recall =
+        static_cast<double>(true_positives) / static_cast<double>(actual);
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+Prf EvaluateTuples(const TupleSet& predicted, const TupleSet& truth) {
+  // Both tuple lists are canonical and sorted: intersect with a merge scan.
+  const auto& p = predicted.tuples();
+  const auto& t = truth.tuples();
+  size_t i = 0;
+  size_t j = 0;
+  size_t hits = 0;
+  while (i < p.size() && j < t.size()) {
+    if (p[i] == t[j]) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (p[i] < t[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return PrfFromCounts(hits, p.size(), t.size());
+}
+
+Prf EvaluatePairs(const TupleSet& predicted, const TupleSet& truth) {
+  return EvaluatePairList(predicted.ToPairs(), truth);
+}
+
+Prf EvaluatePairList(const std::vector<Pair>& predicted,
+                     const TupleSet& truth) {
+  std::vector<Pair> pred = predicted;
+  std::sort(pred.begin(), pred.end());
+  pred.erase(std::unique(pred.begin(), pred.end()), pred.end());
+  std::vector<Pair> actual = truth.ToPairs();
+  size_t i = 0;
+  size_t j = 0;
+  size_t hits = 0;
+  while (i < pred.size() && j < actual.size()) {
+    if (pred[i] == actual[j]) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (pred[i] < actual[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return PrfFromCounts(hits, pred.size(), actual.size());
+}
+
+}  // namespace multiem::eval

@@ -1,0 +1,35 @@
+#ifndef MULTIEM_EVAL_METRICS_H_
+#define MULTIEM_EVAL_METRICS_H_
+
+#include "eval/tuples.h"
+
+namespace multiem::eval {
+
+/// Precision / recall / F1 triple; values in [0, 1] (multiply by 100 for the
+/// paper's percentage tables).
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes P/R/F1 from counts; empty denominators yield 0.
+Prf PrfFromCounts(size_t true_positives, size_t predicted, size_t actual);
+
+/// Strict tuple-level scoring: a predicted tuple counts as correct only if it
+/// equals a ground-truth tuple exactly (Section IV-A: "a prediction tuple is
+/// considered correct only if it matches the truth tuple exactly").
+Prf EvaluateTuples(const TupleSet& predicted, const TupleSet& truth);
+
+/// Pairwise scoring (pair-F1): both sides are expanded into unordered entity
+/// pairs and scored as sets (Example 2 of the paper).
+Prf EvaluatePairs(const TupleSet& predicted, const TupleSet& truth);
+
+/// Pairwise scoring when the prediction is already a pair list (two-table
+/// baselines before the pairs->tuples extension).
+Prf EvaluatePairList(const std::vector<Pair>& predicted,
+                     const TupleSet& truth);
+
+}  // namespace multiem::eval
+
+#endif  // MULTIEM_EVAL_METRICS_H_

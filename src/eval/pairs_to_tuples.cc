@@ -1,0 +1,67 @@
+#include "eval/pairs_to_tuples.h"
+
+#include <unordered_map>
+
+namespace multiem::eval {
+
+TupleSet PairsToTuples(const std::vector<Pair>& pairs) {
+  // Adjacency of the pair graph.
+  std::unordered_map<table::EntityId, std::vector<table::EntityId>> adjacency;
+  for (const Pair& p : pairs) {
+    adjacency[p.a].push_back(p.b);
+    adjacency[p.b].push_back(p.a);
+  }
+  std::vector<Tuple> tuples;
+  tuples.reserve(adjacency.size());
+  for (const auto& [entity, matches] : adjacency) {
+    Tuple t;
+    t.reserve(matches.size() + 1);
+    t.push_back(entity);
+    t.insert(t.end(), matches.begin(), matches.end());
+    tuples.push_back(std::move(t));
+  }
+  return TupleSet(std::move(tuples));
+}
+
+TupleSet PairsToTuplesTransitive(const std::vector<Pair>& pairs) {
+  // Map entities to dense ids, then union-find.
+  std::unordered_map<table::EntityId, size_t> dense;
+  std::vector<table::EntityId> entities;
+  auto intern = [&](table::EntityId id) {
+    auto [it, inserted] = dense.emplace(id, entities.size());
+    if (inserted) entities.push_back(id);
+    return it->second;
+  };
+  std::vector<std::pair<size_t, size_t>> edges;
+  edges.reserve(pairs.size());
+  for (const Pair& p : pairs) {
+    edges.emplace_back(intern(p.a), intern(p.b));
+  }
+  // Tiny local union-find to avoid a cluster-module dependency here.
+  std::vector<size_t> parent(entities.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (auto [a, b] : edges) {
+    size_t ra = find(a);
+    size_t rb = find(b);
+    if (ra != rb) parent[rb] = ra;
+  }
+  std::unordered_map<size_t, Tuple> components;
+  for (size_t i = 0; i < entities.size(); ++i) {
+    components[find(i)].push_back(entities[i]);
+  }
+  std::vector<Tuple> tuples;
+  tuples.reserve(components.size());
+  for (auto& [root, members] : components) {
+    tuples.push_back(std::move(members));
+  }
+  return TupleSet(std::move(tuples));
+}
+
+}  // namespace multiem::eval

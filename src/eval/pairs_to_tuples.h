@@ -1,0 +1,26 @@
+#ifndef MULTIEM_EVAL_PAIRS_TO_TUPLES_H_
+#define MULTIEM_EVAL_PAIRS_TO_TUPLES_H_
+
+#include <vector>
+
+#include "eval/tuples.h"
+
+namespace multiem::eval {
+
+/// Algorithm 5 of the paper: converts matched pairs (the output of two-table
+/// EM baselines under the pairwise/chain extension) into tuples for
+/// multi-table evaluation. For each entity e appearing in `pairs`, the tuple
+/// is {e} union {all direct matches of e}. Note this is a *star* expansion,
+/// not a transitive closure — exactly as published — so inconsistent pair
+/// predictions yield overlapping, conflicting tuples (the "transitive
+/// conflicts" the paper analyzes).
+TupleSet PairsToTuples(const std::vector<Pair>& pairs);
+
+/// Transitive-closure variant (connected components over the pair graph);
+/// used by ablation benches to quantify how much Algorithm 5's star expansion
+/// loses versus full closure.
+TupleSet PairsToTuplesTransitive(const std::vector<Pair>& pairs);
+
+}  // namespace multiem::eval
+
+#endif  // MULTIEM_EVAL_PAIRS_TO_TUPLES_H_

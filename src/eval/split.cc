@@ -1,0 +1,68 @@
+#include "eval/split.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace multiem::eval {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const Pair& p) const noexcept {
+    std::hash<table::EntityId> h;
+    return h(p.a) * 1000003u ^ h(p.b);
+  }
+};
+
+}  // namespace
+
+LabeledSplit MakeLabeledSplit(const std::vector<table::Table>& tables,
+                              const TupleSet& truth, double train_fraction,
+                              double valid_fraction,
+                              size_t negatives_per_positive, util::Rng& rng) {
+  LabeledSplit split;
+  std::vector<Pair> positives = truth.ToPairs();
+  if (positives.empty() || tables.empty()) return split;
+
+  std::unordered_set<Pair, PairHash> truth_set(positives.begin(),
+                                               positives.end());
+
+  rng.Shuffle(positives);
+  size_t train_count = static_cast<size_t>(train_fraction * positives.size());
+  size_t valid_count = static_cast<size_t>(valid_fraction * positives.size());
+  train_count = std::max<size_t>(train_count, 1);
+  valid_count = std::max<size_t>(valid_count, 1);
+  train_count = std::min(train_count, positives.size());
+  valid_count = std::min(valid_count, positives.size() - train_count);
+
+  auto sample_negative = [&]() -> Pair {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      uint32_t src_a = static_cast<uint32_t>(rng.NextBounded(tables.size()));
+      uint32_t src_b = static_cast<uint32_t>(rng.NextBounded(tables.size()));
+      if (src_a == src_b || tables[src_a].num_rows() == 0 ||
+          tables[src_b].num_rows() == 0) {
+        continue;
+      }
+      table::EntityId a(src_a, rng.NextBounded(tables[src_a].num_rows()));
+      table::EntityId b(src_b, rng.NextBounded(tables[src_b].num_rows()));
+      Pair p = MakePair(a, b);
+      if (truth_set.count(p) == 0) return p;
+    }
+    // Dense-truth fallback: give up and return an arbitrary cross pair.
+    return MakePair(table::EntityId(0, 0), table::EntityId(1, 0));
+  };
+
+  auto emit = [&](size_t begin, size_t end, std::vector<LabeledPair>& out) {
+    for (size_t i = begin; i < end; ++i) {
+      out.push_back({positives[i], true});
+      for (size_t nth = 0; nth < negatives_per_positive; ++nth) {
+        out.push_back({sample_negative(), false});
+      }
+    }
+  };
+  emit(0, train_count, split.train);
+  emit(train_count, train_count + valid_count, split.valid);
+  return split;
+}
+
+}  // namespace multiem::eval

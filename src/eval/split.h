@@ -1,0 +1,39 @@
+#ifndef MULTIEM_EVAL_SPLIT_H_
+#define MULTIEM_EVAL_SPLIT_H_
+
+#include <vector>
+
+#include "eval/tuples.h"
+#include "table/table.h"
+#include "util/rng.h"
+
+namespace multiem::eval {
+
+/// A labeled pair sample for the supervised baselines: positive pairs come
+/// from the ground truth; negatives are sampled non-matching cross-table
+/// pairs (the paper samples P negatives per positive; Section IV-A).
+struct LabeledPair {
+  Pair pair;
+  bool is_match = false;
+};
+
+/// Train/validation split of labeled pairs, mirroring the paper's protocol
+/// for PromptEM/Ditto/ALMSER-GB: `train_fraction` and `valid_fraction` of the
+/// ground-truth pairs (5% + 5% in the paper), each augmented with
+/// `negatives_per_positive` sampled negatives.
+struct LabeledSplit {
+  std::vector<LabeledPair> train;
+  std::vector<LabeledPair> valid;
+};
+
+/// Builds the split. `tables` supplies row counts per source for negative
+/// sampling; a sampled pair counts as negative iff it is not in `truth`'s
+/// pair expansion. Deterministic given `rng`.
+LabeledSplit MakeLabeledSplit(const std::vector<table::Table>& tables,
+                              const TupleSet& truth, double train_fraction,
+                              double valid_fraction,
+                              size_t negatives_per_positive, util::Rng& rng);
+
+}  // namespace multiem::eval
+
+#endif  // MULTIEM_EVAL_SPLIT_H_

@@ -1,0 +1,61 @@
+#include "eval/tuples.h"
+
+#include <algorithm>
+
+namespace multiem::eval {
+
+Pair MakePair(table::EntityId a, table::EntityId b) {
+  if (b < a) std::swap(a, b);
+  return Pair{a, b};
+}
+
+TupleSet::TupleSet(std::vector<Tuple> tuples) {
+  for (Tuple& t : tuples) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+  std::erase_if(tuples, [](const Tuple& t) { return t.size() < 2; });
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  tuples_ = std::move(tuples);
+}
+
+bool TupleSet::Contains(Tuple t) const {
+  std::sort(t.begin(), t.end());
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+std::vector<Pair> TupleSet::ToPairs() const {
+  std::vector<Pair> pairs;
+  for (const Tuple& t : tuples_) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      for (size_t j = i + 1; j < t.size(); ++j) {
+        pairs.push_back(MakePair(t[i], t[j]));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+size_t TupleSet::TotalMembers() const {
+  size_t total = 0;
+  for (const Tuple& t : tuples_) total += t.size();
+  return total;
+}
+
+std::string TupleSet::ToString() const {
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t[i].ToString();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace multiem::eval

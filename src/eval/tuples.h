@@ -1,0 +1,65 @@
+#ifndef MULTIEM_EVAL_TUPLES_H_
+#define MULTIEM_EVAL_TUPLES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/entity_id.h"
+
+namespace multiem::eval {
+
+/// A matched tuple: the set of entity records (across tables) that refer to
+/// one real-world entity (Definition 2 of the paper; size >= 2).
+using Tuple = std::vector<table::EntityId>;
+
+/// An unordered matched pair of entities.
+struct Pair {
+  table::EntityId a;
+  table::EntityId b;
+
+  friend bool operator==(const Pair& x, const Pair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+  friend bool operator<(const Pair& x, const Pair& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  }
+};
+
+/// Canonical pair: members ordered ascending.
+Pair MakePair(table::EntityId a, table::EntityId b);
+
+/// A set of matched tuples with canonical form: each tuple sorted ascending,
+/// tuples sorted lexicographically, exact duplicates removed, tuples with
+/// fewer than 2 members dropped.
+class TupleSet {
+ public:
+  TupleSet() = default;
+  /// Canonicalizes `tuples` (sorts members, dedups, drops singletons).
+  explicit TupleSet(std::vector<Tuple> tuples);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// True iff `t` (canonicalized) is one of the tuples.
+  bool Contains(Tuple t) const;
+
+  /// Expands every tuple of size u into its u*(u-1)/2 unordered pairs
+  /// (Example 2 of the paper); pairs are deduplicated and sorted.
+  std::vector<Pair> ToPairs() const;
+
+  /// Total number of entity memberships across tuples.
+  size_t TotalMembers() const;
+
+  /// Human-readable listing (one tuple per line) for examples/debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace multiem::eval
+
+#endif  // MULTIEM_EVAL_TUPLES_H_

@@ -1,0 +1,68 @@
+#ifndef MULTIEM_TABLE_ENTITY_ID_H_
+#define MULTIEM_TABLE_ENTITY_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace multiem::table {
+
+/// Globally unique identifier of one entity record across all input tables:
+/// the source (table) index in the top 16 bits and the row index in the low
+/// 48 bits. Value type; ordering is (source, row) lexicographic, which keeps
+/// canonicalized tuples deterministic.
+class EntityId {
+ public:
+  EntityId() : packed_(0) {}
+  /// `source` must be < 2^16, `row` < 2^48.
+  EntityId(uint32_t source, uint64_t row)
+      : packed_((static_cast<uint64_t>(source) << kRowBits) |
+                (row & kRowMask)) {}
+
+  /// Index of the source table this entity came from.
+  uint32_t source() const {
+    return static_cast<uint32_t>(packed_ >> kRowBits);
+  }
+
+  /// Row index within the source table.
+  uint64_t row() const { return packed_ & kRowMask; }
+
+  /// The raw packed representation (useful as a hash-map key).
+  uint64_t packed() const { return packed_; }
+
+  /// "S<source>:R<row>", e.g. "S2:R17".
+  std::string ToString() const {
+    return "S" + std::to_string(source()) + ":R" + std::to_string(row());
+  }
+
+  friend bool operator==(EntityId a, EntityId b) {
+    return a.packed_ == b.packed_;
+  }
+  friend bool operator!=(EntityId a, EntityId b) { return !(a == b); }
+  friend bool operator<(EntityId a, EntityId b) {
+    return a.packed_ < b.packed_;
+  }
+
+ private:
+  static constexpr int kRowBits = 48;
+  static constexpr uint64_t kRowMask = (uint64_t{1} << kRowBits) - 1;
+
+  uint64_t packed_;
+};
+
+}  // namespace multiem::table
+
+namespace std {
+template <>
+struct hash<multiem::table::EntityId> {
+  size_t operator()(multiem::table::EntityId id) const noexcept {
+    // splitmix-style avalanche of the packed value.
+    uint64_t x = id.packed();
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+}  // namespace std
+
+#endif  // MULTIEM_TABLE_ENTITY_ID_H_

@@ -1,0 +1,12 @@
+#include "table/schema.h"
+
+namespace multiem::table {
+
+std::optional<size_t> Schema::IndexOf(const std::string& attribute_name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == attribute_name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace multiem::table

@@ -1,0 +1,45 @@
+#ifndef MULTIEM_TABLE_SCHEMA_H_
+#define MULTIEM_TABLE_SCHEMA_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace multiem::table {
+
+/// Ordered list of attribute names shared by the rows of a Table.
+///
+/// Multi-table EM assumes the S input tables share one schema (Table I of the
+/// paper: an entity is a list of (attr_j, val_j) pairs). Schemas compare by
+/// name sequence.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema from attribute names. Names should be unique; duplicate
+  /// names make IndexOf return the first match.
+  explicit Schema(std::vector<std::string> attribute_names)
+      : names_(std::move(attribute_names)) {}
+
+  /// Number of attributes (p in the paper).
+  size_t num_attributes() const { return names_.size(); }
+
+  /// Name of attribute `i`; i must be < num_attributes().
+  const std::string& name(size_t i) const { return names_[i]; }
+
+  /// All attribute names in order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Position of `attribute_name`, or nullopt if absent.
+  std::optional<size_t> IndexOf(const std::string& attribute_name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace multiem::table
+
+#endif  // MULTIEM_TABLE_SCHEMA_H_

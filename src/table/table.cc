@@ -1,0 +1,104 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace multiem::table {
+
+util::Status Table::AppendRow(std::vector<std::string> cells) {
+  if (cells.size() != schema_.num_attributes()) {
+    return util::Status::InvalidArgument(
+        "row width " + std::to_string(cells.size()) +
+        " does not match schema width " +
+        std::to_string(schema_.num_attributes()) + " in table '" + name_ +
+        "'");
+  }
+  rows_.push_back(std::move(cells));
+  return util::Status::Ok();
+}
+
+std::vector<std::string> Table::Column(size_t col) const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[col]);
+  return out;
+}
+
+util::Status Table::SetColumn(size_t col, std::vector<std::string> values) {
+  if (col >= schema_.num_attributes()) {
+    return util::Status::OutOfRange("column index " + std::to_string(col));
+  }
+  if (values.size() != rows_.size()) {
+    return util::Status::InvalidArgument(
+        "column length " + std::to_string(values.size()) +
+        " does not match row count " + std::to_string(rows_.size()));
+  }
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    rows_[i][col] = std::move(values[i]);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Table> Concat(const std::vector<Table>& tables) {
+  if (tables.empty()) {
+    return util::Status::InvalidArgument("Concat: no tables given");
+  }
+  const Schema& schema = tables[0].schema();
+  for (const Table& t : tables) {
+    if (t.schema() != schema) {
+      return util::Status::InvalidArgument(
+          "Concat: table '" + t.name() + "' has a different schema");
+    }
+  }
+  Table out("concat", schema);
+  size_t total = 0;
+  for (const Table& t : tables) total += t.num_rows();
+  out.Reserve(total);
+  for (const Table& t : tables) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      out.AppendRow(t.row(r)).CheckOk();
+    }
+  }
+  return out;
+}
+
+Table SampleRows(const Table& t, double ratio, util::Rng& rng) {
+  ratio = std::clamp(ratio, 0.0, 1.0);
+  size_t count = static_cast<size_t>(ratio * static_cast<double>(t.num_rows()) + 0.999999);
+  count = std::min(count, t.num_rows());
+  std::vector<size_t> picked = rng.SampleWithoutReplacement(t.num_rows(), count);
+  std::sort(picked.begin(), picked.end());
+  Table out(t.name() + "_sample", t.schema());
+  out.Reserve(picked.size());
+  for (size_t idx : picked) out.AppendRow(t.row(idx)).CheckOk();
+  return out;
+}
+
+Table ShuffleColumn(const Table& t, size_t col, util::Rng& rng) {
+  if (col >= t.num_columns()) std::abort();
+  Table out = t;
+  std::vector<std::string> values = t.Column(col);
+  rng.Shuffle(values);
+  out.SetColumn(col, std::move(values)).CheckOk();
+  return out;
+}
+
+Table ProjectColumns(const Table& t, const std::vector<size_t>& columns) {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (size_t c : columns) {
+    if (c >= t.num_columns()) std::abort();
+    names.push_back(t.schema().name(c));
+  }
+  Table out(t.name(), Schema(std::move(names)));
+  out.Reserve(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (size_t c : columns) cells.push_back(t.cell(r, c));
+    out.AppendRow(std::move(cells)).CheckOk();
+  }
+  return out;
+}
+
+}  // namespace multiem::table

@@ -1,0 +1,82 @@
+#ifndef MULTIEM_TABLE_TABLE_H_
+#define MULTIEM_TABLE_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "table/schema.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace multiem::table {
+
+/// In-memory relational table: a Schema plus rows of string cells.
+///
+/// This is the E = {e_1..e_m} of the paper. Cells are strings because entity
+/// matching serializes every value to text anyway (Section II-B); numeric
+/// columns keep their textual form. Rows are stored row-major since the
+/// dominant access pattern is whole-entity serialization.
+class Table {
+ public:
+  Table() = default;
+  /// Creates an empty table with the given name (e.g. "source_a") and schema.
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  /// Table name; informational only.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Schema& schema() const { return schema_; }
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_attributes(); }
+
+  /// Appends a row. Returns InvalidArgument if the cell count does not match
+  /// the schema width.
+  util::Status AppendRow(std::vector<std::string> cells);
+
+  /// Cell at (row, col); both must be in range.
+  const std::string& cell(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+  std::string& mutable_cell(size_t row, size_t col) { return rows_[row][col]; }
+
+  /// Whole row; `row` must be < num_rows().
+  const std::vector<std::string>& row(size_t row) const { return rows_[row]; }
+
+  /// Copy of column `col` as a vector (length num_rows()).
+  std::vector<std::string> Column(size_t col) const;
+
+  /// Replaces column `col` with `values`; sizes must match.
+  util::Status SetColumn(size_t col, std::vector<std::string> values);
+
+  /// Reserves capacity for `n` rows.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Concatenates tables that share a schema into one (Algorithm 1 line 1).
+/// Returns InvalidArgument if `tables` is empty or schemas differ.
+util::Result<Table> Concat(const std::vector<Table>& tables);
+
+/// Uniform sample (without replacement) of ceil(ratio * num_rows) rows;
+/// ratio is clamped to [0, 1]. The sampled table preserves row order.
+Table SampleRows(const Table& t, double ratio, util::Rng& rng);
+
+/// Copy of `t` with the values of column `col` randomly permuted across rows
+/// (the shuffle step of Algorithm 1).
+Table ShuffleColumn(const Table& t, size_t col, util::Rng& rng);
+
+/// Copy of `t` keeping only the columns listed in `columns` (in that order).
+/// Out-of-range column indices abort.
+Table ProjectColumns(const Table& t, const std::vector<size_t>& columns);
+
+}  // namespace multiem::table
+
+#endif  // MULTIEM_TABLE_TABLE_H_

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace multiem::util {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) <
+      g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[multiem %s] %s\n", LevelName(level),
+               message.c_str());
+}
+
+}  // namespace multiem::util

@@ -1,0 +1,52 @@
+#ifndef MULTIEM_UTIL_LOGGING_H_
+#define MULTIEM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace multiem::util {
+
+/// Log severities, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` passes the threshold. Thread-safe.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style collector that emits on destruction; enables
+/// `MULTIEM_LOG(kInfo) << "built index with " << n << " nodes";`.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace multiem::util
+
+/// Usage: MULTIEM_LOG(kInfo) << "message " << value;
+#define MULTIEM_LOG(severity)               \
+  ::multiem::util::internal::LogStream(     \
+      ::multiem::util::LogLevel::severity)
+
+#endif  // MULTIEM_UTIL_LOGGING_H_

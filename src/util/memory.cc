@@ -1,0 +1,38 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace multiem::util {
+
+namespace {
+
+// Reads a "VmXXX:  <kB> kB" field from /proc/self/status.
+size_t ReadProcStatusKb(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, ": %zu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+size_t PeakRssBytes() {
+  size_t hwm = ReadProcStatusKb("VmHWM") * 1024;
+  // Some kernels/containers omit VmHWM; fall back to the current RSS so
+  // callers still get a usable lower bound.
+  return hwm > 0 ? hwm : CurrentRssBytes();
+}
+
+}  // namespace multiem::util

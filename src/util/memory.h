@@ -1,0 +1,19 @@
+#ifndef MULTIEM_UTIL_MEMORY_H_
+#define MULTIEM_UTIL_MEMORY_H_
+
+#include <cstddef>
+
+namespace multiem::util {
+
+/// Current resident set size of this process in bytes (VmRSS from
+/// /proc/self/status). Returns 0 on platforms without procfs.
+size_t CurrentRssBytes();
+
+/// Peak resident set size of this process in bytes (VmHWM). Returns 0 on
+/// platforms without procfs. Monotone over the process lifetime, which is why
+/// the Table VI bench runs each method in a fresh subprocess.
+size_t PeakRssBytes();
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_MEMORY_H_

@@ -1,0 +1,117 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+
+namespace multiem::util {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.Next();
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  if (bound == 0) std::abort();
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  if (lo > hi) std::abort();
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  // Box-Muller; draw u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
+  std::vector<size_t> out;
+  if (count >= n) {
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(count);
+  // Floyd's algorithm: for j in [n-count, n), pick t in [0, j]; insert t if
+  // unseen else insert j. Linear scan is fine for the small counts we use.
+  for (size_t j = n - count; j < n; ++j) {
+    size_t t = static_cast<size_t>(NextBounded(j + 1));
+    bool seen = false;
+    for (size_t v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0 ? w : 0.0);
+  if (total <= 0.0) std::abort();
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0 ? weights[i] : 0.0);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace multiem::util

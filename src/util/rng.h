@@ -1,0 +1,94 @@
+#ifndef MULTIEM_UTIL_RNG_H_
+#define MULTIEM_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace multiem::util {
+
+/// SplitMix64: tiny, fast 64-bit mixer. Used to seed Xoshiro and as a
+/// stateless hash of 64-bit keys (deterministic across platforms).
+///
+/// Reference: Sebastiano Vigna, http://prng.di.unimi.it/splitmix64.c
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mix of a 64-bit key; useful as a deterministic hash.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256**: the library-wide PRNG. Deterministic, fast, good statistical
+/// quality; all randomized components (generators, merge-order shuffles, HNSW
+/// level draws) take an explicit seed so experiments are reproducible.
+///
+/// Reference: Blackman & Vigna, http://prng.di.unimi.it/xoshiro256starstar.c
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire-style) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal draw (Box-Muller, no caching).
+  double Normal();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// `count` distinct indices sampled uniformly from [0, n) (Floyd's
+  /// algorithm); if count >= n returns the identity permutation 0..n-1.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t count);
+
+  /// Index drawn from a discrete distribution proportional to `weights`
+  /// (all weights must be >= 0; at least one > 0).
+  size_t Discrete(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_RNG_H_

@@ -1,0 +1,143 @@
+#ifndef MULTIEM_UTIL_STATUS_H_
+#define MULTIEM_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace multiem::util {
+
+/// Error category for a failed operation. Mirrors the small set of failure
+/// classes this library can actually produce; extend only when a caller needs
+/// to branch on the new code.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something malformed (bad config, bad CSV).
+  kNotFound,         ///< A named resource (file, column) does not exist.
+  kOutOfRange,       ///< Index or parameter outside the valid domain.
+  kFailedPrecondition,  ///< Object not in the required state for the call.
+  kInternal,         ///< Invariant violation inside the library.
+  kResourceExhausted,   ///< A configured budget (time/memory) was exceeded.
+};
+
+/// Returns the canonical spelling of a status code ("OK", "InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error result used across all fallible public APIs.
+///
+/// The library does not throw exceptions across public boundaries (per the
+/// style guides in /opt/skills/guides/cpp/databases); fallible operations
+/// return Status or Result<T> instead. Ok statuses are cheap value types.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only in
+  /// contexts (tests, examples, benches) where failure is a programming error.
+  void CheckOk() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value-or-Status union: the return type for fallible functions that
+/// produce a value. Inspect with ok(); access the value with value()/operator*.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path reads naturally).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok()) {
+      std::get<Status>(data_) =
+          Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK when this holds a value.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  /// The contained value. Aborts if this holds an error.
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckHasValue();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!ok()) {
+      std::get<Status>(data_).CheckOk();
+      std::abort();  // Unreachable: CheckOk aborts on non-OK.
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace multiem::util
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define MULTIEM_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::multiem::util::Status _status = (expr);           \
+    if (!_status.ok()) return _status;                  \
+  } while (0)
+
+#endif  // MULTIEM_UTIL_STATUS_H_

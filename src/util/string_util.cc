@@ -1,0 +1,212 @@
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <unordered_set>
+
+namespace multiem::util {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string NormalizeWhitespace(std::string_view s) {
+  return Join(SplitWhitespace(s), " ");
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is now the shorter string; keep one row of the DP table.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, size_t n) {
+  if (n == 0) n = 1;
+  if (a.size() < n && b.size() < n) return 1.0;
+  if (a.size() < n || b.size() < n) return 0.0;
+  std::unordered_set<uint64_t> grams_a;
+  for (size_t i = 0; i + n <= a.size(); ++i) {
+    grams_a.insert(HashString(a.substr(i, n)));
+  }
+  std::unordered_set<uint64_t> grams_b;
+  for (size_t i = 0; i + n <= b.size(); ++i) {
+    grams_b.insert(HashString(b.substr(i, n)));
+  }
+  size_t intersection = 0;
+  for (uint64_t g : grams_b) {
+    if (grams_a.count(g) > 0) ++intersection;
+  }
+  size_t uni = grams_a.size() + grams_b.size() - intersection;
+  return uni == 0 ? 1.0 : static_cast<double>(intersection) / uni;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+bool LooksNumeric(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') i = 1;
+  bool saw_digit = false;
+  bool saw_dot = false;
+  for (; i < s.size(); ++i) {
+    unsigned char c = s[i];
+    if (std::isdigit(c)) {
+      saw_digit = true;
+    } else if (c == '.' && !saw_dot) {
+      saw_dot = true;
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+double TokenLexicality(std::string_view token) {
+  if (token.empty()) return 0.0;
+  if (LooksNumeric(token)) {
+    // Pure numbers carry signal proportional to how identifying they are:
+    // 1-2 digit tokens (track numbers, coordinate integer parts) are
+    // ambiguous; 4+ digit tokens (years, postcodes) are fairly specific.
+    // Trained encoders show the same gradient.
+    size_t digits = token.size() - (token[0] == '+' || token[0] == '-' ? 1 : 0);
+    if (digits <= 2) return 0.3;
+    if (digits == 3) return 0.45;
+    return 0.7;
+  }
+  size_t letters = 0;
+  size_t digits = 0;
+  size_t vowels = 0;
+  for (unsigned char c : token) {
+    if (std::isalpha(c)) {
+      ++letters;
+      char lower = static_cast<char>(std::tolower(c));
+      if (lower == 'a' || lower == 'e' || lower == 'i' || lower == 'o' ||
+          lower == 'u') {
+        ++vowels;
+      }
+    } else if (std::isdigit(c)) {
+      ++digits;
+    }
+  }
+  if (digits > 0 && letters > 0) {
+    // Mixed letter-digit codes ("WoM14513028", "XPE5") behave like opaque
+    // identifiers: the heavier the digit share the more opaque.
+    double digit_share =
+        static_cast<double>(digits) / static_cast<double>(letters + digits);
+    return std::max(0.08, 0.45 * (1.0 - digit_share));
+  }
+  if (letters == 0) return 0.2;  // punctuation-only token
+  // Long all-consonant strings look like serial codes, not words.
+  double vowel_ratio = static_cast<double>(vowels) / letters;
+  if (letters >= 6 && vowel_ratio < 0.15) return 0.3;
+  return 1.0;
+}
+
+uint64_t HashString(std::string_view s) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[32];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buf[32];
+  double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fK", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace multiem::util

@@ -1,0 +1,62 @@
+#ifndef MULTIEM_UTIL_STRING_UTIL_H_
+#define MULTIEM_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multiem::util {
+
+/// ASCII lowercase copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed.
+std::string Trim(std::string_view s);
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Collapses runs of whitespace into single spaces and trims the ends.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// Levenshtein edit distance (unit costs). O(|a|*|b|) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the character n-gram multisets of `a` and `b`
+/// (set semantics; n >= 1). Returns 1.0 when both are shorter than n.
+double NgramJaccard(std::string_view a, std::string_view b, size_t n);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True if `s` parses as a decimal number: optional sign, digits, at most one
+/// dot ("-74.0060"). Rejects empty strings and lone signs/dots.
+bool LooksNumeric(std::string_view s);
+
+/// Heuristic "lexicality" of a token in [0, 1]: 1 for ordinary words, lower
+/// for digit strings and mixed letter-digit codes. Used by the hashing
+/// sentence encoder to mimic how trained language models discount identifiers
+/// and serial numbers (cf. Example 1 of the MultiEM paper, where perturbing an
+/// `id` column barely moves the Sentence-BERT embedding).
+double TokenLexicality(std::string_view token);
+
+/// FNV-1a 64-bit hash of `s` (stable across platforms and runs).
+uint64_t HashString(std::string_view s);
+
+/// Formats `seconds` the way the paper's Table V prints durations:
+/// "6.1s", "4.2m", "1.3h".
+std::string FormatDuration(double seconds);
+
+/// Formats `bytes` as "16.3G" / "412.1M" / "13.2K" (Table VI style).
+std::string FormatBytes(size_t bytes);
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_STRING_UTIL_H_

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace multiem::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 size_t min_block_size) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= min_block_size) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Split into ~4 blocks per worker so stragglers balance out.
+  size_t num_blocks =
+      std::min(n / min_block_size + 1, pool->num_threads() * 4);
+  num_blocks = std::max<size_t>(num_blocks, 1);
+  size_t block = (n + num_blocks - 1) / num_blocks;
+  for (size_t start = 0; start < n; start += block) {
+    size_t end = std::min(start + block, n);
+    pool->Submit([start, end, &fn] {
+      for (size_t i = start; i < end; ++i) fn(i);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace multiem::util

@@ -1,0 +1,60 @@
+#ifndef MULTIEM_UTIL_THREAD_POOL_H_
+#define MULTIEM_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace multiem::util {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// This is the substrate behind MultiEM(parallel): the merging phase submits
+/// one task per table pair at each hierarchy level, and the pruning phase
+/// partitions tuples across workers (Section III-E of the paper). The pool is
+/// created once per pipeline run so thread start-up cost is paid once.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, n), splitting work into contiguous blocks across
+/// `pool`. If `pool` is null or n is small, runs inline on the caller thread.
+/// Blocks until all iterations complete.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn,
+                 size_t min_block_size = 64);
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,89 @@
+#ifndef MULTIEM_UTIL_TIMER_H_
+#define MULTIEM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace multiem::util {
+
+/// Wall-clock stopwatch with microsecond resolution. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations in insertion order; used to report the
+/// per-module breakdown of Figure 5 (S / R / M / P phases).
+class PhaseTimings {
+ public:
+  /// Adds `seconds` to the phase named `name` (created if new).
+  void Add(const std::string& name, double seconds) {
+    for (auto& [phase, total] : phases_) {
+      if (phase == name) {
+        total += seconds;
+        return;
+      }
+    }
+    phases_.emplace_back(name, seconds);
+  }
+
+  /// Seconds recorded for `name`, or 0 if the phase never ran.
+  double Get(const std::string& name) const {
+    for (const auto& [phase, total] : phases_) {
+      if (phase == name) return total;
+    }
+    return 0.0;
+  }
+
+  /// Sum of all phases.
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (const auto& [phase, secs] : phases_) total += secs;
+    return total;
+  }
+
+  /// Phases in the order they were first recorded.
+  const std::vector<std::pair<std::string, double>>& phases() const {
+    return phases_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> phases_;
+};
+
+/// RAII helper: times a scope and adds the duration to a PhaseTimings entry.
+class ScopedPhaseTimer {
+ public:
+  ScopedPhaseTimer(PhaseTimings* timings, std::string name)
+      : timings_(timings), name_(std::move(name)) {}
+  ~ScopedPhaseTimer() { timings_->Add(name_, timer_.ElapsedSeconds()); }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  PhaseTimings* timings_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_TIMER_H_

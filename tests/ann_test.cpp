@@ -1,0 +1,350 @@
+// Unit + property tests for src/ann: metrics, brute force, HNSW (recall vs
+// exact oracle across metrics/sizes/parameters), mutual top-K (Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+#include "ann/mutual_topk.h"
+#include "util/rng.h"
+
+namespace multiem::ann {
+namespace {
+
+// Random unit vectors with a few planted clusters.
+embed::EmbeddingMatrix RandomVectors(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  embed::EmbeddingMatrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = m.Row(i);
+    for (auto& x : row) x = static_cast<float>(rng.Normal());
+    embed::L2NormalizeInPlace(row);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------- Metric --
+
+TEST(MetricTest, Names) {
+  EXPECT_EQ(MetricName(Metric::kCosine), "cosine");
+  EXPECT_EQ(MetricName(Metric::kEuclidean), "euclidean");
+  EXPECT_EQ(MetricName(Metric::kInnerProduct), "inner_product");
+}
+
+TEST(MetricTest, DistancesAgreeWithDefinitions) {
+  std::vector<float> a{1.0f, 0.0f};
+  std::vector<float> b{0.0f, 1.0f};
+  EXPECT_NEAR(Distance(Metric::kCosine, a, b), 1.0f, 1e-6);
+  EXPECT_NEAR(Distance(Metric::kEuclidean, a, b), std::sqrt(2.0f), 1e-6);
+  EXPECT_NEAR(Distance(Metric::kInnerProduct, a, b), 0.0f, 1e-6);
+  EXPECT_NEAR(Distance(Metric::kInnerProduct, a, a), -1.0f, 1e-6);
+}
+
+// ----------------------------------------------------------- Brute force --
+
+TEST(BruteForceTest, FindsExactNearest) {
+  BruteForceIndex index(2, Metric::kEuclidean);
+  index.Add(std::vector<float>{0.0f, 0.0f});
+  index.Add(std::vector<float>{1.0f, 0.0f});
+  index.Add(std::vector<float>{5.0f, 5.0f});
+  auto hits = index.Search(std::vector<float>{0.9f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_EQ(hits[1].id, 0u);
+}
+
+TEST(BruteForceTest, KLargerThanIndex) {
+  BruteForceIndex index(2, Metric::kEuclidean);
+  index.Add(std::vector<float>{0.0f, 0.0f});
+  auto hits = index.Search(std::vector<float>{1.0f, 0.0f}, 10);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(BruteForceTest, CosineNormalizesStoredAndQuery) {
+  BruteForceIndex index(2, Metric::kCosine);
+  index.Add(std::vector<float>{10.0f, 0.0f});   // same direction, big norm
+  index.Add(std::vector<float>{0.0f, 0.1f});
+  auto hits = index.Search(std::vector<float>{0.5f, 0.0f}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_NEAR(hits[0].distance, 0.0f, 1e-5);
+}
+
+TEST(BruteForceTest, ResultsSortedAscendingWithIdTiebreak) {
+  BruteForceIndex index(1, Metric::kEuclidean);
+  index.Add(std::vector<float>{1.0f});
+  index.Add(std::vector<float>{1.0f});  // exact tie with id 0
+  index.Add(std::vector<float>{0.5f});
+  auto hits = index.Search(std::vector<float>{1.0f}, 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+  EXPECT_EQ(hits[2].id, 2u);
+}
+
+// ------------------------------------------------------------------ HNSW --
+
+TEST(HnswTest, EmptyIndexReturnsNothing) {
+  HnswIndex index(8, Metric::kCosine);
+  EXPECT_TRUE(index.Search(std::vector<float>(8, 0.1f), 3).empty());
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(HnswTest, SingleElement) {
+  HnswIndex index(4, Metric::kEuclidean);
+  index.Add(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  auto hits = index.Search(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f}, 5);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_NEAR(hits[0].distance, 0.0f, 1e-6);
+}
+
+TEST(HnswTest, ExactOnTinyData) {
+  // With n << ef_search HNSW degenerates to exact search.
+  auto data = RandomVectors(50, 16, 1);
+  HnswIndex hnsw(16, Metric::kCosine);
+  BruteForceIndex exact(16, Metric::kCosine);
+  hnsw.AddBatch(data);
+  exact.AddBatch(data);
+  auto query = RandomVectors(1, 16, 99);
+  auto approx_hits = hnsw.Search(query.Row(0), 5);
+  auto exact_hits = exact.Search(query.Row(0), 5);
+  ASSERT_EQ(approx_hits.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(approx_hits[i].id, exact_hits[i].id);
+  }
+}
+
+TEST(HnswTest, SizeBytesGrowsWithData) {
+  HnswIndex index(16, Metric::kCosine);
+  size_t before = index.SizeBytes();
+  auto data = RandomVectors(100, 16, 3);
+  index.AddBatch(data);
+  EXPECT_GT(index.SizeBytes(), before + 100 * 16 * sizeof(float) / 2);
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_GE(index.max_level(), 0);
+}
+
+TEST(HnswTest, DeterministicGivenSeed) {
+  auto data = RandomVectors(300, 16, 4);
+  HnswConfig config;
+  config.seed = 42;
+  HnswIndex a(16, Metric::kCosine, config);
+  HnswIndex b(16, Metric::kCosine, config);
+  a.AddBatch(data);
+  b.AddBatch(data);
+  auto query = RandomVectors(1, 16, 5);
+  auto hits_a = a.Search(query.Row(0), 10);
+  auto hits_b = b.Search(query.Row(0), 10);
+  ASSERT_EQ(hits_a.size(), hits_b.size());
+  for (size_t i = 0; i < hits_a.size(); ++i) {
+    EXPECT_EQ(hits_a[i].id, hits_b[i].id);
+  }
+}
+
+// Recall property sweep: (metric, n, M, ef) combinations must all beat the
+// recall floor against the exact oracle.
+struct RecallCase {
+  Metric metric;
+  size_t n;
+  size_t m;
+  size_t ef;
+  double min_recall;
+};
+
+class HnswRecallSweep : public ::testing::TestWithParam<RecallCase> {};
+
+TEST_P(HnswRecallSweep, RecallAtTenBeatsFloor) {
+  const RecallCase& params = GetParam();
+  constexpr size_t kDim = 32;
+  constexpr size_t kQueries = 50;
+  constexpr size_t kK = 10;
+  auto data = RandomVectors(params.n, kDim, 7);
+  auto queries = RandomVectors(kQueries, kDim, 8);
+
+  HnswConfig config;
+  config.m = params.m;
+  config.m0 = params.m * 2;
+  config.ef_construction = std::max<size_t>(params.ef, 100);
+  config.ef_search = params.ef;
+  HnswIndex hnsw(kDim, params.metric, config);
+  BruteForceIndex exact(kDim, params.metric);
+  hnsw.AddBatch(data);
+  exact.AddBatch(data);
+
+  size_t found = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto approx_hits = hnsw.Search(queries.Row(q), kK);
+    auto exact_hits = exact.Search(queries.Row(q), kK);
+    std::unordered_set<size_t> truth;
+    for (const auto& h : exact_hits) truth.insert(h.id);
+    for (const auto& h : approx_hits) found += truth.count(h.id);
+  }
+  double recall = static_cast<double>(found) / (kQueries * kK);
+  EXPECT_GE(recall, params.min_recall)
+      << "metric=" << MetricName(params.metric) << " n=" << params.n
+      << " M=" << params.m << " ef=" << params.ef;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RecallGrid, HnswRecallSweep,
+    ::testing::Values(RecallCase{Metric::kCosine, 2000, 16, 64, 0.90},
+                      RecallCase{Metric::kCosine, 2000, 8, 32, 0.70},
+                      RecallCase{Metric::kCosine, 5000, 16, 128, 0.90},
+                      RecallCase{Metric::kEuclidean, 2000, 16, 64, 0.90},
+                      RecallCase{Metric::kInnerProduct, 2000, 16, 64, 0.85}));
+
+TEST(HnswTest, SearchEfImprovesRecall) {
+  constexpr size_t kDim = 32;
+  auto data = RandomVectors(3000, kDim, 11);
+  HnswConfig config;
+  config.ef_search = 8;
+  HnswIndex hnsw(kDim, Metric::kCosine, config);
+  BruteForceIndex exact(kDim, Metric::kCosine);
+  hnsw.AddBatch(data);
+  exact.AddBatch(data);
+  auto queries = RandomVectors(30, kDim, 12);
+  auto recall_at = [&](size_t ef) {
+    size_t found = 0;
+    for (size_t q = 0; q < queries.num_rows(); ++q) {
+      auto truth_hits = exact.Search(queries.Row(q), 10);
+      std::unordered_set<size_t> truth;
+      for (const auto& h : truth_hits) truth.insert(h.id);
+      for (const auto& h : hnsw.SearchEf(queries.Row(q), 10, ef)) {
+        found += truth.count(h.id);
+      }
+    }
+    return static_cast<double>(found) / (queries.num_rows() * 10);
+  };
+  EXPECT_GE(recall_at(256), recall_at(10));
+}
+
+// ----------------------------------------------------------- MutualTopK --
+
+// Two tables with planted matches: row i of left matches row i of right for
+// i < matches (identical vectors); the rest are random.
+struct MutualFixture {
+  embed::EmbeddingMatrix left;
+  embed::EmbeddingMatrix right;
+};
+
+MutualFixture PlantedMatches(size_t n, size_t matches, uint64_t seed) {
+  MutualFixture f;
+  f.left = RandomVectors(n, 16, seed);
+  f.right = RandomVectors(n, 16, seed + 1);
+  for (size_t i = 0; i < matches; ++i) {
+    auto src = f.left.Row(i);
+    auto dst = f.right.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return f;
+}
+
+TEST(MutualTopKTest, FindsPlantedMatchesExact) {
+  auto f = PlantedMatches(200, 50, 21);
+  MutualTopKOptions options;
+  options.k = 1;
+  options.max_distance = 0.05f;
+  options.use_exact = true;
+  auto pairs = MutualTopK(f.left, f.right, options);
+  ASSERT_EQ(pairs.size(), 50u);
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.left, p.right);
+    EXPECT_LT(p.left, 50u);
+    EXPECT_NEAR(p.distance, 0.0f, 1e-5);
+  }
+}
+
+TEST(MutualTopKTest, HnswAgreesWithExactOnPlanted) {
+  auto f = PlantedMatches(500, 100, 22);
+  MutualTopKOptions exact_options;
+  exact_options.max_distance = 0.05f;
+  exact_options.use_exact = true;
+  MutualTopKOptions hnsw_options = exact_options;
+  hnsw_options.use_exact = false;
+  auto exact_pairs = MutualTopK(f.left, f.right, exact_options);
+  auto hnsw_pairs = MutualTopK(f.left, f.right, hnsw_options);
+  // HNSW may miss a few, but should recover nearly all planted pairs.
+  EXPECT_GE(hnsw_pairs.size(), exact_pairs.size() * 9 / 10);
+}
+
+TEST(MutualTopKTest, DistanceCapFilters) {
+  auto f = PlantedMatches(100, 30, 23);
+  MutualTopKOptions options;
+  options.use_exact = true;
+  options.max_distance = 0.0f;  // only exact duplicates survive
+  auto pairs = MutualTopK(f.left, f.right, options);
+  EXPECT_EQ(pairs.size(), 30u);
+  options.max_distance = -1.0f;  // nothing can pass
+  EXPECT_TRUE(MutualTopK(f.left, f.right, options).empty());
+}
+
+TEST(MutualTopKTest, MutualityIsRequired) {
+  // left0 ~ right0 and right1, but right0's top-1 is left0 while right1's
+  // top-1 is left1: with k=1 only mutual pairs survive.
+  embed::EmbeddingMatrix left(2, 2);
+  left.Row(0)[0] = 1.0f;
+  left.Row(1)[0] = 0.9f;
+  left.Row(1)[1] = 0.1f;
+  embed::EmbeddingMatrix right(2, 2);
+  right.Row(0)[0] = 1.0f;                      // closest to left0
+  right.Row(1)[0] = 0.92f;
+  right.Row(1)[1] = 0.08f;                     // closest to left1
+  MutualTopKOptions options;
+  options.k = 1;
+  options.use_exact = true;
+  options.max_distance = 1.0f;
+  auto pairs = MutualTopK(left, right, options);
+  // Every returned pair must be mutual top-1.
+  for (const auto& p : pairs) {
+    EXPECT_EQ(p.left, p.right);
+  }
+}
+
+TEST(MutualTopKTest, LargerKIsSuperset) {
+  auto f = PlantedMatches(150, 40, 25);
+  MutualTopKOptions k1;
+  k1.k = 1;
+  k1.use_exact = true;
+  k1.max_distance = 0.5f;
+  MutualTopKOptions k3 = k1;
+  k3.k = 3;
+  auto pairs1 = MutualTopK(f.left, f.right, k1);
+  auto pairs3 = MutualTopK(f.left, f.right, k3);
+  EXPECT_GE(pairs3.size(), pairs1.size());
+  // Every k=1 pair must appear among the k=3 pairs.
+  auto key = [](const MutualPair& p) { return p.left * 1000003 + p.right; };
+  std::unordered_set<size_t> set3;
+  for (const auto& p : pairs3) set3.insert(key(p));
+  for (const auto& p : pairs1) EXPECT_TRUE(set3.count(key(p)) > 0);
+}
+
+TEST(MutualTopKTest, EmptyInputs) {
+  embed::EmbeddingMatrix empty;
+  auto f = PlantedMatches(10, 5, 26);
+  MutualTopKOptions options;
+  EXPECT_TRUE(MutualTopK(empty, f.right, options).empty());
+  EXPECT_TRUE(MutualTopK(f.left, empty, options).empty());
+}
+
+TEST(MutualTopKTest, ParallelMatchesSerial) {
+  auto f = PlantedMatches(400, 80, 27);
+  MutualTopKOptions options;
+  options.max_distance = 0.3f;
+  options.use_exact = true;
+  auto serial = MutualTopK(f.left, f.right, options, nullptr);
+  util::ThreadPool pool(4);
+  auto parallel = MutualTopK(f.left, f.right, options, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].left, parallel[i].left);
+    EXPECT_EQ(serial[i].right, parallel[i].right);
+  }
+}
+
+}  // namespace
+}  // namespace multiem::ann

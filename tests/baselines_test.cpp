@@ -1,0 +1,198 @@
+// Tests for src/baselines: context construction, pairwise/chain extensions
+// (Figure 2), the supervised proxy, AutoFJ-lite, ALMSER-lite, MSCD-HAC/AP.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/almser_lite.h"
+#include "baselines/autofj_lite.h"
+#include "baselines/context.h"
+#include "baselines/extensions.h"
+#include "baselines/mscd.h"
+#include "baselines/threshold_classifier.h"
+#include "datagen/datasets.h"
+#include "eval/metrics.h"
+#include "eval/split.h"
+
+namespace multiem::baselines {
+namespace {
+
+struct Fixture {
+  datagen::MultiSourceBenchmark bench;
+  BaselineContext ctx;
+};
+
+Fixture MakeFixture(const char* dataset, double scale) {
+  Fixture f;
+  auto b = datagen::MakeDataset(dataset, scale);
+  b.status().CheckOk();
+  f.bench = std::move(*b);
+  f.ctx = BaselineContext::Build(f.bench.tables);
+  return f;
+}
+
+eval::LabeledSplit MakeSplit(const Fixture& f, uint64_t seed = 11) {
+  util::Rng rng(seed);
+  return eval::MakeLabeledSplit(f.bench.tables, f.bench.truth, 0.05, 0.05,
+                                /*negatives_per_positive=*/10, rng);
+}
+
+// --------------------------------------------------------------- Context --
+
+TEST(BaselineContextTest, BuildsTextsAndEmbeddings) {
+  Fixture f = MakeFixture("music-20", 0.1);
+  EXPECT_EQ(f.ctx.num_sources(), 5u);
+  EXPECT_EQ(f.ctx.NumEntities(), f.bench.NumEntities());
+  table::EntityId first(0, 0);
+  EXPECT_FALSE(f.ctx.Text(first).empty());
+  EXPECT_EQ(f.ctx.Embedding(first).size(), 384u);
+  auto entities = f.ctx.SourceEntities(1);
+  EXPECT_EQ(entities.size(), f.bench.tables[1].num_rows());
+}
+
+// ---------------------------------------------------- ThresholdClassifier --
+
+TEST(ThresholdClassifierTest, TrainingMovesThreshold) {
+  Fixture f = MakeFixture("music-20", 0.1);
+  ThresholdClassifierConfig config;
+  config.threshold = 0.123;  // silly prior, training should replace it
+  ThresholdClassifierMatcher matcher(config);
+  matcher.Train(f.ctx, MakeSplit(f));
+  EXPECT_NE(matcher.threshold(), 0.123);
+  EXPECT_GT(matcher.threshold(), 0.2);
+  EXPECT_LT(matcher.threshold(), 1.0);
+}
+
+TEST(ThresholdClassifierTest, MatchFindsCrossSourcePairs) {
+  Fixture f = MakeFixture("music-20", 0.1);
+  ThresholdClassifierMatcher matcher;
+  matcher.Train(f.ctx, MakeSplit(f));
+  auto left = f.ctx.SourceEntities(0);
+  auto right = f.ctx.SourceEntities(1);
+  auto pairs = matcher.Match(f.ctx, left, right);
+  ASSERT_FALSE(pairs.empty());
+  // Reasonable pair quality against the truth restricted to sources 0/1.
+  eval::Prf prf = eval::EvaluatePairList(pairs, f.bench.truth);
+  EXPECT_GT(prf.precision, 0.3);
+}
+
+// -------------------------------------------------------------- Extensions --
+
+TEST(ExtensionsTest, PairwiseProducesTuples) {
+  Fixture f = MakeFixture("music-20", 0.08);
+  ThresholdClassifierMatcher matcher;
+  matcher.Train(f.ctx, MakeSplit(f));
+  eval::TupleSet tuples = PairwiseMatching(matcher, f.ctx);
+  EXPECT_FALSE(tuples.empty());
+  eval::Prf pair_prf = eval::EvaluatePairs(tuples, f.bench.truth);
+  EXPECT_GT(pair_prf.f1, 0.1);
+}
+
+TEST(ExtensionsTest, ChainProducesTuples) {
+  Fixture f = MakeFixture("music-20", 0.08);
+  ThresholdClassifierMatcher matcher;
+  matcher.Train(f.ctx, MakeSplit(f));
+  eval::TupleSet tuples = ChainMatching(matcher, f.ctx);
+  EXPECT_FALSE(tuples.empty());
+  eval::Prf pair_prf = eval::EvaluatePairs(tuples, f.bench.truth);
+  EXPECT_GT(pair_prf.f1, 0.1);
+}
+
+TEST(ExtensionsTest, ChainEmitsFewerOrEqualPairsThanPairwise) {
+  // Section IV-B: chain matching outputs fewer matched pairs (and thus fewer
+  // transitive conflicts) than pairwise matching.
+  Fixture f = MakeFixture("music-20", 0.08);
+  ThresholdClassifierMatcher matcher;
+  matcher.Train(f.ctx, MakeSplit(f));
+  auto pw = PairwiseMatchingPairs(matcher, f.ctx);
+  auto chain = ChainMatchingPairs(matcher, f.ctx);
+  EXPECT_LE(chain.size(), pw.size());
+}
+
+// ------------------------------------------------------------ AutoFJ-lite --
+
+TEST(AutoFjTest, UnsupervisedJoinIsPrecisionFirst) {
+  Fixture f = MakeFixture("music-20", 0.1);
+  AutoFjLiteMatcher matcher;
+  auto left = f.ctx.SourceEntities(0);
+  auto right = f.ctx.SourceEntities(1);
+  auto pairs = matcher.Match(f.ctx, left, right);
+  ASSERT_FALSE(pairs.empty());
+  eval::Prf prf = eval::EvaluatePairList(pairs, f.bench.truth);
+  // AutoFJ's contract is high precision, possibly low recall (Table IV).
+  EXPECT_GT(prf.precision, 0.6);
+}
+
+TEST(AutoFjTest, OneToOneConstraintHolds) {
+  Fixture f = MakeFixture("music-20", 0.1);
+  AutoFjLiteMatcher matcher;
+  auto pairs =
+      matcher.Match(f.ctx, f.ctx.SourceEntities(0), f.ctx.SourceEntities(1));
+  std::unordered_set<uint64_t> left_used;
+  std::unordered_set<uint64_t> right_used;
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(left_used.insert(p.a.packed()).second);
+    EXPECT_TRUE(right_used.insert(p.b.packed()).second);
+  }
+}
+
+// ------------------------------------------------------------ ALMSER-lite --
+
+TEST(AlmserTest, RunsEndToEnd) {
+  Fixture f = MakeFixture("music-20", 0.08);
+  AlmserLiteMatcher matcher;
+  eval::TupleSet tuples = matcher.Run(f.ctx, MakeSplit(f));
+  EXPECT_FALSE(tuples.empty());
+  eval::Prf prf = eval::EvaluatePairs(tuples, f.bench.truth);
+  EXPECT_GT(prf.f1, 0.1);
+}
+
+TEST(AlmserTest, GraphBoostChangesPairSet) {
+  Fixture f = MakeFixture("music-20", 0.08);
+  AlmserLiteConfig with_boost;
+  AlmserLiteConfig no_boost;
+  no_boost.demote_unsupported = false;
+  no_boost.support_needed = 999;  // promotion impossible
+  auto boosted = AlmserLiteMatcher(with_boost).RunPairs(f.ctx, MakeSplit(f));
+  auto plain = AlmserLiteMatcher(no_boost).RunPairs(f.ctx, MakeSplit(f));
+  EXPECT_NE(boosted.size(), plain.size());
+}
+
+// --------------------------------------------------------------- MSCD-* --
+
+TEST(MscdHacTest, ClustersSmallGeo) {
+  Fixture f = MakeFixture("geo", 0.08);
+  MscdHacConfig config;
+  eval::TupleSet tuples = MscdHac(f.ctx, config);
+  EXPECT_FALSE(tuples.empty());
+  eval::Prf prf = eval::EvaluatePairs(tuples, f.bench.truth);
+  EXPECT_GT(prf.f1, 0.3);
+}
+
+TEST(MscdHacTest, SourceConstraintLimitsTupleComposition) {
+  Fixture f = MakeFixture("geo", 0.06);
+  eval::TupleSet tuples = MscdHac(f.ctx, {});
+  for (const auto& tuple : tuples.tuples()) {
+    std::unordered_set<uint32_t> sources;
+    for (auto id : tuple) {
+      EXPECT_TRUE(sources.insert(id.source()).second)
+          << "two entities from one source in an MSCD-HAC cluster";
+    }
+  }
+}
+
+TEST(MscdApTest, ClustersTinyGeo) {
+  Fixture f = MakeFixture("geo", 0.04);
+  MscdApConfig config;
+  config.ap.max_iterations = 60;
+  eval::TupleSet tuples = MscdAp(f.ctx, config);
+  EXPECT_FALSE(tuples.empty());
+}
+
+TEST(MscdTest, QuadraticBytesEstimate) {
+  EXPECT_EQ(MscdQuadraticBytes(10000), 10000u * 10000u * 4u);
+}
+
+}  // namespace
+}  // namespace multiem::baselines

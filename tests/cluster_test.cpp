@@ -1,0 +1,329 @@
+// Unit + property tests for src/cluster: union-find invariants, DBSCAN /
+// density classification (Definitions 3-5), HAC with the MSCD source
+// constraint, affinity propagation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/affinity_propagation.h"
+#include "cluster/agglomerative.h"
+#include "cluster/dbscan.h"
+#include "cluster/union_find.h"
+#include "util/rng.h"
+
+namespace multiem::cluster {
+namespace {
+
+// ------------------------------------------------------------ Union-find --
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+}
+
+TEST(UnionFindTest, TransitivityChain) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, GroupsPartitionAllElements) {
+  UnionFind uf(8);
+  uf.Union(0, 3);
+  uf.Union(3, 5);
+  uf.Union(1, 2);
+  auto groups = uf.Groups();
+  size_t total = 0;
+  std::set<size_t> seen;
+  for (const auto& g : groups) {
+    total += g.size();
+    for (size_t x : g) EXPECT_TRUE(seen.insert(x).second);
+  }
+  EXPECT_EQ(total, 8u);
+  EXPECT_EQ(groups.size(), uf.num_sets());
+}
+
+// Property: after random unions, Connected() agrees with co-membership in
+// Groups(), across sizes.
+class UnionFindPropertySweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(UnionFindPropertySweep, GroupsAgreeWithConnectivity) {
+  size_t n = GetParam();
+  UnionFind uf(n);
+  util::Rng rng(n);
+  for (size_t i = 0; i < n / 2; ++i) {
+    uf.Union(rng.NextBounded(n), rng.NextBounded(n));
+  }
+  auto groups = uf.Groups();
+  std::vector<size_t> group_of(n);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t x : groups[g]) group_of[x] = g;
+  }
+  for (size_t trial = 0; trial < 200; ++trial) {
+    size_t a = rng.NextBounded(n);
+    size_t b = rng.NextBounded(n);
+    EXPECT_EQ(uf.Connected(a, b), group_of[a] == group_of[b]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UnionFindPropertySweep,
+                         ::testing::Values(4, 32, 256, 2048));
+
+// ---------------------------------------------------------------- DBSCAN --
+
+// Layout helper: points on a line at given 1-D coordinates.
+embed::EmbeddingMatrix LinePoints(const std::vector<float>& xs) {
+  embed::EmbeddingMatrix m(xs.size(), 2);
+  for (size_t i = 0; i < xs.size(); ++i) m.Row(i)[0] = xs[i];
+  return m;
+}
+
+TEST(DensityClassifyTest, PaperFigure4Scenario) {
+  // e1,e2,e3 close together; e4 far away -> e4 is the outlier to prune.
+  auto points = LinePoints({0.0f, 0.1f, 0.2f, 5.0f});
+  DbscanConfig config;
+  config.eps = 0.5f;
+  config.min_pts = 2;
+  auto roles = ClassifyDensity(points, config);
+  EXPECT_EQ(roles[0], PointRole::kCore);
+  EXPECT_EQ(roles[1], PointRole::kCore);
+  EXPECT_EQ(roles[2], PointRole::kCore);
+  EXPECT_EQ(roles[3], PointRole::kOutlier);
+}
+
+TEST(DensityClassifyTest, ReachableIsNonCoreNearCore) {
+  // Dense pair at 0.0/0.1; a point at 0.55 is within eps of 0.1 only.
+  auto points = LinePoints({0.0f, 0.1f, 0.55f});
+  DbscanConfig config;
+  config.eps = 0.5f;
+  config.min_pts = 3;  // needs 3 in-neighborhood (self included) to be core
+  // With eps=0.5: N(0.0)={0.0,0.1}, N(0.1)={0.0,0.1,0.55}, N(0.55)={0.1,0.55}.
+  // min_pts=3 -> only 0.1 is core; 0.0 and 0.55 are reachable via 0.1.
+  auto roles = ClassifyDensity(points, config);
+  EXPECT_EQ(roles[1], PointRole::kCore);
+  EXPECT_EQ(roles[0], PointRole::kReachable);
+  EXPECT_EQ(roles[2], PointRole::kReachable);
+}
+
+TEST(DensityClassifyTest, MinPtsCountsSelfLikeSklearn) {
+  // Two points within eps: with min_pts=2 both are core (self + other).
+  auto points = LinePoints({0.0f, 0.3f});
+  DbscanConfig config;
+  config.eps = 0.5f;
+  config.min_pts = 2;
+  auto roles = ClassifyDensity(points, config);
+  EXPECT_EQ(roles[0], PointRole::kCore);
+  EXPECT_EQ(roles[1], PointRole::kCore);
+}
+
+TEST(DensityClassifyTest, IsolatedPointsAreOutliers) {
+  auto points = LinePoints({0.0f, 10.0f, 20.0f});
+  DbscanConfig config;
+  config.eps = 1.0f;
+  config.min_pts = 2;
+  auto roles = ClassifyDensity(points, config);
+  for (auto r : roles) EXPECT_EQ(r, PointRole::kOutlier);
+}
+
+TEST(DensityClassifyTest, SubsetRowsView) {
+  auto points = LinePoints({0.0f, 100.0f, 0.1f, 0.2f});
+  DbscanConfig config;
+  config.eps = 0.5f;
+  config.min_pts = 2;
+  std::vector<size_t> rows{0, 2, 3};  // exclude the far point
+  auto roles = ClassifyDensity(points, rows, config);
+  ASSERT_EQ(roles.size(), 3u);
+  for (auto r : roles) EXPECT_EQ(r, PointRole::kCore);
+}
+
+// Property: the role partition is total, and eps-monotone (growing eps never
+// turns a core point into an outlier).
+class DbscanEpsSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DbscanEpsSweep, RolesPartitionAndEpsMonotone) {
+  util::Rng rng(77);
+  embed::EmbeddingMatrix points(60, 4);
+  for (size_t i = 0; i < 60; ++i) {
+    for (auto& x : points.Row(i)) x = static_cast<float>(rng.Normal());
+  }
+  DbscanConfig config;
+  config.min_pts = 3;
+  config.eps = GetParam();
+  auto roles = ClassifyDensity(points, config);
+  DbscanConfig wider = config;
+  wider.eps = config.eps * 1.5f;
+  auto wider_roles = ClassifyDensity(points, wider);
+  for (size_t i = 0; i < roles.size(); ++i) {
+    if (roles[i] == PointRole::kCore) {
+      EXPECT_EQ(wider_roles[i], PointRole::kCore);
+    }
+    if (roles[i] == PointRole::kReachable) {
+      EXPECT_NE(wider_roles[i], PointRole::kOutlier);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsGrid, DbscanEpsSweep,
+                         ::testing::Values(0.5f, 1.0f, 2.0f));
+
+TEST(DbscanTest, ClustersSeparatedBlobs) {
+  auto points = LinePoints({0.0f, 0.1f, 0.2f, 10.0f, 10.1f, 10.2f, 50.0f});
+  DbscanConfig config;
+  config.eps = 0.5f;
+  config.min_pts = 2;
+  auto result = Dbscan(points, config);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[0], result.labels[2]);
+  EXPECT_EQ(result.labels[3], result.labels[5]);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+  EXPECT_EQ(result.labels[6], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  embed::EmbeddingMatrix empty;
+  auto result = Dbscan(empty, DbscanConfig{});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+// ------------------------------------------------------------------- HAC --
+
+TEST(AgglomerativeTest, MergesCloseSeparatesFar) {
+  auto points = LinePoints({0.0f, 0.1f, 10.0f, 10.1f});
+  AgglomerativeConfig config;
+  config.metric = ann::Metric::kEuclidean;
+  config.distance_threshold = 1.0f;
+  config.linkage = Linkage::kAverage;
+  AgglomerativeClustering hac(config);
+  auto labels = hac.Cluster(points, {});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+TEST(AgglomerativeTest, ThresholdZeroKeepsSingletons) {
+  auto points = LinePoints({0.0f, 1.0f, 2.0f});
+  AgglomerativeConfig config;
+  config.metric = ann::Metric::kEuclidean;
+  config.distance_threshold = 0.0f;
+  AgglomerativeClustering hac(config);
+  auto labels = hac.Cluster(points, {});
+  std::set<int> unique(labels.begin(), labels.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(AgglomerativeTest, SourceConstraintBlocksSameSourceMerge) {
+  // Two identical points from the same source must stay apart under the
+  // MSCD constraint but merge without it.
+  auto points = LinePoints({0.0f, 0.0f});
+  AgglomerativeConfig config;
+  config.metric = ann::Metric::kEuclidean;
+  config.distance_threshold = 1.0f;
+  AgglomerativeClustering unconstrained(config);
+  EXPECT_EQ(unconstrained.Cluster(points, {})[0],
+            unconstrained.Cluster(points, {})[1]);
+  config.source_constraint = true;
+  AgglomerativeClustering constrained(config);
+  auto labels = constrained.Cluster(points, {0, 0});
+  EXPECT_NE(labels[0], labels[1]);
+  // Different sources may merge.
+  auto cross = constrained.Cluster(points, {0, 1});
+  EXPECT_EQ(cross[0], cross[1]);
+}
+
+TEST(AgglomerativeTest, LinkageVariantsAllPartition) {
+  util::Rng rng(5);
+  embed::EmbeddingMatrix points(20, 3);
+  for (size_t i = 0; i < 20; ++i) {
+    for (auto& x : points.Row(i)) x = static_cast<float>(rng.Normal());
+  }
+  for (Linkage linkage :
+       {Linkage::kSingle, Linkage::kComplete, Linkage::kAverage}) {
+    AgglomerativeConfig config;
+    config.linkage = linkage;
+    config.metric = ann::Metric::kEuclidean;
+    config.distance_threshold = 1.0f;
+    AgglomerativeClustering hac(config);
+    auto labels = hac.Cluster(points, {});
+    ASSERT_EQ(labels.size(), 20u);
+    for (int l : labels) EXPECT_GE(l, 0);
+  }
+}
+
+TEST(AgglomerativeTest, EstimatedBytesQuadratic) {
+  EXPECT_EQ(AgglomerativeClustering::EstimatedBytes(1000),
+            1000u * 1000u * sizeof(float));
+}
+
+// ---------------------------------------------------- AffinityPropagation --
+
+TEST(AffinityPropagationTest, ClustersSeparatedBlobs) {
+  auto points = LinePoints({0.0f, 0.05f, 0.1f, 8.0f, 8.05f, 8.1f});
+  AffinityPropagationConfig config;
+  config.metric = ann::Metric::kEuclidean;
+  auto labels = AffinityPropagation(points, config);
+  ASSERT_EQ(labels.size(), 6u);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(AffinityPropagationTest, TrivialInputs) {
+  embed::EmbeddingMatrix empty;
+  EXPECT_TRUE(AffinityPropagation(empty, {}).empty());
+  auto one = LinePoints({1.0f});
+  auto labels = AffinityPropagation(one, {});
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], 0);
+}
+
+TEST(AffinityPropagationTest, EveryPointGetsALabel) {
+  util::Rng rng(9);
+  embed::EmbeddingMatrix points(30, 4);
+  for (size_t i = 0; i < 30; ++i) {
+    for (auto& x : points.Row(i)) x = static_cast<float>(rng.Normal());
+  }
+  auto labels = AffinityPropagation(points, {});
+  ASSERT_EQ(labels.size(), 30u);
+  for (int l : labels) EXPECT_GE(l, 0);
+}
+
+TEST(AffinityPropagationTest, LowPreferenceFewerClusters) {
+  auto points = LinePoints({0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  AffinityPropagationConfig median;
+  median.metric = ann::Metric::kEuclidean;
+  auto labels_median = AffinityPropagation(points, median);
+  AffinityPropagationConfig low;
+  low.metric = ann::Metric::kEuclidean;
+  low.preference = -50.0;
+  auto labels_low = AffinityPropagation(points, low);
+  auto count = [](const std::vector<int>& ls) {
+    return std::set<int>(ls.begin(), ls.end()).size();
+  };
+  EXPECT_LE(count(labels_low), count(labels_median));
+}
+
+}  // namespace
+}  // namespace multiem::cluster

@@ -1,0 +1,456 @@
+// Unit tests for src/core internals: config validation, merge tables,
+// attribute selection (Algorithm 1), two-table merging (Algorithm 3),
+// hierarchical merging (Algorithm 2), density pruning (Algorithm 4).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/attribute_selector.h"
+#include "core/density_pruner.h"
+#include "core/hierarchical_merger.h"
+#include "core/merge_table.h"
+#include "core/two_table_merger.h"
+#include "embed/serialize.h"
+
+namespace multiem::core {
+namespace {
+
+using table::EntityId;
+
+// ---------------------------------------------------------------- Config --
+
+TEST(ConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(MultiEmConfig{}.Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadValues) {
+  MultiEmConfig c;
+  c.k = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MultiEmConfig{};
+  c.m = 3.0f;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MultiEmConfig{};
+  c.gamma = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MultiEmConfig{};
+  c.sample_ratio = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MultiEmConfig{};
+  c.min_pts = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = MultiEmConfig{};
+  c.embedding_dim = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ------------------------------------------------------------ MergeTable --
+
+embed::EmbeddingMatrix UnitAxisVectors(size_t n, size_t dim) {
+  embed::EmbeddingMatrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) m.Row(i)[i % dim] = 1.0f;
+  return m;
+}
+
+TEST(MergeTableTest, FromSourceBuildsSingletonItems) {
+  auto embeddings = UnitAxisVectors(4, 8);
+  MergeTable t = MergeTable::FromSource(2, embeddings);
+  EXPECT_EQ(t.num_items(), 4u);
+  EXPECT_EQ(t.TotalMembers(), 4u);
+  EXPECT_EQ(t.item(1).members.size(), 1u);
+  EXPECT_EQ(t.item(1).members[0], EntityId(2, 1));
+  EXPECT_FLOAT_EQ(t.embeddings().Row(1)[1], 1.0f);
+  EXPECT_GT(t.SizeBytes(), 0u);
+}
+
+TEST(EntityEmbeddingStoreTest, RowLookupAcrossSources) {
+  EntityEmbeddingStore store;
+  store.AddSource(UnitAxisVectors(2, 4));
+  store.AddSource(UnitAxisVectors(3, 4));
+  EXPECT_EQ(store.num_sources(), 2u);
+  EXPECT_EQ(store.dim(), 4u);
+  EXPECT_FLOAT_EQ(store.Row(EntityId(1, 2))[2], 1.0f);
+  EXPECT_EQ(store.SizeBytes(), (2 + 3) * 4 * sizeof(float));
+}
+
+// ----------------------------------------------------- AttributeSelector --
+
+// Builds music-like tables where `title` is informative and `id` is random
+// noise; the selector must keep title and reject id.
+std::vector<table::Table> NoisyIdTables(size_t rows_per_source) {
+  util::Rng rng(3);
+  std::vector<std::string> titles = {
+      "silent golden river", "crimson harbor nights", "electric meadow dance",
+      "frozen lantern waltz", "wandering ember song",  "velvet horizon tale",
+      "broken compass blues", "shining feather hymn"};
+  std::vector<table::Table> tables;
+  for (int s = 0; s < 2; ++s) {
+    table::Table t("s" + std::to_string(s), table::Schema({"id", "title"}));
+    for (size_t r = 0; r < rows_per_source; ++r) {
+      std::string id = "x";
+      for (int c = 0; c < 8; ++c) {
+        id += static_cast<char>('0' + rng.NextBounded(10));
+      }
+      t.AppendRow({id, titles[r % titles.size()]}).CheckOk();
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+TEST(AttributeSelectorTest, KeepsInformativeRejectsNoise) {
+  auto tables = NoisyIdTables(64);
+  embed::HashingSentenceEncoder encoder;
+  std::vector<std::string> corpus;
+  for (const auto& t : tables) {
+    auto texts = embed::SerializeTable(t);
+    corpus.insert(corpus.end(), texts.begin(), texts.end());
+  }
+  encoder.FitFrequencies(corpus);
+  MultiEmConfig config;
+  config.gamma = 0.9;
+  config.sample_ratio = 1.0;
+  AttributeSelector selector(&encoder, config);
+  auto result = selector.Run(tables);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->selected_columns.size(), 1u);
+  EXPECT_EQ(result->selected_names[0], "title");
+  // Shuffling the title displaces embeddings more than shuffling the id.
+  EXPECT_LT(result->shuffle_similarity[1], result->shuffle_similarity[0]);
+}
+
+TEST(AttributeSelectorTest, FallbackKeepsAllWhenNothingPasses) {
+  auto tables = NoisyIdTables(32);
+  embed::HashingSentenceEncoder encoder;
+  encoder.FitFrequencies({});
+  MultiEmConfig config;
+  config.gamma = 0.0001;  // nothing can pass a near-zero threshold
+  config.sample_ratio = 1.0;
+  AttributeSelector selector(&encoder, config);
+  auto result = selector.Run(tables);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected_columns.size(), 2u);
+}
+
+TEST(AttributeSelectorTest, DeterministicGivenSeed) {
+  auto tables = NoisyIdTables(48);
+  embed::HashingSentenceEncoder encoder;
+  MultiEmConfig config;
+  config.sample_ratio = 0.5;
+  config.seed = 7;
+  AttributeSelector selector(&encoder, config);
+  auto a = selector.Run(tables);
+  auto b = selector.Run(tables);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->selected_columns, b->selected_columns);
+  EXPECT_EQ(a->shuffle_similarity, b->shuffle_similarity);
+}
+
+// ------------------------------------------------------- TwoTableMerger --
+
+// Store with two sources of axis-aligned vectors; rows i of both sources
+// share direction i so they match exactly.
+EntityEmbeddingStore PairedStore(size_t n, size_t dim) {
+  EntityEmbeddingStore store;
+  store.AddSource(UnitAxisVectors(n, dim));
+  store.AddSource(UnitAxisVectors(n, dim));
+  return store;
+}
+
+TEST(TwoTableMergerTest, MergesIdenticalRowsKeepsRest) {
+  constexpr size_t kN = 6;
+  constexpr size_t kDim = 16;
+  EntityEmbeddingStore store = PairedStore(kN, kDim);
+  MergeTable a = MergeTable::FromSource(0, store.source(0));
+  MergeTable b = MergeTable::FromSource(1, store.source(1));
+
+  MultiEmConfig config;
+  config.m = 0.1f;
+  config.use_exact_knn = true;
+  TwoTableMerger merger(config, &store);
+  TwoTableMergeStats stats;
+  MergeTable merged = merger.Merge(a, b, nullptr, &stats);
+
+  // All kN rows match pairwise: kN merged items, none carried.
+  EXPECT_EQ(stats.mutual_pairs, kN);
+  EXPECT_EQ(stats.merged_items, kN);
+  EXPECT_EQ(stats.carried_items, 0u);
+  EXPECT_EQ(merged.num_items(), kN);
+  for (size_t i = 0; i < merged.num_items(); ++i) {
+    EXPECT_EQ(merged.item(i).members.size(), 2u);
+    EXPECT_EQ(merged.item(i).members[0].source(), 0u);
+    EXPECT_EQ(merged.item(i).members[1].source(), 1u);
+    EXPECT_EQ(merged.item(i).members[0].row(), merged.item(i).members[1].row());
+  }
+}
+
+TEST(TwoTableMergerTest, NoMatchesCarriesEverything) {
+  EntityEmbeddingStore store;
+  store.AddSource(UnitAxisVectors(3, 16));
+  // Second source uses disjoint axes 8..10.
+  embed::EmbeddingMatrix other(3, 16);
+  for (size_t i = 0; i < 3; ++i) other.Row(i)[8 + i] = 1.0f;
+  store.AddSource(other);
+  MergeTable a = MergeTable::FromSource(0, store.source(0));
+  MergeTable b = MergeTable::FromSource(1, store.source(1));
+
+  MultiEmConfig config;
+  config.m = 0.1f;
+  config.use_exact_knn = true;
+  TwoTableMerger merger(config, &store);
+  TwoTableMergeStats stats;
+  MergeTable merged = merger.Merge(a, b, nullptr, &stats);
+  EXPECT_EQ(stats.mutual_pairs, 0u);
+  EXPECT_EQ(merged.num_items(), 6u);
+  EXPECT_EQ(merged.TotalMembers(), 6u);
+}
+
+TEST(TwoTableMergerTest, CentroidIsNormalizedMeanOfMembers) {
+  EntityEmbeddingStore store = PairedStore(2, 8);
+  MergeTable a = MergeTable::FromSource(0, store.source(0));
+  MergeTable b = MergeTable::FromSource(1, store.source(1));
+  MultiEmConfig config;
+  config.m = 0.1f;
+  config.use_exact_knn = true;
+  config.merged_repr = MergedItemRepr::kCentroid;
+  TwoTableMerger merger(config, &store);
+  MergeTable merged = merger.Merge(a, b);
+  for (size_t i = 0; i < merged.num_items(); ++i) {
+    // Members are identical vectors, so the centroid equals the member.
+    auto row = merged.embeddings().Row(i);
+    EXPECT_NEAR(embed::Norm(row), 1.0f, 1e-5);
+    auto member = store.Row(merged.item(i).members[0]);
+    EXPECT_NEAR(embed::CosineSimilarity(row, member), 1.0f, 1e-5);
+  }
+}
+
+TEST(TwoTableMergerTest, DistanceCapBlocksWeakMatches) {
+  // Two sources with moderately similar (not identical) vectors.
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix sa(1, 4);
+  sa.Row(0)[0] = 1.0f;
+  embed::EmbeddingMatrix sb(1, 4);
+  sb.Row(0)[0] = 0.8f;
+  sb.Row(0)[1] = 0.6f;  // cosine sim 0.8 -> distance 0.2
+  store.AddSource(sa);
+  store.AddSource(sb);
+  MergeTable a = MergeTable::FromSource(0, store.source(0));
+  MergeTable b = MergeTable::FromSource(1, store.source(1));
+  MultiEmConfig config;
+  config.use_exact_knn = true;
+  config.m = 0.1f;  // cap below the 0.2 distance
+  TwoTableMerger strict(config, &store);
+  EXPECT_EQ(strict.Merge(a, b).num_items(), 2u);
+  config.m = 0.35f;  // cap above
+  TwoTableMerger loose(config, &store);
+  EXPECT_EQ(loose.Merge(a, b).num_items(), 1u);
+}
+
+// --------------------------------------------------- HierarchicalMerger --
+
+// Builds S sources of n entities each where row i across all sources share
+// the same direction (all should merge into n tuples of size S).
+EntityEmbeddingStore ManySourceStore(size_t sources, size_t n, size_t dim) {
+  EntityEmbeddingStore store;
+  for (size_t s = 0; s < sources; ++s) {
+    store.AddSource(UnitAxisVectors(n, dim));
+  }
+  return store;
+}
+
+TEST(HierarchicalMergerTest, MergesAllSourcesToFullTuples) {
+  constexpr size_t kSources = 4;
+  constexpr size_t kN = 5;
+  EntityEmbeddingStore store = ManySourceStore(kSources, kN, 16);
+  std::vector<MergeTable> tables;
+  for (size_t s = 0; s < kSources; ++s) {
+    tables.push_back(MergeTable::FromSource(s, store.source(s)));
+  }
+  MultiEmConfig config;
+  config.m = 0.1f;
+  config.use_exact_knn = true;
+  HierarchicalMerger merger(config, &store);
+  HierarchicalMergeStats stats;
+  MergeTable integrated = merger.Run(std::move(tables), nullptr, &stats);
+
+  EXPECT_EQ(integrated.num_items(), kN);
+  for (size_t i = 0; i < integrated.num_items(); ++i) {
+    EXPECT_EQ(integrated.item(i).members.size(), kSources);
+  }
+  // ceil(log2(4)) = 2 levels.
+  EXPECT_EQ(stats.levels.size(), 2u);
+  EXPECT_EQ(stats.levels[0].tables_in, 4u);
+  EXPECT_EQ(stats.levels[0].pairs_merged, 2u);
+}
+
+TEST(HierarchicalMergerTest, OddTableCountCarriesLeftover) {
+  constexpr size_t kSources = 5;
+  EntityEmbeddingStore store = ManySourceStore(kSources, 3, 16);
+  std::vector<MergeTable> tables;
+  for (size_t s = 0; s < kSources; ++s) {
+    tables.push_back(MergeTable::FromSource(s, store.source(s)));
+  }
+  MultiEmConfig config;
+  config.m = 0.1f;
+  config.use_exact_knn = true;
+  HierarchicalMerger merger(config, &store);
+  HierarchicalMergeStats stats;
+  MergeTable integrated = merger.Run(std::move(tables), nullptr, &stats);
+  EXPECT_EQ(integrated.num_items(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(integrated.item(i).members.size(), kSources);
+  }
+  // 5 -> 3 -> 2 -> 1: three levels.
+  EXPECT_EQ(stats.levels.size(), 3u);
+}
+
+TEST(HierarchicalMergerTest, NoEntityAppearsTwice) {
+  EntityEmbeddingStore store = ManySourceStore(4, 6, 16);
+  std::vector<MergeTable> tables;
+  for (size_t s = 0; s < 4; ++s) {
+    tables.push_back(MergeTable::FromSource(s, store.source(s)));
+  }
+  MultiEmConfig config;
+  config.m = 0.35f;
+  config.use_exact_knn = true;
+  HierarchicalMerger merger(config, &store);
+  MergeTable integrated = merger.Run(std::move(tables));
+  std::set<uint64_t> seen;
+  for (const auto& item : integrated.items()) {
+    for (EntityId id : item.members) {
+      EXPECT_TRUE(seen.insert(id.packed()).second)
+          << "entity " << id.ToString() << " in two items";
+    }
+  }
+  EXPECT_EQ(seen.size(), 24u);  // every input entity survives somewhere
+}
+
+TEST(HierarchicalMergerTest, TrivialInputs) {
+  EntityEmbeddingStore store = ManySourceStore(1, 3, 8);
+  MultiEmConfig config;
+  HierarchicalMerger merger(config, &store);
+  EXPECT_EQ(merger.Run({}).num_items(), 0u);
+  std::vector<MergeTable> one;
+  one.push_back(MergeTable::FromSource(0, store.source(0)));
+  EXPECT_EQ(merger.Run(std::move(one)).num_items(), 3u);
+}
+
+// -------------------------------------------------------- DensityPruner --
+
+TEST(DensityPrunerTest, RemovesOutlierKeepsDensePart) {
+  // One item with 3 near entities and 1 far entity (paper Figure 4).
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix m(4, 4);
+  m.Row(0)[0] = 1.0f;
+  m.Row(1)[0] = 0.99f;
+  m.Row(1)[1] = 0.14f;
+  m.Row(2)[0] = 0.98f;
+  m.Row(2)[1] = -0.2f;
+  m.Row(3)[2] = 1.0f;  // orthogonal outlier (euclidean distance sqrt(2))
+  for (size_t i = 0; i < 4; ++i) embed::L2NormalizeInPlace(m.Row(i));
+  store.AddSource(m);
+
+  MergeTable integrated;
+  MergeItem item;
+  for (size_t i = 0; i < 4; ++i) item.members.push_back(EntityId(0, i));
+  integrated.Append(std::move(item), store.source(0).Row(0));
+
+  MultiEmConfig config;
+  config.eps = 1.0f;
+  config.min_pts = 2;
+  DensityPruner pruner(config, &store);
+  PruneStats stats;
+  auto tuples = pruner.Prune(integrated, nullptr, &stats);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].size(), 3u);
+  EXPECT_EQ(stats.outliers_removed, 1u);
+  EXPECT_EQ(stats.items_examined, 1u);
+}
+
+TEST(DensityPrunerTest, DropsItemsThatShrinkBelowTwo) {
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix m(2, 4);
+  m.Row(0)[0] = 1.0f;
+  m.Row(1)[1] = 1.0f;  // orthogonal pair: euclidean distance sqrt(2) > eps
+  store.AddSource(m);
+  MergeTable integrated;
+  MergeItem item;
+  item.members = {EntityId(0, 0), EntityId(0, 1)};
+  integrated.Append(std::move(item), m.Row(0));
+
+  MultiEmConfig config;
+  config.eps = 1.0f;
+  config.min_pts = 2;
+  DensityPruner pruner(config, &store);
+  PruneStats stats;
+  auto tuples = pruner.Prune(integrated, nullptr, &stats);
+  EXPECT_TRUE(tuples.empty());
+  EXPECT_EQ(stats.tuples_dropped, 1u);
+}
+
+TEST(DensityPrunerTest, DisabledPruningPassesThrough) {
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix m(2, 4);
+  m.Row(0)[0] = 1.0f;
+  m.Row(1)[1] = 1.0f;
+  store.AddSource(m);
+  MergeTable integrated;
+  MergeItem item;
+  item.members = {EntityId(0, 0), EntityId(0, 1)};
+  integrated.Append(std::move(item), m.Row(0));
+
+  MultiEmConfig config;
+  config.enable_pruning = false;
+  DensityPruner pruner(config, &store);
+  auto tuples = pruner.Prune(integrated);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].size(), 2u);
+}
+
+TEST(DensityPrunerTest, SingletonItemsIgnored) {
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix m(1, 4);
+  m.Row(0)[0] = 1.0f;
+  store.AddSource(m);
+  MergeTable integrated;
+  MergeItem item;
+  item.members = {EntityId(0, 0)};
+  integrated.Append(std::move(item), m.Row(0));
+  MultiEmConfig config;
+  DensityPruner pruner(config, &store);
+  PruneStats stats;
+  EXPECT_TRUE(pruner.Prune(integrated, nullptr, &stats).empty());
+  EXPECT_EQ(stats.items_examined, 0u);
+}
+
+TEST(DensityPrunerTest, ParallelMatchesSerial) {
+  util::Rng rng(13);
+  EntityEmbeddingStore store;
+  embed::EmbeddingMatrix m(60, 8);
+  for (size_t i = 0; i < 60; ++i) {
+    for (auto& x : m.Row(i)) x = static_cast<float>(rng.Normal());
+    embed::L2NormalizeInPlace(m.Row(i));
+  }
+  store.AddSource(m);
+  MergeTable integrated;
+  for (size_t i = 0; i + 3 <= 60; i += 3) {
+    MergeItem item;
+    item.members = {EntityId(0, i), EntityId(0, i + 1), EntityId(0, i + 2)};
+    integrated.Append(std::move(item), m.Row(i));
+  }
+  MultiEmConfig config;
+  config.eps = 1.0f;
+  DensityPruner pruner(config, &store);
+  auto serial = pruner.Prune(integrated, nullptr);
+  util::ThreadPool pool(4);
+  auto parallel = pruner.Prune(integrated, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
+}
+
+}  // namespace
+}  // namespace multiem::core

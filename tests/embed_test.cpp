@@ -1,0 +1,251 @@
+// Unit + property tests for src/embed: tokenizer, vector ops, the hashing
+// sentence encoder (locality, determinism, weighting), entity serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/embedding.h"
+#include "embed/hashing_encoder.h"
+#include "embed/serialize.h"
+#include "embed/tokenizer.h"
+#include "util/thread_pool.h"
+
+namespace multiem::embed {
+namespace {
+
+// ------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, LowercasesAndSplitsOnNonAlnum) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Apple iPhone-8, 64GB!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "apple");
+  EXPECT_EQ(tokens[1], "iphone");
+  EXPECT_EQ(tokens[2], "8");
+  EXPECT_EQ(tokens[3], "64gb");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("--- !!! ...").empty());
+}
+
+TEST(TokenizerTest, RespectsMaxTokens) {
+  Tokenizer tok(3);
+  auto tokens = tok.Tokenize("a b c d e f");
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+// ------------------------------------------------------------ Vector ops --
+
+TEST(EmbeddingOpsTest, DotAndNorm) {
+  std::vector<float> a{3.0f, 4.0f};
+  std::vector<float> b{1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(Dot(a, b), 3.0f);
+  EXPECT_FLOAT_EQ(Norm(a), 5.0f);
+}
+
+TEST(EmbeddingOpsTest, L2Normalize) {
+  std::vector<float> v{3.0f, 4.0f};
+  L2NormalizeInPlace(v);
+  EXPECT_NEAR(Norm(v), 1.0f, 1e-6);
+  std::vector<float> zero{0.0f, 0.0f};
+  L2NormalizeInPlace(zero);  // must not divide by zero
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+}
+
+TEST(EmbeddingOpsTest, CosineBounds) {
+  std::vector<float> a{1.0f, 0.0f};
+  std::vector<float> b{0.0f, 1.0f};
+  std::vector<float> c{-1.0f, 0.0f};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0f, 1e-6);
+  EXPECT_NEAR(CosineSimilarity(a, c), -1.0f, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, a), 0.0f, 1e-6);
+}
+
+TEST(EmbeddingOpsTest, CosineZeroVector) {
+  std::vector<float> a{0.0f, 0.0f};
+  std::vector<float> b{1.0f, 0.0f};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a, b), 0.0f);
+}
+
+TEST(EmbeddingOpsTest, EuclideanDistance) {
+  std::vector<float> a{0.0f, 0.0f};
+  std::vector<float> b{3.0f, 4.0f};
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b), 5.0f);
+}
+
+TEST(EmbeddingMatrixTest, AppendAndAccess) {
+  EmbeddingMatrix m;
+  std::vector<float> row{1.0f, 2.0f, 3.0f};
+  m.AppendRow(row);
+  m.AppendRow(row);
+  EXPECT_EQ(m.num_rows(), 2u);
+  EXPECT_EQ(m.dim(), 3u);
+  EXPECT_FLOAT_EQ(m.Row(1)[2], 3.0f);
+  EXPECT_EQ(m.SizeBytes(), 6 * sizeof(float));
+}
+
+// ------------------------------------------------------- Hashing encoder --
+
+HashingSentenceEncoder MakeEncoder() {
+  return HashingSentenceEncoder(HashingEncoderConfig{});
+}
+
+TEST(HashingEncoderTest, OutputIsUnitNormAndDeterministic) {
+  auto encoder = MakeEncoder();
+  auto v1 = encoder.Encode("apple iphone 8 plus 64gb silver");
+  auto v2 = encoder.Encode("apple iphone 8 plus 64gb silver");
+  EXPECT_EQ(v1.size(), 384u);
+  EXPECT_NEAR(Norm(v1), 1.0f, 1e-5);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(HashingEncoderTest, EmptyTextIsZeroVector) {
+  auto encoder = MakeEncoder();
+  auto v = encoder.Encode("");
+  EXPECT_FLOAT_EQ(Norm(v), 0.0f);
+}
+
+TEST(HashingEncoderTest, LocalitySimilarBeatsDissimilar) {
+  auto encoder = MakeEncoder();
+  // The Figure 1 scenario: four renderings of the same product must be
+  // closer to each other than to a different product.
+  auto a = encoder.Encode("apple iphone 8 plus 64gb silver");
+  auto b = encoder.Encode("apple iphone 8 plus 5.5 64gb 4g unlocked");
+  auto c = encoder.Encode("samsung galaxy tab s7 wifi 128gb bronze");
+  EXPECT_GT(CosineSimilarity(a, b), CosineSimilarity(a, c) + 0.2f);
+}
+
+TEST(HashingEncoderTest, TypoRobustnessViaCharNgrams) {
+  auto encoder = MakeEncoder();
+  auto clean = encoder.Encode("chameleon herbie hancock");
+  auto typo = encoder.Encode("chamelon herbie hancock");  // dropped 'e'
+  auto other = encoder.Encode("thriller michael jackson");
+  EXPECT_GT(CosineSimilarity(clean, typo), 0.6f);
+  EXPECT_GT(CosineSimilarity(clean, typo), CosineSimilarity(clean, other));
+}
+
+TEST(HashingEncoderTest, Example1AttributeDisplacementOrdering) {
+  // Paper Example 1: replacing an id moves the embedding much less than
+  // replacing the album title.
+  auto encoder = MakeEncoder();
+  auto base = encoder.Encode("wom14513028 megna's tim o'brien chameleon");
+  auto id_changed = encoder.Encode("wom94369364 megna's tim o'brien chameleon");
+  auto album_changed =
+      encoder.Encode("wom14513028 megna's tim o'brien the hitmen");
+  float sim_id = CosineSimilarity(base, id_changed);
+  float sim_album = CosineSimilarity(base, album_changed);
+  EXPECT_GT(sim_id, sim_album);
+  EXPECT_GT(sim_id, 0.9f);
+}
+
+TEST(HashingEncoderTest, SifDownweightsFrequentTokens) {
+  auto encoder = MakeEncoder();
+  // Corpus where "english" dominates (like a language column).
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 500; ++i) corpus.push_back("song title english");
+  corpus.push_back("rareword");
+  encoder.FitFrequencies(corpus);
+  EXPECT_TRUE(encoder.fitted());
+  EXPECT_LT(encoder.TokenWeight("english"), encoder.TokenWeight("rareword"));
+}
+
+TEST(HashingEncoderTest, LexicalityDiscountsIdsAndNumbers) {
+  auto encoder = MakeEncoder();
+  EXPECT_GT(encoder.TokenWeight("chameleon"), encoder.TokenWeight("2003"));
+  EXPECT_GT(encoder.TokenWeight("2003"), encoder.TokenWeight("wom14513028"));
+}
+
+TEST(HashingEncoderTest, SeedChangesSpace) {
+  HashingEncoderConfig c1;
+  HashingEncoderConfig c2;
+  c2.seed = 999;
+  HashingSentenceEncoder e1(c1);
+  HashingSentenceEncoder e2(c2);
+  auto v1 = e1.Encode("hello world");
+  auto v2 = e2.Encode("hello world");
+  EXPECT_LT(std::abs(CosineSimilarity(v1, v2)), 0.5f);
+}
+
+TEST(HashingEncoderTest, DimRoundedToMultipleOf64) {
+  HashingEncoderConfig c;
+  c.dim = 100;
+  HashingSentenceEncoder e(c);
+  EXPECT_EQ(e.dim() % 64, 0u);
+  EXPECT_GE(e.dim(), 100u);
+}
+
+TEST(HashingEncoderTest, BatchMatchesSingleAndParallel) {
+  auto encoder = MakeEncoder();
+  std::vector<std::string> texts;
+  for (int i = 0; i < 200; ++i) {
+    texts.push_back("item number " + std::to_string(i) + " silver edition");
+  }
+  EmbeddingMatrix serial = encoder.EncodeBatch(texts, nullptr);
+  util::ThreadPool pool(4);
+  EmbeddingMatrix parallel = encoder.EncodeBatch(texts, &pool);
+  ASSERT_EQ(serial.num_rows(), parallel.num_rows());
+  for (size_t r = 0; r < serial.num_rows(); ++r) {
+    auto single = encoder.Encode(texts[r]);
+    for (size_t d = 0; d < serial.dim(); ++d) {
+      EXPECT_FLOAT_EQ(serial.Row(r)[d], parallel.Row(r)[d]);
+      EXPECT_FLOAT_EQ(serial.Row(r)[d], single[d]);
+    }
+  }
+}
+
+// Property sweep: locality must hold across n-gram configurations.
+class EncoderConfigSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EncoderConfigSweep, CorruptedCopyStaysClosest) {
+  HashingEncoderConfig config;
+  config.min_char_ngram = 3;
+  config.max_char_ngram = GetParam();
+  HashingSentenceEncoder encoder(config);
+  auto base = encoder.Encode("silent golden river chronicles");
+  auto corrupted = encoder.Encode("silent goldn river chronicle");
+  auto unrelated = encoder.Encode("electric crimson harbor sessions");
+  EXPECT_GT(CosineSimilarity(base, corrupted),
+            CosineSimilarity(base, unrelated));
+}
+
+INSTANTIATE_TEST_SUITE_P(NgramSizes, EncoderConfigSweep,
+                         ::testing::Values(3, 4, 5));
+
+// --------------------------------------------------------- Serialization --
+
+TEST(SerializeTest, ConcatenatesValuesOmittingNames) {
+  table::Table t("t", table::Schema({"title", "color"}));
+  t.AppendRow({"apple iphone 8 plus 64gb", "silver"}).CheckOk();
+  // Section II-B example: "apple iphone 8 plus 64gb silver".
+  EXPECT_EQ(SerializeEntity(t, 0), "apple iphone 8 plus 64gb silver");
+}
+
+TEST(SerializeTest, SelectedColumnsOnly) {
+  table::Table t("t", table::Schema({"id", "title", "noise"}));
+  t.AppendRow({"x9k2", "blue in green", "zz"}).CheckOk();
+  EXPECT_EQ(SerializeEntity(t, 0, {1}), "blue in green");
+  EXPECT_EQ(SerializeEntity(t, 0, {2, 1}), "zz blue in green");
+}
+
+TEST(SerializeTest, SkipsEmptyValuesAndNormalizesWhitespace) {
+  table::Table t("t", table::Schema({"a", "b", "c"}));
+  t.AppendRow({"  hello ", "", "world  again"}).CheckOk();
+  EXPECT_EQ(SerializeEntity(t, 0), "hello world again");
+}
+
+TEST(SerializeTest, TableSerialization) {
+  table::Table t("t", table::Schema({"v"}));
+  t.AppendRow({"one"}).CheckOk();
+  t.AppendRow({"two"}).CheckOk();
+  auto texts = SerializeTable(t);
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[1], "two");
+}
+
+}  // namespace
+}  // namespace multiem::embed

@@ -1,0 +1,194 @@
+// Unit tests for src/eval: tuple canonicalization, tuple/pair metrics
+// (including the paper's Example 2), Algorithm 5, labeled splits.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/pairs_to_tuples.h"
+#include "eval/split.h"
+#include "eval/tuples.h"
+
+namespace multiem::eval {
+namespace {
+
+table::EntityId E(uint32_t s, uint64_t r) { return table::EntityId(s, r); }
+
+// ---------------------------------------------------------------- Tuples --
+
+TEST(TupleSetTest, CanonicalizesMembersAndOrder) {
+  TupleSet ts({{E(1, 0), E(0, 0)}, {E(0, 1), E(2, 0)}});
+  ASSERT_EQ(ts.size(), 2u);
+  // Members sorted ascending within each tuple; tuples sorted.
+  EXPECT_EQ(ts.tuples()[0][0], E(0, 0));
+  EXPECT_EQ(ts.tuples()[0][1], E(1, 0));
+}
+
+TEST(TupleSetTest, DropsSingletonsAndDuplicates) {
+  TupleSet ts({{E(0, 0)},                      // singleton: dropped
+               {E(0, 1), E(1, 1)},
+               {E(1, 1), E(0, 1)},             // duplicate after sorting
+               {E(2, 2), E(2, 2)}});           // dedup members -> singleton
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TupleSetTest, Contains) {
+  TupleSet ts({{E(0, 0), E(1, 0), E(2, 0)}});
+  EXPECT_TRUE(ts.Contains({E(2, 0), E(0, 0), E(1, 0)}));
+  EXPECT_FALSE(ts.Contains({E(0, 0), E(1, 0)}));
+}
+
+TEST(TupleSetTest, ToPairsExpandsCombinations) {
+  TupleSet ts({{E(0, 0), E(1, 0), E(2, 0)}});
+  auto pairs = ts.ToPairs();
+  EXPECT_EQ(pairs.size(), 3u);  // C(3,2)
+}
+
+TEST(TupleSetTest, ToPairsDeduplicatesAcrossTuples) {
+  TupleSet ts({{E(0, 0), E(1, 0)}, {E(0, 0), E(1, 0), E(2, 0)}});
+  auto pairs = ts.ToPairs();
+  EXPECT_EQ(pairs.size(), 3u);  // (a,b) shared by both tuples counts once
+}
+
+TEST(TupleSetTest, TotalMembers) {
+  TupleSet ts({{E(0, 0), E(1, 0)}, {E(0, 1), E(1, 1), E(2, 1)}});
+  EXPECT_EQ(ts.TotalMembers(), 5u);
+}
+
+TEST(MakePairTest, Canonicalizes) {
+  Pair p = MakePair(E(2, 0), E(0, 0));
+  EXPECT_EQ(p.a, E(0, 0));
+  EXPECT_EQ(p.b, E(2, 0));
+}
+
+// --------------------------------------------------------------- Metrics --
+
+TEST(MetricsTest, PrfFromCounts) {
+  Prf prf = PrfFromCounts(5, 10, 20);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.5);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.25);
+  EXPECT_NEAR(prf.f1, 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+TEST(MetricsTest, PrfEmptyDenominators) {
+  Prf prf = PrfFromCounts(0, 0, 0);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.0);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+}
+
+TEST(MetricsTest, ExactTupleMatchIsStrict) {
+  TupleSet truth({{E(0, 1), E(1, 2), E(2, 3)}});
+  TupleSet wrong({{E(0, 1), E(1, 2), E(3, 4)}});  // one member differs
+  Prf prf = EvaluateTuples(wrong, truth);
+  EXPECT_DOUBLE_EQ(prf.f1, 0.0);
+  Prf exact = EvaluateTuples(truth, truth);
+  EXPECT_DOUBLE_EQ(exact.f1, 1.0);
+}
+
+TEST(MetricsTest, PaperExample2) {
+  // Truth tuple t = (1,2,3); prediction p = (1,2,4). Tuple-F1 = 0 but
+  // pair-F1 = 1/3 (pairs {12,13,23} vs {12,14,24}; only (1,2) agrees).
+  TupleSet truth({{E(0, 1), E(0, 2), E(0, 3)}});
+  TupleSet pred({{E(0, 1), E(0, 2), E(0, 4)}});
+  EXPECT_DOUBLE_EQ(EvaluateTuples(pred, truth).f1, 0.0);
+  Prf pair = EvaluatePairs(pred, truth);
+  EXPECT_NEAR(pair.precision, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(pair.recall, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(pair.f1, 1.0 / 3, 1e-12);
+}
+
+TEST(MetricsTest, PairF1IsLooserThanTupleF1) {
+  // Partial overlap scores > 0 on pairs but 0 on strict tuples.
+  TupleSet truth({{E(0, 0), E(1, 0), E(2, 0), E(3, 0)}});
+  TupleSet pred({{E(0, 0), E(1, 0), E(2, 0)}});
+  EXPECT_DOUBLE_EQ(EvaluateTuples(pred, truth).f1, 0.0);
+  EXPECT_GT(EvaluatePairs(pred, truth).f1, 0.0);
+}
+
+TEST(MetricsTest, EvaluatePairListDeduplicates) {
+  TupleSet truth({{E(0, 0), E(1, 0)}});
+  std::vector<Pair> pred{MakePair(E(0, 0), E(1, 0)),
+                         MakePair(E(1, 0), E(0, 0))};  // same pair twice
+  Prf prf = EvaluatePairList(pred, truth);
+  EXPECT_DOUBLE_EQ(prf.precision, 1.0);
+  EXPECT_DOUBLE_EQ(prf.recall, 1.0);
+}
+
+// ----------------------------------------------------------- Algorithm 5 --
+
+TEST(PairsToTuplesTest, StarExpansionPerEntity) {
+  // Chain a-b-c: entity b's star is {a,b,c}; a's star is {a,b}; c's is {b,c}.
+  std::vector<Pair> pairs{MakePair(E(0, 0), E(1, 0)),
+                          MakePair(E(1, 0), E(2, 0))};
+  TupleSet ts = PairsToTuples(pairs);
+  EXPECT_TRUE(ts.Contains({E(0, 0), E(1, 0), E(2, 0)}));  // b's tuple
+  EXPECT_TRUE(ts.Contains({E(0, 0), E(1, 0)}));           // a's tuple
+  EXPECT_TRUE(ts.Contains({E(1, 0), E(2, 0)}));           // c's tuple
+  EXPECT_EQ(ts.size(), 3u);  // conflicting overlapping tuples, as published
+}
+
+TEST(PairsToTuplesTest, TriangleCollapsesToOneTuple) {
+  std::vector<Pair> pairs{MakePair(E(0, 0), E(1, 0)),
+                          MakePair(E(1, 0), E(2, 0)),
+                          MakePair(E(0, 0), E(2, 0))};
+  TupleSet ts = PairsToTuples(pairs);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_TRUE(ts.Contains({E(0, 0), E(1, 0), E(2, 0)}));
+}
+
+TEST(PairsToTuplesTest, TransitiveVariantClosesChains) {
+  std::vector<Pair> pairs{MakePair(E(0, 0), E(1, 0)),
+                          MakePair(E(1, 0), E(2, 0))};
+  TupleSet ts = PairsToTuplesTransitive(pairs);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_TRUE(ts.Contains({E(0, 0), E(1, 0), E(2, 0)}));
+}
+
+TEST(PairsToTuplesTest, EmptyInput) {
+  EXPECT_TRUE(PairsToTuples({}).empty());
+  EXPECT_TRUE(PairsToTuplesTransitive({}).empty());
+}
+
+// ----------------------------------------------------------------- Split --
+
+TEST(SplitTest, ProducesLabeledPairsWithNegatives) {
+  std::vector<table::Table> tables;
+  for (int s = 0; s < 3; ++s) {
+    table::Table t("s" + std::to_string(s), table::Schema({"v"}));
+    for (int r = 0; r < 50; ++r) t.AppendRow({std::to_string(r)}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  std::vector<Tuple> truth_tuples;
+  for (int r = 0; r < 30; ++r) {
+    truth_tuples.push_back({E(0, r), E(1, r), E(2, r)});
+  }
+  TupleSet truth(truth_tuples);
+  util::Rng rng(3);
+  LabeledSplit split = MakeLabeledSplit(tables, truth, 0.1, 0.1, 4, rng);
+
+  ASSERT_FALSE(split.train.empty());
+  ASSERT_FALSE(split.valid.empty());
+  size_t positives = 0;
+  size_t negatives = 0;
+  for (const LabeledPair& lp : split.train) {
+    lp.is_match ? ++positives : ++negatives;
+    // Labels must be consistent with the truth.
+    bool in_truth = false;
+    for (const Pair& p : truth.ToPairs()) {
+      if (p == lp.pair) in_truth = true;
+    }
+    EXPECT_EQ(lp.is_match, in_truth);
+  }
+  EXPECT_EQ(negatives, positives * 4);
+}
+
+TEST(SplitTest, EmptyTruthYieldsEmptySplit) {
+  std::vector<table::Table> tables(2, table::Table("t", table::Schema({"v"})));
+  util::Rng rng(3);
+  LabeledSplit split = MakeLabeledSplit(tables, TupleSet(), 0.1, 0.1, 2, rng);
+  EXPECT_TRUE(split.train.empty());
+  EXPECT_TRUE(split.valid.empty());
+}
+
+}  // namespace
+}  // namespace multiem::eval
