@@ -43,6 +43,10 @@ int main(int argc, char** argv) {
   std::string out_dir;
   if (argc > 1) {
     out_dir = argv[1];
+    if (!std::filesystem::is_directory(out_dir)) {
+      std::fprintf(stderr, "not a directory: %s\n", out_dir.c_str());
+      return 1;
+    }
     for (const auto& entry : std::filesystem::directory_iterator(argv[1])) {
       if (entry.path().extension() == ".csv") {
         paths.push_back(entry.path().string());

@@ -12,11 +12,9 @@ BruteForceIndex::BruteForceIndex(size_t dim, Metric metric)
 
 void BruteForceIndex::Add(std::span<const float> vec) {
   if (vec.size() != dim_) std::abort();
-  size_t offset = data_.size();
   data_.insert(data_.end(), vec.begin(), vec.end());
   if (metric_ == Metric::kCosine) {
-    embed::L2NormalizeInPlace(
-        std::span<float>(data_.data() + offset, dim_));
+    sq_norms_.push_back(embed::Dot(vec, vec));
   }
   ++num_vectors_;
 }
@@ -26,12 +24,15 @@ std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
   std::vector<Neighbor> all;
   all.reserve(num_vectors_);
   if (metric_ == Metric::kCosine) {
-    // Stored rows are unit-norm; normalize the query once and use 1 - dot.
-    std::vector<float> q(query.begin(), query.end());
-    embed::L2NormalizeInPlace(q);
+    // One Dot per row against cached squared norms. A query bitwise-identical
+    // to a stored row yields similarity exactly 1 and distance exactly 0
+    // (see CosineSimilarityFromParts).
+    float q_sq = embed::Dot(query, query);
     for (size_t i = 0; i < num_vectors_; ++i) {
       std::span<const float> row(data_.data() + i * dim_, dim_);
-      all.push_back({i, 1.0f - embed::Dot(q, row)});
+      float sim = embed::CosineSimilarityFromParts(embed::Dot(query, row),
+                                                   q_sq, sq_norms_[i]);
+      all.push_back({i, 1.0f - sim});
     }
   } else {
     for (size_t i = 0; i < num_vectors_; ++i) {

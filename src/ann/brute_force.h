@@ -10,8 +10,10 @@ namespace multiem::ann {
 /// Exact k-nearest-neighbor index by linear scan. O(n * dim) per query.
 ///
 /// Serves two purposes: the recall oracle for HNSW in tests, and the index
-/// behind the `use_exact_knn` pipeline ablation. Cosine queries are computed
-/// against L2-normalized copies so results are consistent with HnswIndex.
+/// behind the `use_exact_knn` pipeline ablation. Cosine queries divide one
+/// dot product by cached norms in double precision, so bitwise-identical
+/// vectors get a distance of exactly 0 (they must survive a
+/// `max_distance = 0` cap in MutualTopK).
 class BruteForceIndex : public VectorIndex {
  public:
   /// `dim` is the vector dimensionality; all Add/Search calls must match it.
@@ -30,7 +32,8 @@ class BruteForceIndex : public VectorIndex {
   size_t dim_;
   Metric metric_;
   size_t num_vectors_ = 0;
-  std::vector<float> data_;  // row-major, normalized copies for cosine
+  std::vector<float> data_;        // row-major, stored as given
+  std::vector<float> sq_norms_;    // per-row squared L2 norms (cosine only)
 };
 
 }  // namespace multiem::ann

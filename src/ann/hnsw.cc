@@ -138,8 +138,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(std::span<const float> query,
 }
 
 std::vector<uint32_t> HnswIndex::SelectNeighbors(
-    std::span<const float> query, const std::vector<Neighbor>& candidates,
-    size_t max_count) const {
+    const std::vector<Neighbor>& candidates, size_t max_count) const {
   // candidates must be sorted ascending by distance (SearchLayer guarantees
   // this). Diversity heuristic: keep c only if it is closer to the query
   // than to every kept neighbor, so links spread around the query.
@@ -189,7 +188,7 @@ void HnswIndex::ShrinkLinks(uint32_t node, int level) {
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;
             });
-  links = SelectNeighbors(nv, candidates, cap);
+  links = SelectNeighbors(candidates, cap);
 }
 
 void HnswIndex::Add(std::span<const float> vec) {
@@ -232,7 +231,7 @@ void HnswIndex::Add(std::span<const float> vec) {
         SearchLayer(query, current, config_.ef_construction, l);
     size_t cap = (l == 0) ? config_.m0 : config_.m;
     std::vector<uint32_t> neighbors =
-        SelectNeighbors(query, candidates, config_.m);
+        SelectNeighbors(candidates, config_.m);
     Links(node, l) = neighbors;
     for (uint32_t neighbor : neighbors) {
       Links(neighbor, l).push_back(node);

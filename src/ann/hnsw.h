@@ -91,8 +91,9 @@ class HnswIndex : public VectorIndex {
 
   /// HNSW Algorithm 4: keeps candidates that are closer to the query than to
   /// every already-kept neighbor (diversity pruning), up to `max_count`.
-  std::vector<uint32_t> SelectNeighbors(std::span<const float> query,
-                                        const std::vector<Neighbor>& candidates,
+  /// Candidates carry their distance to the query, so the query vector
+  /// itself is not needed.
+  std::vector<uint32_t> SelectNeighbors(const std::vector<Neighbor>& candidates,
                                         size_t max_count) const;
 
   /// Re-prunes `node`'s adjacency on `level` when it exceeds the cap.

@@ -26,6 +26,9 @@ struct MutualTopKOptions {
   float max_distance = 0.35f;
   Metric metric = Metric::kCosine;
   /// false selects HnswIndex; true selects exact BruteForceIndex (ablation).
+  /// Only the exact index guarantees a distance of exactly 0 for bitwise-
+  /// identical vectors; HNSW's normalized fast path can report ~1e-7 for
+  /// duplicates, so a max_distance of 0 requires use_exact = true.
   bool use_exact = false;
   /// HNSW knobs (ignored for exact search).
   size_t hnsw_m = 16;

@@ -77,7 +77,7 @@ std::vector<int> AgglomerativeClustering::Cluster(
       if (!active[c] || c == best_a || c == best_b) continue;
       float dac = dist[best_a][c];
       float dbc = dist[best_b][c];
-      float merged;
+      float merged = 0.0f;
       switch (config_.linkage) {
         case Linkage::kSingle:
           merged = std::min(dac, dbc);

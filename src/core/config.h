@@ -1,3 +1,13 @@
+/// \file config.h
+/// Every knob of the MultiEM pipeline in one struct, grouped by the paper
+/// section that introduces it: enhanced entity representation
+/// (Section III-B: embedding_dim, max_tokens, sample_ratio r, gamma),
+/// hierarchical merging (Section III-C: k and m of Eq. 1, HNSW parameters),
+/// density-based pruning (Section III-D: eps, min_pts), and parallelism
+/// (Section III-E: num_threads). Defaults follow the Section IV-A
+/// experimental setup; the commented grids are the published search ranges
+/// swept by bench/bench_fig6_sensitivity.cpp.
+
 #ifndef MULTIEM_CORE_CONFIG_H_
 #define MULTIEM_CORE_CONFIG_H_
 

@@ -1,3 +1,10 @@
+/// \file density_pruner.h
+/// Density-based pruning, Section III-D / Algorithm 4 of the paper. Within
+/// each candidate tuple, entities are classified as core, reachable, or
+/// outlier (Definitions 3-5) by an eps/MinPts density test on their
+/// embeddings, and outliers are dropped. Disabling this phase reproduces
+/// the "MultiEM w/o DP" ablation row of Table IV.
+
 #ifndef MULTIEM_CORE_DENSITY_PRUNER_H_
 #define MULTIEM_CORE_DENSITY_PRUNER_H_
 

@@ -1,3 +1,15 @@
+/// \file hierarchical_merger.h
+/// Table-wise hierarchical merging, Section III-C of the paper.
+///
+/// Implements Algorithm 2: the S input tables are merged pairwise in a
+/// random order, level by level, so ceil(log2 S) levels suffice to reach one
+/// integrated table (Figure 2(b)). Each pairwise merge is Algorithm 3 (see
+/// core/two_table_merger.h): embed both tables' items, compute the mutual
+/// top-K pairs of Eq. 1 under distance threshold m, and union the matched
+/// items into candidate tuples. Lemmas 1-3 of the paper bound the total
+/// work of this schedule against the pairwise (Figure 2(a)) and chain
+/// alternatives — bench/bench_lemma_complexity.cpp measures exactly that.
+
 #ifndef MULTIEM_CORE_HIERARCHICAL_MERGER_H_
 #define MULTIEM_CORE_HIERARCHICAL_MERGER_H_
 

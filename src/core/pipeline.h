@@ -1,3 +1,22 @@
+/// \file pipeline.h
+/// The end-to-end MultiEM pipeline of Figure 3 / Section III of the paper:
+/// given S tables with identical schemas, produce the set of matched tuples.
+///
+/// The three phases map to paper sections as follows:
+///   1. Enhanced entity representation (Section III-B): automated attribute
+///      selection (Algorithm 1, via core/attribute_selector.h) followed by
+///      serialization + sentence embedding (embed/serialize.h,
+///      embed/text_encoder.h).
+///   2. Table-wise hierarchical merging (Section III-C, Algorithms 2-3, via
+///      core/hierarchical_merger.h): pairwise merges driven by the mutual
+///      top-K relation of Eq. 1 until one integrated table remains.
+///   3. Density-based pruning (Section III-D, Definitions 3-5, via
+///      core/density_pruner.h): drops outlier entities from candidate
+///      tuples.
+///
+/// PipelineResult exposes the per-phase wall times (Figure 5's S/R/M/P
+/// breakdown) and the counters the Table IV-VII benches report.
+
 #ifndef MULTIEM_CORE_PIPELINE_H_
 #define MULTIEM_CORE_PIPELINE_H_
 

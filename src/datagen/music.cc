@@ -38,7 +38,10 @@ MultiSourceBenchmark GenerateMusic(const MusicConfig& config) {
     std::string artist = std::string(Pick(GivenNames(), rng)) + " " +
                          std::string(Pick(Surnames(), rng));
     std::string album = PickPhrase(AlbumWords(), 1 + rng.NextBounded(2), rng);
-    int64_t number = rng.UniformInt(1, 20);
+    // The canonical track number is never emitted (every source re-rolls its
+    // own edition's number below), but the draw must stay: dropping it would
+    // shift the RNG stream and change every generated corpus.
+    [[maybe_unused]] int64_t number = rng.UniformInt(1, 20);
     int64_t length = rng.UniformInt(120, 480);
     int64_t year = rng.UniformInt(1970, 2023);
     // Languages are heavily skewed toward one value, as in real catalogs.

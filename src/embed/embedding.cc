@@ -73,11 +73,17 @@ void L2NormalizeInPlace(std::span<float> v) {
   for (float& x : v) x *= inv;
 }
 
+float CosineSimilarityFromParts(float dot, float na2, float nb2) {
+  if (na2 <= 0.0f || nb2 <= 0.0f) return 0.0f;
+  double sim = static_cast<double>(dot) /
+               std::sqrt(static_cast<double>(na2) * static_cast<double>(nb2));
+  if (sim > 1.0) sim = 1.0;
+  if (sim < -1.0) sim = -1.0;
+  return static_cast<float>(sim);
+}
+
 float CosineSimilarity(std::span<const float> a, std::span<const float> b) {
-  float na = Norm(a);
-  float nb = Norm(b);
-  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
-  return Dot(a, b) / (na * nb);
+  return CosineSimilarityFromParts(Dot(a, b), Dot(a, a), Dot(b, b));
 }
 
 float CosineDistance(std::span<const float> a, std::span<const float> b) {

@@ -52,7 +52,19 @@ float Norm(std::span<const float> v);
 /// Scales `v` to unit L2 norm in place; leaves all-zero vectors untouched.
 void L2NormalizeInPlace(std::span<float> v);
 
+/// Cosine similarity from a precomputed dot product and squared norms:
+/// dot / sqrt(na2 * nb2), clamped to [-1, 1]; returns 0 if either squared
+/// norm is <= 0. The denominator is formed in double (the product of two
+/// floats is exact in double and sqrt is correctly rounded), so when
+/// dot == na2 == nb2 — the case for bitwise-identical vectors, since Dot is
+/// deterministic — the result is exactly 1 and the cosine distance exactly
+/// 0. BruteForceIndex relies on this so that exact duplicates survive a
+/// max_distance = 0 cap in MutualTopK; keep this the single authoritative
+/// implementation of the formula.
+float CosineSimilarityFromParts(float dot, float na2, float nb2);
+
 /// Cosine similarity in [-1, 1]; returns 0 if either vector is all-zero.
+/// Exactly 1 for bitwise-identical inputs (see CosineSimilarityFromParts).
 float CosineSimilarity(std::span<const float> a, std::span<const float> b);
 
 /// Cosine distance = 1 - cosine similarity (the merging-phase metric).
