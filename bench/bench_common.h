@@ -184,8 +184,10 @@ template <typename Tweak>
 CellResult RunMultiEm(const DatasetInstance& d, Tweak tweak) {
   core::MultiEmConfig config = TunedConfig(d.key);
   tweak(config);
+  auto pipeline = core::PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
   util::WallTimer timer;
-  auto result = core::MultiEmPipeline(config).Run(d.data.tables);
+  auto result = pipeline->Run(d.data.tables);
   CellResult cell;
   cell.seconds = timer.ElapsedSeconds();
   result.status().CheckOk();

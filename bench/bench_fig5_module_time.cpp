@@ -23,11 +23,15 @@ int Main(int argc, char** argv) {
   for (const auto& d : datasets) {
     std::fprintf(stderr, "[fig5] dataset %s ...\n", d.data.name.c_str());
     core::MultiEmConfig serial_config = TunedConfig(d.key);
-    auto serial = core::MultiEmPipeline(serial_config).Run(d.data.tables);
+    auto serial_pipeline = core::PipelineBuilder(serial_config).Build();
+    serial_pipeline.status().CheckOk();
+    auto serial = serial_pipeline->Run(d.data.tables);
     serial.status().CheckOk();
     core::MultiEmConfig parallel_config = TunedConfig(d.key);
     parallel_config.num_threads = 0;  // hardware concurrency
-    auto parallel = core::MultiEmPipeline(parallel_config).Run(d.data.tables);
+    auto parallel_pipeline = core::PipelineBuilder(parallel_config).Build();
+    parallel_pipeline.status().CheckOk();
+    auto parallel = parallel_pipeline->Run(d.data.tables);
     parallel.status().CheckOk();
 
     std::printf("%-11s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",

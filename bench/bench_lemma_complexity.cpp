@@ -14,6 +14,7 @@
 
 #include "core/hierarchical_merger.h"
 #include "core/merge_table.h"
+#include "core/registry.h"
 #include "core/two_table_merger.h"
 #include "datagen/music.h"
 #include "embed/hashing_encoder.h"
@@ -83,9 +84,15 @@ double TimeChain(const Workload& w, const core::MultiEmConfig& config) {
   return timer.ElapsedSeconds();
 }
 
-// Hierarchical schedule (Fig. 2b): MultiEM's Algorithm 2.
+// Hierarchical schedule (Fig. 2b): MultiEM's Algorithm 2. The ANN backend
+// is resolved from the index-factory registry so config.index_name (and the
+// deprecated use_exact_knn shim) select HNSW vs exact KNN, as in the
+// pipeline proper.
 double TimeHierarchical(const Workload& w, const core::MultiEmConfig& config) {
-  core::HierarchicalMerger merger(config, &w.store);
+  auto factory =
+      core::IndexFactories().Create(config.effective_index_name(), config);
+  factory.status().CheckOk();
+  core::HierarchicalMerger merger(config, &w.store, factory->get());
   util::WallTimer timer;
   core::MergeTable integrated = merger.Run(w.Tables());
   (void)integrated;
@@ -123,7 +130,7 @@ int Main(int argc, char** argv) {
     Workload w = MakeWorkload(4, rows);
     core::MultiEmConfig hnsw_config = config;
     core::MultiEmConfig exact_config = config;
-    exact_config.use_exact_knn = true;
+    exact_config.index_name = "brute_force";
     double hnsw = TimeHierarchical(w, hnsw_config);
     double exact = TimeHierarchical(w, exact_config);
     std::printf("%6zu %12.3f %12.3f\n", rows, hnsw, exact);

@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 
 #include "core/attribute_selector.h"
+#include "embed/hashing_encoder.h"
 #include "embed/serialize.h"
 
 namespace multiem::bench {

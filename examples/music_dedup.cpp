@@ -7,9 +7,12 @@
 //
 // Shows the full feature surface: automated attribute selection report,
 // serial vs parallel run, per-phase timing, accuracy against ground truth,
-// and the ablation switches.
+// the ablation switches, and component swapping through the registries
+// (index_name = "brute_force" replaces HNSW with the exact-KNN backend
+// without touching the pipeline).
 
 #include <cstdio>
+#include <utility>
 
 #include "core/pipeline.h"
 #include "datagen/music.h"
@@ -18,6 +21,17 @@
 using namespace multiem;
 
 namespace {
+
+// Builds and runs in one step; every variant below goes through the same
+// builder API the production callers use.
+core::PipelineResult RunVariant(const core::MultiEmConfig& config,
+                                const datagen::MultiSourceBenchmark& bench) {
+  auto pipeline = core::PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  auto result = pipeline->Run(bench.tables);
+  result.status().CheckOk();
+  return std::move(*result);
+}
 
 void Report(const char* label, const core::PipelineResult& result,
             const datagen::MultiSourceBenchmark& bench) {
@@ -47,44 +61,44 @@ int main() {
   config.gamma = 0.9;
 
   // Full pipeline, serial.
-  auto serial = core::MultiEmPipeline(config).Run(bench.tables);
-  serial.status().CheckOk();
+  core::PipelineResult serial = RunVariant(config, bench);
   std::printf("attribute selection kept:");
-  for (const auto& name : serial->selection.selected_names) {
+  for (const auto& name : serial.selection.selected_names) {
     std::printf(" %s", name.c_str());
   }
   std::printf("\n(noisy id/number/length/year/language rejected, as in "
               "Table VII)\n\n");
-  Report("MultiEM (serial)", *serial, bench);
+  Report("MultiEM (serial)", serial, bench);
 
   // Parallel variant: same tuples, faster merge/prune.
   core::MultiEmConfig parallel_config = config;
   parallel_config.num_threads = 0;  // hardware concurrency
-  auto parallel = core::MultiEmPipeline(parallel_config).Run(bench.tables);
-  parallel.status().CheckOk();
-  Report("MultiEM (parallel)", *parallel, bench);
+  core::PipelineResult parallel = RunVariant(parallel_config, bench);
+  Report("MultiEM (parallel)", parallel, bench);
   std::printf("parallel tuples identical to serial: %s\n\n",
-              serial->ToTupleSet().tuples() == parallel->ToTupleSet().tuples()
+              serial.ToTupleSet().tuples() == parallel.ToTupleSet().tuples()
                   ? "yes"
                   : "NO (bug!)");
 
   // Ablations (Table IV's w/o EER and w/o DP rows).
   core::MultiEmConfig no_eer = config;
   no_eer.enable_attribute_selection = false;
-  auto without_eer = core::MultiEmPipeline(no_eer).Run(bench.tables);
-  without_eer.status().CheckOk();
-  Report("w/o attribute sel.", *without_eer, bench);
+  Report("w/o attribute sel.", RunVariant(no_eer, bench), bench);
 
   core::MultiEmConfig no_dp = config;
   no_dp.enable_pruning = false;
-  auto without_dp = core::MultiEmPipeline(no_dp).Run(bench.tables);
-  without_dp.status().CheckOk();
-  Report("w/o pruning", *without_dp, bench);
+  Report("w/o pruning", RunVariant(no_dp, bench), bench);
+
+  // Component swap through the registry: the exact brute-force KNN backend
+  // replaces HNSW by name — no pipeline changes, same tuples expected.
+  core::MultiEmConfig exact = config;
+  exact.index_name = "brute_force";
+  Report("exact KNN index", RunVariant(exact, bench), bench);
 
   std::printf("\nmerge levels: %zu; mutual pairs found: %zu; outliers "
               "pruned: %zu\n",
-              serial->merge_stats.levels.size(),
-              serial->merge_stats.total_mutual_pairs,
-              serial->prune_stats.outliers_removed);
+              serial.merge_stats.levels.size(),
+              serial.merge_stats.total_mutual_pairs,
+              serial.prune_stats.outliers_removed);
   return 0;
 }

@@ -38,8 +38,9 @@ int main() {
   core::MultiEmConfig config;
   config.m = 0.35f;
   config.sample_ratio = 1.0;
-  core::MultiEmPipeline pipeline(config);
-  auto result = pipeline.Run(catalog.tables);
+  auto pipeline = core::PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  auto result = pipeline->Run(catalog.tables);
   result.status().CheckOk();
 
   eval::Prf prf =

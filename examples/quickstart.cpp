@@ -10,7 +10,7 @@
 #include "core/pipeline.h"
 
 using multiem::core::MultiEmConfig;
-using multiem::core::MultiEmPipeline;
+using multiem::core::PipelineBuilder;
 using multiem::table::Schema;
 using multiem::table::Table;
 
@@ -50,14 +50,18 @@ int main() {
     tables.push_back(std::move(t));
   }
 
-  // Configure and run. Tiny inputs need no sampling, and cross-platform
-  // titles this divergent need a loose distance cap.
+  // Configure, assemble, run. Tiny inputs need no sampling, and
+  // cross-platform titles this divergent need a loose distance cap. The
+  // builder validates the config and resolves the encoder / ANN index /
+  // pruner from the component registries (swap any of them via
+  // config.encoder_name/index_name/pruner_name or the With*() overrides).
   MultiEmConfig config;
   config.sample_ratio = 1.0;
   config.m = 0.72f;
   config.eps = 1.2f;  // keep legitimately-divergent listings when pruning
-  MultiEmPipeline pipeline(config);
-  auto result = pipeline.Run(tables);
+  auto pipeline = PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  auto result = pipeline->Run(tables);
   result.status().CheckOk();
 
   std::printf("matched %zu tuples:\n", result->tuples.size());

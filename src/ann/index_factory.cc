@@ -1,0 +1,17 @@
+#include "ann/index_factory.h"
+
+#include "ann/brute_force.h"
+
+namespace multiem::ann {
+
+std::unique_ptr<VectorIndex> BruteForceIndexFactory::Create(
+    size_t dim, Metric metric) const {
+  return std::make_unique<BruteForceIndex>(dim, metric);
+}
+
+std::unique_ptr<VectorIndex> HnswIndexFactory::Create(size_t dim,
+                                                      Metric metric) const {
+  return std::make_unique<HnswIndex>(dim, metric, config_);
+}
+
+}  // namespace multiem::ann

@@ -14,15 +14,14 @@ namespace {
 std::unique_ptr<VectorIndex> BuildIndex(const embed::EmbeddingMatrix& vectors,
                                         const MutualTopKOptions& options) {
   std::unique_ptr<VectorIndex> index;
-  if (options.use_exact) {
+  if (options.index_factory != nullptr) {
+    index = options.index_factory->Create(vectors.dim(), options.metric);
+  } else if (options.use_exact) {
     index = std::make_unique<BruteForceIndex>(vectors.dim(), options.metric);
   } else {
-    HnswConfig config;
-    config.m = options.hnsw_m;
-    config.m0 = options.hnsw_m * 2;
-    config.ef_construction = options.hnsw_ef_construction;
-    config.ef_search = options.hnsw_ef_search;
-    config.seed = options.hnsw_seed;
+    HnswConfig config =
+        MakeHnswConfig(options.hnsw_m, options.hnsw_ef_construction,
+                       options.hnsw_ef_search, options.hnsw_seed);
     index = std::make_unique<HnswIndex>(vectors.dim(), options.metric, config);
   }
   index->AddBatch(vectors);

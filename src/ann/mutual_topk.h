@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ann/index.h"
+#include "ann/index_factory.h"
 #include "embed/embedding.h"
 #include "util/thread_pool.h"
 
@@ -25,12 +26,16 @@ struct MutualTopKOptions {
   /// Distance threshold m: pairs farther than this are discarded.
   float max_distance = 0.35f;
   Metric metric = Metric::kCosine;
+  /// Non-owning index factory. When set, both sides' indexes come from it
+  /// and `use_exact`/`hnsw_*` below are ignored. This is how the pipeline
+  /// injects a registered or builder-supplied ann::VectorIndexFactory.
+  const VectorIndexFactory* index_factory = nullptr;
   /// false selects HnswIndex; true selects exact BruteForceIndex (ablation).
   /// Only the exact index guarantees a distance of exactly 0 for bitwise-
   /// identical vectors; HNSW's normalized fast path can report ~1e-7 for
   /// duplicates, so a max_distance of 0 requires use_exact = true.
   bool use_exact = false;
-  /// HNSW knobs (ignored for exact search).
+  /// HNSW knobs (ignored for exact search and when index_factory is set).
   size_t hnsw_m = 16;
   size_t hnsw_ef_construction = 200;
   size_t hnsw_ef_search = 64;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/config.h"
-#include "embed/hashing_encoder.h"
+#include "embed/text_encoder.h"
 #include "table/table.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -46,8 +46,10 @@ struct AttributeSelection {
 /// collapses to an empty serialization.
 class AttributeSelector {
  public:
-  /// `encoder` must already be fitted (FitFrequencies) on the corpus.
-  AttributeSelector(const embed::HashingSentenceEncoder* encoder,
+  /// `encoder` must already be prepared (FitCorpus) on the corpus. Any
+  /// TextEncoder works; the concrete type is chosen by the pipeline through
+  /// the encoder registry or the builder.
+  AttributeSelector(const embed::TextEncoder* encoder,
                     const MultiEmConfig& config)
       : encoder_(encoder), config_(config) {}
 
@@ -58,7 +60,7 @@ class AttributeSelector {
       util::ThreadPool* pool = nullptr) const;
 
  private:
-  const embed::HashingSentenceEncoder* encoder_;
+  const embed::TextEncoder* encoder_;
   MultiEmConfig config_;
 };
 

@@ -1,8 +1,12 @@
 #include "core/config.h"
 
+#include <string>
+
+#include "core/registry.h"
+
 namespace multiem::core {
 
-util::Status MultiEmConfig::Validate() const {
+util::Status MultiEmConfig::ValidateValues() const {
   if (embedding_dim == 0) {
     return util::Status::InvalidArgument("embedding_dim must be > 0");
   }
@@ -25,9 +29,35 @@ util::Status MultiEmConfig::Validate() const {
   if (min_pts == 0) {
     return util::Status::InvalidArgument("min_pts must be >= 1");
   }
+  return util::Status::Ok();
+}
+
+util::Status MultiEmConfig::ValidateHnswKnobs() const {
   if (hnsw_m < 2) {
-    return util::Status::InvalidArgument("hnsw_m must be >= 2");
+    return util::Status::InvalidArgument(
+        "hnsw_m must be >= 2, got " + std::to_string(hnsw_m));
   }
+  if (hnsw_ef_construction == 0) {
+    return util::Status::InvalidArgument("hnsw_ef_construction must be >= 1");
+  }
+  if (hnsw_ef_search < k) {
+    return util::Status::InvalidArgument(
+        "hnsw_ef_search (" + std::to_string(hnsw_ef_search) +
+        ") must be >= k (" + std::to_string(k) +
+        "): the search beam cannot return k neighbors otherwise");
+  }
+  return util::Status::Ok();
+}
+
+util::Status MultiEmConfig::Validate() const {
+  MULTIEM_RETURN_IF_ERROR(ValidateValues());
+  if (effective_index_name() == kDefaultIndexName) {
+    MULTIEM_RETURN_IF_ERROR(ValidateHnswKnobs());
+  }
+  MULTIEM_RETURN_IF_ERROR(TextEncoders().CheckRegistered(encoder_name));
+  MULTIEM_RETURN_IF_ERROR(
+      IndexFactories().CheckRegistered(effective_index_name()));
+  MULTIEM_RETURN_IF_ERROR(Pruners().CheckRegistered(pruner_name));
   return util::Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "util/status.h"
 
@@ -56,7 +57,8 @@ struct MultiEmConfig {
   float m = 0.35f;
   /// Representation of merged items across hierarchies.
   MergedItemRepr merged_repr = MergedItemRepr::kCentroid;
-  /// true replaces HNSW with exact brute-force KNN (ablation).
+  /// Deprecated shim: true maps to `index_name = "brute_force"` (the exact
+  /// brute-force KNN ablation). Prefer setting index_name directly.
   bool use_exact_knn = false;
   /// HNSW construction/search knobs. The defaults are tuned for the mutual
   /// top-1 queries of the merging phase (k=1 with a distance cap needs far
@@ -82,8 +84,37 @@ struct MultiEmConfig {
   /// and for every other randomized component.
   uint64_t seed = 0;
 
-  /// Verifies parameter ranges; returns InvalidArgument on nonsense values.
+  // --- Component selection (core/registry.h) ---
+  /// Sentence encoder, resolved through core::TextEncoders(). The default
+  /// "hashing" is the deterministic MiniLM stand-in.
+  std::string encoder_name = "hashing";
+  /// ANN index factory for the merging phase, resolved through
+  /// core::IndexFactories(). Built-ins: "hnsw" (default), "brute_force".
+  std::string index_name = "hnsw";
+  /// Pruning-phase implementation, resolved through core::Pruners(). The
+  /// default "density" is the paper's Algorithm 4.
+  std::string pruner_name = "density";
+
+  /// The index name after applying the deprecated `use_exact_knn` shim.
+  std::string effective_index_name() const {
+    return use_exact_knn ? "brute_force" : index_name;
+  }
+
+  /// Verifies parameter ranges and that the three component names are
+  /// registered; returns InvalidArgument on nonsense values (unknown names
+  /// list the registered alternatives in the message).
   util::Status Validate() const;
+
+  /// Verifies parameter ranges only, skipping the registry name checks and
+  /// the HNSW knob coupling — what the pipeline uses when builder-injected
+  /// components make the names (and the HNSW knobs) irrelevant.
+  util::Status ValidateValues() const;
+
+  /// Verifies the HNSW construction/search knobs (hnsw_m >= 2,
+  /// hnsw_ef_construction >= 1, hnsw_ef_search >= k). Only applied when the
+  /// built-in "hnsw" index is actually selected — a brute-force or custom
+  /// index assembly must not be rejected over unused HNSW knobs.
+  util::Status ValidateHnswKnobs() const;
 };
 
 }  // namespace multiem::core

@@ -1,13 +1,22 @@
 #include "core/density_pruner.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "cluster/dbscan.h"
 
 namespace multiem::core {
 
+namespace {
+
+/// Candidate tuples pruned per cancellation check / observer tick. Small
+/// enough to cancel promptly, large enough to amortize the pool dispatch.
+constexpr size_t kPruneBatchSize = 512;
+
+}  // namespace
+
 std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
-                                              util::ThreadPool* pool,
+                                              const PruneContext& ctx,
                                               PruneStats* stats) const {
   // Collect candidate items (>= 2 members) up front so the parallel loop
   // indexes a dense list.
@@ -24,36 +33,53 @@ std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
   dbscan.min_pts = config_.min_pts;
   dbscan.metric = ann::Metric::kEuclidean;
 
-  util::ParallelFor(
-      pool, candidates.size(),
-      [&](size_t c) {
-        const MergeItem& item = integrated.item(candidates[c]);
-        if (!config_.enable_pruning) {
-          pruned[c] = item.members;
-          return;
-        }
-        // Gather member embeddings into a small local matrix (tuples are
-        // tiny: at most ~S entities).
-        embed::EmbeddingMatrix points(item.members.size(), store_->dim());
-        for (size_t i = 0; i < item.members.size(); ++i) {
-          std::span<const float> row = store_->Row(item.members[i]);
-          std::copy(row.begin(), row.end(), points.Row(i).begin());
-        }
-        std::vector<cluster::PointRole> roles =
-            cluster::ClassifyDensity(points, dbscan);
-        eval::Tuple kept;
-        size_t dropped = 0;
-        for (size_t i = 0; i < roles.size(); ++i) {
-          if (roles[i] == cluster::PointRole::kOutlier) {
-            ++dropped;
-          } else {
-            kept.push_back(item.members[i]);
-          }
-        }
-        outliers_removed.fetch_add(dropped, std::memory_order_relaxed);
-        pruned[c] = std::move(kept);
-      },
-      /*min_block_size=*/8);
+  auto prune_one = [&](size_t c) {
+    const MergeItem& item = integrated.item(candidates[c]);
+    if (!config_.enable_pruning) {
+      pruned[c] = item.members;
+      return;
+    }
+    // Gather member embeddings into a small local matrix (tuples are
+    // tiny: at most ~S entities).
+    embed::EmbeddingMatrix points(item.members.size(), ctx.store->dim());
+    for (size_t i = 0; i < item.members.size(); ++i) {
+      std::span<const float> row = ctx.store->Row(item.members[i]);
+      std::copy(row.begin(), row.end(), points.Row(i).begin());
+    }
+    std::vector<cluster::PointRole> roles =
+        cluster::ClassifyDensity(points, dbscan);
+    eval::Tuple kept;
+    size_t dropped = 0;
+    for (size_t i = 0; i < roles.size(); ++i) {
+      if (roles[i] == cluster::PointRole::kOutlier) {
+        ++dropped;
+      } else {
+        kept.push_back(item.members[i]);
+      }
+    }
+    outliers_removed.fetch_add(dropped, std::memory_order_relaxed);
+    pruned[c] = std::move(kept);
+  };
+
+  // Batched sweep: each batch fans out over the pool; the cancellation token
+  // is polled between batches so a fired token stops the phase within one
+  // batch of work.
+  size_t processed = 0;
+  while (processed < candidates.size()) {
+    if (ctx.run.cancelled()) break;
+    size_t batch_end =
+        std::min(processed + kPruneBatchSize, candidates.size());
+    util::ParallelFor(
+        ctx.pool, batch_end - processed,
+        [&](size_t i) { prune_one(processed + i); },
+        /*min_block_size=*/8);
+    processed = batch_end;
+    if (ctx.run.observer != nullptr) {
+      ctx.run.observer->OnPruneProgress(processed, candidates.size());
+    }
+  }
+  // On cancellation only the processed prefix is meaningful.
+  pruned.resize(processed);
 
   std::vector<eval::Tuple> tuples;
   tuples.reserve(pruned.size());
@@ -66,11 +92,28 @@ std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
     }
   }
   if (stats != nullptr) {
-    stats->items_examined = candidates.size();
+    stats->items_examined = processed;
     stats->outliers_removed = outliers_removed.load();
     stats->tuples_dropped = tuples_dropped;
   }
   return tuples;
+}
+
+std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
+                                              util::ThreadPool* pool,
+                                              PruneStats* stats) const {
+  if (bound_store_ == nullptr) {
+    // Loud failure instead of a null dereference inside the parallel loop:
+    // this overload only works with the store-binding constructor.
+    util::Status::FailedPrecondition(
+        "DensityPruner: the store-free constructor requires the "
+        "PruneContext overload of Prune (no store was bound)")
+        .CheckOk();
+  }
+  PruneContext ctx;
+  ctx.store = bound_store_;
+  ctx.pool = pool;
+  return Prune(integrated, ctx, stats);
 }
 
 }  // namespace multiem::core

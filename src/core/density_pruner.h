@@ -3,7 +3,8 @@
 /// each candidate tuple, entities are classified as core, reachable, or
 /// outlier (Definitions 3-5) by an eps/MinPts density test on their
 /// embeddings, and outliers are dropped. Disabling this phase reproduces
-/// the "MultiEM w/o DP" ablation row of Table IV.
+/// the "MultiEM w/o DP" ablation row of Table IV. Registered in
+/// core/registry.h as the default `pruner_name = "density"`.
 
 #ifndef MULTIEM_CORE_DENSITY_PRUNER_H_
 #define MULTIEM_CORE_DENSITY_PRUNER_H_
@@ -12,17 +13,11 @@
 
 #include "core/config.h"
 #include "core/merge_table.h"
+#include "core/pruner.h"
 #include "eval/tuples.h"
 #include "util/thread_pool.h"
 
 namespace multiem::core {
-
-/// Counters reported by the pruning phase.
-struct PruneStats {
-  size_t items_examined = 0;    ///< candidate tuples with >= 2 members
-  size_t outliers_removed = 0;  ///< entities dropped as outliers
-  size_t tuples_dropped = 0;    ///< candidates reduced below 2 members
-};
 
 /// Section III-D / Algorithm 4: density-based pruning of candidate tuples.
 ///
@@ -32,22 +27,34 @@ struct PruneStats {
 /// semantics, which the paper's implementation uses). Outliers are removed;
 /// items that keep >= 2 members are emitted as final tuples. Items are
 /// independent, so pruning partitions across the thread pool in parallel
-/// mode (Section III-E).
-class DensityPruner {
+/// mode (Section III-E). Work proceeds in fixed-size batches; the
+/// cancellation token (if any) is polled between batches.
+class DensityPruner : public Pruner {
  public:
-  DensityPruner(const MultiEmConfig& config, const EntityEmbeddingStore* store)
-      : config_(config), store_(store) {}
+  /// Store-free construction: the store arrives per call via PruneContext.
+  /// This is the form the registry and the builder use.
+  explicit DensityPruner(const MultiEmConfig& config) : config_(config) {}
 
-  /// Prunes `integrated` and returns the surviving tuples. With
+  /// Binds a store at construction so the legacy Prune overload below can be
+  /// called without a context.
+  DensityPruner(const MultiEmConfig& config, const EntityEmbeddingStore* store)
+      : config_(config), bound_store_(store) {}
+
+  /// Pruner interface: prunes `integrated` against ctx.store. With
   /// config.enable_pruning == false, returns every >=2-member item as-is
   /// (the "MultiEM w/o DP" ablation).
+  std::vector<eval::Tuple> Prune(const MergeTable& integrated,
+                                 const PruneContext& ctx,
+                                 PruneStats* stats) const override;
+
+  /// Legacy convenience: prunes against the store bound at construction.
   std::vector<eval::Tuple> Prune(const MergeTable& integrated,
                                  util::ThreadPool* pool = nullptr,
                                  PruneStats* stats = nullptr) const;
 
  private:
   MultiEmConfig config_;
-  const EntityEmbeddingStore* store_;
+  const EntityEmbeddingStore* bound_store_ = nullptr;
 };
 
 }  // namespace multiem::core

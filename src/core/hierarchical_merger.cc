@@ -8,13 +8,18 @@ namespace multiem::core {
 
 MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
                                    util::ThreadPool* pool,
-                                   HierarchicalMergeStats* stats) const {
+                                   HierarchicalMergeStats* stats,
+                                   const RunContext& ctx) const {
   if (tables.empty()) return MergeTable();
   util::Rng rng(config_.seed ^ 0x4D455247ULL);  // "MERG"
   bool parallel_pairs = config_.num_threads != 1 && pool != nullptr;
+  size_t level_index = 0;
 
-  // Line 1: iterate until one table remains.
+  // Line 1: iterate until one table remains. A fired cancellation token
+  // stops between levels; the partially merged first table is returned and
+  // the pipeline reports Status::Cancelled.
   while (tables.size() > 1) {
+    if (ctx.cancelled()) break;
     // Line 3: random pairing — shuffle, then take consecutive pairs.
     std::vector<size_t> order(tables.size());
     std::iota(order.begin(), order.end(), size_t{0});
@@ -48,16 +53,28 @@ MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
       next[num_pairs] = std::move(tables[order[tables.size() - 1]]);
     }
 
+    size_t level_mutual_pairs = 0;
+    for (const TwoTableMergeStats& s : pair_stats) {
+      level_mutual_pairs += s.mutual_pairs;
+    }
     if (stats != nullptr) {
       MergeLevelStats level;
       level.tables_in = tables.size();
       level.pairs_merged = num_pairs;
-      for (const TwoTableMergeStats& s : pair_stats) {
-        level.mutual_pairs += s.mutual_pairs;
-      }
+      level.mutual_pairs = level_mutual_pairs;
       stats->total_mutual_pairs += level.mutual_pairs;
       stats->levels.push_back(level);
     }
+    if (ctx.observer != nullptr) {
+      MergeLevelProgress progress;
+      progress.level = level_index;
+      progress.tables_in = tables.size();
+      progress.tables_out = next.size();
+      progress.pairs_merged = num_pairs;
+      progress.mutual_pairs = level_mutual_pairs;
+      ctx.observer->OnMergeLevel(progress);
+    }
+    ++level_index;
     tables = std::move(next);
   }
   return std::move(tables[0]);

@@ -15,8 +15,10 @@
 
 #include <vector>
 
+#include "ann/index_factory.h"
 #include "core/config.h"
 #include "core/merge_table.h"
+#include "core/run_context.h"
 #include "core/two_table_merger.h"
 #include "util/thread_pool.h"
 
@@ -45,17 +47,29 @@ struct HierarchicalMergeStats {
 /// ANN queries inside each two-table merge if a pool is supplied.
 class HierarchicalMerger {
  public:
+  /// `index_factory` (non-owning, optional) overrides how the per-merge ANN
+  /// indexes are built (see TwoTableMerger).
   HierarchicalMerger(const MultiEmConfig& config,
-                     const EntityEmbeddingStore* store)
-      : config_(config), store_(store), merger_(config, store) {}
+                     const EntityEmbeddingStore* store,
+                     const ann::VectorIndexFactory* index_factory = nullptr)
+      : config_(config),
+        store_(store),
+        merger_(config, store, index_factory) {}
 
   /// Consumes `tables` and returns the final integrated table. The pairing
   /// order is a deterministic shuffle of config.seed per level (Figure 6(b)
   /// studies sensitivity to this order). An empty input yields an empty
   /// table; a single table is returned unchanged.
+  ///
+  /// The run session `ctx` is optional: ctx.observer receives one
+  /// OnMergeLevel per completed hierarchy level; ctx.cancel is polled
+  /// between levels — when it fires, merging stops and the first remaining
+  /// (partially merged) table is returned, which the pipeline turns into
+  /// Status::Cancelled.
   MergeTable Run(std::vector<MergeTable> tables,
                  util::ThreadPool* pool = nullptr,
-                 HierarchicalMergeStats* stats = nullptr) const;
+                 HierarchicalMergeStats* stats = nullptr,
+                 const RunContext& ctx = {}) const;
 
  private:
   MultiEmConfig config_;

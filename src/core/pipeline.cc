@@ -1,39 +1,145 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <memory>
+#include <unordered_set>
+#include <utility>
 
+#include "core/registry.h"
 #include "embed/serialize.h"
 #include "util/logging.h"
 
 namespace multiem::core {
 
-util::Result<PipelineResult> MultiEmPipeline::Run(
-    const std::vector<table::Table>& tables) const {
-  MULTIEM_RETURN_IF_ERROR(config_.Validate());
+namespace {
+
+/// RAII phase bracket: accumulates the duration into the result's timings
+/// and emits OnPhaseStart/OnPhaseEnd. On early return (cancellation) the
+/// destructor still records the partial duration and closes the bracket.
+class ScopedPhase {
+ public:
+  ScopedPhase(PipelineResult* result, const RunContext& ctx, const char* name)
+      : result_(result), ctx_(ctx), name_(name) {
+    if (ctx_.observer != nullptr) ctx_.observer->OnPhaseStart(name_);
+  }
+  ~ScopedPhase() {
+    double seconds = timer_.ElapsedSeconds();
+    result_->timings.Add(name_, seconds);
+    if (ctx_.observer != nullptr) ctx_.observer->OnPhaseEnd(name_, seconds);
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PipelineResult* result_;
+  const RunContext& ctx_;
+  const char* name_;
+  util::WallTimer timer_;
+};
+
+util::Status CancelledAfter(const char* phase) {
+  return util::Status::Cancelled(
+      std::string("pipeline run cancelled during the ") + phase + " phase");
+}
+
+/// Fail-fast input validation: enough tables, non-empty, unique names,
+/// one common schema.
+util::Status ValidateTables(const std::vector<table::Table>& tables) {
   if (tables.size() < 2) {
     return util::Status::InvalidArgument(
         "multi-table EM needs at least 2 tables, got " +
         std::to_string(tables.size()));
   }
+  std::unordered_set<std::string> names;
   for (const table::Table& t : tables) {
+    if (t.num_rows() == 0) {
+      return util::Status::InvalidArgument(
+          "table '" + t.name() +
+          "' is empty: every input table needs at least one row");
+    }
+    if (!names.insert(t.name()).second) {
+      return util::Status::InvalidArgument(
+          "duplicate table name '" + t.name() +
+          "': table names identify sources and must be unique");
+    }
     if (t.schema() != tables[0].schema()) {
       return util::Status::InvalidArgument(
           "table '" + t.name() + "' does not share the common schema");
     }
   }
+  return util::Status::Ok();
+}
 
+/// Fills each unset component from its registry by config name — shared by
+/// PipelineBuilder::Build (validate-once path) and MultiEmPipeline::Run
+/// (per-run path). Already-set components (builder injections) are kept and
+/// their config names are not validated. The HNSW knob coupling is checked
+/// only when the built-in "hnsw" index is actually resolved.
+util::Status ResolveComponents(
+    const MultiEmConfig& config,
+    std::shared_ptr<embed::TextEncoder>* encoder,
+    std::shared_ptr<const ann::VectorIndexFactory>* index_factory,
+    std::shared_ptr<const Pruner>* pruner) {
+  if (*encoder == nullptr) {
+    auto created = TextEncoders().Create(config.encoder_name, config);
+    if (!created.ok()) return created.status();
+    *encoder = std::move(*created);
+  }
+  if (*index_factory == nullptr) {
+    if (config.effective_index_name() == kDefaultIndexName) {
+      MULTIEM_RETURN_IF_ERROR(config.ValidateHnswKnobs());
+    }
+    auto created =
+        IndexFactories().Create(config.effective_index_name(), config);
+    if (!created.ok()) return created.status();
+    *index_factory = std::move(*created);
+  }
+  if (*pruner == nullptr) {
+    auto created = Pruners().Create(config.pruner_name, config);
+    if (!created.ok()) return created.status();
+    *pruner = std::move(*created);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<PipelineResult> MultiEmPipeline::Run(
+    const std::vector<table::Table>& tables) const {
   PipelineResult result;
+  util::Status status = Run(tables, RunContext{}, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
+                                  const RunContext& ctx,
+                                  PipelineResult* result) const {
+  if (result == nullptr) {
+    return util::Status::InvalidArgument("result must be non-null");
+  }
+  *result = PipelineResult{};
+  MULTIEM_RETURN_IF_ERROR(config_.ValidateValues());
+  MULTIEM_RETURN_IF_ERROR(ValidateTables(tables));
+
+  // Assemble the components: builder-injected instances win; otherwise
+  // resolve from the registries by config name (a fresh instance per run,
+  // so registry-assembled pipelines stay safe for concurrent Run calls).
+  std::shared_ptr<embed::TextEncoder> encoder = encoder_;
+  std::shared_ptr<const ann::VectorIndexFactory> index_factory =
+      index_factory_;
+  std::shared_ptr<const Pruner> pruner = pruner_;
+  MULTIEM_RETURN_IF_ERROR(
+      ResolveComponents(config_, &encoder, &index_factory, &pruner));
+
   std::unique_ptr<util::ThreadPool> pool;
   if (config_.num_threads != 1) {
     pool = std::make_unique<util::ThreadPool>(config_.num_threads);
   }
 
-  // Encoder setup: fit SIF frequencies on the full-schema corpus.
-  embed::HashingEncoderConfig encoder_config;
-  encoder_config.dim = config_.embedding_dim;
-  encoder_config.max_tokens = config_.max_tokens;
-  encoder_config.seed ^= config_.seed;
-  embed::HashingSentenceEncoder encoder(encoder_config);
+  // Encoder setup: fit corpus-dependent state (SIF frequencies for the
+  // hashing encoder) on the full-schema corpus.
   {
     std::vector<std::string> corpus;
     for (const table::Table& t : tables) {
@@ -41,51 +147,54 @@ util::Result<PipelineResult> MultiEmPipeline::Run(
       corpus.insert(corpus.end(), std::make_move_iterator(texts.begin()),
                     std::make_move_iterator(texts.end()));
     }
-    encoder.FitFrequencies(corpus);
+    encoder->FitCorpus(corpus);
   }
 
   // Phase S: automated attribute selection (Algorithm 1).
   {
-    util::ScopedPhaseTimer timer(&result.timings, kPhaseSelection);
+    ScopedPhase phase(result, ctx, kPhaseSelection);
     if (config_.enable_attribute_selection) {
-      AttributeSelector selector(&encoder, config_);
+      AttributeSelector selector(encoder.get(), config_);
       auto selection = selector.Run(tables, pool.get());
       if (!selection.ok()) return selection.status();
-      result.selection = std::move(*selection);
+      result->selection = std::move(*selection);
     } else {
       for (size_t c = 0; c < tables[0].num_columns(); ++c) {
-        result.selection.selected_columns.push_back(c);
-        result.selection.selected_names.push_back(tables[0].schema().name(c));
+        result->selection.selected_columns.push_back(c);
+        result->selection.selected_names.push_back(tables[0].schema().name(c));
       }
-      result.selection.shuffle_similarity.assign(tables[0].num_columns(), 0.0);
+      result->selection.shuffle_similarity.assign(tables[0].num_columns(),
+                                                  0.0);
     }
   }
+  if (ctx.cancelled()) return CancelledAfter(kPhaseSelection);
 
   // Phase R: serialize with the selected attributes and embed every entity.
   EntityEmbeddingStore store;
   {
-    util::ScopedPhaseTimer timer(&result.timings, kPhaseRepresentation);
-    // Re-fit frequencies on the selected-column corpus so SIF weights match
-    // what is actually encoded.
+    ScopedPhase phase(result, ctx, kPhaseRepresentation);
+    // Re-fit the encoder on the selected-column corpus so corpus-dependent
+    // weighting (e.g. SIF) matches what is actually encoded.
     std::vector<std::vector<std::string>> texts_per_source;
     texts_per_source.reserve(tables.size());
     std::vector<std::string> corpus;
     for (const table::Table& t : tables) {
       texts_per_source.push_back(
-          embed::SerializeTable(t, result.selection.selected_columns));
+          embed::SerializeTable(t, result->selection.selected_columns));
       corpus.insert(corpus.end(), texts_per_source.back().begin(),
                     texts_per_source.back().end());
     }
-    encoder.FitFrequencies(corpus);
+    encoder->FitCorpus(corpus);
     for (const auto& texts : texts_per_source) {
-      store.AddSource(encoder.EncodeBatch(texts, pool.get()));
+      store.AddSource(encoder->EncodeBatch(texts, pool.get()));
     }
   }
+  if (ctx.cancelled()) return CancelledAfter(kPhaseRepresentation);
 
   // Phase M: table-wise hierarchical merging (Algorithm 2).
   MergeTable integrated;
   {
-    util::ScopedPhaseTimer timer(&result.timings, kPhaseMerging);
+    ScopedPhase phase(result, ctx, kPhaseMerging);
     std::vector<MergeTable> merge_tables;
     merge_tables.reserve(tables.size());
     for (size_t s = 0; s < tables.size(); ++s) {
@@ -94,25 +203,43 @@ util::Result<PipelineResult> MultiEmPipeline::Run(
     }
     size_t initial_bytes = store.SizeBytes();
     for (const MergeTable& mt : merge_tables) initial_bytes += mt.SizeBytes();
-    result.approx_peak_bytes = std::max(result.approx_peak_bytes,
-                                        2 * initial_bytes);
-    HierarchicalMerger merger(config_, &store);
+    result->approx_peak_bytes =
+        std::max(result->approx_peak_bytes, 2 * initial_bytes);
+    HierarchicalMerger merger(config_, &store, index_factory.get());
     integrated = merger.Run(std::move(merge_tables), pool.get(),
-                            &result.merge_stats);
+                            &result->merge_stats, ctx);
   }
+  if (ctx.cancelled()) return CancelledAfter(kPhaseMerging);
 
-  // Phase P: density-based pruning (Algorithm 4).
+  // Phase P: pruning (Algorithm 4 under the default density pruner).
   {
-    util::ScopedPhaseTimer timer(&result.timings, kPhasePruning);
-    DensityPruner pruner(config_, &store);
-    result.tuples = pruner.Prune(integrated, pool.get(), &result.prune_stats);
+    ScopedPhase phase(result, ctx, kPhasePruning);
+    PruneContext prune_ctx;
+    prune_ctx.store = &store;
+    prune_ctx.pool = pool.get();
+    prune_ctx.run = ctx;
+    result->tuples =
+        pruner->Prune(integrated, prune_ctx, &result->prune_stats);
   }
+  if (ctx.cancelled()) return CancelledAfter(kPhasePruning);
 
-  MULTIEM_LOG(kDebug) << "MultiEM finished: " << result.tuples.size()
+  MULTIEM_LOG(kDebug) << "MultiEM finished: " << result->tuples.size()
                       << " tuples, "
-                      << result.prune_stats.outliers_removed
+                      << result->prune_stats.outliers_removed
                       << " outliers removed";
-  return result;
+  return util::Status::Ok();
+}
+
+util::Result<MultiEmPipeline> PipelineBuilder::Build() {
+  MULTIEM_RETURN_IF_ERROR(config_.ValidateValues());
+  MultiEmPipeline pipeline(config_);
+  pipeline.encoder_ = std::move(encoder_);
+  pipeline.index_factory_ = std::move(index_factory_);
+  pipeline.pruner_ = std::move(pruner_);
+  MULTIEM_RETURN_IF_ERROR(ResolveComponents(config_, &pipeline.encoder_,
+                                            &pipeline.index_factory_,
+                                            &pipeline.pruner_));
+  return pipeline;
 }
 
 }  // namespace multiem::core

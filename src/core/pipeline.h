@@ -14,19 +14,30 @@
 ///      core/density_pruner.h): drops outlier entities from candidate
 ///      tuples.
 ///
+/// The pipeline is assembled from pluggable components — a sentence encoder,
+/// an ANN index factory, and a pruner — resolved by name from
+/// core/registry.h (MultiEmConfig::{encoder,index,pruner}_name) or injected
+/// explicitly through PipelineBuilder. Runs are observable and cancellable
+/// via core/run_context.h. See docs/API.md for the full API tour.
+///
 /// PipelineResult exposes the per-phase wall times (Figure 5's S/R/M/P
 /// breakdown) and the counters the Table IV-VII benches report.
 
 #ifndef MULTIEM_CORE_PIPELINE_H_
 #define MULTIEM_CORE_PIPELINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ann/index_factory.h"
 #include "core/attribute_selector.h"
 #include "core/config.h"
 #include "core/density_pruner.h"
 #include "core/hierarchical_merger.h"
+#include "core/pruner.h"
+#include "core/run_context.h"
+#include "embed/text_encoder.h"
 #include "eval/tuples.h"
 #include "table/table.h"
 #include "util/status.h"
@@ -48,7 +59,9 @@ struct PipelineResult {
   std::vector<eval::Tuple> tuples;
   /// Attribute selection outcome (all columns when EER is disabled).
   AttributeSelection selection;
-  /// Wall time per phase (Figure 5's S/R/M/P breakdown).
+  /// Wall time per phase (Figure 5's S/R/M/P breakdown). On a cancelled run
+  /// this holds the completed phases plus the partial duration of the phase
+  /// the cancellation interrupted.
   util::PhaseTimings timings;
   /// Merging and pruning counters.
   HierarchicalMergeStats merge_stats;
@@ -66,26 +79,111 @@ struct PipelineResult {
 /// pruning. Serial by default; set config.num_threads != 1 for
 /// MultiEM(parallel).
 ///
+/// Construction: `MultiEmPipeline(config)` resolves every component from the
+/// registries by name at each Run() (a fresh encoder per run — safe for
+/// concurrent Run() calls on one pipeline). `PipelineBuilder` instead
+/// resolves or injects components once at Build(); the resulting pipeline
+/// reuses them across runs, so run one session at a time when the encoder
+/// has corpus-dependent state (FitCorpus).
+///
 /// Usage:
 ///   MultiEmConfig cfg;
-///   MultiEmPipeline pipeline(cfg);
-///   auto result = pipeline.Run(tables);
+///   auto pipeline = PipelineBuilder(cfg).Build();
+///   if (!pipeline.ok()) { ... }
+///   auto result = pipeline->Run(tables);
 ///   if (result.ok()) { use result->tuples ... }
 class MultiEmPipeline {
  public:
   explicit MultiEmPipeline(MultiEmConfig config = {})
-      : config_(config) {}
+      : config_(std::move(config)) {}
 
-  /// Matches `tables` (>= 2 tables, identical schemas). Deterministic given
-  /// config.seed and config.num_threads == 1; parallel runs produce the same
-  /// tuples (the merge schedule is seed-driven, not thread-driven).
+  // Move-only: a builder-assembled pipeline owns a stateful encoder
+  // (FitCorpus mutates it per run); copies would share that state and race
+  // when run concurrently.
+  MultiEmPipeline(MultiEmPipeline&&) = default;
+  MultiEmPipeline& operator=(MultiEmPipeline&&) = default;
+  MultiEmPipeline(const MultiEmPipeline&) = delete;
+  MultiEmPipeline& operator=(const MultiEmPipeline&) = delete;
+
+  /// Matches `tables` (>= 2 tables, unique names, non-empty, identical
+  /// schemas). Deterministic given config.seed and config.num_threads == 1;
+  /// parallel runs produce the same tuples (the merge schedule is
+  /// seed-driven, not thread-driven).
   util::Result<PipelineResult> Run(
       const std::vector<table::Table>& tables) const;
+
+  /// Run-session form: `ctx.observer` receives phase and progress events;
+  /// `ctx.cancel` is polled at phase boundaries, between merge hierarchy
+  /// levels, and between pruning batches. On cancellation returns
+  /// Status::Cancelled with `result->timings` holding the phases that ran
+  /// (`result` is always written; on error its contents are partial).
+  util::Status Run(const std::vector<table::Table>& tables,
+                   const RunContext& ctx, PipelineResult* result) const;
 
   const MultiEmConfig& config() const { return config_; }
 
  private:
+  friend class PipelineBuilder;
+
   MultiEmConfig config_;
+  // Builder-provided components; null means "resolve from the registry by
+  // config name at Run()". shared_ptr so Run() can hand the ownership of a
+  // per-run resolved component and a bound component through one type.
+  std::shared_ptr<embed::TextEncoder> encoder_;
+  std::shared_ptr<const ann::VectorIndexFactory> index_factory_;
+  std::shared_ptr<const Pruner> pruner_;
+};
+
+/// Assembles a MultiEmPipeline from a config plus optional explicit
+/// component overrides, validating the whole assembly once at Build().
+/// Components not overridden are resolved from the registries by the
+/// config's names; overridden components make the corresponding name
+/// irrelevant (it is not validated).
+///
+///   auto pipeline = PipelineBuilder(config)
+///                       .WithEncoder(std::make_unique<MyOnnxEncoder>())
+///                       .Build();
+class PipelineBuilder {
+ public:
+  explicit PipelineBuilder(MultiEmConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Replaces the config assembled so far.
+  PipelineBuilder& WithConfig(MultiEmConfig config) {
+    config_ = std::move(config);
+    return *this;
+  }
+
+  /// Injects the sentence encoder instance (overrides encoder_name).
+  PipelineBuilder& WithEncoder(std::unique_ptr<embed::TextEncoder> encoder) {
+    encoder_ = std::move(encoder);
+    return *this;
+  }
+
+  /// Injects the ANN index factory (overrides index_name/use_exact_knn).
+  PipelineBuilder& WithIndexFactory(
+      std::unique_ptr<ann::VectorIndexFactory> factory) {
+    index_factory_ = std::move(factory);
+    return *this;
+  }
+
+  /// Injects the pruning phase (overrides pruner_name).
+  PipelineBuilder& WithPruner(std::unique_ptr<Pruner> pruner) {
+    pruner_ = std::move(pruner);
+    return *this;
+  }
+
+  /// Validates config values, resolves every non-injected component from
+  /// its registry (unknown names fail here, listing the registered ones),
+  /// and returns the assembled pipeline. The builder is left empty; call
+  /// sites build once and run many times.
+  util::Result<MultiEmPipeline> Build();
+
+ private:
+  MultiEmConfig config_;
+  std::shared_ptr<embed::TextEncoder> encoder_;
+  std::shared_ptr<const ann::VectorIndexFactory> index_factory_;
+  std::shared_ptr<const Pruner> pruner_;
 };
 
 }  // namespace multiem::core

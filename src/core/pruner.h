@@ -1,0 +1,53 @@
+/// \file pruner.h
+/// The pruning-phase interface of the pipeline. The paper's density-based
+/// pruning (Section III-D, core/density_pruner.h) is the default
+/// implementation; alternative pruners — confidence thresholds, LLM
+/// verification per Tang et al., or a pass-through — implement this
+/// interface and register under a name in core/registry.h, or are injected
+/// directly via PipelineBuilder::WithPruner.
+
+#ifndef MULTIEM_CORE_PRUNER_H_
+#define MULTIEM_CORE_PRUNER_H_
+
+#include <vector>
+
+#include "core/merge_table.h"
+#include "core/run_context.h"
+#include "eval/tuples.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// Counters reported by the pruning phase.
+struct PruneStats {
+  size_t items_examined = 0;    ///< candidate tuples with >= 2 members
+  size_t outliers_removed = 0;  ///< entities dropped as outliers
+  size_t tuples_dropped = 0;    ///< candidates reduced below 2 members
+};
+
+/// Everything a pruner needs besides the integrated table: the base entity
+/// embeddings, an optional worker pool, and the run session (observer +
+/// cancellation), all non-owning.
+struct PruneContext {
+  const EntityEmbeddingStore* store = nullptr;
+  util::ThreadPool* pool = nullptr;
+  RunContext run;
+};
+
+/// Phase-3 interface: turns the integrated table's candidate tuples into
+/// final matched tuples. Implementations must honor ctx.run.cancelled()
+/// between batches of work — stop early and return the tuples produced so
+/// far (the pipeline converts the early return into Status::Cancelled) —
+/// and should report batch progress via ctx.run.observer if present.
+class Pruner {
+ public:
+  virtual ~Pruner() = default;
+
+  virtual std::vector<eval::Tuple> Prune(const MergeTable& integrated,
+                                         const PruneContext& ctx,
+                                         PruneStats* stats) const = 0;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_PRUNER_H_

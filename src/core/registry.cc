@@ -1,0 +1,66 @@
+#include "core/registry.h"
+
+#include "ann/hnsw.h"
+#include "core/density_pruner.h"
+#include "embed/hashing_encoder.h"
+
+namespace multiem::core {
+
+namespace {
+
+std::unique_ptr<embed::TextEncoder> MakeHashingEncoder(
+    const MultiEmConfig& config) {
+  embed::HashingEncoderConfig encoder_config;
+  encoder_config.dim = config.embedding_dim;
+  encoder_config.max_tokens = config.max_tokens;
+  encoder_config.seed ^= config.seed;
+  return std::make_unique<embed::HashingSentenceEncoder>(encoder_config);
+}
+
+std::unique_ptr<ann::VectorIndexFactory> MakeHnswFactory(
+    const MultiEmConfig& config) {
+  return std::make_unique<ann::HnswIndexFactory>(ann::MakeHnswConfig(
+      config.hnsw_m, config.hnsw_ef_construction, config.hnsw_ef_search,
+      config.seed ^ 0x484E5357ULL /* "HNSW" */));
+}
+
+std::unique_ptr<ann::VectorIndexFactory> MakeBruteForceFactory(
+    const MultiEmConfig&) {
+  return std::make_unique<ann::BruteForceIndexFactory>();
+}
+
+std::unique_ptr<Pruner> MakeDensityPruner(const MultiEmConfig& config) {
+  return std::make_unique<DensityPruner>(config);
+}
+
+}  // namespace
+
+ComponentRegistry<embed::TextEncoder>& TextEncoders() {
+  static ComponentRegistry<embed::TextEncoder>* registry = [] {
+    auto* r = new ComponentRegistry<embed::TextEncoder>("encoder_name");
+    r->Register(kDefaultEncoderName, MakeHashingEncoder);
+    return r;
+  }();
+  return *registry;
+}
+
+ComponentRegistry<ann::VectorIndexFactory>& IndexFactories() {
+  static ComponentRegistry<ann::VectorIndexFactory>* registry = [] {
+    auto* r = new ComponentRegistry<ann::VectorIndexFactory>("index_name");
+    r->Register(kDefaultIndexName, MakeHnswFactory);
+    r->Register(kBruteForceIndexName, MakeBruteForceFactory);
+    return r;
+  }();
+  return *registry;
+}
+
+ComponentRegistry<Pruner>& Pruners() {
+  static ComponentRegistry<Pruner>* registry = [] {
+    auto* r = new ComponentRegistry<Pruner>("pruner_name");
+    r->Register(kDefaultPrunerName, MakeDensityPruner);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace multiem::core

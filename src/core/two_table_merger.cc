@@ -4,6 +4,7 @@
 
 #include "ann/mutual_topk.h"
 #include "cluster/union_find.h"
+#include "core/registry.h"
 
 namespace multiem::core {
 
@@ -15,7 +16,12 @@ MergeTable TwoTableMerger::Merge(const MergeTable& a, const MergeTable& b,
   options.k = config_.k;
   options.max_distance = config_.m;
   options.metric = ann::Metric::kCosine;
-  options.use_exact = config_.use_exact_knn;
+  options.index_factory = index_factory_;
+  // Null-factory fallback: honor the configured index name (and the
+  // deprecated use_exact_knn shim behind it), not just the shim, so direct
+  // merger users asking for "brute_force" by name get the exact index.
+  options.use_exact =
+      config_.effective_index_name() == kBruteForceIndexName;
   options.hnsw_m = config_.hnsw_m;
   options.hnsw_ef_construction = config_.hnsw_ef_construction;
   options.hnsw_ef_search = config_.hnsw_ef_search;

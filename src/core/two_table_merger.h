@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "ann/index_factory.h"
 #include "core/config.h"
 #include "core/merge_table.h"
 #include "util/thread_pool.h"
@@ -26,9 +27,13 @@ struct TwoTableMergeStats {
 class TwoTableMerger {
  public:
   /// `store` supplies base entity embeddings for centroid recomputation.
+  /// `index_factory` (non-owning, optional) overrides how the per-merge ANN
+  /// indexes are built; when null, the config's `use_exact_knn`/`hnsw_*`
+  /// knobs pick between the built-in HNSW and brute-force indexes.
   TwoTableMerger(const MultiEmConfig& config,
-                 const EntityEmbeddingStore* store)
-      : config_(config), store_(store) {}
+                 const EntityEmbeddingStore* store,
+                 const ann::VectorIndexFactory* index_factory = nullptr)
+      : config_(config), store_(store), index_factory_(index_factory) {}
 
   /// Merges `a` and `b`. `pool` parallelizes the ANN queries; pass nullptr
   /// when the caller itself runs inside a pool task (MultiEM(parallel)
@@ -40,6 +45,7 @@ class TwoTableMerger {
  private:
   MultiEmConfig config_;
   const EntityEmbeddingStore* store_;
+  const ann::VectorIndexFactory* index_factory_;
 };
 
 }  // namespace multiem::core

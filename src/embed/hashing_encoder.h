@@ -64,6 +64,12 @@ class HashingSentenceEncoder : public TextEncoder {
   /// at 1 (pure lexicality weighting).
   void FitFrequencies(const std::vector<std::string>& corpus);
 
+  /// TextEncoder corpus hook: forwards to FitFrequencies so the pipeline can
+  /// fit any registered encoder without knowing the concrete type.
+  void FitCorpus(const std::vector<std::string>& corpus) override {
+    FitFrequencies(corpus);
+  }
+
   /// True once FitFrequencies has been called with a non-empty corpus.
   bool fitted() const { return total_token_count_ > 0; }
 

@@ -24,6 +24,14 @@ class TextEncoder {
   /// Embedding dimensionality (384 for the paper's all-MiniLM-L12-v2).
   virtual size_t dim() const = 0;
 
+  /// Hook for corpus-dependent preparation (e.g. SIF frequency fitting).
+  /// The pipeline calls this with the serialized entities before encoding
+  /// them; encoders with no corpus-dependent state can ignore it. Calling it
+  /// again with a new corpus replaces the previous fit.
+  virtual void FitCorpus(const std::vector<std::string>& corpus) {
+    (void)corpus;
+  }
+
   /// Encodes one text into `out` (length dim()). Must be thread-safe.
   virtual void EncodeInto(std::string_view text, std::span<float> out) const = 0;
 

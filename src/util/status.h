@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,  ///< Object not in the required state for the call.
   kInternal,         ///< Invariant violation inside the library.
   kResourceExhausted,   ///< A configured budget (time/memory) was exceeded.
+  kCancelled,        ///< The operation was cooperatively cancelled by the caller.
 };
 
 /// Returns the canonical spelling of a status code ("OK", "InvalidArgument"...).
@@ -58,6 +59,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.

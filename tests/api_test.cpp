@@ -1,0 +1,458 @@
+// Tests for the composable pipeline API: component registries (custom
+// encoders / index factories / pruners registered from this TU, with zero
+// edits under src/core), the PipelineBuilder, config validation of the
+// component names and HNSW knobs, observer event ordering, and cooperative
+// cancellation with partial phase timings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/brute_force.h"
+#include "ann/index_factory.h"
+#include "core/pipeline.h"
+#include "core/registry.h"
+#include "datagen/datasets.h"
+#include "util/string_util.h"
+
+namespace multiem::core {
+namespace {
+
+// ------------------------------------------------- test-local components --
+
+// Deterministic whole-text hashing encoder: identical texts get identical
+// embeddings, distinct texts get near-orthogonal ones. Enough structure for
+// the pipeline to match duplicated rows end-to-end.
+class FakeTextEncoder : public embed::TextEncoder {
+ public:
+  explicit FakeTextEncoder(size_t dim = 32) : dim_(dim) {}
+
+  static std::atomic<size_t>& EncodeCalls() {
+    static std::atomic<size_t> calls{0};
+    return calls;
+  }
+  static std::atomic<size_t>& FitCalls() {
+    static std::atomic<size_t> calls{0};
+    return calls;
+  }
+
+  size_t dim() const override { return dim_; }
+
+  void FitCorpus(const std::vector<std::string>& corpus) override {
+    (void)corpus;
+    FitCalls().fetch_add(1);
+  }
+
+  void EncodeInto(std::string_view text, std::span<float> out) const override {
+    EncodeCalls().fetch_add(1);
+    uint64_t h = util::HashString(text);
+    for (size_t d = 0; d < dim_; ++d) {
+      h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+      out[d] = (h >> 40) % 2 == 0 ? 1.0f : -1.0f;
+    }
+    embed::L2NormalizeInPlace(out);
+  }
+
+ private:
+  size_t dim_;
+};
+
+// Brute-force index factory that counts how many indexes it built, so a
+// test can prove the pipeline consumed it.
+class CountingIndexFactory : public ann::VectorIndexFactory {
+ public:
+  static std::atomic<size_t>& Creations() {
+    static std::atomic<size_t> count{0};
+    return count;
+  }
+
+  std::unique_ptr<ann::VectorIndex> Create(size_t dim,
+                                           ann::Metric metric) const override {
+    Creations().fetch_add(1);
+    return std::make_unique<ann::BruteForceIndex>(dim, metric);
+  }
+};
+
+// Pass-through pruner: keeps every >=2-member candidate untouched.
+class KeepAllPruner : public Pruner {
+ public:
+  std::vector<eval::Tuple> Prune(const MergeTable& integrated,
+                                 const PruneContext& ctx,
+                                 PruneStats* stats) const override {
+    (void)ctx;
+    std::vector<eval::Tuple> tuples;
+    size_t examined = 0;
+    for (size_t i = 0; i < integrated.num_items(); ++i) {
+      const MergeItem& item = integrated.item(i);
+      if (item.members.size() < 2) continue;
+      ++examined;
+      tuples.push_back(item.members);
+    }
+    if (stats != nullptr) stats->items_examined = examined;
+    return tuples;
+  }
+};
+
+// Registered once for the whole test binary; selected by name below.
+MULTIEM_REGISTER_COMPONENT(TextEncoders, "fake", [](const MultiEmConfig&) {
+  return std::make_unique<FakeTextEncoder>();
+})
+MULTIEM_REGISTER_COMPONENT(IndexFactories, "counting_brute",
+                           [](const MultiEmConfig&) {
+                             return std::make_unique<CountingIndexFactory>();
+                           })
+MULTIEM_REGISTER_COMPONENT(Pruners, "keep_all", [](const MultiEmConfig&) {
+  return std::make_unique<KeepAllPruner>();
+})
+
+// ---------------------------------------------------------- test fixtures --
+
+// `num_tables` sources listing the same `rows` distinct titles, so every
+// row r should land in one tuple of size num_tables.
+std::vector<table::Table> SharedTitleTables(size_t num_tables, size_t rows) {
+  std::vector<std::string> titles = {
+      "silent golden river",  "crimson harbor nights",
+      "electric meadow dance", "frozen lantern waltz",
+      "wandering ember song",  "velvet horizon tale",
+      "broken compass blues",  "shining feather hymn"};
+  table::Schema schema({"title"});
+  std::vector<table::Table> tables;
+  for (size_t s = 0; s < num_tables; ++s) {
+    table::Table t("source_" + std::to_string(s), schema);
+    for (size_t r = 0; r < rows; ++r) {
+      t.AppendRow({titles[r % titles.size()]}).CheckOk();
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+MultiEmConfig TinyConfig() {
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.m = 0.2f;
+  return config;
+}
+
+// Records every observer event as a string for ordering assertions.
+class RecordingObserver : public PipelineObserver {
+ public:
+  void OnPhaseStart(std::string_view phase) override {
+    events.push_back("start:" + std::string(phase));
+  }
+  void OnPhaseEnd(std::string_view phase, double seconds) override {
+    EXPECT_GE(seconds, 0.0);
+    events.push_back("end:" + std::string(phase));
+  }
+  void OnMergeLevel(const MergeLevelProgress& p) override {
+    EXPECT_GT(p.tables_in, p.tables_out);
+    events.push_back("level:" + std::to_string(p.level));
+  }
+  void OnPruneProgress(size_t done, size_t total) override {
+    EXPECT_LE(done, total);
+    events.push_back("prune");
+  }
+
+  std::vector<std::string> events;
+};
+
+// --------------------------------------------------------------- registry --
+
+TEST(RegistryTest, BuiltinsAreRegistered) {
+  EXPECT_TRUE(TextEncoders().Contains(kDefaultEncoderName));
+  EXPECT_TRUE(IndexFactories().Contains(kDefaultIndexName));
+  EXPECT_TRUE(IndexFactories().Contains(kBruteForceIndexName));
+  EXPECT_TRUE(Pruners().Contains(kDefaultPrunerName));
+}
+
+TEST(RegistryTest, DuplicateRegistrationIsRejectedAndKeepsOriginal) {
+  EXPECT_FALSE(TextEncoders().Register(
+      kDefaultEncoderName,
+      [](const MultiEmConfig&) { return std::make_unique<FakeTextEncoder>(); }));
+  // The original hashing encoder must still be what "hashing" resolves to.
+  auto created = TextEncoders().Create(kDefaultEncoderName, MultiEmConfig{});
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ((*created)->dim(), MultiEmConfig{}.embedding_dim);
+}
+
+TEST(RegistryTest, UnknownNameErrorListsRegisteredNames) {
+  auto created = TextEncoders().Create("no-such-encoder", MultiEmConfig{});
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(created.status().message().find("no-such-encoder"),
+            std::string::npos);
+  EXPECT_NE(created.status().message().find("hashing"), std::string::npos);
+}
+
+// ------------------------------------------------------- config validation --
+
+TEST(ConfigValidationTest, RejectsBadHnswKnobs) {
+  MultiEmConfig c = TinyConfig();
+  c.hnsw_m = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = TinyConfig();
+  c.k = 4;
+  c.hnsw_ef_search = 2;  // beam narrower than k
+  auto status = c.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("hnsw_ef_search"), std::string::npos);
+
+  c = TinyConfig();
+  c.hnsw_ef_construction = 0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigValidationTest, RejectsUnknownComponentNames) {
+  MultiEmConfig c = TinyConfig();
+  c.encoder_name = "bogus-encoder";
+  auto status = c.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("encoder_name"), std::string::npos);
+  EXPECT_NE(status.message().find("registered:"), std::string::npos);
+
+  c = TinyConfig();
+  c.index_name = "bogus-index";
+  status = c.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("index_name"), std::string::npos);
+
+  c = TinyConfig();
+  c.pruner_name = "bogus-pruner";
+  status = c.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("pruner_name"), std::string::npos);
+}
+
+TEST(ConfigValidationTest, HnswKnobsIgnoredWhenHnswNotSelected) {
+  // A brute-force (or custom) assembly must not be rejected over knobs
+  // that only the built-in HNSW index consumes.
+  MultiEmConfig c = TinyConfig();
+  c.index_name = "brute_force";
+  c.k = 64;      // wider than the default hnsw_ef_search of 48
+  c.hnsw_m = 0;  // nonsense, but unused
+  EXPECT_TRUE(c.Validate().ok());
+  auto pipeline = PipelineBuilder(c).Build();
+  EXPECT_TRUE(pipeline.ok()) << pipeline.status();
+
+  // Same knobs with HNSW selected are still rejected.
+  c.index_name = "hnsw";
+  EXPECT_FALSE(c.Validate().ok());
+  EXPECT_FALSE(PipelineBuilder(c).Build().ok());
+}
+
+TEST(ConfigValidationTest, UseExactKnnShimMapsToBruteForce) {
+  MultiEmConfig c = TinyConfig();
+  c.use_exact_knn = true;
+  EXPECT_EQ(c.effective_index_name(), std::string(kBruteForceIndexName));
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+// ---------------------------------------------------------------- builder --
+
+TEST(PipelineBuilderTest, UnknownNamesFailAtBuild) {
+  MultiEmConfig config = TinyConfig();
+  config.encoder_name = "no-such-encoder";
+  auto pipeline = PipelineBuilder(config).Build();
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(pipeline.status().message().find("registered:"),
+            std::string::npos);
+}
+
+TEST(PipelineBuilderTest, InjectedEncoderOverridesUnknownName) {
+  MultiEmConfig config = TinyConfig();
+  config.encoder_name = "name-that-does-not-matter";
+  auto pipeline = PipelineBuilder(config)
+                      .WithEncoder(std::make_unique<FakeTextEncoder>())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+
+  size_t encodes_before = FakeTextEncoder::EncodeCalls().load();
+  size_t fits_before = FakeTextEncoder::FitCalls().load();
+  auto result = pipeline->Run(SharedTitleTables(3, 8));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(FakeTextEncoder::EncodeCalls().load(), encodes_before);
+  // FitCorpus must be called for the full-schema and the selected corpus.
+  EXPECT_GE(FakeTextEncoder::FitCalls().load(), fits_before + 2);
+  // Identical titles across the 3 sources -> 8 tuples of size 3.
+  ASSERT_EQ(result->tuples.size(), 8u);
+  for (const auto& tuple : result->tuples) EXPECT_EQ(tuple.size(), 3u);
+}
+
+TEST(PipelineBuilderTest, RegisteredEncoderSelectedByNameDrivesPipeline) {
+  MultiEmConfig config = TinyConfig();
+  config.encoder_name = "fake";  // registered by this TU, not src/core
+  auto pipeline = PipelineBuilder(config).Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  size_t before = FakeTextEncoder::EncodeCalls().load();
+  auto result = pipeline->Run(SharedTitleTables(4, 6));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(FakeTextEncoder::EncodeCalls().load(), before);
+  ASSERT_EQ(result->tuples.size(), 6u);
+  for (const auto& tuple : result->tuples) EXPECT_EQ(tuple.size(), 4u);
+}
+
+TEST(PipelineBuilderTest, RegisteredIndexFactorySelectedByName) {
+  MultiEmConfig config = TinyConfig();
+  config.index_name = "counting_brute";  // registered by this TU
+  auto pipeline = PipelineBuilder(config).Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  size_t before = CountingIndexFactory::Creations().load();
+  auto result = pipeline->Run(SharedTitleTables(3, 8));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Two indexes per pairwise merge, at least two merges for 3 tables.
+  EXPECT_GE(CountingIndexFactory::Creations().load(), before + 4);
+}
+
+TEST(PipelineBuilderTest, InjectedIndexFactoryAndPrunerAreUsed) {
+  size_t before = CountingIndexFactory::Creations().load();
+  auto pipeline = PipelineBuilder(TinyConfig())
+                      .WithIndexFactory(std::make_unique<CountingIndexFactory>())
+                      .WithPruner(std::make_unique<KeepAllPruner>())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+  auto result = pipeline->Run(SharedTitleTables(3, 8));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(CountingIndexFactory::Creations().load(), before);
+  // KeepAllPruner reports via items_examined and removes nothing.
+  EXPECT_EQ(result->prune_stats.outliers_removed, 0u);
+  EXPECT_EQ(result->prune_stats.items_examined, 8u);
+}
+
+TEST(PipelineBuilderTest, ExactShimMatchesExplicitBruteForce) {
+  auto tables = SharedTitleTables(4, 8);
+  MultiEmConfig shim = TinyConfig();
+  shim.use_exact_knn = true;
+  MultiEmConfig named = TinyConfig();
+  named.index_name = "brute_force";
+  auto a = PipelineBuilder(shim).Build();
+  auto b = PipelineBuilder(named).Build();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ra = a->Run(tables);
+  auto rb = b->Run(tables);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->ToTupleSet().tuples(), rb->ToTupleSet().tuples());
+}
+
+// --------------------------------------------------------------- sessions --
+
+TEST(RunSessionTest, ObserverSeesPhasesInOrderWithMergeLevels) {
+  auto tables = SharedTitleTables(4, 8);
+  RecordingObserver observer;
+  RunContext ctx;
+  ctx.observer = &observer;
+  PipelineResult result;
+  auto pipeline = PipelineBuilder(TinyConfig()).Build();
+  ASSERT_TRUE(pipeline.ok());
+  util::Status status = pipeline->Run(tables, ctx, &result);
+  ASSERT_TRUE(status.ok()) << status;
+
+  // 4 tables merge in ceil(log2 4) = 2 levels.
+  std::vector<std::string> expected = {
+      "start:selection",      "end:selection",
+      "start:representation", "end:representation",
+      "start:merging",        "level:0",
+      "level:1",              "end:merging",
+      "start:pruning",        "prune",
+      "end:pruning"};
+  EXPECT_EQ(observer.events, expected);
+  EXPECT_FALSE(result.tuples.empty());
+}
+
+// Observer that fires a cancellation token when a chosen event occurs.
+class CancellingObserver : public PipelineObserver {
+ public:
+  CancellingObserver(CancellationToken* token, std::string trigger_phase,
+                     bool on_merge_level = false)
+      : token_(token),
+        trigger_phase_(std::move(trigger_phase)),
+        on_merge_level_(on_merge_level) {}
+
+  void OnPhaseStart(std::string_view phase) override {
+    if (!on_merge_level_ && phase == trigger_phase_) token_->Cancel();
+  }
+  void OnMergeLevel(const MergeLevelProgress&) override {
+    if (on_merge_level_) token_->Cancel();
+  }
+
+ private:
+  CancellationToken* token_;
+  std::string trigger_phase_;
+  bool on_merge_level_;
+};
+
+TEST(RunSessionTest, CancellationMidMergeReturnsPartialTimings) {
+  auto tables = SharedTitleTables(4, 8);  // 2 merge levels
+  CancellationToken token;
+  CancellingObserver observer(&token, "", /*on_merge_level=*/true);
+  RunContext ctx;
+  ctx.observer = &observer;
+  ctx.cancel = &token;
+  PipelineResult result;
+  auto pipeline = PipelineBuilder(TinyConfig()).Build();
+  ASSERT_TRUE(pipeline.ok());
+  util::Status status = pipeline->Run(tables, ctx, &result);
+  ASSERT_EQ(status.code(), util::StatusCode::kCancelled) << status;
+  // Completed phases keep their timings; pruning never ran.
+  EXPECT_GT(result.timings.Get(kPhaseSelection), 0.0);
+  EXPECT_GT(result.timings.Get(kPhaseRepresentation), 0.0);
+  EXPECT_GT(result.timings.Get(kPhaseMerging), 0.0);
+  EXPECT_EQ(result.timings.Get(kPhasePruning), 0.0);
+  // Only the first merge level completed before the token was honored.
+  EXPECT_EQ(result.merge_stats.levels.size(), 1u);
+  EXPECT_TRUE(result.tuples.empty());
+}
+
+TEST(RunSessionTest, CancellationBeforePruningSkipsPruneWork) {
+  auto tables = SharedTitleTables(3, 8);
+  CancellationToken token;
+  CancellingObserver observer(&token, kPhasePruning);
+  RunContext ctx;
+  ctx.observer = &observer;
+  ctx.cancel = &token;
+  PipelineResult result;
+  auto pipeline = PipelineBuilder(TinyConfig()).Build();
+  ASSERT_TRUE(pipeline.ok());
+  util::Status status = pipeline->Run(tables, ctx, &result);
+  ASSERT_EQ(status.code(), util::StatusCode::kCancelled) << status;
+  // The pruner saw the fired token before its first batch.
+  EXPECT_EQ(result.prune_stats.items_examined, 0u);
+  EXPECT_TRUE(result.tuples.empty());
+  EXPECT_GT(result.timings.Get(kPhaseMerging), 0.0);
+}
+
+TEST(RunSessionTest, PreCancelledTokenStopsAfterFirstPhase) {
+  auto tables = SharedTitleTables(2, 6);
+  CancellationToken token;
+  token.Cancel();
+  RunContext ctx;
+  ctx.cancel = &token;
+  PipelineResult result;
+  MultiEmPipeline pipeline(TinyConfig());
+  util::Status status = pipeline.Run(tables, ctx, &result);
+  EXPECT_EQ(status.code(), util::StatusCode::kCancelled);
+  EXPECT_EQ(result.timings.Get(kPhaseMerging), 0.0);
+}
+
+TEST(RunSessionTest, LegacyRunStillWorksOnRealDataset) {
+  // The registry-resolved default assembly must behave exactly like the
+  // seed pipeline on a generated benchmark.
+  auto bench = datagen::MakeDataset("music-20", /*scale=*/0.1);
+  ASSERT_TRUE(bench.ok());
+  MultiEmConfig config;
+  config.sample_ratio = 0.5;
+  MultiEmPipeline pipeline(config);
+  auto result = pipeline.Run(bench->tables);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->tuples.empty());
+}
+
+}  // namespace
+}  // namespace multiem::core

@@ -11,6 +11,7 @@
 #include "core/hierarchical_merger.h"
 #include "core/merge_table.h"
 #include "core/two_table_merger.h"
+#include "embed/hashing_encoder.h"
 #include "embed/serialize.h"
 
 namespace multiem::core {

@@ -43,6 +43,31 @@ TEST(PipelineTest, RejectsBadInputs) {
   EXPECT_FALSE(invalid.Run({a, a}).ok());
 }
 
+TEST(PipelineTest, RejectsEmptyTablesWithDescriptiveError) {
+  MultiEmPipeline pipeline;
+  table::Table filled("filled", table::Schema({"v"}));
+  filled.AppendRow({"x"}).CheckOk();
+  table::Table empty("hollow", table::Schema({"v"}));
+  auto result = pipeline.Run({filled, empty});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("hollow"), std::string::npos);
+  EXPECT_NE(result.status().message().find("empty"), std::string::npos);
+}
+
+TEST(PipelineTest, RejectsDuplicateTableNames) {
+  MultiEmPipeline pipeline;
+  table::Table a("twin", table::Schema({"v"}));
+  a.AppendRow({"x"}).CheckOk();
+  table::Table b("twin", table::Schema({"v"}));
+  b.AppendRow({"y"}).CheckOk();
+  auto result = pipeline.Run({a, b});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+  EXPECT_NE(result.status().message().find("twin"), std::string::npos);
+}
+
 TEST(PipelineTest, RecoversTruthOnMusic) {
   auto bench = SmallMusic();
   MultiEmPipeline pipeline(TunedConfig());
