@@ -4,48 +4,176 @@
 //
 // Shape targets (paper): merging is the dominant phase on most datasets, and
 // the parallel variant cuts M and P substantially while S and R are
-// unchanged.
+// unchanged. Since the task-group scheduler, that must hold even for the
+// 2-table case (--max_sources=2), where the whole merge is a single pair.
+//
+// Besides the printed table, the run is written to a machine-readable JSON
+// file (default BENCH_fig5.json; --json= to rename, --json=- to disable)
+// with per-phase seconds and the thread counts, so CI can track the perf
+// trajectory across PRs.
+//
+// Flags: --scale=1.0   dataset scale factor
+//        --threads=0   workers of the parallel variant (0 = hardware)
+//        --datasets=a,b  comma-separated dataset filter (default: all six)
+//        --max_sources=0 keep only the first N tables of each dataset
+//                        (0 = all; 2 isolates the final-merge-level path)
+//        --json=PATH   output JSON path ("-" disables)
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 
 namespace multiem::bench {
 namespace {
 
+struct ModuleTimes {
+  size_t num_threads = 1;
+  double selection = 0.0;
+  double representation = 0.0;
+  double merging = 0.0;
+  double pruning = 0.0;
+};
+
+struct Fig5Row {
+  std::string name;
+  size_t num_sources = 0;
+  size_t num_entities = 0;
+  ModuleTimes serial;
+  ModuleTimes parallel;
+};
+
+ModuleTimes RunOnce(const core::MultiEmConfig& config,
+                    const std::vector<table::Table>& tables,
+                    size_t effective_threads) {
+  auto pipeline = core::PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  auto result = pipeline->Run(tables);
+  result.status().CheckOk();
+  ModuleTimes t;
+  t.num_threads = effective_threads;
+  t.selection = result->timings.Get(core::kPhaseSelection);
+  t.representation = result->timings.Get(core::kPhaseRepresentation);
+  t.merging = result->timings.Get(core::kPhaseMerging);
+  t.pruning = result->timings.Get(core::kPhasePruning);
+  return t;
+}
+
+void WriteTimesJson(std::FILE* f, const char* key, const ModuleTimes& t) {
+  std::fprintf(f,
+               "      \"%s\": {\"num_threads\": %zu, \"selection\": %.6f, "
+               "\"representation\": %.6f, \"merging\": %.6f, "
+               "\"pruning\": %.6f}",
+               key, t.num_threads, t.selection, t.representation, t.merging,
+               t.pruning);
+}
+
+bool WriteJson(const std::string& path, double scale, size_t max_sources,
+               size_t parallel_threads, const std::vector<Fig5Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[fig5] cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig5_module_time\",\n"
+               "  \"scale\": %.4f,\n  \"max_sources\": %zu,\n"
+               "  \"parallel_num_threads\": %zu,\n  \"datasets\": [\n",
+               scale, max_sources, parallel_threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Fig5Row& row = rows[i];
+    std::fprintf(f,
+                 "    {\n      \"name\": \"%s\",\n"
+                 "      \"num_sources\": %zu,\n      \"num_entities\": %zu,\n",
+                 row.name.c_str(), row.num_sources, row.num_entities);
+    WriteTimesJson(f, "serial", row.serial);
+    std::fprintf(f, ",\n");
+    WriteTimesJson(f, "parallel", row.parallel);
+    std::fprintf(f, ",\n      \"merging_speedup\": %.3f\n    }%s\n",
+                 row.parallel.merging > 0.0
+                     ? row.serial.merging / row.parallel.merging
+                     : 0.0,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
-  auto datasets = LoadDatasets(scale, datagen::DatasetNames());
+  size_t parallel_threads =
+      static_cast<size_t>(flags.GetDouble("threads", 0.0));
+  size_t max_sources =
+      static_cast<size_t>(flags.GetDouble("max_sources", 0.0));
+  std::string json_path = flags.Get("json", "BENCH_fig5.json");
+
+  std::vector<std::string> names = datagen::DatasetNames();
+  std::string filter = flags.Get("datasets", "");
+  if (!filter.empty()) {
+    names.clear();
+    for (const std::string& n : util::Split(filter, ',')) {
+      if (!util::Trim(n).empty()) names.push_back(util::Trim(n));
+    }
+  }
+  auto datasets = LoadDatasets(scale, names);
   PrintDatasetBanner(datasets, scale);
 
-  std::printf("=== Figure 5: per-module running time (seconds) ===\n\n");
-  std::printf("%-11s %8s %8s %8s %8s %8s %8s\n", "Dataset", "S", "R", "M",
-              "M(p)", "P", "P(p)");
+  size_t effective_parallel = parallel_threads == 0
+                                  ? std::thread::hardware_concurrency()
+                                  : parallel_threads;
+  std::printf("=== Figure 5: per-module running time (seconds) ===\n");
+  if (max_sources >= 2) {
+    std::printf("(datasets truncated to their first %zu tables)\n",
+                max_sources);
+  }
+  std::printf("\n%-11s %8s %8s %8s %8s %8s %8s   (parallel: %zu threads)\n",
+              "Dataset", "S", "R", "M", "M(p)", "P", "P(p)",
+              effective_parallel);
+
+  std::vector<Fig5Row> rows;
   for (const auto& d : datasets) {
     std::fprintf(stderr, "[fig5] dataset %s ...\n", d.data.name.c_str());
+    std::vector<table::Table> tables = d.data.tables;
+    if (max_sources >= 2 && tables.size() > max_sources) {
+      tables.resize(max_sources);
+    }
+    size_t entities = 0;
+    for (const table::Table& t : tables) entities += t.num_rows();
+
+    Fig5Row row;
+    row.name = d.data.name;
+    row.num_sources = tables.size();
+    row.num_entities = entities;
+
     core::MultiEmConfig serial_config = TunedConfig(d.key);
-    auto serial_pipeline = core::PipelineBuilder(serial_config).Build();
-    serial_pipeline.status().CheckOk();
-    auto serial = serial_pipeline->Run(d.data.tables);
-    serial.status().CheckOk();
+    serial_config.num_threads = 1;
+    row.serial = RunOnce(serial_config, tables, 1);
+
     core::MultiEmConfig parallel_config = TunedConfig(d.key);
-    parallel_config.num_threads = 0;  // hardware concurrency
-    auto parallel_pipeline = core::PipelineBuilder(parallel_config).Build();
-    parallel_pipeline.status().CheckOk();
-    auto parallel = parallel_pipeline->Run(d.data.tables);
-    parallel.status().CheckOk();
+    parallel_config.num_threads = parallel_threads;
+    row.parallel = RunOnce(parallel_config, tables, effective_parallel);
 
     std::printf("%-11s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
-                d.data.name.c_str(),
-                serial->timings.Get(core::kPhaseSelection),
-                serial->timings.Get(core::kPhaseRepresentation),
-                serial->timings.Get(core::kPhaseMerging),
-                parallel->timings.Get(core::kPhaseMerging),
-                serial->timings.Get(core::kPhasePruning),
-                parallel->timings.Get(core::kPhasePruning));
+                row.name.c_str(), row.serial.selection,
+                row.serial.representation, row.serial.merging,
+                row.parallel.merging, row.serial.pruning,
+                row.parallel.pruning);
+    rows.push_back(row);
   }
   std::printf("\nS = automated attribute selection, R = representation, "
               "M = merging,\nP = pruning; (p) columns come from "
               "MultiEM(parallel).\n");
+
+  if (json_path != "-" && !json_path.empty()) {
+    if (!WriteJson(json_path, scale, max_sources, effective_parallel, rows)) {
+      return 1;
+    }
+    std::printf("JSON written to %s\n", json_path.c_str());
+  }
   return 0;
 }
 

@@ -57,6 +57,15 @@ HnswIndex::VisitedList* HnswIndex::AcquireVisited() const {
   if (!visited_pool_.empty()) {
     VisitedList* list = visited_pool_.back().release();
     visited_pool_.pop_back();
+    // Recycled list: grow to the current node count, stamping the new tail
+    // with 0 while keeping the old entries and the `current` counter. That
+    // is sound — no stale entry can read as visited: every stored stamp was
+    // written as some past value of `current`, so stamps[i] <= current for
+    // all i (new entries hold 0), and the next search marks with ++current,
+    // strictly greater than anything stored. The one place equality could
+    // arise is counter wrap-around, and SearchLayer zero-fills the whole
+    // list when ++current wraps to 0. AnnTest.HnswInterleavedAddSearch*
+    // exercises exactly this recycle-then-grow path.
     if (list->stamps.size() < num_nodes_) list->stamps.resize(num_nodes_, 0);
     return list;
   }

@@ -1,11 +1,14 @@
 #include "ann/mutual_topk.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <unordered_set>
 
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
+#include "util/logging.h"
 
 namespace multiem::ann {
 
@@ -38,20 +41,58 @@ std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
   if (left.num_rows() == 0 || right.num_rows() == 0 || options.k == 0) {
     return out;
   }
+  // The mutuality hash below packs (right row, left row) into one 64-bit key,
+  // 32 bits each. Fail fast rather than silently colliding keys (which would
+  // fabricate mutual pairs) on inputs beyond that packing.
+  if ((static_cast<uint64_t>(left.num_rows() - 1) >> 32) != 0 ||
+      (static_cast<uint64_t>(right.num_rows() - 1) >> 32) != 0) {
+    MULTIEM_LOG(kError) << "MutualTopK: table exceeds 2^32 rows ("
+                        << left.num_rows() << " x " << right.num_rows()
+                        << "); the 32-bit pair-key packing would collide";
+    std::abort();
+  }
 
-  std::unique_ptr<VectorIndex> right_index = BuildIndex(right, options);
-  std::unique_ptr<VectorIndex> left_index = BuildIndex(left, options);
+  // Index construction dominates the cost of small merges (insertion beams
+  // are wider than search beams), and the two sides are independent — build
+  // them concurrently. Each index's Add stays single-threaded, as HnswIndex
+  // requires.
+  std::unique_ptr<VectorIndex> right_index;
+  std::unique_ptr<VectorIndex> left_index;
+  const bool parallel = pool != nullptr && pool->num_threads() > 1;
+  if (parallel) {
+    util::TaskGroup build_group(*pool);
+    pool->Submit(build_group,
+                 [&] { right_index = BuildIndex(right, options); });
+    pool->Submit(build_group, [&] { left_index = BuildIndex(left, options); });
+    build_group.Wait();
+  } else {
+    right_index = BuildIndex(right, options);
+    left_index = BuildIndex(left, options);
+  }
 
-  // topK(e) for every left row against the right index, and vice versa.
+  // topK(e) for every left row against the right index, and vice versa. Both
+  // directions are submitted under one task group so they overlap; the
+  // helping Wait() makes this safe even when MutualTopK itself runs inside a
+  // pool task (a pair-merge of the parallel hierarchical merger).
   std::vector<std::vector<Neighbor>> left_to_right(left.num_rows());
-  util::ParallelFor(pool, left.num_rows(), [&](size_t i) {
-    left_to_right[i] = right_index->Search(left.Row(i), options.k);
-  }, /*min_block_size=*/16);
-
   std::vector<std::vector<Neighbor>> right_to_left(right.num_rows());
-  util::ParallelFor(pool, right.num_rows(), [&](size_t j) {
+  auto search_left = [&](size_t i) {
+    left_to_right[i] = right_index->Search(left.Row(i), options.k);
+  };
+  auto search_right = [&](size_t j) {
     right_to_left[j] = left_index->Search(right.Row(j), options.k);
-  }, /*min_block_size=*/16);
+  };
+  if (parallel) {
+    util::TaskGroup group(*pool);
+    util::ParallelApply(*pool, group, left.num_rows(), search_left,
+                        /*min_block_size=*/16);
+    util::ParallelApply(*pool, group, right.num_rows(), search_right,
+                        /*min_block_size=*/16);
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < left.num_rows(); ++i) search_left(i);
+    for (size_t j = 0; j < right.num_rows(); ++j) search_right(j);
+  }
 
   // Hash the right->left relation for O(1) mutuality checks.
   std::unordered_set<uint64_t> right_picks;

@@ -45,8 +45,12 @@ struct MutualTopKOptions {
 /// Computes Eq. 1 of the paper:
 ///   P_m = { (e, e') | e' in topK(e) and e in topK(e') and dist(e, e') <= m }
 /// by building one index per side and intersecting the two top-K relations.
-/// Queries run in parallel over `pool` when provided. Pairs are returned
-/// sorted by (left, right); each (left, right) appears at most once.
+/// With a `pool`, the two index builds run concurrently (one task each) and
+/// the queries of both directions fan out under one util::TaskGroup; safe to
+/// call from inside a pool task.
+/// Pairs are returned sorted by (left, right); each (left, right) appears at
+/// most once. Aborts (fail fast) when either side exceeds 2^32 rows — the
+/// mutuality check packs a row pair into one 64-bit key.
 std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
                                    const embed::EmbeddingMatrix& right,
                                    const MutualTopKOptions& options,

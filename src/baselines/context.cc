@@ -23,6 +23,9 @@ BaselineContext BaselineContext::Build(
     ctx.texts.push_back(std::move(texts));
   }
   encoder.FitFrequencies(corpus);
+  // Sources are encoded one after another; each EncodeBatch fans out as its
+  // own task group on `pool`, so a shared pool (e.g. one bench pool reused
+  // across baselines) sees no cross-talk between batches.
   for (const auto& texts : ctx.texts) {
     ctx.store.AddSource(encoder.EncodeBatch(texts, pool));
   }

@@ -27,7 +27,10 @@ util::Result<AttributeSelection> AttributeSelector::Run(
   size_t num_columns = sample.num_columns();
   out.shuffle_similarity.resize(num_columns, 1.0);
 
-  // Lines 5-11: per-attribute shuffle, re-embed, score.
+  // Lines 5-11: per-attribute shuffle, re-embed, score. The column loop
+  // stays serial on purpose — ShuffleColumn draws from one deterministic rng
+  // stream, so reordering it would change the selection for a given seed;
+  // the parallelism lives inside each EncodeBatch (a task group on `pool`).
   for (size_t col = 0; col < num_columns; ++col) {
     table::Table shuffled = table::ShuffleColumn(sample, col, rng);
     std::vector<std::string> texts = embed::SerializeTable(shuffled);

@@ -61,9 +61,11 @@ std::vector<eval::Tuple> DensityPruner::Prune(const MergeTable& integrated,
     pruned[c] = std::move(kept);
   };
 
-  // Batched sweep: each batch fans out over the pool; the cancellation token
-  // is polled between batches so a fired token stops the phase within one
-  // batch of work.
+  // Batched sweep: each batch fans out over the pool as one task group
+  // (ParallelFor), so concurrent pipeline runs sharing a pool cannot
+  // over-wait on each other's batches; the cancellation token is polled
+  // between batches so a fired token stops the phase within one batch of
+  // work.
   size_t processed = 0;
   while (processed < candidates.size()) {
     if (ctx.run.cancelled()) break;

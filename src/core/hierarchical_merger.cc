@@ -29,20 +29,23 @@ MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
     std::vector<MergeTable> next(num_pairs + tables.size() % 2);
     std::vector<TwoTableMergeStats> pair_stats(num_pairs);
 
+    // The pool is threaded through both levels of parallelism: pairs fan out
+    // as tasks of one group, and each pair's inner ANN searches fan out as a
+    // nested group (safe because TaskGroup::Wait helps instead of blocking).
+    // The final, largest levels — always a single pair for the common
+    // 2-table case — therefore still use every worker.
     auto merge_pair = [&](size_t p) {
       const MergeTable& a = tables[order[2 * p]];
       const MergeTable& b = tables[order[2 * p + 1]];
-      // In parallel mode the pair is the unit of parallelism, so the inner
-      // merge must not also fan out onto the pool (see header).
-      next[p] = merger_.Merge(a, b, parallel_pairs ? nullptr : pool,
-                              &pair_stats[p]);
+      next[p] = merger_.Merge(a, b, pool, &pair_stats[p]);
     };
 
     if (parallel_pairs && num_pairs > 1) {
+      util::TaskGroup level_group(*pool);
       for (size_t p = 0; p < num_pairs; ++p) {
-        pool->Submit([&, p] { merge_pair(p); });
+        pool->Submit(level_group, [&, p] { merge_pair(p); });
       }
-      pool->Wait();
+      level_group.Wait();
     } else {
       for (size_t p = 0; p < num_pairs; ++p) merge_pair(p);
     }

@@ -124,9 +124,13 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
   MULTIEM_RETURN_IF_ERROR(ValidateTables(tables));
 
   // Assemble the components: builder-injected instances win; otherwise
-  // resolve from the registries by config name (a fresh instance per run,
-  // so registry-assembled pipelines stay safe for concurrent Run calls).
-  std::shared_ptr<embed::TextEncoder> encoder = encoder_;
+  // resolve from the registries by config name. Either way this run gets a
+  // private encoder — registry resolution creates a fresh one, and a
+  // builder-injected (shared across runs) encoder is cloned, because
+  // FitCorpus below mutates encoder state and Run() is documented safe for
+  // concurrent calls. The index factory and pruner are const-shared as-is.
+  std::shared_ptr<embed::TextEncoder> encoder =
+      encoder_ == nullptr ? nullptr : encoder_->Clone();
   std::shared_ptr<const ann::VectorIndexFactory> index_factory =
       index_factory_;
   std::shared_ptr<const Pruner> pruner = pruner_;

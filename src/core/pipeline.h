@@ -80,11 +80,12 @@ struct PipelineResult {
 /// MultiEM(parallel).
 ///
 /// Construction: `MultiEmPipeline(config)` resolves every component from the
-/// registries by name at each Run() (a fresh encoder per run — safe for
-/// concurrent Run() calls on one pipeline). `PipelineBuilder` instead
-/// resolves or injects components once at Build(); the resulting pipeline
-/// reuses them across runs, so run one session at a time when the encoder
-/// has corpus-dependent state (FitCorpus).
+/// registries by name at each Run(). `PipelineBuilder` instead resolves or
+/// injects components once at Build(). Both forms are safe for concurrent
+/// Run() calls on one pipeline: every run works on a private encoder (fresh
+/// from the registry, or a Clone() of the builder-assembled one, since
+/// FitCorpus mutates encoder state); the index factory and pruner are const
+/// and shared.
 ///
 /// Usage:
 ///   MultiEmConfig cfg;
@@ -97,9 +98,9 @@ class MultiEmPipeline {
   explicit MultiEmPipeline(MultiEmConfig config = {})
       : config_(std::move(config)) {}
 
-  // Move-only: a builder-assembled pipeline owns a stateful encoder
-  // (FitCorpus mutates it per run); copies would share that state and race
-  // when run concurrently.
+  // Move-only: a builder-assembled pipeline owns its components; moves keep
+  // that ownership unambiguous. (Runs themselves never mutate the shared
+  // encoder — Run() clones it — so concurrency is not the concern here.)
   MultiEmPipeline(MultiEmPipeline&&) = default;
   MultiEmPipeline& operator=(MultiEmPipeline&&) = default;
   MultiEmPipeline(const MultiEmPipeline&) = delete;

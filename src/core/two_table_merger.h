@@ -35,9 +35,10 @@ class TwoTableMerger {
                  const ann::VectorIndexFactory* index_factory = nullptr)
       : config_(config), store_(store), index_factory_(index_factory) {}
 
-  /// Merges `a` and `b`. `pool` parallelizes the ANN queries; pass nullptr
-  /// when the caller itself runs inside a pool task (MultiEM(parallel)
-  /// parallelizes across table pairs instead — Section III-E).
+  /// Merges `a` and `b`. `pool` parallelizes the ANN queries of both search
+  /// directions under one util::TaskGroup; this is safe even when the caller
+  /// itself runs inside a pool task (HierarchicalMerger submits pairs and
+  /// their inner searches to the same pool — Section III-E).
   MergeTable Merge(const MergeTable& a, const MergeTable& b,
                    util::ThreadPool* pool = nullptr,
                    TwoTableMergeStats* stats = nullptr) const;

@@ -59,6 +59,11 @@ class HashingSentenceEncoder : public TextEncoder {
 
   size_t dim() const override { return config_.dim; }
 
+  /// Value copy: the fitted SIF frequency table travels with the clone.
+  std::unique_ptr<TextEncoder> Clone() const override {
+    return std::make_unique<HashingSentenceEncoder>(*this);
+  }
+
   /// Learns corpus token frequencies for SIF weighting. Call once with the
   /// serialized entities before encoding; skipping it leaves all SIF weights
   /// at 1 (pure lexicality weighting).

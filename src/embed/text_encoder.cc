@@ -5,6 +5,9 @@ namespace multiem::embed {
 EmbeddingMatrix TextEncoder::EncodeBatch(const std::vector<std::string>& texts,
                                          util::ThreadPool* pool) const {
   EmbeddingMatrix out(texts.size(), dim());
+  // ParallelFor runs under its own util::TaskGroup, so EncodeBatch is safe
+  // both from the run thread and from inside a pool task, and never waits on
+  // unrelated work another pool user submitted.
   util::ParallelFor(pool, texts.size(), [&](size_t i) {
     EncodeInto(texts[i], out.Row(i));
   });

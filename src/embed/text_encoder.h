@@ -1,6 +1,7 @@
 #ifndef MULTIEM_EMBED_TEXT_ENCODER_H_
 #define MULTIEM_EMBED_TEXT_ENCODER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +24,13 @@ class TextEncoder {
 
   /// Embedding dimensionality (384 for the paper's all-MiniLM-L12-v2).
   virtual size_t dim() const = 0;
+
+  /// Deep copy, including any corpus-dependent state fitted so far. The
+  /// pipeline clones a shared (builder-injected) encoder once per Run() and
+  /// calls FitCorpus on the clone, so concurrent runs never mutate a shared
+  /// instance. Implementations whose state is a plain value copy can simply
+  /// `return std::make_unique<Derived>(*this);`.
+  virtual std::unique_ptr<TextEncoder> Clone() const = 0;
 
   /// Hook for corpus-dependent preparation (e.g. SIF frequency fitting).
   /// The pipeline calls this with the serialized entities before encoding

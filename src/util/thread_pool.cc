@@ -4,6 +4,37 @@
 
 namespace multiem::util {
 
+// ------------------------------------------------------------- TaskGroup --
+
+TaskGroup::TaskGroup(ThreadPool& pool)
+    : pool_(&pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(pool_->mu_);
+  for (;;) {
+    // Help: run this group's queued tasks on the waiting thread. Restricting
+    // the help to the *own* group bounds the stack (a nested wait only ever
+    // runs leaf tasks of its nesting level) and keeps one group's Wait()
+    // latency independent of other pool users' task sizes.
+    ThreadPool::Task task;
+    if (pool_->PopTaskLocked(state_.get(), &task)) {
+      lock.unlock();
+      task.fn();
+      lock.lock();
+      pool_->FinishTaskLocked(*task.group);
+      continue;
+    }
+    if (state_->pending == 0) return;
+    // The group's remaining tasks are running on other threads; sleep until
+    // the group drains (or a new task of this group is submitted).
+    state_->done.wait(lock);
+  }
+}
+
+// ------------------------------------------------------------- ThreadPool --
+
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
@@ -23,41 +54,57 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(TaskGroup& group, std::function<void()> task) {
+  std::shared_ptr<TaskGroup::State> state = group.state_;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
-    ++pending_;
+    ++state->pending;
+    queue_.push_back(Task{std::move(task), state});
   }
   task_ready_.notify_one();
+  // A thread already blocked in this group's Wait() can help with the new
+  // task instead of sleeping until the drain.
+  state->done.notify_all();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return pending_ == 0; });
+bool ThreadPool::PopTaskLocked(const TaskGroup::State* group, Task* out) {
+  if (group == nullptr) {
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->group.get() == group) {
+      *out = std::move(*it);
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::FinishTaskLocked(TaskGroup::State& group) {
+  if (--group.pending == 0) group.done.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    task_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    Task task;
+    if (!PopTaskLocked(nullptr, &task)) {
+      if (shutdown_) return;  // queue drained; exit
+      continue;
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --pending_;
-      if (pending_ == 0) all_done_.notify_all();
-    }
+    lock.unlock();
+    task.fn();
+    lock.lock();
+    FinishTaskLocked(*task.group);
   }
 }
+
+// ------------------------------------------------------------ ParallelFor --
 
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn,
@@ -67,18 +114,29 @@ void ParallelFor(ThreadPool* pool, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  TaskGroup group(*pool);
+  ParallelApply(*pool, group, n, fn, min_block_size);
+  group.Wait();
+}
+
+void ParallelApply(ThreadPool& pool, TaskGroup& group, size_t n,
+                   const std::function<void(size_t)>& fn,
+                   size_t min_block_size) {
+  if (n == 0) return;
+  min_block_size = std::max<size_t>(min_block_size, 1);
   // Split into ~4 blocks per worker so stragglers balance out.
   size_t num_blocks =
-      std::min(n / min_block_size + 1, pool->num_threads() * 4);
+      std::min(n / min_block_size + 1, pool.num_threads() * 4);
   num_blocks = std::max<size_t>(num_blocks, 1);
   size_t block = (n + num_blocks - 1) / num_blocks;
   for (size_t start = 0; start < n; start += block) {
     size_t end = std::min(start + block, n);
-    pool->Submit([start, end, &fn] {
+    // fn is copied into each task: ParallelApply returns before the group is
+    // waited, so the caller's std::function temporary may already be gone.
+    pool.Submit(group, [start, end, fn] {
       for (size_t i = start; i < end; ++i) fn(i);
     });
   }
-  pool->Wait();
 }
 
 }  // namespace multiem::util

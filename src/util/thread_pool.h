@@ -1,23 +1,72 @@
 #ifndef MULTIEM_UTIL_THREAD_POOL_H_
 #define MULTIEM_UTIL_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace multiem::util {
 
-/// Fixed-size worker pool with a FIFO task queue.
+class ThreadPool;
+
+/// Completion latch for a set of tasks submitted to a ThreadPool.
+///
+/// Every task belongs to exactly one group (`ThreadPool::Submit(group, fn)`),
+/// and `Wait()` blocks only on this group's tasks — never on tasks other pool
+/// users submitted concurrently. While its group has queued tasks, a waiting
+/// thread *helps*: it pops and runs them itself instead of sleeping. That
+/// makes nested waits safe — a worker whose task waits on an inner group
+/// drains that group's queue on its own stack, so the pool cannot deadlock on
+/// nested ParallelFor — and it keeps the caller's core busy during the fan-in.
+///
+/// A group is reusable: after Wait() returns, more tasks may be submitted and
+/// waited for. The group must outlive its tasks; the destructor waits for any
+/// still pending. Several threads may Wait() on the same group concurrently.
+class TaskGroup {
+ public:
+  /// Binds the group to `pool`; tasks are submitted via
+  /// `pool.Submit(group, fn)`.
+  explicit TaskGroup(ThreadPool& pool);
+
+  /// Waits for any tasks still pending (so a group going out of scope can
+  /// never leave tasks referencing dead stack frames).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Blocks until every task submitted to this group has finished running,
+  /// helping with the group's queued tasks in the meantime (see class
+  /// comment). Independent groups on the same pool never over-wait on each
+  /// other.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+
+  struct State {
+    size_t pending = 0;            // queued + running tasks; pool mutex guards
+    std::condition_variable done;  // signalled on submit-to-group and drain
+  };
+
+  ThreadPool* pool_;
+  std::shared_ptr<State> state_;
+};
+
+/// Fixed-size worker pool with a FIFO task queue and task-group completion
+/// tracking.
 ///
 /// This is the substrate behind MultiEM(parallel): the merging phase submits
-/// one task per table pair at each hierarchy level, and the pruning phase
-/// partitions tuples across workers (Section III-E of the paper). The pool is
-/// created once per pipeline run so thread start-up cost is paid once.
+/// one task per table pair at each hierarchy level, and each pairwise merge
+/// fans its ANN queries out as a nested group (Section III-E of the paper).
+/// The pool is created once per pipeline run so thread start-up cost is paid
+/// once. Concurrent users (e.g. two pipeline runs sharing one pool) are
+/// isolated by their groups.
 class ThreadPool {
  public:
   /// Starts `num_threads` workers (at least 1; 0 means hardware concurrency).
@@ -27,33 +76,55 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
-
-  /// Blocks until every submitted task has finished running.
-  void Wait();
+  /// Enqueues a task under `group` (which must be bound to this pool and
+  /// outlive the task). Tasks must not throw. Safe from any thread, including
+  /// pool workers.
+  void Submit(TaskGroup& group, std::function<void()> task);
 
   /// Number of worker threads.
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    std::shared_ptr<TaskGroup::State> group;
+  };
+
   void WorkerLoop();
 
+  /// Pops the next queued task, or the next task of `group` when non-null;
+  /// returns false if there is none. Caller holds mu_.
+  bool PopTaskLocked(const TaskGroup::State* group, Task* out);
+
+  /// Completion bookkeeping for one finished task. Caller holds mu_.
+  void FinishTaskLocked(TaskGroup::State& group);
+
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t pending_ = 0;  // queued + running tasks
+  std::condition_variable task_ready_;  // workers sleep here
   bool shutdown_ = false;
 };
 
 /// Runs `fn(i)` for i in [0, n), splitting work into contiguous blocks across
 /// `pool`. If `pool` is null or n is small, runs inline on the caller thread.
-/// Blocks until all iterations complete.
+/// Blocks until all iterations complete. Safe to call from inside a pool
+/// task: the nested call submits under its own TaskGroup and the blocked
+/// caller helps run it.
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t)>& fn,
                  size_t min_block_size = 64);
+
+/// Non-blocking variant: submits the blocked iteration space of `fn` under
+/// `group` and returns immediately (at least one block, even for tiny n, so
+/// several Apply calls on one group all overlap). The caller must keep the
+/// data captured by `fn` alive until `group.Wait()`; `fn` itself is copied
+/// into the tasks.
+void ParallelApply(ThreadPool& pool, TaskGroup& group, size_t n,
+                   const std::function<void(size_t)>& fn,
+                   size_t min_block_size = 64);
 
 }  // namespace multiem::util
 

@@ -223,6 +223,58 @@ TEST(HnswTest, SearchEfImprovesRecall) {
   EXPECT_GE(recall_at(256), recall_at(10));
 }
 
+TEST(HnswTest, InterleavedAddSearchNeverSkipsExactMatch) {
+  // Regression for the visited-list pool: Add and Search both recycle
+  // VisitedLists, and AcquireVisited grows a recycled list (new tail
+  // stamped 0) while keeping its `current` stamp counter. If a stale stamp
+  // could ever equal the fresh ++current stamp, SearchLayer would treat an
+  // unvisited node as visited and silently skip it — so an exhaustive-width
+  // search could miss even an exactly-stored vector. Interleave growth and
+  // searches and require every stored vector to be found at distance ~0.
+  constexpr size_t kDim = 8;
+  constexpr size_t kRounds = 12;
+  constexpr size_t kPerRound = 25;
+  auto data = RandomVectors(kRounds * kPerRound, kDim, 77);
+  HnswIndex index(kDim, Metric::kEuclidean);
+  for (size_t round = 0; round < kRounds; ++round) {
+    // Grow: each Add runs SearchLayer, recycling + regrowing visited lists.
+    for (size_t i = 0; i < kPerRound; ++i) {
+      index.Add(data.Row(round * kPerRound + i));
+    }
+    // Search with a beam wide enough to reach the whole layer-0 graph: the
+    // only way to miss a stored vector now is a false "visited" mark.
+    for (size_t i = 0; i < index.size(); i += 7) {
+      auto hits = index.SearchEf(data.Row(i), 1, index.size());
+      ASSERT_FALSE(hits.empty());
+      EXPECT_EQ(hits[0].id, i);
+      EXPECT_NEAR(hits[0].distance, 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(HnswTest, InterleavedAddSearchMatchesExactTopOne) {
+  // Same interleaving, checked against brute force on non-identical queries:
+  // the top-1 neighbor of a fresh query must agree with the exact index
+  // (distance-wise) after every growth step.
+  constexpr size_t kDim = 16;
+  auto data = RandomVectors(400, kDim, 91);
+  auto queries = RandomVectors(20, kDim, 92);
+  HnswIndex hnsw(kDim, Metric::kCosine);
+  BruteForceIndex exact(kDim, Metric::kCosine);
+  for (size_t i = 0; i < data.num_rows(); ++i) {
+    hnsw.Add(data.Row(i));
+    exact.Add(data.Row(i));
+    if (i % 80 != 79) continue;
+    for (size_t q = 0; q < queries.num_rows(); ++q) {
+      auto approx = hnsw.SearchEf(queries.Row(q), 1, hnsw.size());
+      auto truth = exact.Search(queries.Row(q), 1);
+      ASSERT_EQ(approx.size(), 1u);
+      ASSERT_EQ(truth.size(), 1u);
+      EXPECT_NEAR(approx[0].distance, truth[0].distance, 1e-5);
+    }
+  }
+}
+
 // ----------------------------------------------------------- MutualTopK --
 
 // Two tables with planted matches: row i of left matches row i of right for

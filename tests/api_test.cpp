@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ann/brute_force.h"
@@ -41,6 +42,10 @@ class FakeTextEncoder : public embed::TextEncoder {
   }
 
   size_t dim() const override { return dim_; }
+
+  std::unique_ptr<embed::TextEncoder> Clone() const override {
+    return std::make_unique<FakeTextEncoder>(dim_);
+  }
 
   void FitCorpus(const std::vector<std::string>& corpus) override {
     (void)corpus;
@@ -439,6 +444,40 @@ TEST(RunSessionTest, PreCancelledTokenStopsAfterFirstPhase) {
   util::Status status = pipeline.Run(tables, ctx, &result);
   EXPECT_EQ(status.code(), util::StatusCode::kCancelled);
   EXPECT_EQ(result.timings.Get(kPhaseMerging), 0.0);
+}
+
+TEST(RunSessionTest, ConcurrentRunsOnOneBuiltPipelineAreIsolated) {
+  // A builder-assembled pipeline shares its components across runs; each
+  // Run() must clone the encoder before FitCorpus so two concurrent sessions
+  // never race on shared encoder state (run under TSan in CI). Different
+  // table sets per thread prove the runs don't bleed into each other.
+  MultiEmConfig config = TinyConfig();
+  config.num_threads = 2;  // each run also spins up its own pool
+  auto pipeline = PipelineBuilder(config).Build();
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status();
+
+  auto tables_a = SharedTitleTables(3, 8);
+  auto tables_b = SharedTitleTables(4, 6);
+  constexpr int kRunsPerThread = 3;
+  std::atomic<int> failures{0};
+  auto run_many = [&](const std::vector<table::Table>& tables,
+                      size_t want_tuples, size_t want_size) {
+    for (int r = 0; r < kRunsPerThread; ++r) {
+      auto result = pipeline->Run(tables);
+      if (!result.ok() || result->tuples.size() != want_tuples) {
+        failures.fetch_add(1);
+        continue;
+      }
+      for (const auto& tuple : result->tuples) {
+        if (tuple.size() != want_size) failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread ta([&] { run_many(tables_a, 8, 3); });
+  std::thread tb([&] { run_many(tables_b, 6, 4); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 TEST(RunSessionTest, LegacyRunStillWorksOnRealDataset) {

@@ -4,8 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <mutex>
 #include <set>
+#include <thread>
 
+#include "ann/brute_force.h"
+#include "ann/index_factory.h"
 #include "core/attribute_selector.h"
 #include "core/density_pruner.h"
 #include "core/hierarchical_merger.h"
@@ -13,6 +18,8 @@
 #include "core/two_table_merger.h"
 #include "embed/hashing_encoder.h"
 #include "embed/serialize.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace multiem::core {
 namespace {
@@ -284,6 +291,91 @@ TEST(HierarchicalMergerTest, MergesAllSourcesToFullTuples) {
   EXPECT_EQ(stats.levels.size(), 2u);
   EXPECT_EQ(stats.levels[0].tables_in, 4u);
   EXPECT_EQ(stats.levels[0].pairs_merged, 2u);
+}
+
+// Brute-force index that records which threads ran searches, so a test can
+// see where the scheduler actually placed the inner ANN work.
+class ThreadRecordingIndex : public ann::VectorIndex {
+ public:
+  ThreadRecordingIndex(size_t dim, ann::Metric metric, std::mutex* mu,
+                       std::set<std::thread::id>* ids)
+      : inner_(dim, metric), mu_(mu), ids_(ids) {}
+
+  void Add(std::span<const float> vec) override { inner_.Add(vec); }
+
+  std::vector<ann::Neighbor> Search(std::span<const float> query,
+                                    size_t k) const override {
+    {
+      std::lock_guard<std::mutex> lock(*mu_);
+      ids_->insert(std::this_thread::get_id());
+    }
+    // Brief sleep so other workers get scheduled even on a loaded (or
+    // single-core) machine, keeping the thread-diversity assertion robust.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return inner_.Search(query, k);
+  }
+
+  size_t size() const override { return inner_.size(); }
+  size_t SizeBytes() const override { return inner_.SizeBytes(); }
+  ann::Metric metric() const override { return inner_.metric(); }
+
+ private:
+  ann::BruteForceIndex inner_;
+  std::mutex* mu_;
+  std::set<std::thread::id>* ids_;
+};
+
+class ThreadRecordingFactory : public ann::VectorIndexFactory {
+ public:
+  std::unique_ptr<ann::VectorIndex> Create(
+      size_t dim, ann::Metric metric) const override {
+    return std::make_unique<ThreadRecordingIndex>(dim, metric, &mu_, &ids_);
+  }
+  size_t NumThreadsSeen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ids_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::set<std::thread::id> ids_;
+};
+
+TEST(HierarchicalMergerTest, TwoTableParallelModeFansOutInnerSearches) {
+  // Regression for the serial final merge levels: in parallel mode a
+  // single-pair level (the 2-table case — and the last levels of every
+  // hierarchy) used to hand the inner merge a nullptr pool, so the whole
+  // MutualTopK ran on the caller thread. The inner searches must fan out
+  // onto the pool workers.
+  constexpr size_t kN = 128;
+  constexpr size_t kDim = 16;
+  util::Rng rng(99);
+  EntityEmbeddingStore store;
+  for (int s = 0; s < 2; ++s) {
+    embed::EmbeddingMatrix m(kN, kDim);
+    for (size_t i = 0; i < kN; ++i) {
+      auto row = m.Row(i);
+      for (auto& x : row) x = static_cast<float>(rng.Normal());
+      embed::L2NormalizeInPlace(row);
+    }
+    store.AddSource(std::move(m));
+  }
+  std::vector<MergeTable> tables;
+  tables.push_back(MergeTable::FromSource(0, store.source(0)));
+  tables.push_back(MergeTable::FromSource(1, store.source(1)));
+
+  MultiEmConfig config;
+  config.m = 0.5f;
+  config.num_threads = 4;
+  ThreadRecordingFactory factory;
+  HierarchicalMerger merger(config, &store, &factory);
+  util::ThreadPool pool(4);
+  MergeTable integrated = merger.Run(std::move(tables), &pool);
+
+  EXPECT_GT(integrated.num_items(), 0u);
+  // 2 x kN searches, split into blocks: more than one thread must have
+  // executed them (pre-fix every search ran on the one calling thread).
+  EXPECT_GE(factory.NumThreadsSeen(), 2u);
 }
 
 TEST(HierarchicalMergerTest, OddTableCountCarriesLeftover) {

@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/memory.h"
 #include "util/rng.h"
@@ -355,22 +357,80 @@ TEST(TimerTest, ScopedPhaseTimerRecords) {
 TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};
+  TaskGroup group(pool);
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&count] { count.fetch_add(1); });
+    pool.Submit(group, [&count] { count.fetch_add(1); });
   }
-  pool.Wait();
+  group.Wait();
   EXPECT_EQ(count.load(), 100);
 }
 
-TEST(ThreadPoolTest, WaitIsReusable) {
+TEST(ThreadPoolTest, GroupWaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
-  pool.Submit([&count] { count.fetch_add(1); });
-  pool.Wait();
+  TaskGroup group(pool);
+  pool.Submit(group, [&count] { count.fetch_add(1); });
+  group.Wait();
   EXPECT_EQ(count.load(), 1);
-  pool.Submit([&count] { count.fetch_add(1); });
-  pool.Wait();
+  pool.Submit(group, [&count] { count.fetch_add(1); });
+  group.Wait();
   EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, GroupDestructorWaitsForPendingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit(group, [&count] { count.fetch_add(1); });
+    }
+    // No explicit Wait(): the destructor must block until all 16 ran.
+  }
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, WaitDoesNotCrossTalkBetweenGroups) {
+  // Regression: the old global Wait() blocked on the pool-wide pending
+  // count, so one user's Wait() over-waited on another user's tasks. A
+  // group's Wait() must return even while an unrelated group's task is
+  // still blocked.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  TaskGroup blocked(pool);
+  pool.Submit(blocked, [gate] { gate.wait(); });
+
+  TaskGroup quick(pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(quick, [&count] { count.fetch_add(1); });
+  }
+  quick.Wait();  // must not wait for `blocked` (would deadlock pre-fix)
+  EXPECT_EQ(count.load(), 8);
+
+  release.set_value();
+  blocked.Wait();
+}
+
+TEST(ThreadPoolTest, NestedGroupWaitFromWorkerDoesNotDeadlock) {
+  // A worker's task waits on an inner group whose tasks are queued on the
+  // same pool; the helping Wait() must run them instead of blocking. More
+  // outer tasks than workers so every worker nests at least once.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  TaskGroup outer(pool);
+  for (int t = 0; t < 8; ++t) {
+    pool.Submit(outer, [&pool, &inner_total] {
+      TaskGroup inner(pool);
+      for (int i = 0; i < 16; ++i) {
+        pool.Submit(inner, [&inner_total] { inner_total.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_total.load(), 8 * 16);
 }
 
 TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
@@ -398,6 +458,68 @@ TEST(ThreadPoolTest, ParallelForEmpty) {
   bool ran = false;
   ParallelFor(&pool, 0, [&](size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorker) {
+  // The MultiEM(parallel) shape: pair-merge tasks on the pool, each fanning
+  // its inner loop out onto the same pool via ParallelFor.
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 6;
+  constexpr size_t kInner = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(kOuter);
+  for (auto& row : hits) {
+    row = std::vector<std::atomic<int>>(kInner);
+  }
+  ParallelFor(
+      &pool, kOuter,
+      [&](size_t o) {
+        ParallelFor(
+            &pool, kInner, [&](size_t i) { hits[o][i].fetch_add(1); },
+            /*min_block_size=*/4);
+      },
+      /*min_block_size=*/1);
+  for (const auto& row : hits) {
+    for (const auto& h : row) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsOnOnePool) {
+  // Two external threads drive independent ParallelFor calls over one pool;
+  // each must see exactly its own iteration space complete (the old global
+  // Wait() made them over-wait on each other).
+  ThreadPool pool(4);
+  constexpr size_t kN = 300;
+  std::vector<std::atomic<int>> a(kN);
+  std::vector<std::atomic<int>> b(kN);
+  std::thread ta([&] {
+    ParallelFor(&pool, kN, [&](size_t i) { a[i].fetch_add(1); },
+                /*min_block_size=*/8);
+  });
+  std::thread tb([&] {
+    ParallelFor(&pool, kN, [&](size_t i) { b[i].fetch_add(1); },
+                /*min_block_size=*/8);
+  });
+  ta.join();
+  tb.join();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelApplyOverlapsTwoLoopsOnOneGroup) {
+  // MutualTopK's shape: both search directions submitted under one group,
+  // one Wait.
+  ThreadPool pool(2);
+  constexpr size_t kN = 100;
+  std::vector<std::atomic<int>> a(kN);
+  std::vector<std::atomic<int>> b(kN);
+  TaskGroup group(pool);
+  ParallelApply(pool, group, kN, [&](size_t i) { a[i].fetch_add(1); },
+                /*min_block_size=*/8);
+  ParallelApply(pool, group, kN, [&](size_t i) { b[i].fetch_add(1); },
+                /*min_block_size=*/8);
+  group.Wait();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 1);
 }
 
 // ---------------------------------------------------------------- Memory --
