@@ -1,103 +1,268 @@
-// Microbenchmark: HNSW vs brute-force KNN (build time, query throughput,
-// recall@10). Supports the merging-phase design choice of the paper
-// (HNSW balances accuracy and efficiency; Section III-C).
+// Microbenchmark of the ANN layer behind the merging phase: HNSW build
+// throughput (serial vs parallel AddBatch), single-thread search QPS, and
+// recall@10 against the exact brute-force oracle, at each requested thread
+// count. Supports the merging-phase design choice of the paper (HNSW
+// balances accuracy and efficiency; Section III-C) and tracks the flat-slab
+// + lock-striped-construction fast path.
+//
+// Besides the printed table, the run is written to a machine-readable JSON
+// file (default BENCH_ann.json; --json= to rename, --json=- to disable).
+// CI gates on it: the 4-thread build must beat the 1-thread build on the
+// same corpus, and recall@10 must stay >= 0.95.
+//
+// The corpus is clustered — duplicate groups of `cluster_size` perturbed
+// copies around random unit centers — because that is what the merging
+// phase actually searches (near-duplicate entity embeddings), and queries
+// are fresh perturbations of existing groups. Uniform random unit vectors
+// in 384-d are the distance-concentration worst case (recall@10 plateaus
+// near 0.8 regardless of index quality); pass --cluster_size=1 to measure
+// that regime explicitly.
+//
+// Flags: --n=20000        corpus size
+//        --dim=384        vector dimensionality
+//        --k=10           recall depth
+//        --queries=200    number of distinct queries
+//        --threads=1,4    comma-separated thread counts (1 = serial build)
+//        --cluster_size=10 --spread=0.5   duplicate-group shape
+//        --m=16 --ef_construction=200 --ef_search=128   HNSW knobs
+//        --min_search_seconds=1.0  per-run search measurement window
+//        --json=PATH      output JSON path ("-" disables)
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
-#include "embed/embedding.h"
-#include "util/rng.h"
+#include "bench/bench_common.h"
+#include "util/thread_pool.h"
 
 namespace multiem::bench {
 namespace {
 
-constexpr size_t kDim = 384;
+void FillUnitNormal(std::span<float> row, util::Rng& rng) {
+  for (auto& x : row) x = static_cast<float>(rng.Normal());
+  embed::L2NormalizeInPlace(row);
+}
 
-embed::EmbeddingMatrix RandomVectors(size_t n, uint64_t seed) {
+// `spread` scales a unit-norm perturbation added to the unit center, so the
+// expected intra-group cosine similarity is ~1/sqrt(1 + spread^2) (0.89 at
+// the 0.5 default — comparable to near-duplicate entity embeddings).
+void FillPerturbed(std::span<float> row, std::span<const float> center,
+                   double spread, util::Rng& rng) {
+  FillUnitNormal(row, rng);
+  for (size_t d = 0; d < row.size(); ++d) {
+    row[d] = center[d] + static_cast<float>(spread) * row[d];
+  }
+  embed::L2NormalizeInPlace(row);
+}
+
+struct AnnCorpus {
+  embed::EmbeddingMatrix centers;  // one unit vector per duplicate group
+  embed::EmbeddingMatrix corpus;
+  embed::EmbeddingMatrix queries;
+};
+
+AnnCorpus MakeCorpus(size_t n, size_t dim, size_t num_queries,
+                     size_t cluster_size, double spread, uint64_t seed) {
   util::Rng rng(seed);
-  embed::EmbeddingMatrix m(n, kDim);
+  AnnCorpus out;
+  if (cluster_size < 1) cluster_size = 1;
+  const size_t num_centers = (n + cluster_size - 1) / cluster_size;
+  out.centers = embed::EmbeddingMatrix(num_centers, dim);
+  for (size_t c = 0; c < num_centers; ++c) {
+    FillUnitNormal(out.centers.Row(c), rng);
+  }
+  out.corpus = embed::EmbeddingMatrix(n, dim);
   for (size_t i = 0; i < n; ++i) {
-    for (auto& x : m.Row(i)) x = static_cast<float>(rng.Normal());
-    embed::L2NormalizeInPlace(m.Row(i));
-  }
-  return m;
-}
-
-void BM_HnswBuild(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  auto data = RandomVectors(n, 1);
-  for (auto _ : state) {
-    ann::HnswIndex index(kDim, ann::Metric::kCosine);
-    index.AddBatch(data);
-    benchmark::DoNotOptimize(index.size());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_HnswBuild)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
-
-void BM_HnswQuery(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  auto data = RandomVectors(n, 2);
-  auto queries = RandomVectors(256, 3);
-  ann::HnswIndex index(kDim, ann::Metric::kCosine);
-  index.AddBatch(data);
-  size_t q = 0;
-  for (auto _ : state) {
-    auto hits = index.Search(queries.Row(q % 256), 10);
-    benchmark::DoNotOptimize(hits.data());
-    ++q;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_HnswQuery)->Arg(1000)->Arg(4000)->Arg(16000);
-
-void BM_BruteForceQuery(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  auto data = RandomVectors(n, 2);
-  auto queries = RandomVectors(256, 3);
-  ann::BruteForceIndex index(kDim, ann::Metric::kCosine);
-  index.AddBatch(data);
-  size_t q = 0;
-  for (auto _ : state) {
-    auto hits = index.Search(queries.Row(q % 256), 10);
-    benchmark::DoNotOptimize(hits.data());
-    ++q;
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_BruteForceQuery)->Arg(1000)->Arg(4000)->Arg(16000);
-
-// Recall is reported as a counter so the bench run logs accuracy next to
-// throughput.
-void BM_HnswRecallAt10(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  auto data = RandomVectors(n, 4);
-  auto queries = RandomVectors(64, 5);
-  ann::HnswIndex hnsw(kDim, ann::Metric::kCosine);
-  ann::BruteForceIndex exact(kDim, ann::Metric::kCosine);
-  hnsw.AddBatch(data);
-  exact.AddBatch(data);
-  double recall = 0.0;
-  for (auto _ : state) {
-    size_t found = 0;
-    for (size_t q = 0; q < queries.num_rows(); ++q) {
-      auto approx = hnsw.Search(queries.Row(q), 10);
-      auto truth = exact.Search(queries.Row(q), 10);
-      std::unordered_set<size_t> truth_ids;
-      for (const auto& h : truth) truth_ids.insert(h.id);
-      for (const auto& h : approx) found += truth_ids.count(h.id);
+    if (cluster_size == 1) {
+      FillUnitNormal(out.corpus.Row(i), rng);
+    } else {
+      FillPerturbed(out.corpus.Row(i), out.centers.Row(i / cluster_size),
+                    spread, rng);
     }
-    recall = static_cast<double>(found) / (queries.num_rows() * 10);
-    benchmark::DoNotOptimize(recall);
   }
-  state.counters["recall@10"] = recall;
+  out.queries = embed::EmbeddingMatrix(num_queries, dim);
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (cluster_size == 1) {
+      FillUnitNormal(out.queries.Row(q), rng);
+    } else {
+      const size_t group = static_cast<size_t>(rng.UniformDouble() *
+                                               static_cast<double>(num_centers));
+      FillPerturbed(out.queries.Row(q),
+                    out.centers.Row(std::min(group, num_centers - 1)), spread,
+                    rng);
+    }
+  }
+  return out;
 }
-BENCHMARK(BM_HnswRecallAt10)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+struct AnnRun {
+  size_t num_threads = 1;
+  double build_seconds = 0.0;
+  double build_vectors_per_sec = 0.0;
+  double search_qps = 0.0;
+  double recall_at10 = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t n = static_cast<size_t>(flags.GetDouble("n", 20000));
+  const size_t dim = static_cast<size_t>(flags.GetDouble("dim", 384));
+  const size_t k = static_cast<size_t>(flags.GetDouble("k", 10));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetDouble("queries", 200));
+  const size_t cluster_size =
+      static_cast<size_t>(flags.GetDouble("cluster_size", 10));
+  const double spread = flags.GetDouble("spread", 0.5);
+  const double min_search_seconds =
+      flags.GetDouble("min_search_seconds", 1.0);
+  const std::string json_path = flags.Get("json", "BENCH_ann.json");
+
+  ann::HnswConfig config;
+  config.m = static_cast<size_t>(flags.GetDouble("m", 16));
+  config.m0 = config.m * 2;
+  config.ef_construction =
+      static_cast<size_t>(flags.GetDouble("ef_construction", 200));
+  config.ef_search = static_cast<size_t>(flags.GetDouble("ef_search", 128));
+
+  std::vector<size_t> thread_counts;
+  for (const std::string& raw : util::Split(flags.Get("threads", "1,4"), ',')) {
+    const std::string t(util::Trim(raw));
+    if (t.empty()) continue;
+    if (t.find_first_not_of("0123456789") != std::string::npos ||
+        t.size() > 4 || std::stoul(t) == 0) {
+      std::fprintf(stderr,
+                   "[ann] bad --threads entry \"%s\" (want counts >= 1, "
+                   "e.g. 1,4)\n",
+                   t.c_str());
+      return 1;
+    }
+    thread_counts.push_back(std::stoul(t));
+  }
+  if (thread_counts.empty()) thread_counts.push_back(1);
+
+  std::printf("=== ANN micro: %zu vectors, dim %zu, k=%zu ===\n", n, dim, k);
+  std::printf(
+      "(hnsw m=%zu ef_construction=%zu ef_search=%zu; duplicate groups of "
+      "%zu, spread %.2f)\n\n",
+      config.m, config.ef_construction, config.ef_search, cluster_size,
+      spread);
+
+  std::fprintf(stderr, "[ann] generating corpus + queries ...\n");
+  AnnCorpus data = MakeCorpus(n, dim, num_queries, cluster_size, spread, 1);
+  const embed::EmbeddingMatrix& corpus = data.corpus;
+  const embed::EmbeddingMatrix& queries = data.queries;
+
+  // Exact top-k ground truth, computed once (setup, not measured; a
+  // hardware-wide pool keeps the brute-force scan off the critical path).
+  std::fprintf(stderr, "[ann] computing brute-force ground truth ...\n");
+  std::vector<std::unordered_set<size_t>> truth(num_queries);
+  {
+    util::ThreadPool setup_pool(0);
+    ann::BruteForceIndex exact(dim, ann::Metric::kCosine);
+    exact.AddBatch(corpus, &setup_pool);
+    util::ParallelFor(&setup_pool, num_queries, [&](size_t q) {
+      for (const auto& hit : exact.Search(queries.Row(q), k)) {
+        truth[q].insert(hit.id);
+      }
+    }, /*min_block_size=*/1);
+  }
+
+  std::printf("%8s %12s %14s %12s %10s\n", "threads", "build_s", "build_vec/s",
+              "search_qps", "recall@10");
+
+  std::vector<AnnRun> runs;
+  for (size_t t : thread_counts) {
+    std::fprintf(stderr, "[ann] building at %zu thread(s) ...\n", t);
+    std::unique_ptr<util::ThreadPool> pool;
+    if (t > 1) pool = std::make_unique<util::ThreadPool>(t);
+
+    AnnRun run;
+    run.num_threads = t;
+
+    ann::HnswIndex index(dim, ann::Metric::kCosine, config);
+    util::WallTimer build_timer;
+    index.AddBatch(corpus, pool.get());
+    run.build_seconds = build_timer.ElapsedSeconds();
+    run.build_vectors_per_sec =
+        run.build_seconds > 0.0 ? static_cast<double>(n) / run.build_seconds
+                                : 0.0;
+
+    // Recall of this build (parallel graphs differ run to run, so measure
+    // each one), then single-thread QPS over the same query set until the
+    // measurement window fills.
+    size_t found = 0;
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (const auto& hit : index.Search(queries.Row(q), k)) {
+        found += truth[q].count(hit.id);
+      }
+    }
+    run.recall_at10 =
+        static_cast<double>(found) / static_cast<double>(num_queries * k);
+
+    size_t searches = 0;
+    util::WallTimer search_timer;
+    do {
+      for (size_t q = 0; q < num_queries; ++q) {
+        auto hits = index.Search(queries.Row(q), k);
+        searches += hits.empty() ? 0 : 1;
+      }
+    } while (search_timer.ElapsedSeconds() < min_search_seconds);
+    run.search_qps =
+        static_cast<double>(searches) / search_timer.ElapsedSeconds();
+
+    std::printf("%8zu %12.3f %14.0f %12.0f %10.4f\n", run.num_threads,
+                run.build_seconds, run.build_vectors_per_sec, run.search_qps,
+                run.recall_at10);
+    runs.push_back(run);
+  }
+
+  if (runs.size() > 1 && runs.front().num_threads == 1) {
+    std::printf("\nbuild speedup vs 1 thread:");
+    for (size_t i = 1; i < runs.size(); ++i) {
+      std::printf("  %zux: %.2f", runs[i].num_threads,
+                  runs[i].build_vectors_per_sec /
+                      runs.front().build_vectors_per_sec);
+    }
+    std::printf("\n");
+  }
+
+  if (json_path != "-" && !json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[ann] cannot open %s for writing\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"ann_micro\",\n  \"n\": %zu,\n"
+                 "  \"dim\": %zu,\n  \"k\": %zu,\n  \"num_queries\": %zu,\n"
+                 "  \"hnsw\": {\"m\": %zu, \"ef_construction\": %zu, "
+                 "\"ef_search\": %zu},\n  \"runs\": [\n",
+                 n, dim, k, num_queries, config.m, config.ef_construction,
+                 config.ef_search);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const AnnRun& r = runs[i];
+      std::fprintf(f,
+                   "    {\"num_threads\": %zu, \"build_seconds\": %.6f, "
+                   "\"build_vectors_per_sec\": %.1f, \"search_qps\": %.1f, "
+                   "\"recall_at10\": %.4f}%s\n",
+                   r.num_threads, r.build_seconds, r.build_vectors_per_sec,
+                   r.search_qps, r.recall_at10,
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON written to %s\n", json_path.c_str());
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace multiem::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return multiem::bench::Main(argc, argv); }

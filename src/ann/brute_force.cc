@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "util/thread_pool.h"
+
 namespace multiem::ann {
 
 BruteForceIndex::BruteForceIndex(size_t dim, Metric metric)
@@ -17,6 +19,26 @@ void BruteForceIndex::Add(std::span<const float> vec) {
     sq_norms_.push_back(embed::Dot(vec, vec));
   }
   ++num_vectors_;
+}
+
+void BruteForceIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
+                               util::ThreadPool* pool) {
+  const size_t n = vectors.num_rows();
+  if (n == 0) return;
+  if (vectors.dim() != dim_) std::abort();
+  const size_t base = num_vectors_;
+  data_.resize((base + n) * dim_);
+  if (metric_ == Metric::kCosine) sq_norms_.resize(base + n);
+  num_vectors_ = base + n;
+  // Row slots are pre-sized and disjoint, so the copies (and norm
+  // computations) are embarrassingly parallel; a null pool runs inline.
+  util::ParallelFor(pool, n, [&](size_t i) {
+    std::span<const float> row = vectors.Row(i);
+    std::copy(row.begin(), row.end(), data_.begin() + (base + i) * dim_);
+    if (metric_ == Metric::kCosine) {
+      sq_norms_[base + i] = embed::Dot(row, row);
+    }
+  });
 }
 
 std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,

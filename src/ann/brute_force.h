@@ -14,17 +14,26 @@ namespace multiem::ann {
 /// dot product by cached norms in double precision, so bitwise-identical
 /// vectors get a distance of exactly 0 (they must survive a
 /// `max_distance = 0` cap in MutualTopK).
+///
+/// AddBatch(pool) copies rows (and computes the cached norms) in parallel;
+/// the result is bit-identical to the serial build, since row i always lands
+/// at slot size-before + i.
 class BruteForceIndex : public VectorIndex {
  public:
   /// `dim` is the vector dimensionality; all Add/Search calls must match it.
   BruteForceIndex(size_t dim, Metric metric);
 
   void Add(std::span<const float> vec) override;
+
+  using VectorIndex::AddBatch;
+  void AddBatch(const embed::EmbeddingMatrix& vectors,
+                util::ThreadPool* pool) override;
+
   std::vector<Neighbor> Search(std::span<const float> query,
                                size_t k) const override;
   size_t size() const override { return num_vectors_; }
   size_t SizeBytes() const override {
-    return data_.capacity() * sizeof(float);
+    return data_.size() * sizeof(float) + sq_norms_.size() * sizeof(float);
   }
   Metric metric() const override { return metric_; }
 

@@ -3,34 +3,84 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
-#include <queue>
+
+#include "util/thread_pool.h"
 
 namespace multiem::ann {
 
 namespace {
 
-// Max-heap comparator on distance: top() is the *farthest* result, which is
-// what the result-set heap needs.
+// Max-heap comparator on distance: front() is the *farthest* result, which
+// is what the result-set heap needs.
 struct FartherFirst {
   bool operator()(const Neighbor& a, const Neighbor& b) const {
     return a.distance < b.distance;
   }
 };
 
-// Min-heap comparator on distance: top() is the *closest* candidate.
+// Min-heap comparator on distance: front() is the *closest* candidate.
 struct CloserFirst {
   bool operator()(const Neighbor& a, const Neighbor& b) const {
     return a.distance > b.distance;
   }
 };
 
+bool AscendingDistanceThenId(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+// Stripe-mutex guard that compiles away entirely on the serial path.
+template <bool kEnabled>
+struct StripedLock {
+  explicit StripedLock(std::mutex&) {}
+};
+template <>
+struct StripedLock<true> {
+  explicit StripedLock(std::mutex& mu) : guard(mu) {}
+  std::lock_guard<std::mutex> guard;
+};
+
 }  // namespace
+
+/// Pooled per-search working set. The stamps vector plays the old
+/// VisitedList role; the heaps and insertion buffers keep the hot loops free
+/// of per-call allocations (they retain their capacity across reuses).
+struct HnswIndex::SearchScratch {
+  std::vector<uint32_t> stamps;
+  uint32_t current = 0;
+  std::vector<Neighbor> candidates;  // min-heap (CloserFirst)
+  std::vector<Neighbor> results;     // max-heap (FartherFirst)
+  std::vector<Neighbor> found;       // SearchLayer output, ascending
+  std::vector<float> query_norm;     // normalized query copy (cosine)
+  std::vector<Neighbor> prune;       // ConnectReverse candidate buffer
+  std::vector<uint32_t> selected;    // forward links of the inserted node
+  std::vector<uint32_t> reverse_selected;  // re-pruned neighbor links
+  std::vector<uint32_t> links;  // locked-mode snapshot of one link block
+};
+
+/// RAII acquire/release around the scratch pool.
+class HnswIndex::ScratchLease {
+ public:
+  explicit ScratchLease(const HnswIndex& index)
+      : index_(index), scratch_(index.AcquireScratch()) {}
+  ~ScratchLease() { index_.ReleaseScratch(scratch_); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  SearchScratch& operator*() const { return *scratch_; }
+
+ private:
+  const HnswIndex& index_;
+  SearchScratch* scratch_;
+};
 
 HnswIndex::HnswIndex(size_t dim, Metric metric, HnswConfig config)
     : dim_(dim),
       metric_(metric),
       config_(config),
-      level_rng_(config.seed) {
+      level_rng_(config.seed),
+      link_stripes_(std::make_unique<std::mutex[]>(kLinkStripes)) {
   if (dim_ == 0) std::abort();
   if (config_.m < 2) config_.m = 2;
   if (config_.m0 < config_.m) config_.m0 = 2 * config_.m;
@@ -38,6 +88,8 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, HnswConfig config)
     config_.ef_construction = config_.m * 2;
   }
   level_lambda_ = 1.0 / std::log(static_cast<double>(config_.m));
+  level0_stride_ = config_.m0 + 1;
+  upper_stride_ = config_.m + 1;
 }
 
 HnswIndex::~HnswIndex() = default;
@@ -52,44 +104,100 @@ float HnswIndex::NodeDistance(std::span<const float> query,
   return Distance(metric_, query, v);
 }
 
-HnswIndex::VisitedList* HnswIndex::AcquireVisited() const {
-  std::lock_guard<std::mutex> lock(visited_mu_);
-  if (!visited_pool_.empty()) {
-    VisitedList* list = visited_pool_.back().release();
-    visited_pool_.pop_back();
-    // Recycled list: grow to the current node count, stamping the new tail
-    // with 0 while keeping the old entries and the `current` counter. That
-    // is sound — no stale entry can read as visited: every stored stamp was
-    // written as some past value of `current`, so stamps[i] <= current for
-    // all i (new entries hold 0), and the next search marks with ++current,
-    // strictly greater than anything stored. The one place equality could
-    // arise is counter wrap-around, and SearchLayer zero-fills the whole
-    // list when ++current wraps to 0. AnnTest.HnswInterleavedAddSearch*
-    // exercises exactly this recycle-then-grow path.
-    if (list->stamps.size() < num_nodes_) list->stamps.resize(num_nodes_, 0);
-    return list;
+HnswIndex::SearchScratch* HnswIndex::AcquireScratch() const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (!scratch_pool_.empty()) {
+    SearchScratch* scratch = scratch_pool_.back().release();
+    scratch_pool_.pop_back();
+    // Recycled scratch: grow the stamps to the current node count, stamping
+    // the new tail with 0 while keeping the old entries and the `current`
+    // counter. That is sound — no stale entry can read as visited: every
+    // stored stamp was written as some past value of `current`, so
+    // stamps[i] <= current for all i (new entries hold 0), and the next
+    // search marks with ++current, strictly greater than anything stored.
+    // The one place equality could arise is counter wrap-around, and
+    // SearchLayer zero-fills the whole list when ++current wraps to 0.
+    // AnnTest.HnswInterleavedAddSearch* exercises exactly this
+    // recycle-then-grow path.
+    if (scratch->stamps.size() < num_nodes_) {
+      scratch->stamps.resize(num_nodes_, 0);
+    }
+    return scratch;
   }
-  auto* list = new VisitedList();
-  list->stamps.resize(num_nodes_, 0);
-  return list;
+  auto* scratch = new SearchScratch();
+  scratch->stamps.resize(num_nodes_, 0);
+  return scratch;
 }
 
-void HnswIndex::ReleaseVisited(VisitedList* list) const {
-  std::lock_guard<std::mutex> lock(visited_mu_);
-  visited_pool_.emplace_back(list);
+void HnswIndex::ReleaseScratch(SearchScratch* scratch) const {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  scratch_pool_.emplace_back(scratch);
 }
 
+int HnswIndex::DrawLevel() {
+  double u = level_rng_.UniformDouble();
+  if (u <= 0.0) u = 1e-12;
+  return static_cast<int>(-std::log(u) * level_lambda_);
+}
+
+uint32_t HnswIndex::RegisterNode(std::span<const float> vec) {
+  if (vec.size() != dim_) std::abort();
+  if (num_nodes_ >= UINT32_MAX) std::abort();  // flat ids are 32-bit
+  const uint32_t node = static_cast<uint32_t>(num_nodes_);
+  const size_t offset = vectors_.size();
+  vectors_.insert(vectors_.end(), vec.begin(), vec.end());
+  if (metric_ == Metric::kCosine) {
+    embed::L2NormalizeInPlace(std::span<float>(vectors_.data() + offset, dim_));
+  }
+  const int level = DrawLevel();
+  node_level_.push_back(level);
+  upper_offset_.push_back(upper_links_.size());
+  level0_links_.resize(level0_links_.size() + level0_stride_, 0);
+  if (level > 0) {
+    upper_links_.resize(upper_links_.size() + size_t(level) * upper_stride_, 0);
+  }
+  ++num_nodes_;
+  return node;
+}
+
+template <bool kLocked>
+const uint32_t* HnswIndex::SnapshotLinks(uint32_t node, int level,
+                                         SearchScratch& scratch,
+                                         uint32_t* count) const {
+  if constexpr (kLocked) {
+    // Concurrent inserts mutate link blocks; snapshot under the stripe
+    // mutex, then let the caller compute distances lock-free on the copy.
+    std::lock_guard<std::mutex> lock(LinkMutex(node));
+    const uint32_t* block = LinkBlock(node, level);
+    *count = block[0];
+    scratch.links.assign(block + 1, block + 1 + *count);
+    return scratch.links.data();
+  } else {
+    const uint32_t* block = LinkBlock(node, level);
+    *count = block[0];
+    return block + 1;
+  }
+}
+
+template <bool kLocked>
 uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
-                                      uint32_t entry, int level) const {
+                                      uint32_t entry, int level,
+                                      SearchScratch& scratch) const {
   uint32_t current = entry;
   float current_dist = NodeDistance(query, current);
   bool improved = true;
   while (improved) {
     improved = false;
-    for (uint32_t neighbor : Links(current, level)) {
-      float d = NodeDistance(query, neighbor);
+    uint32_t count;
+    const uint32_t* ids = SnapshotLinks<kLocked>(current, level, scratch,
+                                                 &count);
+    for (uint32_t j = 0; j < count; ++j) {
+      if (j + 1 < count) {
+        util::PrefetchRead(vectors_.data() + size_t{ids[j + 1]} * dim_);
+      }
+      float d = NodeDistance(query, ids[j]);
       if (d < current_dist) {
-        current = neighbor;
+        current = ids[j];
         current_dist = d;
         improved = true;
       }
@@ -98,61 +206,79 @@ uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
   return current;
 }
 
-std::vector<Neighbor> HnswIndex::SearchLayer(std::span<const float> query,
-                                             uint32_t entry, size_t ef,
-                                             int level) const {
-  VisitedList* visited = AcquireVisited();
-  if (++visited->current == 0) {
+template <bool kLocked>
+void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
+                            size_t ef, int level,
+                            SearchScratch& scratch) const {
+  if (++scratch.current == 0) {
     // Stamp counter wrapped; reset all marks once.
-    std::fill(visited->stamps.begin(), visited->stamps.end(), 0);
-    visited->current = 1;
+    std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0);
+    scratch.current = 1;
   }
-  const uint32_t stamp = visited->current;
+  const uint32_t stamp = scratch.current;
 
-  std::priority_queue<Neighbor, std::vector<Neighbor>, CloserFirst> candidates;
-  std::priority_queue<Neighbor, std::vector<Neighbor>, FartherFirst> results;
+  std::vector<Neighbor>& candidates = scratch.candidates;
+  std::vector<Neighbor>& results = scratch.results;
+  candidates.clear();
+  results.clear();
 
   float entry_dist = NodeDistance(query, entry);
-  candidates.push({entry, entry_dist});
-  results.push({entry, entry_dist});
-  visited->stamps[entry] = stamp;
+  candidates.push_back({entry, entry_dist});
+  results.push_back({entry, entry_dist});
+  scratch.stamps[entry] = stamp;
 
   while (!candidates.empty()) {
-    Neighbor closest = candidates.top();
-    if (closest.distance > results.top().distance && results.size() >= ef) {
+    Neighbor closest = candidates.front();
+    if (closest.distance > results.front().distance && results.size() >= ef) {
       break;  // Every remaining candidate is farther than the worst result.
     }
-    candidates.pop();
-    for (uint32_t neighbor : Links(static_cast<uint32_t>(closest.id), level)) {
-      if (visited->stamps[neighbor] == stamp) continue;
-      visited->stamps[neighbor] = stamp;
+    std::pop_heap(candidates.begin(), candidates.end(), CloserFirst{});
+    candidates.pop_back();
+
+    const uint32_t node = static_cast<uint32_t>(closest.id);
+    uint32_t count;
+    const uint32_t* ids = SnapshotLinks<kLocked>(node, level, scratch, &count);
+    for (uint32_t j = 0; j < count; ++j) {
+      if (j + 1 < count) {
+        // Hide the next hop's cache misses behind this distance computation:
+        // its visited stamp and the head of its vector row.
+        util::PrefetchRead(&scratch.stamps[ids[j + 1]]);
+        const float* next = vectors_.data() + size_t{ids[j + 1]} * dim_;
+        util::PrefetchRead(next);
+        util::PrefetchRead(next + util::kCacheLineBytes / sizeof(float));
+      }
+      const uint32_t neighbor = ids[j];
+      if (scratch.stamps[neighbor] == stamp) continue;
+      scratch.stamps[neighbor] = stamp;
       float d = NodeDistance(query, neighbor);
-      if (results.size() < ef || d < results.top().distance) {
-        candidates.push({neighbor, d});
-        results.push({neighbor, d});
-        if (results.size() > ef) results.pop();
+      if (results.size() < ef || d < results.front().distance) {
+        candidates.push_back({neighbor, d});
+        std::push_heap(candidates.begin(), candidates.end(), CloserFirst{});
+        // The closest candidate is the likely next hop; start pulling its
+        // link block now.
+        util::PrefetchRead(LinkBlock(neighbor, level));
+        results.push_back({neighbor, d});
+        std::push_heap(results.begin(), results.end(), FartherFirst{});
+        if (results.size() > ef) {
+          std::pop_heap(results.begin(), results.end(), FartherFirst{});
+          results.pop_back();
+        }
       }
     }
   }
-  ReleaseVisited(visited);
 
-  std::vector<Neighbor> out;
-  out.reserve(results.size());
-  while (!results.empty()) {
-    out.push_back(results.top());
-    results.pop();
-  }
-  std::reverse(out.begin(), out.end());  // ascending by distance
-  return out;
+  scratch.found.assign(results.begin(), results.end());
+  std::sort(scratch.found.begin(), scratch.found.end(),
+            AscendingDistanceThenId);
 }
 
-std::vector<uint32_t> HnswIndex::SelectNeighbors(
-    const std::vector<Neighbor>& candidates, size_t max_count) const {
+void HnswIndex::SelectNeighbors(const std::vector<Neighbor>& candidates,
+                                size_t max_count,
+                                std::vector<uint32_t>& selected) const {
   // candidates must be sorted ascending by distance (SearchLayer guarantees
   // this). Diversity heuristic: keep c only if it is closer to the query
   // than to every kept neighbor, so links spread around the query.
-  std::vector<uint32_t> selected;
-  selected.reserve(max_count);
+  selected.clear();
   for (const Neighbor& c : candidates) {
     if (selected.size() >= max_count) break;
     bool keep = true;
@@ -170,91 +296,185 @@ std::vector<uint32_t> HnswIndex::SelectNeighbors(
     if (keep) selected.push_back(static_cast<uint32_t>(c.id));
   }
   // Backfill with the nearest rejected candidates if diversity pruning left
-  // the node underlinked (keeps the graph connected on tiny inputs).
+  // the node underlinked (keeps the graph connected on tiny inputs). The
+  // kept set is a subsequence of `candidates` in order, so one merge-walk
+  // identifies the rejects — no per-candidate membership scan.
   if (selected.size() < max_count) {
+    const size_t kept = selected.size();
+    size_t next_kept = 0;
     for (const Neighbor& c : candidates) {
       if (selected.size() >= max_count) break;
-      uint32_t id = static_cast<uint32_t>(c.id);
-      if (std::find(selected.begin(), selected.end(), id) == selected.end()) {
-        selected.push_back(id);
+      const uint32_t id = static_cast<uint32_t>(c.id);
+      if (next_kept < kept && selected[next_kept] == id) {
+        ++next_kept;
+        continue;
       }
+      selected.push_back(id);
     }
   }
-  return selected;
 }
 
-void HnswIndex::ShrinkLinks(uint32_t node, int level) {
-  size_t cap = (level == 0) ? config_.m0 : config_.m;
-  std::vector<uint32_t>& links = Links(node, level);
-  if (links.size() <= cap) return;
-  std::vector<Neighbor> candidates;
-  candidates.reserve(links.size());
-  std::span<const float> nv = NodeVector(node);
-  for (uint32_t neighbor : links) {
-    candidates.push_back({neighbor, NodeDistance(nv, neighbor)});
+template <bool kLocked>
+void HnswIndex::ConnectReverse(uint32_t neighbor, uint32_t node, int level,
+                               SearchScratch& scratch) {
+  const size_t cap = (level == 0) ? config_.m0 : config_.m;
+  StripedLock<kLocked> lock(LinkMutex(neighbor));
+  uint32_t* block = MutableLinkBlock(neighbor, level);
+  const uint32_t count = block[0];
+  for (uint32_t j = 0; j < count; ++j) {
+    if (block[1 + j] == node) return;  // concurrent insert already linked us
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              return a.distance < b.distance;
-            });
-  links = SelectNeighbors(candidates, cap);
-}
-
-void HnswIndex::Add(std::span<const float> vec) {
-  if (vec.size() != dim_) std::abort();
-  uint32_t node = static_cast<uint32_t>(num_nodes_);
-
-  // Store (normalized) vector.
-  size_t offset = vectors_.size();
-  vectors_.insert(vectors_.end(), vec.begin(), vec.end());
-  if (metric_ == Metric::kCosine) {
-    embed::L2NormalizeInPlace(std::span<float>(vectors_.data() + offset, dim_));
-  }
-
-  // Draw the node's top level: floor(-ln(U) * 1/ln(M)).
-  double u = level_rng_.UniformDouble();
-  if (u <= 0.0) u = 1e-12;
-  int level = static_cast<int>(-std::log(u) * level_lambda_);
-
-  node_level_.push_back(level);
-  links_.emplace_back(static_cast<size_t>(level) + 1);
-  ++num_nodes_;
-
-  if (node == 0) {
-    max_level_ = level;
-    entry_point_ = 0;
+  if (count < cap) {
+    block[1 + count] = node;
+    block[0] = count + 1;
     return;
   }
+  // Over-full: re-prune the existing links plus the new edge with the
+  // diversity heuristic, keyed by distance to `neighbor`.
+  std::vector<Neighbor>& candidates = scratch.prune;
+  candidates.clear();
+  std::span<const float> nv = NodeVector(neighbor);
+  candidates.push_back({node, NodeDistance(nv, node)});
+  for (uint32_t j = 0; j < count; ++j) {
+    candidates.push_back({block[1 + j], NodeDistance(nv, block[1 + j])});
+  }
+  std::sort(candidates.begin(), candidates.end(), AscendingDistanceThenId);
+  SelectNeighbors(candidates, cap, scratch.reverse_selected);
+  block[0] = static_cast<uint32_t>(scratch.reverse_selected.size());
+  std::copy(scratch.reverse_selected.begin(), scratch.reverse_selected.end(),
+            block + 1);
+}
 
+template <bool kLocked>
+void HnswIndex::InsertNode(uint32_t node, SearchScratch& scratch) {
   std::span<const float> query = NodeVector(node);
-  uint32_t current = entry_point_;
+  const int level = node_level_[node];
+  // Callers insert the first node serially and publish it as the entry
+  // point, so the snapshot is never empty here.
+  uint64_t snapshot = entry_state_.load(std::memory_order_acquire);
+  std::unique_lock<std::mutex> top_raise_lock;
+  if constexpr (kLocked) {
+    if (level > EntryLevel(snapshot)) {
+      // hnswlib's global serialization of top-raising inserts: were two of
+      // them to run concurrently, each would read the old top, link only up
+      // to it, and leave both nodes' new upper layers permanently edgeless.
+      // Holding entry_mu_ for the whole insertion (rare: P(level >= l)
+      // decays geometrically) makes the second raiser see the first one's
+      // layers. Non-raising inserts never touch this mutex.
+      top_raise_lock = std::unique_lock<std::mutex>(entry_mu_);
+      snapshot = entry_state_.load(std::memory_order_acquire);
+    }
+  }
+  const int top_level = EntryLevel(snapshot);
+  uint32_t current = EntryNode(snapshot);
 
   // Greedy descent through layers above the new node's level.
-  for (int l = max_level_; l > level; --l) {
-    current = GreedySearchLayer(query, current, l);
+  for (int l = top_level; l > level; --l) {
+    current = GreedySearchLayer<kLocked>(query, current, l, scratch);
   }
 
   // Beam-search insertion on each layer the node participates in.
-  for (int l = std::min(level, max_level_); l >= 0; --l) {
-    std::vector<Neighbor> candidates =
-        SearchLayer(query, current, config_.ef_construction, l);
-    size_t cap = (l == 0) ? config_.m0 : config_.m;
-    std::vector<uint32_t> neighbors =
-        SelectNeighbors(candidates, config_.m);
-    Links(node, l) = neighbors;
-    for (uint32_t neighbor : neighbors) {
-      Links(neighbor, l).push_back(node);
-      if (Links(neighbor, l).size() > cap) ShrinkLinks(neighbor, l);
+  for (int l = std::min(level, top_level); l >= 0; --l) {
+    SearchLayer<kLocked>(query, current, config_.ef_construction, l, scratch);
+    // A concurrent insert may already have linked back to this node, making
+    // it discoverable by its own beam; never self-link.
+    std::erase_if(scratch.found,
+                  [node](const Neighbor& n) { return n.id == node; });
+    if (!scratch.found.empty()) {
+      current = static_cast<uint32_t>(scratch.found.front().id);
     }
-    if (!candidates.empty()) {
-      current = static_cast<uint32_t>(candidates.front().id);
+    SelectNeighbors(scratch.found, config_.m, scratch.selected);
+    {
+      // Forward links. Under kLocked the block may already hold back-edges
+      // from concurrent inserts (this node became reachable the moment a
+      // higher layer linked to it), so append-with-dedup instead of
+      // overwriting; serially the block is always empty.
+      const size_t cap = (l == 0) ? config_.m0 : config_.m;
+      StripedLock<kLocked> lock(LinkMutex(node));
+      uint32_t* block = MutableLinkBlock(node, l);
+      uint32_t count = block[0];
+      for (uint32_t id : scratch.selected) {
+        if (count >= cap) break;
+        bool present = false;
+        for (uint32_t j = 0; j < count; ++j) {
+          if (block[1 + j] == id) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) block[1 + count++] = id;
+      }
+      block[0] = count;
+    }
+    for (uint32_t neighbor : scratch.selected) {
+      ConnectReverse<kLocked>(neighbor, node, l, scratch);
     }
   }
 
-  if (level > max_level_) {
-    max_level_ = level;
-    entry_point_ = node;
+  // Publish as the entry point if this node topped the hierarchy. CAS loop:
+  // another insert may raise the top level concurrently.
+  const uint64_t desired = PackEntryState(level, node);
+  while (level > EntryLevel(snapshot)) {
+    if (entry_state_.compare_exchange_weak(snapshot, desired,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire)) {
+      break;
+    }
   }
+}
+
+void HnswIndex::Add(std::span<const float> vec) {
+  const uint32_t node = RegisterNode(vec);
+  if (node == 0) {
+    entry_state_.store(PackEntryState(node_level_[0], 0),
+                       std::memory_order_release);
+    return;
+  }
+  ScratchLease scratch(*this);
+  InsertNode<false>(node, *scratch);
+}
+
+void HnswIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
+                         util::ThreadPool* pool) {
+  const size_t n = vectors.num_rows();
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      n < config_.parallel_batch_min) {
+    for (size_t i = 0; i < n; ++i) Add(vectors.Row(i));
+    return;
+  }
+
+  // Sequential registration of the whole batch: vector payload, level draws
+  // (the same RNG sequence a serial build would use), and link-slab growth.
+  // After this, the parallel phase performs no allocation, so every block
+  // and vector row has a stable address.
+  const uint32_t base = static_cast<uint32_t>(num_nodes_);
+  vectors_.reserve(vectors_.size() + n * dim_);
+  level0_links_.reserve(level0_links_.size() + n * level0_stride_);
+  node_level_.reserve(node_level_.size() + n);
+  upper_offset_.reserve(upper_offset_.size() + n);
+  for (size_t i = 0; i < n; ++i) RegisterNode(vectors.Row(i));
+
+  size_t start = 0;
+  if (base == 0) {
+    // Bootstrap: the first node just becomes the entry point.
+    entry_state_.store(PackEntryState(node_level_[0], 0),
+                       std::memory_order_release);
+    start = 1;
+  }
+
+  // hnswlib-style concurrent insertion: every link-block access goes through
+  // the node's stripe mutex and the entry point is CAS-published, so inserts
+  // from all workers interleave safely. Runs under ParallelFor's TaskGroup
+  // and therefore composes with the merge scheduler (a blocked waiter helps
+  // run its own group's tasks).
+  util::ParallelFor(
+      pool, n - start,
+      [&](size_t i) {
+        ScratchLease scratch(*this);
+        InsertNode<true>(base + static_cast<uint32_t>(start + i), *scratch);
+      },
+      /*min_block_size=*/16);
 }
 
 std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
@@ -267,39 +487,33 @@ std::vector<Neighbor> HnswIndex::SearchEf(std::span<const float> query,
   if (num_nodes_ == 0 || k == 0) return {};
   ef = std::max(ef, k);
 
-  std::vector<float> normalized;
+  ScratchLease scratch(*this);
   std::span<const float> q = query;
   if (metric_ == Metric::kCosine) {
+    // Normalize into pooled scratch so the query path stays allocation-free.
+    std::vector<float>& normalized = (*scratch).query_norm;
     normalized.assign(query.begin(), query.end());
     embed::L2NormalizeInPlace(normalized);
     q = normalized;
   }
 
-  uint32_t current = entry_point_;
-  for (int l = max_level_; l > 0; --l) {
-    current = GreedySearchLayer(q, current, l);
+  const uint64_t snapshot = entry_state_.load(std::memory_order_acquire);
+  uint32_t current = EntryNode(snapshot);
+  for (int l = EntryLevel(snapshot); l > 0; --l) {
+    current = GreedySearchLayer<false>(q, current, l, *scratch);
   }
-  std::vector<Neighbor> results = SearchLayer(q, current, ef, 0);
-  if (results.size() > k) results.resize(k);
-  // Deterministic tie order.
-  std::sort(results.begin(), results.end(),
-            [](const Neighbor& a, const Neighbor& b) {
-              if (a.distance != b.distance) return a.distance < b.distance;
-              return a.id < b.id;
-            });
-  return results;
+  SearchLayer<false>(q, current, ef, 0, *scratch);
+  std::vector<Neighbor>& found = (*scratch).found;
+  if (found.size() > k) found.resize(k);
+  return std::vector<Neighbor>(found.begin(), found.end());
 }
 
 size_t HnswIndex::SizeBytes() const {
-  size_t bytes = vectors_.capacity() * sizeof(float);
-  bytes += node_level_.capacity() * sizeof(int);
-  for (const auto& per_node : links_) {
-    bytes += sizeof(per_node);
-    for (const auto& level_links : per_node) {
-      bytes += sizeof(level_links) + level_links.capacity() * sizeof(uint32_t);
-    }
-  }
-  return bytes;
+  return vectors_.size() * sizeof(float) +
+         level0_links_.size() * sizeof(uint32_t) +
+         upper_links_.size() * sizeof(uint32_t) +
+         upper_offset_.size() * sizeof(size_t) +
+         node_level_.size() * sizeof(int);
 }
 
 }  // namespace multiem::ann

@@ -1,12 +1,14 @@
 #ifndef MULTIEM_ANN_HNSW_H_
 #define MULTIEM_ANN_HNSW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "ann/index.h"
+#include "util/memory.h"
 #include "util/rng.h"
 
 namespace multiem::ann {
@@ -24,6 +26,11 @@ struct HnswConfig {
   size_t ef_search = 64;
   /// Seed for the level generator (layer assignment is randomized).
   uint64_t seed = 0x48435753ULL;  // "HNSW"
+  /// AddBatch(pool) inserts in parallel only for batches at least this
+  /// large; below it the per-insert locking and task overhead outweigh the
+  /// fan-out, and small builds stay serial — and therefore deterministic
+  /// (see the thread-safety notes below).
+  size_t parallel_batch_min = 1024;
 };
 
 /// Hierarchical Navigable Small World index (Malkov & Yashunin, TPAMI 2020),
@@ -37,17 +44,35 @@ struct HnswConfig {
 /// the diversity heuristic (Algorithm 4 of the HNSW paper); over-full
 /// adjacency lists are re-pruned with the same heuristic.
 ///
+/// Memory layout: adjacency lives in flat fixed-capacity slabs, not nested
+/// vectors. Layer 0 is one contiguous, cache-line-aligned uint32 array with
+/// m0+1 slots per node ([count, links...]); the sparse upper layers share a
+/// second compact slab with m+1 slots per (node, layer) pair, addressed
+/// through a per-node offset. One hop in the hottest loop is therefore one
+/// pointer-free block read, and the search loops prefetch the next
+/// neighbor's vector and link block while the current distance is computed.
+///
 /// Cosine metric: vectors are L2-normalized on insert and queries normalized
 /// per call, so distance reduces to 1 - dot.
 ///
-/// Thread-safety: Add is single-threaded; Search is const and safe to call
-/// concurrently (per-call visited marks come from an internal pool).
+/// Thread-safety: Search is const and safe to call concurrently with other
+/// searches (per-call scratch comes from an internal pool). Add is
+/// single-threaded. AddBatch(pool) inserts batch rows concurrently using
+/// hnswlib's insertion protocol — lock-striped per-node link mutexes plus an
+/// atomic entry-point/max-level word — but must not overlap with Search or
+/// other Add/AddBatch calls on the same index. Parallel insertion order is
+/// nondeterministic, so two parallel builds of the same corpus may produce
+/// different (equally valid) graphs; serial builds are fully deterministic.
 class HnswIndex : public VectorIndex {
  public:
   HnswIndex(size_t dim, Metric metric, HnswConfig config = {});
   ~HnswIndex() override;
 
   void Add(std::span<const float> vec) override;
+
+  using VectorIndex::AddBatch;
+  void AddBatch(const embed::EmbeddingMatrix& vectors,
+                util::ThreadPool* pool) override;
 
   std::vector<Neighbor> Search(std::span<const float> query,
                                size_t k) const override;
@@ -57,19 +82,58 @@ class HnswIndex : public VectorIndex {
                                  size_t ef) const;
 
   size_t size() const override { return num_nodes_; }
+  /// Exact bytes of payload held (flat slabs make this a size sum, not a
+  /// capacity estimate).
   size_t SizeBytes() const override;
   Metric metric() const override { return metric_; }
 
   /// Highest layer currently in use (-1 when empty); exposed for tests.
-  int max_level() const { return max_level_; }
+  int max_level() const {
+    return EntryLevel(entry_state_.load(std::memory_order_acquire));
+  }
 
   const HnswConfig& config() const { return config_; }
 
  private:
-  struct VisitedList {
-    std::vector<uint32_t> stamps;
-    uint32_t current = 0;
-  };
+  /// Reusable per-search working set (visited stamps, the two beam heaps,
+  /// and the insertion buffers), pooled so neither Search nor Add allocates
+  /// per call.
+  struct SearchScratch;
+  class ScratchLease;
+
+  /// Entry point and top level packed into one atomic word so concurrent
+  /// inserts always read a consistent (entry, level) pair:
+  /// bits [32,64) = level + 1 (0 = empty index), bits [0,32) = node id.
+  static constexpr uint64_t kEmptyEntryState = 0;
+  static uint64_t PackEntryState(int level, uint32_t node) {
+    return (static_cast<uint64_t>(level + 1) << 32) | node;
+  }
+  static int EntryLevel(uint64_t state) {
+    return static_cast<int>(state >> 32) - 1;
+  }
+  static uint32_t EntryNode(uint64_t state) {
+    return static_cast<uint32_t>(state);
+  }
+
+  /// Number of link-mutex stripes (node -> mutex by id modulo). 256 stripes
+  /// keep contention negligible at any practical thread count while costing
+  /// ~10 KB per index.
+  static constexpr size_t kLinkStripes = 256;
+
+  std::mutex& LinkMutex(uint32_t node) const {
+    return link_stripes_[node & (kLinkStripes - 1)];
+  }
+
+  /// Flat link block of `node` on `level`: block[0] = count, block[1..]
+  /// = neighbor ids; capacity m0 (level 0) or m (upper levels).
+  const uint32_t* LinkBlock(uint32_t node, int level) const {
+    if (level == 0) return level0_links_.data() + size_t{node} * level0_stride_;
+    return upper_links_.data() + upper_offset_[node] +
+           size_t(level - 1) * upper_stride_;
+  }
+  uint32_t* MutableLinkBlock(uint32_t node, int level) {
+    return const_cast<uint32_t*>(LinkBlock(node, level));
+  }
 
   /// Distance from `query` (already normalized for cosine) to stored node.
   float NodeDistance(std::span<const float> query, uint32_t node) const;
@@ -78,52 +142,84 @@ class HnswIndex : public VectorIndex {
     return std::span<const float>(vectors_.data() + size_t{node} * dim_, dim_);
   }
 
+  /// Draws a node's top level: floor(-ln(U) * 1/ln(M)).
+  int DrawLevel();
+
+  /// Appends the vector (normalized for cosine), draws the node's level, and
+  /// grows the link slabs (zero-filled blocks). Single-threaded; in a
+  /// parallel AddBatch every registration happens before the concurrent
+  /// phase, so slab and vector addresses are stable while inserts run.
+  uint32_t RegisterNode(std::span<const float> vec);
+
+  /// Connects a registered node into the graph. kLocked selects the
+  /// concurrent protocol (stripe mutexes around every link-block access,
+  /// CAS entry-point publication) used by parallel AddBatch; the unlocked
+  /// variant is the serial Add/small-batch path.
+  template <bool kLocked>
+  void InsertNode(uint32_t node, SearchScratch& scratch);
+
+  /// Returns `node`'s links on `level` and their count. In locked mode the
+  /// block is snapshotted into scratch.links under the node's stripe mutex
+  /// (concurrent inserts mutate blocks); unlocked it aliases the slab.
+  template <bool kLocked>
+  const uint32_t* SnapshotLinks(uint32_t node, int level,
+                                SearchScratch& scratch,
+                                uint32_t* count) const;
+
   /// Greedy hill-climb on `level` starting at `entry`; returns the closest
   /// node found (used to descend through the upper layers).
+  template <bool kLocked>
   uint32_t GreedySearchLayer(std::span<const float> query, uint32_t entry,
-                             int level) const;
+                             int level, SearchScratch& scratch) const;
 
-  /// Beam search on `level` with beam width `ef`; returns up to `ef`
-  /// (node, distance) pairs sorted ascending by distance.
-  std::vector<Neighbor> SearchLayer(std::span<const float> query,
-                                    uint32_t entry, size_t ef,
-                                    int level) const;
+  /// Beam search on `level` with beam width `ef`; leaves up to `ef`
+  /// (node, distance) pairs in scratch.found, sorted ascending by
+  /// (distance, id).
+  template <bool kLocked>
+  void SearchLayer(std::span<const float> query, uint32_t entry, size_t ef,
+                   int level, SearchScratch& scratch) const;
 
   /// HNSW Algorithm 4: keeps candidates that are closer to the query than to
-  /// every already-kept neighbor (diversity pruning), up to `max_count`.
-  /// Candidates carry their distance to the query, so the query vector
-  /// itself is not needed.
-  std::vector<uint32_t> SelectNeighbors(const std::vector<Neighbor>& candidates,
-                                        size_t max_count) const;
+  /// every already-kept neighbor (diversity pruning), up to `max_count`,
+  /// then backfills with the nearest rejected candidates (single merge-walk;
+  /// `selected` is always a subsequence of `candidates` in order).
+  /// Candidates must be sorted ascending by distance.
+  void SelectNeighbors(const std::vector<Neighbor>& candidates,
+                       size_t max_count, std::vector<uint32_t>& selected) const;
 
-  /// Re-prunes `node`'s adjacency on `level` when it exceeds the cap.
-  void ShrinkLinks(uint32_t node, int level);
+  /// Adds the back-edge neighbor -> node on `level`, re-pruning neighbor's
+  /// block with the diversity heuristic when it is full (the old
+  /// ShrinkLinks, now at fixed capacity).
+  template <bool kLocked>
+  void ConnectReverse(uint32_t neighbor, uint32_t node, int level,
+                      SearchScratch& scratch);
 
-  std::vector<uint32_t>& Links(uint32_t node, int level) {
-    return links_[node][level];
-  }
-  const std::vector<uint32_t>& Links(uint32_t node, int level) const {
-    return links_[node][level];
-  }
-
-  VisitedList* AcquireVisited() const;
-  void ReleaseVisited(VisitedList* list) const;
+  SearchScratch* AcquireScratch() const;
+  void ReleaseScratch(SearchScratch* scratch) const;
 
   size_t dim_;
   Metric metric_;
   HnswConfig config_;
   double level_lambda_;  // 1 / ln(M)
   util::Rng level_rng_;
+  size_t level0_stride_;  // m0 + 1
+  size_t upper_stride_;   // m + 1
 
   size_t num_nodes_ = 0;
-  std::vector<float> vectors_;              // row-major (normalized if cosine)
-  std::vector<std::vector<std::vector<uint32_t>>> links_;  // [node][level]
+  util::CacheAlignedVector<float> vectors_;  // row-major (normalized if cosine)
+  util::CacheAlignedVector<uint32_t> level0_links_;  // [node * (m0+1)]
+  util::CacheAlignedVector<uint32_t> upper_links_;   // per-node level slabs
+  std::vector<size_t> upper_offset_;  // node -> first block in upper_links_
   std::vector<int> node_level_;
-  int max_level_ = -1;
-  uint32_t entry_point_ = 0;
+  std::atomic<uint64_t> entry_state_{kEmptyEntryState};
 
-  mutable std::mutex visited_mu_;
-  mutable std::vector<std::unique_ptr<VisitedList>> visited_pool_;
+  mutable std::unique_ptr<std::mutex[]> link_stripes_;
+  /// Serializes concurrent inserts whose level exceeds the current top
+  /// (hnswlib's global lock): without it, two such inserts could each miss
+  /// the other's new layers and leave them permanently unlinked.
+  std::mutex entry_mu_;
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
 };
 
 }  // namespace multiem::ann

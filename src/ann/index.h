@@ -8,6 +8,10 @@
 #include "ann/metric.h"
 #include "embed/embedding.h"
 
+namespace multiem::util {
+class ThreadPool;
+}  // namespace multiem::util
+
 namespace multiem::ann {
 
 /// One search hit: index of the stored vector and its distance to the query.
@@ -27,11 +31,27 @@ class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
 
-  /// Inserts a vector; its id is the insertion order (0-based).
+  /// Inserts a vector; its id is the insertion order (0-based). Always
+  /// single-threaded: callers must not run Add concurrently with anything
+  /// else on the same index.
   virtual void Add(std::span<const float> vec) = 0;
 
-  /// Inserts every row of `vectors` in row order.
+  /// Inserts every row of `vectors` in row order on the calling thread.
   void AddBatch(const embed::EmbeddingMatrix& vectors) {
+    AddBatch(vectors, nullptr);
+  }
+
+  /// Inserts every row of `vectors`, fanning the work out across `pool` when
+  /// the implementation supports it (HnswIndex inserts with lock-striped
+  /// link updates, BruteForceIndex copies rows in parallel). Row i always
+  /// gets id `size-before + i` regardless of the pool. A null pool — or an
+  /// implementation without a parallel path, like this default — degrades to
+  /// the serial row loop. Safe to call from inside a pool task (the nested
+  /// work runs under its own util::TaskGroup); must not overlap with any
+  /// other call on the same index, including Search.
+  virtual void AddBatch(const embed::EmbeddingMatrix& vectors,
+                        util::ThreadPool* pool) {
+    (void)pool;
     for (size_t i = 0; i < vectors.num_rows(); ++i) Add(vectors.Row(i));
   }
 

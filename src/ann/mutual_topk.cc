@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
-#include <unordered_set>
 
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
@@ -15,7 +14,8 @@ namespace multiem::ann {
 namespace {
 
 std::unique_ptr<VectorIndex> BuildIndex(const embed::EmbeddingMatrix& vectors,
-                                        const MutualTopKOptions& options) {
+                                        const MutualTopKOptions& options,
+                                        util::ThreadPool* pool) {
   std::unique_ptr<VectorIndex> index;
   if (options.index_factory != nullptr) {
     index = options.index_factory->Create(vectors.dim(), options.metric);
@@ -27,7 +27,7 @@ std::unique_ptr<VectorIndex> BuildIndex(const embed::EmbeddingMatrix& vectors,
                        options.hnsw_ef_search, options.hnsw_seed);
     index = std::make_unique<HnswIndex>(vectors.dim(), options.metric, config);
   }
-  index->AddBatch(vectors);
+  index->AddBatch(vectors, pool);
   return index;
 }
 
@@ -41,9 +41,9 @@ std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
   if (left.num_rows() == 0 || right.num_rows() == 0 || options.k == 0) {
     return out;
   }
-  // The mutuality hash below packs (right row, left row) into one 64-bit key,
-  // 32 bits each. Fail fast rather than silently colliding keys (which would
-  // fabricate mutual pairs) on inputs beyond that packing.
+  // The mutuality check below packs (right row, left row) into one 64-bit
+  // key, 32 bits each. Fail fast rather than silently colliding keys (which
+  // would fabricate mutual pairs) on inputs beyond that packing.
   if ((static_cast<uint64_t>(left.num_rows() - 1) >> 32) != 0 ||
       (static_cast<uint64_t>(right.num_rows() - 1) >> 32) != 0) {
     MULTIEM_LOG(kError) << "MutualTopK: table exceeds 2^32 rows ("
@@ -54,20 +54,23 @@ std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
 
   // Index construction dominates the cost of small merges (insertion beams
   // are wider than search beams), and the two sides are independent — build
-  // them concurrently. Each index's Add stays single-threaded, as HnswIndex
-  // requires.
+  // them concurrently as one task each. The pool is also threaded into each
+  // build: for batches past HnswConfig::parallel_batch_min,
+  // HnswIndex::AddBatch inserts concurrently (lock-striped link updates), so
+  // one big side no longer pins the build phase to a single core.
   std::unique_ptr<VectorIndex> right_index;
   std::unique_ptr<VectorIndex> left_index;
   const bool parallel = pool != nullptr && pool->num_threads() > 1;
   if (parallel) {
     util::TaskGroup build_group(*pool);
     pool->Submit(build_group,
-                 [&] { right_index = BuildIndex(right, options); });
-    pool->Submit(build_group, [&] { left_index = BuildIndex(left, options); });
+                 [&] { right_index = BuildIndex(right, options, pool); });
+    pool->Submit(build_group,
+                 [&] { left_index = BuildIndex(left, options, pool); });
     build_group.Wait();
   } else {
-    right_index = BuildIndex(right, options);
-    left_index = BuildIndex(left, options);
+    right_index = BuildIndex(right, options, nullptr);
+    left_index = BuildIndex(left, options, nullptr);
   }
 
   // topK(e) for every left row against the right index, and vice versa. Both
@@ -94,22 +97,26 @@ std::vector<MutualPair> MutualTopK(const embed::EmbeddingMatrix& left,
     for (size_t j = 0; j < right.num_rows(); ++j) search_right(j);
   }
 
-  // Hash the right->left relation for O(1) mutuality checks.
-  std::unordered_set<uint64_t> right_picks;
+  // Sort the right->left relation once and binary-search it per candidate:
+  // one flat allocation and cache-friendly probes, versus the hash set this
+  // replaced (a heap node per entry on the merge path's second-hottest
+  // loop).
+  std::vector<uint64_t> right_picks;
   right_picks.reserve(right.num_rows() * options.k);
   for (size_t j = 0; j < right.num_rows(); ++j) {
     for (const Neighbor& n : right_to_left[j]) {
-      right_picks.insert(static_cast<uint64_t>(j) << 32 |
-                         static_cast<uint64_t>(n.id));
+      right_picks.push_back(static_cast<uint64_t>(j) << 32 |
+                            static_cast<uint64_t>(n.id));
     }
   }
+  std::sort(right_picks.begin(), right_picks.end());
 
   for (size_t i = 0; i < left.num_rows(); ++i) {
     for (const Neighbor& n : left_to_right[i]) {
       if (n.distance > options.max_distance) continue;
       uint64_t key = static_cast<uint64_t>(n.id) << 32 |
                      static_cast<uint64_t>(i);
-      if (right_picks.count(key) > 0) {
+      if (std::binary_search(right_picks.begin(), right_picks.end(), key)) {
         out.push_back({i, n.id, n.distance});
       }
     }

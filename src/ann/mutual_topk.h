@@ -46,8 +46,10 @@ struct MutualTopKOptions {
 ///   P_m = { (e, e') | e' in topK(e) and e in topK(e') and dist(e, e') <= m }
 /// by building one index per side and intersecting the two top-K relations.
 /// With a `pool`, the two index builds run concurrently (one task each) and
-/// the queries of both directions fan out under one util::TaskGroup; safe to
-/// call from inside a pool task.
+/// the pool is threaded into each build's AddBatch, so large sides insert in
+/// parallel too (HnswIndex's lock-striped protocol); the queries of both
+/// directions then fan out under one util::TaskGroup. Safe to call from
+/// inside a pool task.
 /// Pairs are returned sorted by (left, right); each (left, right) appears at
 /// most once. Aborts (fail fast) when either side exceeds 2^32 rows — the
 /// mutuality check packs a row pair into one 64-bit key.

@@ -29,11 +29,13 @@ MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
     std::vector<MergeTable> next(num_pairs + tables.size() % 2);
     std::vector<TwoTableMergeStats> pair_stats(num_pairs);
 
-    // The pool is threaded through both levels of parallelism: pairs fan out
-    // as tasks of one group, and each pair's inner ANN searches fan out as a
-    // nested group (safe because TaskGroup::Wait helps instead of blocking).
-    // The final, largest levels — always a single pair for the common
-    // 2-table case — therefore still use every worker.
+    // The pool is threaded through every level of parallelism: pairs fan
+    // out as tasks of one group, and each pair's inner work — the two index
+    // builds (parallel HNSW insertion for large sides) and the ANN searches
+    // of both directions — fans out as nested groups (safe because
+    // TaskGroup::Wait helps instead of blocking). The final, largest levels
+    // — always a single pair for the common 2-table case — therefore still
+    // use every worker.
     auto merge_pair = [&](size_t p) {
       const MergeTable& a = tables[order[2 * p]];
       const MergeTable& b = tables[order[2 * p + 1]];

@@ -42,13 +42,14 @@ struct HierarchicalMergeStats {
 ///
 /// Parallel mode (Section III-E, "Merging in parallel"): when the config asks
 /// for more than one thread, the pairs of each level are merged concurrently
-/// on `pool`, and each two-table merge *also* fans its ANN queries out onto
-/// the same pool as a nested util::TaskGroup. Nesting both levels is what
-/// keeps the top of the hierarchy parallel: the last levels merge the two
-/// largest tables as a single pair (always the case for 2 input tables), so
-/// without the inner fan-out they would run single-threaded. Serial mode
-/// (num_threads == 1) runs everything inline on the caller thread. See
-/// docs/API.md "Threading model".
+/// on `pool`, and each two-table merge *also* fans its index builds and ANN
+/// queries out onto the same pool as nested util::TaskGroups (large HNSW
+/// builds insert in parallel — see HnswIndex::AddBatch). Nesting the levels
+/// is what keeps the top of the hierarchy parallel: the last levels merge
+/// the two largest tables as a single pair (always the case for 2 input
+/// tables), so without the inner fan-out they would run single-threaded.
+/// Serial mode (num_threads == 1) runs everything inline on the caller
+/// thread. See docs/API.md "Threading model".
 class HierarchicalMerger {
  public:
   /// `index_factory` (non-owning, optional) overrides how the per-merge ANN

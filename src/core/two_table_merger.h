@@ -35,10 +35,12 @@ class TwoTableMerger {
                  const ann::VectorIndexFactory* index_factory = nullptr)
       : config_(config), store_(store), index_factory_(index_factory) {}
 
-  /// Merges `a` and `b`. `pool` parallelizes the ANN queries of both search
-  /// directions under one util::TaskGroup; this is safe even when the caller
-  /// itself runs inside a pool task (HierarchicalMerger submits pairs and
-  /// their inner searches to the same pool — Section III-E).
+  /// Merges `a` and `b`. `pool` parallelizes the merge end to end: the two
+  /// side indexes build concurrently with the pool threaded into their
+  /// AddBatch (large HNSW builds insert in parallel), and the ANN queries of
+  /// both search directions fan out under one util::TaskGroup. This is safe
+  /// even when the caller itself runs inside a pool task (HierarchicalMerger
+  /// submits pairs and their inner work to the same pool — Section III-E).
   MergeTable Merge(const MergeTable& a, const MergeTable& b,
                    util::ThreadPool* pool = nullptr,
                    TwoTableMergeStats* stats = nullptr) const;

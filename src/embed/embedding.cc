@@ -91,16 +91,54 @@ float CosineDistance(std::span<const float> a, std::span<const float> b) {
 }
 
 float EuclideanDistance(std::span<const float> a, std::span<const float> b) {
+  // Second-hottest kernel after Dot: every pruning-phase distance and every
+  // euclidean-metric HNSW hop lands here, so it mirrors Dot's AVX2+FMA
+  // structure (four independent accumulators over 32-lane strides).
   size_t n = a.size();
+  size_t i = 0;
+#if defined(__AVX2__) && defined(__FMA__)
+  __m256 acc_a = _mm256_setzero_ps();
+  __m256 acc_b = _mm256_setzero_ps();
+  __m256 acc_c = _mm256_setzero_ps();
+  __m256 acc_d = _mm256_setzero_ps();
+  for (; i + 32 <= n; i += 32) {
+    __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(a.data() + i),
+                              _mm256_loadu_ps(b.data() + i));
+    __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(a.data() + i + 8),
+                              _mm256_loadu_ps(b.data() + i + 8));
+    __m256 d2 = _mm256_sub_ps(_mm256_loadu_ps(a.data() + i + 16),
+                              _mm256_loadu_ps(b.data() + i + 16));
+    __m256 d3 = _mm256_sub_ps(_mm256_loadu_ps(a.data() + i + 24),
+                              _mm256_loadu_ps(b.data() + i + 24));
+    acc_a = _mm256_fmadd_ps(d0, d0, acc_a);
+    acc_b = _mm256_fmadd_ps(d1, d1, acc_b);
+    acc_c = _mm256_fmadd_ps(d2, d2, acc_c);
+    acc_d = _mm256_fmadd_ps(d3, d3, acc_d);
+  }
+  for (; i + 8 <= n; i += 8) {
+    __m256 d = _mm256_sub_ps(_mm256_loadu_ps(a.data() + i),
+                             _mm256_loadu_ps(b.data() + i));
+    acc_a = _mm256_fmadd_ps(d, d, acc_a);
+  }
+  __m256 sum = _mm256_add_ps(_mm256_add_ps(acc_a, acc_b),
+                             _mm256_add_ps(acc_c, acc_d));
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, sum);
+  float acc0 = lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] +
+               lanes[5] + lanes[6] + lanes[7];
+  float acc1 = 0.0f;
+#else
+  // Two independent accumulators break the FP dependency chain so the
+  // compiler can vectorize/pipeline without -ffast-math.
   float acc0 = 0.0f;
   float acc1 = 0.0f;
-  size_t i = 0;
   for (; i + 2 <= n; i += 2) {
     float d0 = a[i] - b[i];
     float d1 = a[i + 1] - b[i + 1];
     acc0 += d0 * d0;
     acc1 += d1 * d1;
   }
+#endif
   for (; i < n; ++i) {
     float d = a[i] - b[i];
     acc0 += d * d;

@@ -2,6 +2,12 @@
 #define MULTIEM_UTIL_MEMORY_H_
 
 #include <cstddef>
+#include <new>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace multiem::util {
 
@@ -13,6 +19,65 @@ size_t CurrentRssBytes();
 /// platforms without procfs. Monotone over the process lifetime, which is why
 /// the Table VI bench runs each method in a fresh subprocess.
 size_t PeakRssBytes();
+
+/// x86 cache-line size; the alignment target for hot flat arrays (the HNSW
+/// link slabs and vector payload), so a block never straddles a line it
+/// doesn't have to.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Minimal std::allocator replacement that over-aligns every allocation to
+/// `Alignment` bytes (C++17 aligned operator new). Used through
+/// CacheAlignedVector below for the flat ANN slabs.
+template <typename T, size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be 2^k");
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+/// std::vector whose buffer starts on a cache-line boundary.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// Read-prefetch hint for the cache line at `p`. No-op where unsupported;
+/// safe on any address (prefetch never faults). The HNSW hot loops use this
+/// to pull the next neighbor's vector and link block while the current
+/// distance is still being computed.
+inline void PrefetchRead(const void* p) {
+#if defined(__SSE2__)
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+#elif defined(__GNUC__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
 
 }  // namespace multiem::util
 

@@ -11,6 +11,7 @@
 #include "ann/hnsw.h"
 #include "ann/mutual_topk.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace multiem::ann {
 namespace {
@@ -275,6 +276,118 @@ TEST(HnswTest, InterleavedAddSearchMatchesExactTopOne) {
   }
 }
 
+// Flat-slab layout at scale: the rewritten storage must agree with the
+// exact oracle on a corpus big enough for real multi-layer graphs.
+TEST(HnswFlatTest, TenThousandVectorRecallVsOracle) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kQueries = 40;
+  constexpr size_t kK = 10;
+  auto data = RandomVectors(10000, kDim, 31);
+  auto queries = RandomVectors(kQueries, kDim, 32);
+  HnswConfig config;
+  config.ef_search = 200;
+  HnswIndex hnsw(kDim, Metric::kCosine, config);
+  BruteForceIndex exact(kDim, Metric::kCosine);
+  hnsw.AddBatch(data);
+  exact.AddBatch(data);
+  size_t found = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto approx_hits = hnsw.Search(queries.Row(q), kK);
+    auto exact_hits = exact.Search(queries.Row(q), kK);
+    std::unordered_set<size_t> truth;
+    for (const auto& h : exact_hits) truth.insert(h.id);
+    for (const auto& h : approx_hits) found += truth.count(h.id);
+  }
+  double recall = static_cast<double>(found) / (kQueries * kK);
+  EXPECT_GE(recall, 0.95) << "flat-slab recall collapsed on 10k corpus";
+}
+
+// ------------------------------------------------- Parallel construction --
+
+// AddBatch(pool) runs the lock-striped concurrent insertion protocol; the
+// graph it builds must match the exact oracle just like a serial build.
+// (Also the TSan subject for concurrent inserts — the CI thread-sanitizer
+// job runs every *Parallel* test in this file.)
+TEST(HnswParallelTest, ParallelBuildRecallVsOracle) {
+  constexpr size_t kDim = 32;
+  constexpr size_t kQueries = 40;
+  constexpr size_t kK = 10;
+  auto data = RandomVectors(3000, kDim, 41);
+  auto queries = RandomVectors(kQueries, kDim, 42);
+  HnswConfig config;
+  config.ef_search = 128;
+  config.parallel_batch_min = 256;  // force the concurrent path at this size
+  HnswIndex hnsw(kDim, Metric::kCosine, config);
+  BruteForceIndex exact(kDim, Metric::kCosine);
+  util::ThreadPool pool(4);
+  hnsw.AddBatch(data, &pool);
+  exact.AddBatch(data, &pool);
+  ASSERT_EQ(hnsw.size(), data.num_rows());
+  EXPECT_GE(hnsw.max_level(), 0);
+  size_t found = 0;
+  for (size_t q = 0; q < kQueries; ++q) {
+    auto approx_hits = hnsw.Search(queries.Row(q), kK);
+    auto exact_hits = exact.Search(queries.Row(q), kK);
+    std::unordered_set<size_t> truth;
+    for (const auto& h : exact_hits) truth.insert(h.id);
+    for (const auto& h : approx_hits) found += truth.count(h.id);
+  }
+  double recall = static_cast<double>(found) / (kQueries * kK);
+  EXPECT_GE(recall, 0.90) << "parallel build degraded the graph";
+}
+
+// Mirror of InterleavedAddSearchNeverSkipsExactMatch for the parallel path:
+// rounds of concurrent AddBatch interleaved with exhaustive-width searches.
+// Every stored vector must be found at distance ~0 after every round — a
+// lost or torn link (or a stale visited stamp across the recycle-then-grow
+// scratch path) would break this.
+TEST(HnswParallelTest, InterleavedParallelBatchesNeverSkipExactMatch) {
+  constexpr size_t kDim = 8;
+  constexpr size_t kRounds = 4;
+  constexpr size_t kPerRound = 300;
+  auto data = RandomVectors(kRounds * kPerRound, kDim, 77);
+  HnswConfig config;
+  config.parallel_batch_min = 64;
+  HnswIndex index(kDim, Metric::kEuclidean, config);
+  util::ThreadPool pool(4);
+  for (size_t round = 0; round < kRounds; ++round) {
+    embed::EmbeddingMatrix batch(kPerRound, kDim);
+    for (size_t i = 0; i < kPerRound; ++i) {
+      auto src = data.Row(round * kPerRound + i);
+      auto dst = batch.Row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    index.AddBatch(batch, &pool);
+    ASSERT_EQ(index.size(), (round + 1) * kPerRound);
+    for (size_t i = 0; i < index.size(); i += 13) {
+      auto hits = index.SearchEf(data.Row(i), 1, index.size());
+      ASSERT_FALSE(hits.empty());
+      EXPECT_EQ(hits[0].id, i);
+      EXPECT_NEAR(hits[0].distance, 0.0f, 1e-6);
+    }
+  }
+}
+
+TEST(BruteForceTest, ParallelAddBatchMatchesSerial) {
+  auto data = RandomVectors(500, 16, 51);
+  auto queries = RandomVectors(10, 16, 52);
+  BruteForceIndex serial(16, Metric::kCosine);
+  BruteForceIndex parallel(16, Metric::kCosine);
+  serial.AddBatch(data);
+  util::ThreadPool pool(4);
+  parallel.AddBatch(data, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t q = 0; q < queries.num_rows(); ++q) {
+    auto a = serial.Search(queries.Row(q), 5);
+    auto b = parallel.Search(queries.Row(q), 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].distance, b[i].distance);  // bit-identical build
+    }
+  }
+}
+
 // ----------------------------------------------------------- MutualTopK --
 
 // Two tables with planted matches: row i of left matches row i of right for
@@ -381,6 +494,28 @@ TEST(MutualTopKTest, EmptyInputs) {
   MutualTopKOptions options;
   EXPECT_TRUE(MutualTopK(empty, f.right, options).empty());
   EXPECT_TRUE(MutualTopK(f.left, empty, options).empty());
+}
+
+TEST(MutualTopKTest, HnswParallelBuildRecoversPlanted) {
+  // Large enough that the default parallel_batch_min (1024) routes both
+  // side builds through the concurrent insertion path. The parallel graph is
+  // order-nondeterministic, so compare planted-match recovery, not pair
+  // lists.
+  constexpr size_t kPlanted = 300;
+  auto f = PlantedMatches(1500, kPlanted, 61);
+  MutualTopKOptions options;
+  options.k = 1;
+  options.max_distance = 0.05f;
+  options.use_exact = false;
+  util::ThreadPool pool(4);
+  auto pairs = MutualTopK(f.left, f.right, options, &pool);
+  size_t recovered = 0;
+  for (const auto& p : pairs) {
+    if (p.left == p.right && p.left < kPlanted) ++recovered;
+  }
+  EXPECT_GE(recovered, kPlanted * 9 / 10)
+      << "parallel-built HNSW lost planted matches (" << recovered << "/"
+      << kPlanted << ")";
 }
 
 TEST(MutualTopKTest, ParallelMatchesSerial) {

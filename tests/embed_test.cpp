@@ -9,6 +9,7 @@
 #include "embed/hashing_encoder.h"
 #include "embed/serialize.h"
 #include "embed/tokenizer.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace multiem::embed {
@@ -76,6 +77,32 @@ TEST(EmbeddingOpsTest, EuclideanDistance) {
   std::vector<float> a{0.0f, 0.0f};
   std::vector<float> b{3.0f, 4.0f};
   EXPECT_FLOAT_EQ(EuclideanDistance(a, b), 5.0f);
+}
+
+TEST(EmbeddingOpsTest, EuclideanDistanceMatchesScalarReference) {
+  // The production kernel takes the AVX2+FMA path when compiled with
+  // -march=native (MULTIEM_NATIVE_ARCH) and a 2-wide scalar loop otherwise;
+  // both must agree with a plain double-accumulated reference. Lengths
+  // straddle every stride boundary of the SIMD loop (32-lane main, 8-lane
+  // cleanup, scalar tail).
+  util::Rng rng(7);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{8},
+                   size_t{9}, size_t{31}, size_t{32}, size_t{33}, size_t{64},
+                   size_t{383}, size_t{384}, size_t{385}}) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.Normal());
+      b[i] = static_cast<float>(rng.Normal());
+    }
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+      acc += d * d;
+    }
+    float reference = static_cast<float>(std::sqrt(acc));
+    float actual = EuclideanDistance(a, b);
+    EXPECT_NEAR(actual, reference, 1e-4f * (1.0f + reference)) << "n=" << n;
+  }
 }
 
 TEST(EmbeddingMatrixTest, AppendAndAccess) {
