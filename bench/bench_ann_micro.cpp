@@ -1,9 +1,11 @@
 // Microbenchmark of the ANN layer behind the merging phase: HNSW build
-// throughput (serial vs parallel AddBatch), single-thread search QPS, and
-// recall@10 against the exact brute-force oracle, at each requested thread
-// count. Supports the merging-phase design choice of the paper (HNSW
-// balances accuracy and efficiency; Section III-C) and tracks the flat-slab
-// + lock-striped-construction fast path.
+// throughput (serial vs parallel AddBatch), single-thread search QPS,
+// recall@10 against the exact brute-force oracle, and the persistence path
+// (Save/Load MB/s plus reload-to-first-query latency — the restart cost a
+// serving deployment actually pays), at each requested thread count.
+// Supports the merging-phase design choice of the paper (HNSW balances
+// accuracy and efficiency; Section III-C) and tracks the flat-slab +
+// lock-striped-construction fast path.
 //
 // Besides the printed table, the run is written to a machine-readable JSON
 // file (default BENCH_ann.json; --json= to rename, --json=- to disable).
@@ -37,6 +39,7 @@
 
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
+#include "ann/index_io.h"
 #include "bench/bench_common.h"
 #include "util/thread_pool.h"
 
@@ -106,6 +109,13 @@ struct AnnRun {
   double build_vectors_per_sec = 0.0;
   double search_qps = 0.0;
   double recall_at10 = 0.0;
+  // Persistence path: artifact size, streaming rates, and the end-to-end
+  // cold-start cost (LoadVectorIndex + the first Search) a restarted server
+  // pays before answering its first query.
+  double artifact_mb = 0.0;
+  double save_mb_per_sec = 0.0;
+  double load_mb_per_sec = 0.0;
+  double reload_first_query_ms = 0.0;
 };
 
 int Main(int argc, char** argv) {
@@ -172,8 +182,9 @@ int Main(int argc, char** argv) {
     }, /*min_block_size=*/1);
   }
 
-  std::printf("%8s %12s %14s %12s %10s\n", "threads", "build_s", "build_vec/s",
-              "search_qps", "recall@10");
+  std::printf("%8s %12s %14s %12s %10s %10s %10s %14s\n", "threads",
+              "build_s", "build_vec/s", "search_qps", "recall@10",
+              "save_MB/s", "load_MB/s", "reload+1q_ms");
 
   std::vector<AnnRun> runs;
   for (size_t t : thread_counts) {
@@ -215,9 +226,56 @@ int Main(int argc, char** argv) {
     run.search_qps =
         static_cast<double>(searches) / search_timer.ElapsedSeconds();
 
-    std::printf("%8zu %12.3f %14.0f %12.0f %10.4f\n", run.num_threads,
-                run.build_seconds, run.build_vectors_per_sec, run.search_qps,
-                run.recall_at10);
+    // Persistence: save rate, then the restart path — reload the artifact
+    // and answer one query, which is the latency a redeployed server adds
+    // before its first response.
+    {
+      const std::string artifact_path = "BENCH_ann_index.tmp";
+      util::WallTimer save_timer;
+      auto saved = index.Save(artifact_path);
+      const double save_seconds = save_timer.ElapsedSeconds();
+      if (!saved.ok()) {
+        std::fprintf(stderr, "[ann] index save failed: %s\n",
+                     saved.ToString().c_str());
+        return 1;
+      }
+      std::FILE* f = std::fopen(artifact_path.c_str(), "rb");
+      if (f == nullptr) {
+        std::fprintf(stderr, "[ann] cannot reopen %s\n",
+                     artifact_path.c_str());
+        return 1;
+      }
+      std::fseek(f, 0, SEEK_END);
+      run.artifact_mb =
+          static_cast<double>(std::ftell(f)) / (1024.0 * 1024.0);
+      std::fclose(f);
+      run.save_mb_per_sec =
+          save_seconds > 0.0 ? run.artifact_mb / save_seconds : 0.0;
+
+      util::WallTimer reload_timer;
+      auto loaded = ann::LoadVectorIndex(artifact_path);
+      const double load_seconds = reload_timer.ElapsedSeconds();
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "[ann] index load failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      run.load_mb_per_sec =
+          load_seconds > 0.0 ? run.artifact_mb / load_seconds : 0.0;
+      auto first = (*loaded)->Search(queries.Row(0), k);
+      run.reload_first_query_ms = reload_timer.ElapsedSeconds() * 1000.0;
+      if (first.size() != std::min(k, n)) {
+        std::fprintf(stderr, "[ann] reloaded index returned %zu hits\n",
+                     first.size());
+        return 1;
+      }
+      std::remove(artifact_path.c_str());
+    }
+
+    std::printf("%8zu %12.3f %14.0f %12.0f %10.4f %10.1f %10.1f %14.1f\n",
+                run.num_threads, run.build_seconds, run.build_vectors_per_sec,
+                run.search_qps, run.recall_at10, run.save_mb_per_sec,
+                run.load_mb_per_sec, run.reload_first_query_ms);
     runs.push_back(run);
   }
 
@@ -250,9 +308,13 @@ int Main(int argc, char** argv) {
       std::fprintf(f,
                    "    {\"num_threads\": %zu, \"build_seconds\": %.6f, "
                    "\"build_vectors_per_sec\": %.1f, \"search_qps\": %.1f, "
-                   "\"recall_at10\": %.4f}%s\n",
+                   "\"recall_at10\": %.4f, \"artifact_mb\": %.2f, "
+                   "\"save_mb_per_sec\": %.1f, \"load_mb_per_sec\": %.1f, "
+                   "\"reload_first_query_ms\": %.2f}%s\n",
                    r.num_threads, r.build_seconds, r.build_vectors_per_sec,
-                   r.search_qps, r.recall_at10,
+                   r.search_qps, r.recall_at10, r.artifact_mb,
+                   r.save_mb_per_sec, r.load_mb_per_sec,
+                   r.reload_first_query_ms,
                    i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

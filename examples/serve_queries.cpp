@@ -1,0 +1,215 @@
+// Build a pipeline artifact once, then serve entity-match queries from a
+// fresh process — the save/load path of docs/API.md "Persistence & serving".
+//
+//   $ ./examples/serve_queries build /tmp/multiem_artifact
+//   $ echo 'apple iphone 8 plus 64 gb|silver' |
+//       ./examples/serve_queries serve /tmp/multiem_artifact
+//   $ ./examples/serve_queries resave /tmp/multiem_artifact /tmp/copy
+//
+// `build` runs MultiEM over the Figure-1 demo corpus (the quickstart tables)
+// with RunContext::build_matcher set and persists the resulting Matcher —
+// config, fitted encoder, entity table, serving index — as one directory.
+// `serve` restores the artifact (no refit, no re-match) and answers one
+// query per stdin line; fields are separated by '|' in schema order,
+// missing trailing fields stay empty. `resave` loads and immediately
+// re-saves: artifacts are deterministic, so the copy is byte-identical to
+// the source (CI gates on this).
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/pipeline.h"
+#include "util/string_util.h"
+
+using multiem::core::Matcher;
+using multiem::core::MultiEmConfig;
+using multiem::core::MultiEmPipeline;
+using multiem::core::PipelineBuilder;
+using multiem::core::PipelineResult;
+using multiem::core::RunContext;
+using multiem::table::Schema;
+using multiem::table::Table;
+
+namespace {
+
+// The Figure-1 demo corpus (same rows as examples/quickstart.cpp).
+std::vector<Table> DemoTables() {
+  Schema schema({"title", "color"});
+  std::vector<Table> tables;
+  {
+    Table t("source_a", schema);
+    t.AppendRow({"apple iphone 8 plus 64gb", "silver"}).CheckOk();
+    t.AppendRow({"samsung galaxy s9 dual sim 64gb", "black"}).CheckOk();
+    t.AppendRow({"google pixel 3 xl 128gb", "white"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("source_b", schema);
+    t.AppendRow({"apple iphone 8 plus 5.5 64gb 4g unlocked sim free", ""})
+        .CheckOk();
+    t.AppendRow({"galaxy s9 duos 64 gb by samsung", "midnight black"})
+        .CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("source_c", schema);
+    t.AppendRow({"apple iphone 8 plus 14 cm 5.5 64 gb 12 mp ios 11", "silver"})
+        .CheckOk();
+    t.AppendRow({"pixel 3 xl google smartphone 128 gb", "clearly white"})
+        .CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("source_d", schema);
+    t.AppendRow({"apple iphone 8 plus 5.5 single sim 4g 64gb", "silver"})
+        .CheckOk();
+    t.AppendRow({"sony wh-1000xm3 wireless headphones", "black"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+int Build(const std::string& dir) {
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.m = 0.72f;
+  config.eps = 1.2f;
+  auto pipeline = PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+
+  RunContext ctx;
+  ctx.build_matcher = true;  // capture the run as a serving session
+  PipelineResult result;
+  pipeline->Run(DemoTables(), ctx, &result).CheckOk();
+  result.matcher->Save(dir).CheckOk();
+
+  std::printf(
+      "saved artifact to %s: %zu entity items over %zu sources, "
+      "%zu matched tuples\n",
+      dir.c_str(), result.matcher->num_items(),
+      result.matcher->source_names().size(), result.tuples.size());
+  return 0;
+}
+
+int Serve(const std::string& dir, size_t k) {
+  auto matcher = MultiEmPipeline::LoadArtifact(dir);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "cannot load artifact: %s\n",
+                 matcher.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string>& schema = matcher->schema_names();
+  std::printf("loaded %s: %zu items, %zu sources, schema (", dir.c_str(),
+              matcher->num_items(), matcher->source_names().size());
+  for (size_t c = 0; c < schema.size(); ++c) {
+    std::printf("%s%s", c == 0 ? "" : "|", schema[c].c_str());
+  }
+  std::printf("); reading queries from stdin\n");
+
+  // If this artifact came from the demo corpus, resolve member ids back to
+  // record text; a real deployment would look members up in its own store.
+  std::vector<Table> demo;
+  bool have_demo = true;
+  {
+    std::vector<Table> candidate = DemoTables();
+    if (candidate.size() == matcher->source_names().size()) {
+      for (size_t s = 0; s < candidate.size(); ++s) {
+        if (candidate[s].name() != matcher->source_names()[s]) {
+          have_demo = false;
+        }
+      }
+    } else {
+      have_demo = false;
+    }
+    if (have_demo) demo = std::move(candidate);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (multiem::util::Trim(line).empty()) continue;
+    std::vector<std::string> cells;
+    for (const std::string& field : multiem::util::Split(line, '|')) {
+      cells.push_back(std::string(multiem::util::Trim(field)));
+    }
+    cells.resize(schema.size());  // missing trailing fields stay empty
+
+    Table query("stdin", Schema(schema));
+    query.AppendRow(std::move(cells)).CheckOk();
+    auto matches = matcher->MatchRecords(query, k);
+    if (!matches.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   matches.status().ToString().c_str());
+      return 1;
+    }
+
+    std::printf("query: %s\n", line.c_str());
+    for (const auto& hit : (*matches)[0]) {
+      const auto& members = matcher->item_members(hit.item);
+      const bool is_match = hit.distance <= matcher->config().m;
+      std::printf("  d=%.4f %s {", hit.distance,
+                  is_match ? "MATCH   " : "no-match");
+      for (size_t i = 0; i < members.size(); ++i) {
+        std::printf("%s%s", i == 0 ? "" : ", ",
+                    members[i].ToString().c_str());
+      }
+      std::printf("}\n");
+      if (have_demo) {
+        for (auto id : members) {
+          std::printf("           [%s] %s\n",
+                      demo[id.source()].name().c_str(),
+                      demo[id.source()].cell(id.row(), 0).c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+int Resave(const std::string& src, const std::string& dst) {
+  auto matcher = MultiEmPipeline::LoadArtifact(src);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "cannot load artifact: %s\n",
+                 matcher.status().ToString().c_str());
+    return 1;
+  }
+  matcher->Save(dst).CheckOk();
+  std::printf("re-saved %s -> %s (byte-identical by construction)\n",
+              src.c_str(), dst.c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: serve_queries build  <dir>        run the demo "
+               "pipeline, save the artifact\n"
+               "       serve_queries serve  <dir> [k]    load the artifact, "
+               "answer stdin queries (default k=3)\n"
+               "       serve_queries resave <src> <dst>  load + save again "
+               "(byte-identity check)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  if (mode == "build" && argc == 3) return Build(argv[2]);
+  if (mode == "serve" && (argc == 3 || argc == 4)) {
+    size_t k = 3;
+    if (argc == 4) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(argv[3], &end, 10);
+      if (end == argv[3] || *end != '\0' || parsed == 0 || parsed > 1000) {
+        return Usage();
+      }
+      k = parsed;
+    }
+    return Serve(argv[2], k);
+  }
+  if (mode == "resave" && argc == 4) return Resave(argv[2], argv[3]);
+  return Usage();
+}

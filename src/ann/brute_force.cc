@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "ann/index_io.h"
 #include "util/thread_pool.h"
 
 namespace multiem::ann {
@@ -70,6 +72,75 @@ std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
   std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
   all.resize(k);
   return all;
+}
+
+util::Status BruteForceIndex::Save(const std::string& path) const {
+  util::ArtifactWriter artifact(kIndexArtifactMagic, kIndexArtifactVersion);
+  util::ByteWriter& meta = artifact.AddSection(kIndexMetaSection);
+  meta.WriteString(kKind);
+  meta.WriteU64(dim_);
+  meta.WriteU8(static_cast<uint8_t>(metric_));
+  meta.WriteU64(num_vectors_);
+  artifact.AddSection("vectors").WriteF32Array(data_);
+  artifact.AddSection("sq_norms").WriteF32Array(sq_norms_);
+  return artifact.WriteFile(path);
+}
+
+util::Result<std::unique_ptr<BruteForceIndex>> BruteForceIndex::Load(
+    const util::ArtifactReader& artifact) {
+  auto meta = artifact.Section(kIndexMetaSection);
+  if (!meta.ok()) return meta.status();
+  std::string kind;
+  MULTIEM_RETURN_IF_ERROR(meta->ReadString(&kind));
+  if (kind != kKind) {
+    return util::Status::InvalidArgument("artifact holds index kind '" +
+                                         kind + "', not 'brute_force'");
+  }
+  uint64_t dim, num_vectors;
+  uint8_t metric_byte;
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&dim));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU8(&metric_byte));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&num_vectors));
+  MULTIEM_RETURN_IF_ERROR(meta->ExpectExhausted());
+  if (dim == 0 ||
+      metric_byte > static_cast<uint8_t>(Metric::kInnerProduct)) {
+    return util::Status::InvalidArgument(
+        "brute_force artifact: malformed meta (dim " + std::to_string(dim) +
+        ", metric " + std::to_string(metric_byte) + ")");
+  }
+  const Metric metric = static_cast<Metric>(metric_byte);
+
+  auto vectors = artifact.Section("vectors");
+  if (!vectors.ok()) return vectors.status();
+  std::vector<float> data;
+  MULTIEM_RETURN_IF_ERROR(vectors->ReadF32Array(&data));
+  MULTIEM_RETURN_IF_ERROR(vectors->ExpectExhausted());
+  // Division form, not `num_vectors * dim`: crafted counts must not wrap
+  // the product and slip an oversized num_vectors_ past the check.
+  if (data.size() % dim != 0 || data.size() / dim != num_vectors) {
+    return util::Status::InvalidArgument(
+        "brute_force artifact: row payload holds " +
+        std::to_string(data.size()) + " floats, header claims " +
+        std::to_string(num_vectors) + " rows of dim " + std::to_string(dim));
+  }
+  auto norms = artifact.Section("sq_norms");
+  if (!norms.ok()) return norms.status();
+  std::vector<float> sq_norms;
+  MULTIEM_RETURN_IF_ERROR(norms->ReadF32Array(&sq_norms));
+  MULTIEM_RETURN_IF_ERROR(norms->ExpectExhausted());
+  const size_t want_norms = metric == Metric::kCosine ? num_vectors : 0;
+  if (sq_norms.size() != want_norms) {
+    return util::Status::InvalidArgument(
+        "brute_force artifact: norm cache holds " +
+        std::to_string(sq_norms.size()) + " entries, want " +
+        std::to_string(want_norms));
+  }
+
+  auto index = std::make_unique<BruteForceIndex>(dim, metric);
+  index->num_vectors_ = num_vectors;
+  index->data_ = std::move(data);
+  index->sq_norms_ = std::move(sq_norms);
+  return index;
 }
 
 }  // namespace multiem::ann

@@ -1,16 +1,23 @@
 #ifndef MULTIEM_ANN_BRUTE_FORCE_H_
 #define MULTIEM_ANN_BRUTE_FORCE_H_
 
+#include <memory>
+#include <string_view>
 #include <vector>
 
 #include "ann/index.h"
+
+namespace multiem::util {
+class ArtifactReader;  // util/io.h; only referenced by Load's signature
+}  // namespace multiem::util
 
 namespace multiem::ann {
 
 /// Exact k-nearest-neighbor index by linear scan. O(n * dim) per query.
 ///
 /// Serves two purposes: the recall oracle for HNSW in tests, and the index
-/// behind the `use_exact_knn` pipeline ablation. Cosine queries divide one
+/// behind the `index_name = "brute_force"` pipeline ablation (which the
+/// deprecated `use_exact_knn` flag also maps to). Cosine queries divide one
 /// dot product by cached norms in double precision, so bitwise-identical
 /// vectors get a distance of exactly 0 (they must survive a
 /// `max_distance = 0` cap in MutualTopK).
@@ -32,10 +39,25 @@ class BruteForceIndex : public VectorIndex {
   std::vector<Neighbor> Search(std::span<const float> query,
                                size_t k) const override;
   size_t size() const override { return num_vectors_; }
+  size_t dim() const override { return dim_; }
   size_t SizeBytes() const override {
     return data_.size() * sizeof(float) + sq_norms_.size() * sizeof(float);
   }
   Metric metric() const override { return metric_; }
+
+  /// Artifact kind tag ("brute_force") — selects the loader in index_io.h.
+  static constexpr std::string_view kKind = "brute_force";
+  std::string_view kind() const override { return kKind; }
+
+  /// Persists the stored rows (and cached cosine norms) to `path` as a
+  /// MEMINDEX artifact; a loaded index is bit-identical to the saved one.
+  util::Status Save(const std::string& path) const override;
+
+  /// Reconstructs an index from an opened MEMINDEX artifact (usually via
+  /// ann::LoadVectorIndex). Size mismatches between the row payload and the
+  /// declared counts fail with InvalidArgument.
+  static util::Result<std::unique_ptr<BruteForceIndex>> Load(
+      const util::ArtifactReader& artifact);
 
  private:
   size_t dim_;

@@ -1,9 +1,11 @@
 #include "ann/hnsw.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
 
+#include "ann/index_io.h"
 #include "util/thread_pool.h"
 
 namespace multiem::ann {
@@ -514,6 +516,294 @@ size_t HnswIndex::SizeBytes() const {
          upper_links_.size() * sizeof(uint32_t) +
          upper_offset_.size() * sizeof(size_t) +
          node_level_.size() * sizeof(int);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (MEMINDEX artifact; byte-level spec in docs/FORMATS.md).
+// ---------------------------------------------------------------------------
+
+static_assert(sizeof(int) == sizeof(int32_t),
+              "node levels serialize as i32");
+
+util::Status HnswIndex::Save(const std::string& path) const {
+  util::ArtifactWriter artifact(kIndexArtifactMagic, kIndexArtifactVersion);
+
+  util::ByteWriter& meta = artifact.AddSection(kIndexMetaSection);
+  meta.WriteString(kKind);
+  meta.WriteU64(dim_);
+  meta.WriteU8(static_cast<uint8_t>(metric_));
+  meta.WriteU64(num_nodes_);
+  meta.WriteU64(entry_state_.load(std::memory_order_acquire));
+
+  util::ByteWriter& config = artifact.AddSection("config");
+  config.WriteU64(config_.m);
+  config.WriteU64(config_.m0);
+  config.WriteU64(config_.ef_construction);
+  config.WriteU64(config_.ef_search);
+  config.WriteU64(config_.seed);
+  config.WriteU64(config_.parallel_batch_min);
+
+  const std::array<uint64_t, 4> rng_state = level_rng_.state();
+  artifact.AddSection("rng").WriteU64Array(rng_state);
+
+  artifact.AddSection("vectors").WriteF32Array(
+      std::span<const float>(vectors_.data(), vectors_.size()));
+  artifact.AddSection("levels").WriteI32Array(
+      std::span<const int32_t>(node_level_.data(), node_level_.size()));
+  artifact.AddSection("links0").WriteU32Array(
+      std::span<const uint32_t>(level0_links_.data(), level0_links_.size()));
+
+  std::vector<uint64_t> offsets(upper_offset_.begin(), upper_offset_.end());
+  artifact.AddSection("upper_offsets").WriteU64Array(offsets);
+  artifact.AddSection("upper_links").WriteU32Array(
+      std::span<const uint32_t>(upper_links_.data(), upper_links_.size()));
+
+  return artifact.WriteFile(path);
+}
+
+namespace {
+
+/// Link-slab sanity: every block's count within its capacity and every link
+/// id a real node, so a crafted (checksum-valid) file cannot drive the
+/// search loops out of bounds.
+util::Status ValidateLinkSlab(const uint32_t* slab, size_t num_blocks,
+                              size_t stride, size_t num_nodes,
+                              const char* what) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const uint32_t* block = slab + b * stride;
+    if (block[0] >= stride) {
+      return util::Status::InvalidArgument(
+          std::string("hnsw artifact: ") + what + " block " +
+          std::to_string(b) + " claims " + std::to_string(block[0]) +
+          " links, capacity is " + std::to_string(stride - 1));
+    }
+    for (uint32_t j = 1; j <= block[0]; ++j) {
+      if (block[j] >= num_nodes) {
+        return util::Status::InvalidArgument(
+            std::string("hnsw artifact: ") + what + " block " +
+            std::to_string(b) + " links to node " +
+            std::to_string(block[j]) + " of " + std::to_string(num_nodes));
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
+    const util::ArtifactReader& artifact) {
+  auto meta = artifact.Section(kIndexMetaSection);
+  if (!meta.ok()) return meta.status();
+  std::string kind;
+  MULTIEM_RETURN_IF_ERROR(meta->ReadString(&kind));
+  if (kind != kKind) {
+    return util::Status::InvalidArgument("artifact holds index kind '" +
+                                         kind + "', not 'hnsw'");
+  }
+  uint64_t dim, num_nodes, entry_state;
+  uint8_t metric_byte;
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&dim));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU8(&metric_byte));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&num_nodes));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&entry_state));
+  MULTIEM_RETURN_IF_ERROR(meta->ExpectExhausted());
+  if (dim == 0 || metric_byte > static_cast<uint8_t>(Metric::kInnerProduct) ||
+      num_nodes > UINT32_MAX) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: malformed meta (dim " + std::to_string(dim) +
+        ", metric " + std::to_string(metric_byte) + ", nodes " +
+        std::to_string(num_nodes) + ")");
+  }
+
+  auto config_section = artifact.Section("config");
+  if (!config_section.ok()) return config_section.status();
+  HnswConfig config;
+  uint64_t m, m0, ef_construction, ef_search, parallel_batch_min;
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&m));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&m0));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&ef_construction));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&ef_search));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&config.seed));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&parallel_batch_min));
+  MULTIEM_RETURN_IF_ERROR(config_section->ExpectExhausted());
+  // Degree caps: every slab-size expectation below multiplies node counts
+  // by m0+1 / m+1, so absurd degrees from a crafted file must be rejected
+  // before any arithmetic can wrap (2^20 is far above any useful M).
+  constexpr uint64_t kMaxDegree = uint64_t{1} << 20;
+  if (m < 2 || m > kMaxDegree || m0 < m || m0 > kMaxDegree) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: implausible link degrees m=" + std::to_string(m) +
+        " m0=" + std::to_string(m0));
+  }
+  config.m = m;
+  config.m0 = m0;
+  config.ef_construction = ef_construction;
+  config.ef_search = ef_search;
+  config.parallel_batch_min = parallel_batch_min;
+
+  // The constructor re-derives the clamped knobs and strides; Save wrote the
+  // post-clamp config, so construction is idempotent and the strides below
+  // match the saved slabs.
+  auto index = std::make_unique<HnswIndex>(dim, static_cast<Metric>(metric_byte),
+                                           config);
+
+  auto rng = artifact.Section("rng");
+  if (!rng.ok()) return rng.status();
+  std::vector<uint64_t> rng_state;
+  MULTIEM_RETURN_IF_ERROR(rng->ReadU64Array(&rng_state));
+  MULTIEM_RETURN_IF_ERROR(rng->ExpectExhausted());
+  if (rng_state.size() != 4) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: rng state has " + std::to_string(rng_state.size()) +
+        " words, want 4");
+  }
+  index->level_rng_.set_state(
+      {rng_state[0], rng_state[1], rng_state[2], rng_state[3]});
+
+  // Each slab reads straight into its member (one memcpy out of the file
+  // image; see ByteReader::ReadArrayInto) and is validated in place; a
+  // failed check discards the half-built index.
+  auto vectors = artifact.Section("vectors");
+  if (!vectors.ok()) return vectors.status();
+  MULTIEM_RETURN_IF_ERROR(vectors->ReadArrayInto(&index->vectors_));
+  MULTIEM_RETURN_IF_ERROR(vectors->ExpectExhausted());
+  // Division form, not `num_nodes * dim`: a crafted dim near 2^64 must not
+  // wrap the product into agreeing with an empty payload.
+  if (index->vectors_.size() % dim != 0 ||
+      index->vectors_.size() / dim != num_nodes) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: vector payload holds " +
+        std::to_string(index->vectors_.size()) + " floats, header claims " +
+        std::to_string(num_nodes) + " nodes of dim " + std::to_string(dim));
+  }
+
+  auto levels = artifact.Section("levels");
+  if (!levels.ok()) return levels.status();
+  MULTIEM_RETURN_IF_ERROR(levels->ReadArrayInto(&index->node_level_));
+  MULTIEM_RETURN_IF_ERROR(levels->ExpectExhausted());
+  const std::vector<int>& node_levels = index->node_level_;
+  if (node_levels.size() != num_nodes) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: level array holds " +
+        std::to_string(node_levels.size()) + " entries, want " +
+        std::to_string(num_nodes));
+  }
+  for (int level : node_levels) {
+    // A top layer above 63 cannot arise from the geometric draw (P(level
+    // >= 64) is ~m^-64); rejecting it also keeps the upper-slab offset
+    // accumulation below safely inside 64 bits.
+    if (level < 0 || level > 63) {
+      return util::Status::InvalidArgument(
+          "hnsw artifact: implausible node level " + std::to_string(level));
+    }
+  }
+
+  auto links0 = artifact.Section("links0");
+  if (!links0.ok()) return links0.status();
+  MULTIEM_RETURN_IF_ERROR(links0->ReadArrayInto(&index->level0_links_));
+  MULTIEM_RETURN_IF_ERROR(links0->ExpectExhausted());
+  if (index->level0_links_.size() % index->level0_stride_ != 0 ||
+      index->level0_links_.size() / index->level0_stride_ != num_nodes) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: layer-0 slab holds " +
+        std::to_string(index->level0_links_.size()) + " words, want " +
+        std::to_string(num_nodes) + " blocks of " +
+        std::to_string(index->level0_stride_));
+  }
+
+  auto offsets_section = artifact.Section("upper_offsets");
+  if (!offsets_section.ok()) return offsets_section.status();
+  MULTIEM_RETURN_IF_ERROR(
+      offsets_section->ReadArrayInto(&index->upper_offset_));
+  MULTIEM_RETURN_IF_ERROR(offsets_section->ExpectExhausted());
+  auto upper_section = artifact.Section("upper_links");
+  if (!upper_section.ok()) return upper_section.status();
+  MULTIEM_RETURN_IF_ERROR(upper_section->ReadArrayInto(&index->upper_links_));
+  MULTIEM_RETURN_IF_ERROR(upper_section->ExpectExhausted());
+  const std::vector<size_t>& upper_offsets = index->upper_offset_;
+  const util::CacheAlignedVector<uint32_t>& upper_links =
+      index->upper_links_;
+
+  // Recompute the per-node upper-slab offsets from the level array; they are
+  // fully determined by it, so a mismatch means an inconsistent file.
+  if (upper_offsets.size() != num_nodes) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: upper-offset array holds " +
+        std::to_string(upper_offsets.size()) + " entries, want " +
+        std::to_string(num_nodes));
+  }
+  uint64_t expected_offset = 0;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (upper_offsets[i] != expected_offset) {
+      return util::Status::InvalidArgument(
+          "hnsw artifact: upper-slab offset of node " + std::to_string(i) +
+          " is " + std::to_string(upper_offsets[i]) + ", want " +
+          std::to_string(expected_offset));
+    }
+    expected_offset +=
+        static_cast<uint64_t>(node_levels[i]) * index->upper_stride_;
+  }
+  if (upper_links.size() != expected_offset) {
+    return util::Status::InvalidArgument(
+        "hnsw artifact: upper slab holds " +
+        std::to_string(upper_links.size()) + " words, want " +
+        std::to_string(expected_offset));
+  }
+
+  MULTIEM_RETURN_IF_ERROR(ValidateLinkSlab(index->level0_links_.data(),
+                                           num_nodes, index->level0_stride_,
+                                           num_nodes, "layer-0"));
+  // Upper blocks carry a (node, level) identity, and a link on level l must
+  // target a node that participates in level l — GreedySearchLayer follows
+  // it at that same level, and a node with a lower top layer has no block
+  // there, so an unchecked edge would walk past its slab (ValidateLinkSlab
+  // alone cannot see this; it only knows ids exist at layer 0).
+  for (size_t i = 0; i < num_nodes; ++i) {
+    for (int l = 1; l <= node_levels[i]; ++l) {
+      const uint32_t* block = upper_links.data() + upper_offsets[i] +
+                              size_t(l - 1) * index->upper_stride_;
+      if (block[0] >= index->upper_stride_) {
+        return util::Status::InvalidArgument(
+            "hnsw artifact: upper block of node " + std::to_string(i) +
+            " claims " + std::to_string(block[0]) + " links, capacity is " +
+            std::to_string(index->upper_stride_ - 1));
+      }
+      for (uint32_t j = 1; j <= block[0]; ++j) {
+        if (block[j] >= num_nodes ||
+            node_levels[block[j]] < l) {
+          return util::Status::InvalidArgument(
+              "hnsw artifact: node " + std::to_string(i) + " links to node " +
+              std::to_string(block[j]) + " on level " + std::to_string(l) +
+              ", which that node does not reach");
+        }
+      }
+    }
+  }
+
+  // Entry point: empty index <=> empty state; otherwise the stored node must
+  // exist and participate in the stored level, or the greedy descent would
+  // read past its slab.
+  if (num_nodes == 0) {
+    if (entry_state != kEmptyEntryState) {
+      return util::Status::InvalidArgument(
+          "hnsw artifact: empty index with a non-empty entry point");
+    }
+  } else {
+    const int entry_level = EntryLevel(entry_state);
+    const uint32_t entry_node = EntryNode(entry_state);
+    if (entry_level < 0 || entry_node >= num_nodes ||
+        entry_level > node_levels[entry_node]) {
+      return util::Status::InvalidArgument(
+          "hnsw artifact: entry point (node " + std::to_string(entry_node) +
+          ", level " + std::to_string(entry_level) +
+          ") is inconsistent with the level array");
+    }
+  }
+
+  index->num_nodes_ = num_nodes;
+  index->entry_state_.store(entry_state, std::memory_order_release);
+  return index;
 }
 
 }  // namespace multiem::ann

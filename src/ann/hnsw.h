@@ -5,11 +5,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "ann/index.h"
 #include "util/memory.h"
 #include "util/rng.h"
+
+namespace multiem::util {
+class ArtifactReader;  // util/io.h; only referenced by Load's signature
+}  // namespace multiem::util
 
 namespace multiem::ann {
 
@@ -82,6 +87,7 @@ class HnswIndex : public VectorIndex {
                                  size_t ef) const;
 
   size_t size() const override { return num_nodes_; }
+  size_t dim() const override { return dim_; }
   /// Exact bytes of payload held (flat slabs make this a size sum, not a
   /// capacity estimate).
   size_t SizeBytes() const override;
@@ -93,6 +99,27 @@ class HnswIndex : public VectorIndex {
   }
 
   const HnswConfig& config() const { return config_; }
+
+  /// Artifact kind tag ("hnsw") — selects the loader in index_io.h.
+  static constexpr std::string_view kKind = "hnsw";
+  std::string_view kind() const override { return kKind; }
+
+  /// Persists the graph to `path` as a MEMINDEX artifact: config, the flat
+  /// link slabs and vector payload near-verbatim, the entry-point word, and
+  /// the level-generator state (docs/FORMATS.md has the byte-level spec).
+  /// A loaded index answers Search identically to the saved one, and
+  /// subsequent Add calls draw the same levels the original would have
+  /// (the RNG state round-trips). Must not overlap with writes on the same
+  /// index; concurrent Search is fine (Save only reads).
+  util::Status Save(const std::string& path) const override;
+
+  /// Reconstructs an index from an opened, checksum-validated MEMINDEX
+  /// artifact (usually via ann::LoadVectorIndex, which dispatches here on
+  /// the "hnsw" kind tag). Rejects internally-inconsistent files — slab or
+  /// count mismatches, out-of-range links, a bad entry point — with
+  /// InvalidArgument rather than risking out-of-bounds traversal.
+  static util::Result<std::unique_ptr<HnswIndex>> Load(
+      const util::ArtifactReader& artifact);
 
  private:
   /// Reusable per-search working set (visited stamps, the two beam heaps,

@@ -3,10 +3,13 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "ann/metric.h"
 #include "embed/embedding.h"
+#include "util/status.h"
 
 namespace multiem::util {
 class ThreadPool;
@@ -25,8 +28,9 @@ struct Neighbor {
 };
 
 /// Common interface of the nearest-neighbor indexes (HNSW and brute force),
-/// so the merging phase can swap implementations (the `use_exact_knn`
-/// ablation in MultiEmConfig).
+/// so the merging phase can swap implementations (`index_name =
+/// "brute_force"` in MultiEmConfig selects the exact-KNN ablation; the old
+/// `use_exact_knn` flag is a deprecated shim mapping to the same name).
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
@@ -63,11 +67,32 @@ class VectorIndex {
   /// Number of stored vectors.
   virtual size_t size() const = 0;
 
+  /// Vector dimensionality this index was built for, or 0 when the
+  /// implementation predates this accessor ("unknown"). Callers use it for
+  /// cross-checks (e.g. a loaded artifact's index against its entity
+  /// table); implementations should override.
+  virtual size_t dim() const { return 0; }
+
   /// Approximate heap footprint (memory-accounting bench).
   virtual size_t SizeBytes() const = 0;
 
   /// The metric this index was built with.
   virtual Metric metric() const = 0;
+
+  /// Stable artifact tag of this implementation ("hnsw", "brute_force");
+  /// empty for implementations without a persistence story. The tag is
+  /// written into saved artifacts and selects the registered loader when
+  /// ann::LoadVectorIndex reopens one (see index_io.h).
+  virtual std::string_view kind() const { return {}; }
+
+  /// Persists the index to `path` as a MEMINDEX artifact (byte-level spec in
+  /// docs/FORMATS.md). Implementations without persistence keep this
+  /// default, which fails with FailedPrecondition instead of writing.
+  virtual util::Status Save(const std::string& path) const {
+    (void)path;
+    return util::Status::FailedPrecondition(
+        "this VectorIndex implementation does not support Save");
+  }
 };
 
 }  // namespace multiem::ann

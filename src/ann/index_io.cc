@@ -1,0 +1,54 @@
+#include "ann/index_io.h"
+
+#include <utility>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+
+namespace multiem::ann {
+
+namespace {
+
+// Accessor-registered built-ins (never torn down), mirroring the lazy
+// registration of core/registry.cc so "hnsw"/"brute_force" artifacts load
+// without any user-side setup.
+util::ArtifactLoaderRegistry<VectorIndex>& Registry() {
+  static auto* registry = [] {
+    auto* r = new util::ArtifactLoaderRegistry<VectorIndex>(
+        "index", kIndexArtifactMagic, kIndexArtifactVersion,
+        kIndexMetaSection);
+    r->Register(std::string(HnswIndex::kKind),
+                [](const util::ArtifactReader& artifact)
+                    -> util::Result<std::unique_ptr<VectorIndex>> {
+                  auto index = HnswIndex::Load(artifact);
+                  if (!index.ok()) return index.status();
+                  return std::unique_ptr<VectorIndex>(std::move(*index));
+                });
+    r->Register(std::string(BruteForceIndex::kKind),
+                [](const util::ArtifactReader& artifact)
+                    -> util::Result<std::unique_ptr<VectorIndex>> {
+                  auto index = BruteForceIndex::Load(artifact);
+                  if (!index.ok()) return index.status();
+                  return std::unique_ptr<VectorIndex>(std::move(*index));
+                });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool RegisterIndexLoader(std::string kind, IndexLoader loader) {
+  return Registry().Register(std::move(kind), std::move(loader));
+}
+
+std::vector<std::string> RegisteredIndexLoaderKinds() {
+  return Registry().Kinds();
+}
+
+util::Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(
+    const std::string& path) {
+  return Registry().LoadFromFile(path);
+}
+
+}  // namespace multiem::ann

@@ -1,0 +1,337 @@
+#include "core/artifact.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "ann/index_io.h"
+#include "core/registry.h"
+#include "embed/encoder_io.h"
+
+namespace multiem::core {
+
+namespace {
+
+void WriteStringArray(util::ByteWriter& out,
+                      const std::vector<std::string>& values) {
+  out.WriteU64(values.size());
+  for (const std::string& v : values) out.WriteString(v);
+}
+
+util::Status ReadStringArray(util::ByteReader& in,
+                             std::vector<std::string>* out) {
+  uint64_t count;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&count));
+  if (count > in.remaining() / 4) {  // each entry costs >= its u32 length
+    return util::Status::InvalidArgument(
+        "manifest string array count exceeds the section payload");
+  }
+  out->clear();
+  out->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string s;
+    MULTIEM_RETURN_IF_ERROR(in.ReadString(&s));
+    out->push_back(std::move(s));
+  }
+  return util::Status::Ok();
+}
+
+void WriteMatrix(util::ByteWriter& out, const embed::EmbeddingMatrix& m) {
+  out.WriteU64(m.num_rows());
+  out.WriteU64(m.dim());
+  out.WriteF32Array(m.data());
+}
+
+util::Status ReadMatrix(util::ByteReader& in, embed::EmbeddingMatrix* out) {
+  uint64_t rows, dim;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&rows));
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&dim));
+  std::vector<float> data;
+  MULTIEM_RETURN_IF_ERROR(in.ReadF32Array(&data));
+  // Division form (crafted counts must not wrap the product), plus a
+  // plausibility cap on dim: a consistent-but-absurd dimensionality would
+  // otherwise sail through every cross-check and blow up only at the first
+  // query's EncodeBatch allocation.
+  constexpr uint64_t kMaxDim = uint64_t{1} << 24;
+  if (dim == 0 || dim > kMaxDim || data.size() % dim != 0 ||
+      data.size() / dim != rows) {
+    return util::Status::InvalidArgument(
+        "manifest matrix holds " + std::to_string(data.size()) +
+        " floats, header claims " + std::to_string(rows) + " x " +
+        std::to_string(dim));
+  }
+  *out = embed::EmbeddingMatrix(static_cast<size_t>(rows),
+                                static_cast<size_t>(dim));
+  std::copy(data.begin(), data.end(), out->mutable_data().begin());
+  return util::Status::Ok();
+}
+
+void WriteConfig(util::ByteWriter& out, const MultiEmConfig& config) {
+  out.WriteU64(config.embedding_dim);
+  out.WriteU64(config.max_tokens);
+  out.WriteU8(config.enable_attribute_selection ? 1 : 0);
+  out.WriteF64(config.sample_ratio);
+  out.WriteF64(config.gamma);
+  out.WriteU64(config.k);
+  out.WriteF32(config.m);
+  out.WriteU8(static_cast<uint8_t>(config.merged_repr));
+  out.WriteU8(config.use_exact_knn ? 1 : 0);
+  out.WriteU64(config.hnsw_m);
+  out.WriteU64(config.hnsw_ef_construction);
+  out.WriteU64(config.hnsw_ef_search);
+  out.WriteU8(config.enable_pruning ? 1 : 0);
+  out.WriteF32(config.eps);
+  out.WriteU64(config.min_pts);
+  out.WriteU64(config.num_threads);
+  out.WriteU64(config.seed);
+  out.WriteString(config.encoder_name);
+  out.WriteString(config.index_name);
+  out.WriteString(config.pruner_name);
+}
+
+util::Status ReadConfig(util::ByteReader& in, MultiEmConfig* config) {
+  uint64_t u64;
+  uint8_t u8;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->embedding_dim = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->max_tokens = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU8(&u8));
+  config->enable_attribute_selection = u8 != 0;
+  MULTIEM_RETURN_IF_ERROR(in.ReadF64(&config->sample_ratio));
+  MULTIEM_RETURN_IF_ERROR(in.ReadF64(&config->gamma));
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->k = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadF32(&config->m));
+  MULTIEM_RETURN_IF_ERROR(in.ReadU8(&u8));
+  if (u8 > static_cast<uint8_t>(MergedItemRepr::kFirstMember)) {
+    return util::Status::InvalidArgument(
+        "manifest config: unknown merged_repr " + std::to_string(u8));
+  }
+  config->merged_repr = static_cast<MergedItemRepr>(u8);
+  MULTIEM_RETURN_IF_ERROR(in.ReadU8(&u8));
+  config->use_exact_knn = u8 != 0;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->hnsw_m = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->hnsw_ef_construction = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->hnsw_ef_search = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU8(&u8));
+  config->enable_pruning = u8 != 0;
+  MULTIEM_RETURN_IF_ERROR(in.ReadF32(&config->eps));
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->min_pts = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&u64));
+  config->num_threads = u64;
+  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&config->seed));
+  MULTIEM_RETURN_IF_ERROR(in.ReadString(&config->encoder_name));
+  MULTIEM_RETURN_IF_ERROR(in.ReadString(&config->index_name));
+  MULTIEM_RETURN_IF_ERROR(in.ReadString(&config->pruner_name));
+  return in.ExpectExhausted();
+}
+
+std::string PathIn(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+}  // namespace
+
+util::Status PipelineArtifact::Save(const Matcher& matcher,
+                                    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create artifact directory '" + dir +
+                                  "': " + ec.message());
+  }
+
+  util::ArtifactWriter manifest(kManifestMagic, kManifestVersion);
+  WriteConfig(manifest.AddSection("config"), matcher.config_);
+  WriteStringArray(manifest.AddSection("schema"), matcher.schema_names_);
+
+  util::ByteWriter& selection = manifest.AddSection("selection");
+  {
+    std::vector<uint64_t> columns(matcher.selection_.selected_columns.begin(),
+                                  matcher.selection_.selected_columns.end());
+    selection.WriteU64Array(columns);
+    selection.WriteF64Array(matcher.selection_.shuffle_similarity);
+    WriteStringArray(selection, matcher.selection_.selected_names);
+  }
+
+  WriteStringArray(manifest.AddSection("sources"), matcher.source_names_);
+
+  util::ByteWriter& items = manifest.AddSection("items");
+  items.WriteU64(matcher.entities_.num_items());
+  for (const MergeItem& item : matcher.entities_.items()) {
+    items.WriteU64(item.members.size());
+    for (table::EntityId id : item.members) items.WriteU64(id.packed());
+  }
+
+  WriteMatrix(manifest.AddSection("centroids"),
+              matcher.entities_.embeddings());
+
+  util::ByteWriter& base = manifest.AddSection("base");
+  base.WriteU64(matcher.store_.num_sources());
+  for (size_t s = 0; s < matcher.store_.num_sources(); ++s) {
+    WriteMatrix(base, matcher.store_.source(s));
+  }
+
+  // Stage, then publish: all three files are written under staged names
+  // first, so a failure partway (disk full, an index kind without Save)
+  // cannot leave a directory that mixes this session's manifest with a
+  // previous save's index — such a hybrid can pass every load-time check
+  // and silently serve stale neighbors. Only after all three staged writes
+  // succeed are they renamed into place. The three renames themselves are
+  // not one atomic step: a reader racing a concurrent Save of the SAME
+  // directory could observe a mix, but Save-over-an-existing-artifact is a
+  // writer operation under the Matcher's single-writer discipline (see
+  // matcher.h), and each individual file is still always complete.
+  const std::string staged_suffix = ".staged";
+  const char* files[] = {kManifestFile, kEncoderFile, kIndexFile};
+  auto remove_staged = [&] {
+    for (const char* file : files) {
+      std::error_code ignored;
+      std::filesystem::remove(PathIn(dir, file) + staged_suffix, ignored);
+    }
+  };
+  util::Status status =
+      manifest.WriteFile(PathIn(dir, kManifestFile) + staged_suffix);
+  if (status.ok()) {
+    status = matcher.encoder_->Save(PathIn(dir, kEncoderFile) + staged_suffix);
+  }
+  if (status.ok()) {
+    status = matcher.index_->Save(PathIn(dir, kIndexFile) + staged_suffix);
+  }
+  if (!status.ok()) {
+    remove_staged();
+    return status;
+  }
+  for (const char* file : files) {
+    std::error_code rename_ec;
+    std::filesystem::rename(PathIn(dir, file) + staged_suffix,
+                            PathIn(dir, file), rename_ec);
+    if (rename_ec) {
+      remove_staged();
+      return util::Status::Internal("cannot publish staged artifact file '" +
+                                    PathIn(dir, file) +
+                                    "': " + rename_ec.message());
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
+  auto manifest = util::ArtifactReader::FromFile(
+      PathIn(dir, kManifestFile), kManifestMagic, kManifestVersion);
+  if (!manifest.ok()) return manifest.status();
+
+  MultiEmConfig config;
+  {
+    auto section = manifest->Section("config");
+    if (!section.ok()) return section.status();
+    MULTIEM_RETURN_IF_ERROR(ReadConfig(*section, &config));
+  }
+  MULTIEM_RETURN_IF_ERROR(config.ValidateValues());
+
+  std::vector<std::string> schema_names;
+  {
+    auto section = manifest->Section("schema");
+    if (!section.ok()) return section.status();
+    MULTIEM_RETURN_IF_ERROR(ReadStringArray(*section, &schema_names));
+  }
+
+  AttributeSelection selection;
+  {
+    auto section = manifest->Section("selection");
+    if (!section.ok()) return section.status();
+    std::vector<uint64_t> columns;
+    MULTIEM_RETURN_IF_ERROR(section->ReadU64Array(&columns));
+    selection.selected_columns.assign(columns.begin(), columns.end());
+    MULTIEM_RETURN_IF_ERROR(
+        section->ReadF64Array(&selection.shuffle_similarity));
+    MULTIEM_RETURN_IF_ERROR(
+        ReadStringArray(*section, &selection.selected_names));
+    MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
+  }
+
+  std::vector<std::string> source_names;
+  {
+    auto section = manifest->Section("sources");
+    if (!section.ok()) return section.status();
+    MULTIEM_RETURN_IF_ERROR(ReadStringArray(*section, &source_names));
+  }
+
+  MergeTable entities;
+  {
+    auto items = manifest->Section("items");
+    if (!items.ok()) return items.status();
+    uint64_t num_items;
+    MULTIEM_RETURN_IF_ERROR(items->ReadU64(&num_items));
+
+    auto centroid_section = manifest->Section("centroids");
+    if (!centroid_section.ok()) return centroid_section.status();
+    embed::EmbeddingMatrix centroids;
+    MULTIEM_RETURN_IF_ERROR(ReadMatrix(*centroid_section, &centroids));
+    if (centroids.num_rows() != num_items) {
+      return util::Status::InvalidArgument(
+          "manifest holds " + std::to_string(centroids.num_rows()) +
+          " centroids for " + std::to_string(num_items) + " items");
+    }
+
+    entities.Reserve(static_cast<size_t>(num_items), centroids.dim());
+    for (uint64_t i = 0; i < num_items; ++i) {
+      uint64_t member_count;
+      MULTIEM_RETURN_IF_ERROR(items->ReadU64(&member_count));
+      if (member_count == 0 || member_count > items->remaining() / 8) {
+        return util::Status::InvalidArgument(
+            "manifest item " + std::to_string(i) + " claims " +
+            std::to_string(member_count) + " members");
+      }
+      MergeItem item;
+      item.members.reserve(static_cast<size_t>(member_count));
+      for (uint64_t j = 0; j < member_count; ++j) {
+        uint64_t packed;
+        MULTIEM_RETURN_IF_ERROR(items->ReadU64(&packed));
+        item.members.push_back(table::EntityId::FromPacked(packed));
+      }
+      entities.Append(std::move(item), centroids.Row(i));
+    }
+    MULTIEM_RETURN_IF_ERROR(items->ExpectExhausted());
+  }
+
+  EntityEmbeddingStore store;
+  {
+    auto section = manifest->Section("base");
+    if (!section.ok()) return section.status();
+    uint64_t num_sources;
+    MULTIEM_RETURN_IF_ERROR(section->ReadU64(&num_sources));
+    for (uint64_t s = 0; s < num_sources; ++s) {
+      embed::EmbeddingMatrix source;
+      MULTIEM_RETURN_IF_ERROR(ReadMatrix(*section, &source));
+      store.AddSource(std::move(source));
+    }
+    MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
+  }
+
+  auto encoder = embed::LoadTextEncoder(PathIn(dir, kEncoderFile));
+  if (!encoder.ok()) return encoder.status();
+  auto index = ann::LoadVectorIndex(PathIn(dir, kIndexFile));
+  if (!index.ok()) return index.status();
+
+  // The index factory backs future AddTable rebuilds; resolve it from the
+  // saved config so incremental merges use the same backend the run did.
+  auto factory =
+      IndexFactories().Create(config.effective_index_name(), config);
+  if (!factory.ok()) return factory.status();
+
+  // Matcher::Assemble revalidates the cross-file invariants (index size vs
+  // items, member ids vs base matrices, dimensionalities).
+  return Matcher::Assemble(
+      std::move(config), std::move(schema_names), std::move(selection),
+      std::move(source_names), std::move(store), std::move(entities),
+      std::shared_ptr<embed::TextEncoder>(std::move(*encoder)),
+      std::shared_ptr<const ann::VectorIndexFactory>(std::move(*factory)),
+      std::move(*index));
+}
+
+}  // namespace multiem::core

@@ -1,0 +1,59 @@
+/// \file artifact.h
+/// Persistent pipeline artifacts: one directory holding everything a fresh
+/// process needs to serve match queries against a finished run — the run
+/// configuration, the fitted encoder, the integrated entity table (members +
+/// item centroids + base entity embeddings), and the serving ANN index.
+///
+/// Directory layout (each file a util/io.h container; docs/FORMATS.md has
+/// the byte-level spec):
+///
+///   <dir>/manifest.mem   MEMMANIF — config, schema, attribute selection,
+///                        source names, entity items, centroid and base
+///                        embedding matrices
+///   <dir>/encoder.mem    MEMENCDR — the fitted encoder (TextEncoder::Save)
+///   <dir>/index.mem      MEMINDEX — the serving index (VectorIndex::Save)
+///
+/// Save is deterministic: saving an unchanged session twice — or saving a
+/// session that was just loaded — produces byte-identical files, which CI
+/// gates on. Load validates every checksum and all cross-file invariants
+/// (index size vs item count, member ids vs base matrices) and fails with a
+/// clear util::Status on corrupt, truncated, or newer-versioned artifacts.
+
+#ifndef MULTIEM_CORE_ARTIFACT_H_
+#define MULTIEM_CORE_ARTIFACT_H_
+
+#include <string>
+
+#include "core/matcher.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace multiem::core {
+
+/// Save/Load of the artifact directory. Stateless: both operations go
+/// through a Matcher, the in-memory form of an artifact.
+class PipelineArtifact {
+ public:
+  /// Magic + current format version of the MEMMANIF artifact family.
+  static constexpr uint64_t kManifestMagic = util::ArtifactMagic("MEMMANIF");
+  static constexpr uint32_t kManifestVersion = 1;
+
+  /// File names inside the artifact directory.
+  static constexpr const char* kManifestFile = "manifest.mem";
+  static constexpr const char* kEncoderFile = "encoder.mem";
+  static constexpr const char* kIndexFile = "index.mem";
+
+  /// Persists `matcher` under directory `dir` (created if absent). Fails if
+  /// the matcher's encoder or index implementation does not support Save.
+  static util::Status Save(const Matcher& matcher, const std::string& dir);
+
+  /// Restores a ready serving session from `dir`. The encoder and index are
+  /// reloaded through their registered loaders; the index factory is
+  /// resolved from the saved config's index name (so future AddTable calls
+  /// rebuild with the same backend the run used).
+  static util::Result<Matcher> Load(const std::string& dir);
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_ARTIFACT_H_

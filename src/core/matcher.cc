@@ -1,0 +1,183 @@
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/artifact.h"
+#include "core/two_table_merger.h"
+#include "embed/serialize.h"
+
+namespace multiem::core {
+
+util::Result<Matcher> Matcher::Assemble(
+    MultiEmConfig config, std::vector<std::string> schema_names,
+    AttributeSelection selection, std::vector<std::string> source_names,
+    EntityEmbeddingStore store, MergeTable entities,
+    std::shared_ptr<embed::TextEncoder> encoder,
+    std::shared_ptr<const ann::VectorIndexFactory> index_factory,
+    std::unique_ptr<ann::VectorIndex> index, util::ThreadPool* pool) {
+  if (encoder == nullptr || index_factory == nullptr) {
+    return util::Status::InvalidArgument(
+        "Matcher needs a fitted encoder and an index factory");
+  }
+  if (schema_names.empty()) {
+    return util::Status::InvalidArgument("Matcher needs a non-empty schema");
+  }
+  if (store.num_sources() != source_names.size()) {
+    return util::Status::InvalidArgument(
+        "Matcher store has " + std::to_string(store.num_sources()) +
+        " sources but " + std::to_string(source_names.size()) + " names");
+  }
+  const size_t dim = store.dim();
+  if (dim == 0 || encoder->dim() != dim ||
+      entities.embeddings().dim() != dim) {
+    return util::Status::InvalidArgument(
+        "Matcher dimensionality mismatch: store " + std::to_string(dim) +
+        ", encoder " + std::to_string(encoder->dim()) + ", entity table " +
+        std::to_string(entities.embeddings().dim()));
+  }
+  // store.dim() only reflects source 0; every source matrix must agree, or
+  // the centroid recompute in a later AddTable would walk a narrower row
+  // with the wider dim (a crafted manifest could otherwise smuggle one in).
+  for (size_t s = 0; s < store.num_sources(); ++s) {
+    if (store.source(s).dim() != dim) {
+      return util::Status::InvalidArgument(
+          "Matcher base source " + std::to_string(s) + " is " +
+          std::to_string(store.source(s).dim()) + "-dimensional, source 0 is " +
+          std::to_string(dim));
+    }
+  }
+  for (size_t col : selection.selected_columns) {
+    if (col >= schema_names.size()) {
+      return util::Status::InvalidArgument(
+          "Matcher selection references column " + std::to_string(col) +
+          " of a " + std::to_string(schema_names.size()) + "-column schema");
+    }
+  }
+  for (size_t i = 0; i < entities.num_items(); ++i) {
+    for (table::EntityId id : entities.item(i).members) {
+      if (id.source() >= store.num_sources() ||
+          id.row() >= store.source(id.source()).num_rows()) {
+        return util::Status::InvalidArgument(
+            "Matcher entity table references unknown entity " +
+            id.ToString());
+      }
+    }
+  }
+
+  Matcher matcher;
+  matcher.config_ = std::move(config);
+  matcher.schema_names_ = std::move(schema_names);
+  matcher.selection_ = std::move(selection);
+  matcher.source_names_ = std::move(source_names);
+  matcher.store_ = std::move(store);
+  matcher.entities_ = std::move(entities);
+  matcher.encoder_ = std::move(encoder);
+  matcher.index_factory_ = std::move(index_factory);
+
+  if (index != nullptr) {
+    // Artifact-load path: the persisted index is the serving index,
+    // verbatim — that is what makes reloaded search results identical.
+    if (index->size() != matcher.entities_.num_items()) {
+      return util::Status::InvalidArgument(
+          "serving index holds " + std::to_string(index->size()) +
+          " vectors, entity table has " +
+          std::to_string(matcher.entities_.num_items()) + " items");
+    }
+    if (index->metric() != ann::Metric::kCosine) {
+      return util::Status::InvalidArgument(
+          "serving index must use the cosine metric");
+    }
+    // dim() == 0 means "unknown" (an implementation without the accessor);
+    // anything else must agree with the store, or Search would walk rows of
+    // the wrong width.
+    if (index->dim() != 0 && index->dim() != dim) {
+      return util::Status::InvalidArgument(
+          "serving index is " + std::to_string(index->dim()) +
+          "-dimensional, entity embeddings are " + std::to_string(dim));
+    }
+    matcher.index_ = std::move(index);
+  } else {
+    matcher.index_ =
+        matcher.index_factory_->Create(dim, ann::Metric::kCosine);
+    matcher.index_->AddBatch(matcher.entities_.embeddings(), pool);
+  }
+  return matcher;
+}
+
+util::Status Matcher::CheckSchema(const table::Table& t) const {
+  if (t.schema().names() != schema_names_) {
+    return util::Status::InvalidArgument(
+        "table '" + t.name() +
+        "' does not carry the session schema this matcher was built on");
+  }
+  return util::Status::Ok();
+}
+
+embed::EmbeddingMatrix Matcher::EncodeTable(const table::Table& t,
+                                            util::ThreadPool* pool) const {
+  const std::vector<std::string> texts =
+      embed::SerializeTable(t, selection_.selected_columns);
+  return encoder_->EncodeBatch(texts, pool);
+}
+
+util::Result<std::vector<std::vector<RecordMatch>>> Matcher::MatchRecords(
+    const table::Table& records, size_t k, util::ThreadPool* pool) const {
+  MULTIEM_RETURN_IF_ERROR(CheckSchema(records));
+  if (k == 0) {
+    return util::Status::InvalidArgument("MatchRecords needs k >= 1");
+  }
+  const embed::EmbeddingMatrix queries = EncodeTable(records, pool);
+  std::vector<std::vector<RecordMatch>> matches(queries.num_rows());
+  util::ParallelFor(pool, queries.num_rows(), [&](size_t row) {
+    const std::vector<ann::Neighbor> hits =
+        index_->Search(queries.Row(row), k);
+    matches[row].reserve(hits.size());
+    for (const ann::Neighbor& hit : hits) {
+      matches[row].push_back({hit.id, hit.distance});
+    }
+  });
+  return matches;
+}
+
+util::Status Matcher::AddTable(const table::Table& table,
+                               util::ThreadPool* pool) {
+  MULTIEM_RETURN_IF_ERROR(CheckSchema(table));
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument(
+        "table '" + table.name() + "' is empty: nothing to merge");
+  }
+  if (std::find(source_names_.begin(), source_names_.end(), table.name()) !=
+      source_names_.end()) {
+    return util::Status::InvalidArgument(
+        "source '" + table.name() + "' was already merged into this session");
+  }
+  if (source_names_.size() >= (size_t{1} << 16)) {
+    return util::Status::ResourceExhausted(
+        "EntityId packs the source into 16 bits; 65536 sources reached");
+  }
+
+  const uint32_t source = static_cast<uint32_t>(source_names_.size());
+  embed::EmbeddingMatrix embeddings = EncodeTable(table, pool);
+  MergeTable fresh = MergeTable::FromSource(source, embeddings);
+  store_.AddSource(std::move(embeddings));
+  source_names_.push_back(table.name());
+
+  // One pairwise merge (Algorithm 3) between the existing entity table and
+  // the new source — the same mutual top-K standard a pipeline merge level
+  // applies, with centroids recomputed from base embeddings.
+  TwoTableMerger merger(config_, &store_, index_factory_.get());
+  entities_ = merger.Merge(entities_, fresh, pool);
+
+  // The serving index has no update path (HNSW is insert-only and item
+  // centroids move); rebuild it over the merged table.
+  index_ = index_factory_->Create(store_.dim(), ann::Metric::kCosine);
+  index_->AddBatch(entities_.embeddings(), pool);
+  return util::Status::Ok();
+}
+
+util::Status Matcher::Save(const std::string& dir) const {
+  return PipelineArtifact::Save(*this, dir);
+}
+
+}  // namespace multiem::core

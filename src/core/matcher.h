@@ -1,0 +1,178 @@
+/// \file matcher.h
+/// The serving half of the pipeline: a Matcher is a ready-to-query session
+/// over a finished MultiEM run — the fitted encoder, the integrated entity
+/// table of the merging phase, and one ANN index over its item
+/// representations. It answers two requests without ever refitting or
+/// re-running the pipeline:
+///
+///  * MatchRecords(records, k): encode new rows with the run's fitted
+///    encoder (same attribute selection, same SIF weights) and return each
+///    row's top-k entity items by cosine distance — the online-query path.
+///  * AddTable(table): merge one new source into the entity store through
+///    the same mutual top-K relation (Eq. 1) a pipeline merge level uses,
+///    then rebuild the serving index — the incremental-ingest path.
+///
+/// A Matcher is produced by MultiEmPipeline::Run with
+/// RunContext::build_matcher set, or restored from disk via
+/// MultiEmPipeline::LoadArtifact / core::PipelineArtifact (artifact.h); a
+/// saved and reloaded Matcher answers MatchRecords identically to the
+/// original in-memory session. See docs/API.md "Persistence & serving".
+
+#ifndef MULTIEM_CORE_MATCHER_H_
+#define MULTIEM_CORE_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/index.h"
+#include "ann/index_factory.h"
+#include "core/attribute_selector.h"
+#include "core/config.h"
+#include "core/merge_table.h"
+#include "embed/text_encoder.h"
+#include "eval/tuples.h"
+#include "table/table.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// One serving-time hit: an item of the matcher's entity table and its
+/// cosine distance to the query record's embedding.
+struct RecordMatch {
+  /// Index into the entity table; resolve members via
+  /// Matcher::item_members(item).
+  size_t item;
+  float distance;
+
+  friend bool operator==(const RecordMatch& a, const RecordMatch& b) {
+    return a.item == b.item && a.distance == b.distance;
+  }
+};
+
+/// A loaded (or freshly run) matching session. Move-only: it owns the
+/// serving index and shares the fitted encoder.
+///
+/// Thread-safety: MatchRecords is const and safe to call concurrently from
+/// any number of threads (encoder EncodeInto and index Search are both
+/// const and thread-safe) — a loaded artifact can serve reads with no
+/// locking. AddTable mutates the store and swaps the index; it must be
+/// externally serialized against every other call, including MatchRecords
+/// (readers-writer style: many MatchRecords, or one AddTable).
+class Matcher {
+ public:
+  Matcher(Matcher&&) = default;
+  Matcher& operator=(Matcher&&) = default;
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
+
+  /// Builds a session from a finished run's state. `index` may be null, in
+  /// which case one is created from `index_factory` over the entity table's
+  /// embeddings (`pool`, optional, parallelizes that build); a non-null
+  /// `index` (the artifact-load path) is taken as-is and must already hold
+  /// exactly one vector per entity item, under the cosine metric.
+  /// `encoder` must be fitted; `selection` and `schema_names` must describe
+  /// the run that produced `store`/`entities`.
+  static util::Result<Matcher> Assemble(
+      MultiEmConfig config, std::vector<std::string> schema_names,
+      AttributeSelection selection, std::vector<std::string> source_names,
+      EntityEmbeddingStore store, MergeTable entities,
+      std::shared_ptr<embed::TextEncoder> encoder,
+      std::shared_ptr<const ann::VectorIndexFactory> index_factory,
+      std::unique_ptr<ann::VectorIndex> index = nullptr,
+      util::ThreadPool* pool = nullptr);
+
+  /// Answers entity-match queries for every row of `records` (a table with
+  /// the session's schema): each row is serialized with the run's selected
+  /// attributes, encoded with the fitted encoder, and matched against the
+  /// serving index. Returns one vector per input row with up to `k` hits
+  /// sorted by ascending (distance, item). Hits are raw nearest neighbors;
+  /// callers wanting the pipeline's matching standard should drop hits with
+  /// distance > config().m. `pool` (optional) parallelizes the encoding of
+  /// large batches.
+  util::Result<std::vector<std::vector<RecordMatch>>> MatchRecords(
+      const table::Table& records, size_t k,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Merges `table` into the session as a new source: rows are encoded with
+  /// the fitted encoder (no refit), matched against the entity table through
+  /// the same mutual top-K relation (Eq. 1, ann::MutualTopK) a pipeline
+  /// merge level uses, unioned into the existing items (members merge,
+  /// centroids recompute from base embeddings), and the serving index is
+  /// rebuilt over the updated table. Unmatched rows become new single-member
+  /// items. The table must use the session's schema and a source name not
+  /// seen before. `pool` (optional) parallelizes encoding, matching, and the
+  /// index rebuild.
+  util::Status AddTable(const table::Table& table,
+                        util::ThreadPool* pool = nullptr);
+
+  /// Persists the session to directory `dir` (PipelineArtifact layout:
+  /// manifest + encoder + index files; see docs/FORMATS.md). Restore with
+  /// MultiEmPipeline::LoadArtifact.
+  util::Status Save(const std::string& dir) const;
+
+  /// Number of items in the entity table (matched groups and singletons).
+  size_t num_items() const { return entities_.num_items(); }
+
+  /// Member entities of item `i` (sorted; size 1 = so-far-unmatched record).
+  const std::vector<table::EntityId>& item_members(size_t i) const {
+    return entities_.item(i).members;
+  }
+
+  /// The entity table's matched tuples (items with >= 2 members) in
+  /// canonical form — the unpruned counterpart of PipelineResult::tuples.
+  /// (Header-inline like PipelineResult::ToTupleSet, so multiem_core does
+  /// not itself depend on the eval library.)
+  eval::TupleSet Tuples() const {
+    std::vector<eval::Tuple> tuples;
+    for (const MergeItem& item : entities_.items()) {
+      if (item.members.size() >= 2) tuples.push_back(item.members);
+    }
+    return eval::TupleSet(std::move(tuples));
+  }
+
+  /// Source-table names in id order (EntityId::source indexes this).
+  const std::vector<std::string>& source_names() const {
+    return source_names_;
+  }
+
+  /// The common schema every served/ingested table must match.
+  const std::vector<std::string>& schema_names() const {
+    return schema_names_;
+  }
+
+  /// The attribute selection of the original run (MatchRecords serializes
+  /// queries with exactly these columns).
+  const AttributeSelection& selection() const { return selection_; }
+
+  const MultiEmConfig& config() const { return config_; }
+  const embed::TextEncoder& encoder() const { return *encoder_; }
+  const ann::VectorIndex& index() const { return *index_; }
+
+ private:
+  friend class PipelineArtifact;  // serializes the internals on Save
+
+  Matcher() = default;
+
+  /// InvalidArgument unless `t` carries exactly the session schema.
+  util::Status CheckSchema(const table::Table& t) const;
+
+  /// Serializes (selected columns) and encodes every row of `t`.
+  embed::EmbeddingMatrix EncodeTable(const table::Table& t,
+                                     util::ThreadPool* pool) const;
+
+  MultiEmConfig config_;
+  std::vector<std::string> schema_names_;
+  AttributeSelection selection_;
+  std::vector<std::string> source_names_;
+  EntityEmbeddingStore store_;
+  MergeTable entities_;
+  std::shared_ptr<embed::TextEncoder> encoder_;
+  std::shared_ptr<const ann::VectorIndexFactory> index_factory_;
+  std::unique_ptr<ann::VectorIndex> index_;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_MATCHER_H_

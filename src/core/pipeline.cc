@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/artifact.h"
 #include "core/registry.h"
 #include "embed/serialize.h"
 #include "util/logging.h"
@@ -227,11 +228,33 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
   }
   if (ctx.cancelled()) return CancelledAfter(kPhasePruning);
 
+  // Optional serving session: hand the run's fitted state — the encoder
+  // (post both FitCorpus passes), the base embeddings, and the integrated
+  // entity table — to a Matcher, which builds one serving index over the
+  // final item representations. The locals are dead after this point, so
+  // everything moves.
+  if (ctx.build_matcher) {
+    std::vector<std::string> schema_names = tables[0].schema().names();
+    std::vector<std::string> source_names;
+    source_names.reserve(tables.size());
+    for (const table::Table& t : tables) source_names.push_back(t.name());
+    auto matcher = Matcher::Assemble(
+        config_, std::move(schema_names), result->selection,
+        std::move(source_names), std::move(store), std::move(integrated),
+        encoder, index_factory, /*index=*/nullptr, pool.get());
+    if (!matcher.ok()) return matcher.status();
+    result->matcher = std::make_shared<Matcher>(std::move(*matcher));
+  }
+
   MULTIEM_LOG(kDebug) << "MultiEM finished: " << result->tuples.size()
                       << " tuples, "
                       << result->prune_stats.outliers_removed
                       << " outliers removed";
   return util::Status::Ok();
+}
+
+util::Result<Matcher> MultiEmPipeline::LoadArtifact(const std::string& dir) {
+  return PipelineArtifact::Load(dir);
 }
 
 util::Result<MultiEmPipeline> PipelineBuilder::Build() {

@@ -35,6 +35,7 @@
 #include "core/config.h"
 #include "core/density_pruner.h"
 #include "core/hierarchical_merger.h"
+#include "core/matcher.h"
 #include "core/pruner.h"
 #include "core/run_context.h"
 #include "embed/text_encoder.h"
@@ -69,6 +70,12 @@ struct PipelineResult {
   /// Approximate peak bytes of the pipeline-owned data structures
   /// (embeddings + merge tables); used by the Table VI bench.
   size_t approx_peak_bytes = 0;
+
+  /// The run's serving session, populated only when
+  /// RunContext::build_matcher was set: the fitted encoder + integrated
+  /// entity table + a fresh serving index, ready for Matcher::MatchRecords
+  /// or Matcher::Save (the persistent-artifact path). Null otherwise.
+  std::shared_ptr<Matcher> matcher;
 
   /// Canonicalized tuple set for evaluation.
   eval::TupleSet ToTupleSet() const { return eval::TupleSet(tuples); }
@@ -120,6 +127,14 @@ class MultiEmPipeline {
   /// (`result` is always written; on error its contents are partial).
   util::Status Run(const std::vector<table::Table>& tables,
                    const RunContext& ctx, PipelineResult* result) const;
+
+  /// Restores a serving session from a directory written by Matcher::Save
+  /// (equivalently core::PipelineArtifact::Save): the fitted encoder, the
+  /// entity table, and the serving index are reloaded — no refit, no
+  /// re-match — and the returned Matcher answers MatchRecords identically
+  /// to the session that was saved. Corrupt, truncated, or newer-versioned
+  /// artifacts fail with a descriptive Status.
+  static util::Result<Matcher> LoadArtifact(const std::string& dir);
 
   const MultiEmConfig& config() const { return config_; }
 

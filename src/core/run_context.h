@@ -88,6 +88,13 @@ struct RunContext {
   PipelineObserver* observer = nullptr;
   const CancellationToken* cancel = nullptr;
 
+  /// When true, Run() additionally assembles PipelineResult::matcher — a
+  /// ready-to-query serving session over the run's fitted encoder and
+  /// integrated entity table (see core/matcher.h) that can be saved as a
+  /// persistent artifact (core/artifact.h). Costs one extra ANN index build
+  /// over the final entity table, so it is opt-in.
+  bool build_matcher = false;
+
   /// True iff a token is attached and has fired.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
 };

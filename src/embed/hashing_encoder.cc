@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "embed/encoder_io.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -105,6 +107,104 @@ void HashingSentenceEncoder::EncodeInto(std::string_view text,
     }
   }
   L2NormalizeInPlace(out);
+}
+
+util::Status HashingSentenceEncoder::Save(const std::string& path) const {
+  util::ArtifactWriter artifact(kEncoderArtifactMagic,
+                                kEncoderArtifactVersion);
+  util::ByteWriter& meta = artifact.AddSection(kEncoderMetaSection);
+  meta.WriteString(kKind);
+
+  util::ByteWriter& config = artifact.AddSection("config");
+  config.WriteU64(config_.dim);
+  config.WriteU64(config_.max_tokens);
+  config.WriteU64(config_.min_char_ngram);
+  config.WriteU64(config_.max_char_ngram);
+  config.WriteF32(config_.word_weight);
+  config.WriteF32(config_.ngram_weight);
+  config.WriteF64(config_.sif_a);
+  config.WriteU64(config_.seed);
+
+  // The SIF vocabulary in ascending hash order: unordered_map iteration
+  // order is process-dependent, and sorted entries are what make equal
+  // fitted state produce byte-identical artifacts (the CI re-save gate).
+  std::vector<std::pair<uint64_t, uint64_t>> entries(token_counts_.begin(),
+                                                     token_counts_.end());
+  std::sort(entries.begin(), entries.end());
+  util::ByteWriter& vocab = artifact.AddSection("vocab");
+  vocab.WriteU64(total_token_count_);
+  vocab.WriteU64(entries.size());
+  for (const auto& [hash, count] : entries) {
+    vocab.WriteU64(hash);
+    vocab.WriteU64(count);
+  }
+  return artifact.WriteFile(path);
+}
+
+util::Result<std::unique_ptr<HashingSentenceEncoder>>
+HashingSentenceEncoder::Load(const util::ArtifactReader& artifact) {
+  auto meta = artifact.Section(kEncoderMetaSection);
+  if (!meta.ok()) return meta.status();
+  std::string kind;
+  MULTIEM_RETURN_IF_ERROR(meta->ReadString(&kind));
+  if (kind != kKind) {
+    return util::Status::InvalidArgument("artifact holds encoder kind '" +
+                                         kind + "', not 'hashing'");
+  }
+  MULTIEM_RETURN_IF_ERROR(meta->ExpectExhausted());
+
+  auto config_section = artifact.Section("config");
+  if (!config_section.ok()) return config_section.status();
+  HashingEncoderConfig config;
+  uint64_t dim, max_tokens, min_ngram, max_ngram;
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&dim));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&max_tokens));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&min_ngram));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&max_ngram));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadF32(&config.word_weight));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadF32(&config.ngram_weight));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadF64(&config.sif_a));
+  MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&config.seed));
+  MULTIEM_RETURN_IF_ERROR(config_section->ExpectExhausted());
+  config.dim = dim;
+  config.max_tokens = max_tokens;
+  config.min_char_ngram = min_ngram;
+  config.max_char_ngram = max_ngram;
+
+  // The constructor re-applies the same clamps Save's instance went through,
+  // so construction from a saved config is idempotent.
+  auto encoder = std::make_unique<HashingSentenceEncoder>(config);
+
+  auto vocab = artifact.Section("vocab");
+  if (!vocab.ok()) return vocab.status();
+  uint64_t total, entry_count;
+  MULTIEM_RETURN_IF_ERROR(vocab->ReadU64(&total));
+  MULTIEM_RETURN_IF_ERROR(vocab->ReadU64(&entry_count));
+  if (entry_count > vocab->remaining() / 16) {
+    return util::Status::InvalidArgument(
+        "hashing artifact: vocabulary count " + std::to_string(entry_count) +
+        " exceeds the section payload");
+  }
+  uint64_t counted = 0;
+  encoder->token_counts_.reserve(static_cast<size_t>(entry_count));
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    uint64_t hash, count;
+    MULTIEM_RETURN_IF_ERROR(vocab->ReadU64(&hash));
+    MULTIEM_RETURN_IF_ERROR(vocab->ReadU64(&count));
+    if (!encoder->token_counts_.emplace(hash, count).second) {
+      return util::Status::InvalidArgument(
+          "hashing artifact: duplicate vocabulary hash");
+    }
+    counted += count;
+  }
+  MULTIEM_RETURN_IF_ERROR(vocab->ExpectExhausted());
+  if (counted != total) {
+    return util::Status::InvalidArgument(
+        "hashing artifact: vocabulary counts sum to " +
+        std::to_string(counted) + ", header claims " + std::to_string(total));
+  }
+  encoder->total_token_count_ = total;
+  return encoder;
 }
 
 }  // namespace multiem::embed

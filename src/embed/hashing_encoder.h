@@ -2,6 +2,7 @@
 #define MULTIEM_EMBED_HASHING_ENCODER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -9,6 +10,10 @@
 
 #include "embed/text_encoder.h"
 #include "embed/tokenizer.h"
+
+namespace multiem::util {
+class ArtifactReader;  // util/io.h; only referenced by Load's signature
+}  // namespace multiem::util
 
 namespace multiem::embed {
 
@@ -85,6 +90,21 @@ class HashingSentenceEncoder : public TextEncoder {
   double TokenWeight(std::string_view token) const;
 
   const HashingEncoderConfig& config() const { return config_; }
+
+  /// Artifact kind tag ("hashing") — selects the loader in LoadTextEncoder.
+  static constexpr std::string_view kKind = "hashing";
+  std::string_view kind() const override { return kKind; }
+
+  /// Persists the configuration and the fitted SIF vocabulary (token-hash ->
+  /// count, written in sorted hash order so equal state always produces
+  /// equal bytes) as a MEMENCDR artifact. A loaded encoder embeds texts
+  /// bit-identically to the saved one without refitting.
+  util::Status Save(const std::string& path) const override;
+
+  /// Reconstructs an encoder from an opened MEMENCDR artifact (usually via
+  /// embed::LoadTextEncoder, which dispatches here on the "hashing" tag).
+  static util::Result<std::unique_ptr<HashingSentenceEncoder>> Load(
+      const util::ArtifactReader& artifact);
 
  private:
   /// Adds `scale` * direction(feature_hash) into `out`.

@@ -1,5 +1,10 @@
 #include "embed/text_encoder.h"
 
+#include <utility>
+
+#include "embed/encoder_io.h"
+#include "embed/hashing_encoder.h"
+
 namespace multiem::embed {
 
 EmbeddingMatrix TextEncoder::EncodeBatch(const std::vector<std::string>& texts,
@@ -12,6 +17,42 @@ EmbeddingMatrix TextEncoder::EncodeBatch(const std::vector<std::string>& texts,
     EncodeInto(texts[i], out.Row(i));
   });
   return out;
+}
+
+namespace {
+
+// Accessor-registered built-in (never torn down), so "hashing" artifacts
+// load without any user-side setup regardless of static-init order.
+util::ArtifactLoaderRegistry<TextEncoder>& Registry() {
+  static auto* registry = [] {
+    auto* r = new util::ArtifactLoaderRegistry<TextEncoder>(
+        "encoder", kEncoderArtifactMagic, kEncoderArtifactVersion,
+        kEncoderMetaSection);
+    r->Register(std::string(HashingSentenceEncoder::kKind),
+                [](const util::ArtifactReader& artifact)
+                    -> util::Result<std::unique_ptr<TextEncoder>> {
+                  auto encoder = HashingSentenceEncoder::Load(artifact);
+                  if (!encoder.ok()) return encoder.status();
+                  return std::unique_ptr<TextEncoder>(std::move(*encoder));
+                });
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+bool RegisterTextEncoderLoader(std::string kind, TextEncoderLoader loader) {
+  return Registry().Register(std::move(kind), std::move(loader));
+}
+
+std::vector<std::string> RegisteredTextEncoderLoaderKinds() {
+  return Registry().Kinds();
+}
+
+util::Result<std::unique_ptr<TextEncoder>> LoadTextEncoder(
+    const std::string& path) {
+  return Registry().LoadFromFile(path);
 }
 
 }  // namespace multiem::embed

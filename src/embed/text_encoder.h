@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "embed/embedding.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace multiem::embed {
@@ -53,6 +54,24 @@ class TextEncoder {
   /// Encodes a batch, optionally in parallel over `pool`.
   EmbeddingMatrix EncodeBatch(const std::vector<std::string>& texts,
                               util::ThreadPool* pool = nullptr) const;
+
+  /// Stable artifact tag of this implementation ("hashing"); empty for
+  /// encoders without a persistence story. The tag is written into saved
+  /// artifacts and selects the registered loader in LoadTextEncoder below.
+  virtual std::string_view kind() const { return {}; }
+
+  /// Persists the encoder — configuration plus any corpus-fitted state — to
+  /// `path` as a MEMENCDR artifact (docs/FORMATS.md; reload with
+  /// embed::LoadTextEncoder from encoder_io.h). A loaded encoder produces
+  /// bit-identical embeddings without refitting, which is what lets a
+  /// serving process answer queries against vectors embedded by another
+  /// process. Implementations without persistence keep this default, which
+  /// fails with FailedPrecondition instead of writing.
+  virtual util::Status Save(const std::string& path) const {
+    (void)path;
+    return util::Status::FailedPrecondition(
+        "this TextEncoder implementation does not support Save");
+  }
 };
 
 }  // namespace multiem::embed

@@ -27,8 +27,16 @@ class EntityId {
   /// Row index within the source table.
   uint64_t row() const { return packed_ & kRowMask; }
 
-  /// The raw packed representation (useful as a hash-map key).
+  /// The raw packed representation (useful as a hash-map key, and what the
+  /// artifact manifest stores on disk — see docs/FORMATS.md).
   uint64_t packed() const { return packed_; }
+
+  /// Rebuilds an id from its packed() word. Keeping the codec here, next to
+  /// the bit split, means on-disk decoding can never drift from the layout.
+  static EntityId FromPacked(uint64_t packed) {
+    return EntityId(static_cast<uint32_t>(packed >> kRowBits),
+                    packed & kRowMask);
+  }
 
   /// "S<source>:R<row>", e.g. "S2:R17".
   std::string ToString() const {

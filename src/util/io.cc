@@ -1,0 +1,401 @@
+#include "util/io.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace multiem::util {
+
+namespace {
+
+// Header layout (24 bytes, all little-endian):
+//   [0, 8)   magic
+//   [8, 12)  format version
+//   [12, 16) section count
+//   [16, 24) section-table offset
+constexpr size_t kHeaderBytes = 24;
+
+uint64_t LoadLe(const uint8_t* p, int width) {
+  uint64_t v = 0;
+  for (int i = width - 1; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string MagicToTag(uint64_t magic) {
+  std::string tag;
+  for (int i = 0; i < 8; ++i) {
+    char c = static_cast<char>(magic >> (8 * i));
+    tag.push_back((c >= 0x20 && c < 0x7f) ? c : '?');
+  }
+  return tag;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t state) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= p[i];
+    state *= 0x100000001b3ULL;
+  }
+  return state;
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter
+// ---------------------------------------------------------------------------
+
+void ByteWriter::WriteF32(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU32(bits);
+}
+
+void ByteWriter::WriteF64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  WriteU64(bits);
+}
+
+void ByteWriter::WriteString(std::string_view s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  WriteBytes(s.data(), s.size());
+}
+
+void ByteWriter::WriteBytes(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bytes_.insert(bytes_.end(), p, p + size);
+}
+
+// On little-endian hosts a typed array's wire image is its memory image,
+// so the bulk paths below collapse to one memcpy after the count word —
+// this is the fast path the save/load MB/s numbers in bench_ann_micro
+// measure. Big-endian hosts take the element loop.
+template <typename T, typename WriteOne>
+void WriteArrayImpl(ByteWriter& out, std::span<const T> values,
+                    WriteOne write_one) {
+  out.WriteU64(values.size());
+  if constexpr (std::endian::native == std::endian::little) {
+    out.WriteBytes(values.data(), values.size_bytes());
+  } else {
+    for (const T& v : values) write_one(v);
+  }
+}
+
+void ByteWriter::WriteU32Array(std::span<const uint32_t> values) {
+  WriteArrayImpl(*this, values, [&](uint32_t v) { WriteU32(v); });
+}
+
+void ByteWriter::WriteU64Array(std::span<const uint64_t> values) {
+  WriteArrayImpl(*this, values, [&](uint64_t v) { WriteU64(v); });
+}
+
+void ByteWriter::WriteI32Array(std::span<const int32_t> values) {
+  WriteArrayImpl(*this, values, [&](int32_t v) { WriteI32(v); });
+}
+
+void ByteWriter::WriteF32Array(std::span<const float> values) {
+  WriteArrayImpl(*this, values, [&](float v) { WriteF32(v); });
+}
+
+void ByteWriter::WriteF64Array(std::span<const double> values) {
+  WriteArrayImpl(*this, values, [&](double v) { WriteF64(v); });
+}
+
+// ---------------------------------------------------------------------------
+// ByteReader
+// ---------------------------------------------------------------------------
+
+Status ByteReader::Take(size_t n, const uint8_t** out) {
+  if (remaining() < n) {
+    return Status::OutOfRange("binary section underflow: need " +
+                              std::to_string(n) + " bytes, " +
+                              std::to_string(remaining()) + " remain");
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU8(uint8_t* out) {
+  const uint8_t* p;
+  MULTIEM_RETURN_IF_ERROR(Take(1, &p));
+  *out = *p;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU16(uint16_t* out) {
+  const uint8_t* p;
+  MULTIEM_RETURN_IF_ERROR(Take(2, &p));
+  *out = static_cast<uint16_t>(LoadLe(p, 2));
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU32(uint32_t* out) {
+  const uint8_t* p;
+  MULTIEM_RETURN_IF_ERROR(Take(4, &p));
+  *out = static_cast<uint32_t>(LoadLe(p, 4));
+  return Status::Ok();
+}
+
+Status ByteReader::ReadU64(uint64_t* out) {
+  const uint8_t* p;
+  MULTIEM_RETURN_IF_ERROR(Take(8, &p));
+  *out = LoadLe(p, 8);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadI32(int32_t* out) {
+  uint32_t bits;
+  MULTIEM_RETURN_IF_ERROR(ReadU32(&bits));
+  *out = static_cast<int32_t>(bits);
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF32(float* out) {
+  uint32_t bits;
+  MULTIEM_RETURN_IF_ERROR(ReadU32(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF64(double* out) {
+  uint64_t bits;
+  MULTIEM_RETURN_IF_ERROR(ReadU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::Ok();
+}
+
+Status ByteReader::ReadString(std::string* out) {
+  uint32_t size;
+  MULTIEM_RETURN_IF_ERROR(ReadU32(&size));
+  const uint8_t* p;
+  MULTIEM_RETURN_IF_ERROR(Take(size, &p));
+  out->assign(reinterpret_cast<const char*>(p), size);
+  return Status::Ok();
+}
+
+Status ByteReader::ExpectExhausted() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument(
+        "binary section has " + std::to_string(remaining()) +
+        " unexpected trailing bytes (schema mismatch?)");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactWriter
+// ---------------------------------------------------------------------------
+
+ByteWriter& ArtifactWriter::AddSection(std::string name) {
+  for (const auto& [existing, writer] : sections_) {
+    if (existing == name) std::abort();  // duplicate section: programmer error
+  }
+  sections_.emplace_back(std::move(name), ByteWriter());
+  return sections_.back().second;
+}
+
+std::vector<uint8_t> ArtifactWriter::Serialize() const {
+  // Header + payloads.
+  ByteWriter image;
+  image.WriteU64(magic_);
+  image.WriteU32(version_);
+  image.WriteU32(static_cast<uint32_t>(sections_.size()));
+  size_t table_offset = kHeaderBytes;
+  for (const auto& [name, payload] : sections_) {
+    table_offset += payload.size();
+  }
+  image.WriteU64(table_offset);
+  for (const auto& [name, payload] : sections_) {
+    image.WriteBytes(payload.bytes().data(), payload.size());
+  }
+
+  // Section table, then its own checksum.
+  ByteWriter table;
+  size_t offset = kHeaderBytes;
+  for (const auto& [name, payload] : sections_) {
+    table.WriteU16(static_cast<uint16_t>(name.size()));
+    table.WriteBytes(name.data(), name.size());
+    table.WriteU64(offset);
+    table.WriteU64(payload.size());
+    table.WriteU64(Fnv1a64(payload.bytes().data(), payload.size()));
+    offset += payload.size();
+  }
+  image.WriteBytes(table.bytes().data(), table.size());
+  image.WriteU64(Fnv1a64(table.bytes().data(), table.size()));
+  return image.bytes();
+}
+
+Status ArtifactWriter::WriteFile(const std::string& path) const {
+  const std::vector<uint8_t> image = Serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + tmp + "' for writing");
+  }
+  const size_t written = image.empty()
+                             ? 0
+                             : std::fwrite(image.data(), 1, image.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// ArtifactReader
+// ---------------------------------------------------------------------------
+
+Result<ArtifactReader> ArtifactReader::FromFile(const std::string& path,
+                                                uint64_t magic,
+                                                uint32_t max_version) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("artifact file '" + path + "' does not exist");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(size > 0 ? static_cast<size_t>(size) : 0);
+  const size_t read =
+      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return Status::InvalidArgument("cannot read artifact file '" + path +
+                                   "'");
+  }
+  auto reader = FromBytes(std::move(bytes), magic, max_version);
+  if (!reader.ok()) {
+    return Status(reader.status().code(),
+                  "'" + path + "': " + reader.status().message());
+  }
+  return reader;
+}
+
+Result<ArtifactReader> ArtifactReader::FromBytes(std::vector<uint8_t> bytes,
+                                                 uint64_t magic,
+                                                 uint32_t max_version) {
+  if (bytes.size() < kHeaderBytes + 8) {
+    return Status::InvalidArgument(
+        "artifact truncated: " + std::to_string(bytes.size()) +
+        " bytes is smaller than the minimal container");
+  }
+  const uint64_t file_magic = LoadLe(bytes.data(), 8);
+  if (file_magic != magic) {
+    return Status::InvalidArgument("artifact magic mismatch: expected '" +
+                                   MagicToTag(magic) + "', found '" +
+                                   MagicToTag(file_magic) + "'");
+  }
+  const uint32_t version = static_cast<uint32_t>(LoadLe(bytes.data() + 8, 4));
+  if (version == 0 || version > max_version) {
+    return Status::FailedPrecondition(
+        "artifact format version " + std::to_string(version) +
+        " is outside this build's supported range [1, " +
+        std::to_string(max_version) + "]; rebuild the artifact or upgrade");
+  }
+  const uint32_t section_count =
+      static_cast<uint32_t>(LoadLe(bytes.data() + 12, 4));
+  const uint64_t table_offset = LoadLe(bytes.data() + 16, 8);
+  // Subtraction form, not `table_offset + 8 > size`: a crafted offset near
+  // 2^64 must not wrap past the check and reach Fnv1a64 (bytes.size() >=
+  // kHeaderBytes + 8 was established above, so the subtraction is safe).
+  if (table_offset < kHeaderBytes || table_offset > bytes.size() - 8) {
+    return Status::InvalidArgument(
+        "artifact truncated: section table offset " +
+        std::to_string(table_offset) + " is outside the " +
+        std::to_string(bytes.size()) + "-byte file");
+  }
+
+  // The table's own trailing checksum first: it guards everything the
+  // per-section checks rely on.
+  const size_t table_size = bytes.size() - 8 - table_offset;
+  const uint64_t table_sum =
+      Fnv1a64(bytes.data() + table_offset, table_size);
+  if (table_sum != LoadLe(bytes.data() + table_offset + table_size, 8)) {
+    return Status::InvalidArgument(
+        "artifact section table checksum mismatch (corrupt or truncated "
+        "file)");
+  }
+
+  ArtifactReader reader;
+  reader.version_ = version;
+  ByteReader table(std::span<const uint8_t>(bytes.data() + table_offset,
+                                            table_size));
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint16_t name_len;
+    MULTIEM_RETURN_IF_ERROR(table.ReadU16(&name_len));
+    if (table.remaining() < name_len) {
+      return Status::InvalidArgument("artifact section table truncated");
+    }
+    SectionEntry entry;
+    entry.name.resize(name_len);
+    for (uint16_t c = 0; c < name_len; ++c) {
+      uint8_t byte;
+      MULTIEM_RETURN_IF_ERROR(table.ReadU8(&byte));
+      entry.name[c] = static_cast<char>(byte);
+    }
+    uint64_t offset, size, checksum;
+    MULTIEM_RETURN_IF_ERROR(table.ReadU64(&offset));
+    MULTIEM_RETURN_IF_ERROR(table.ReadU64(&size));
+    MULTIEM_RETURN_IF_ERROR(table.ReadU64(&checksum));
+    // Overflow-safe extent check (`offset + size` could wrap): the offset
+    // must land in [header, table) and the size fit in what remains.
+    if (offset < kHeaderBytes || offset > table_offset ||
+        size > table_offset - offset) {
+      return Status::InvalidArgument("artifact section '" + entry.name +
+                                     "' lies outside the payload area");
+    }
+    if (Fnv1a64(bytes.data() + offset, size) != checksum) {
+      return Status::InvalidArgument("artifact section '" + entry.name +
+                                     "' checksum mismatch (corrupt file)");
+    }
+    entry.offset = static_cast<size_t>(offset);
+    entry.size = static_cast<size_t>(size);
+    reader.sections_.push_back(std::move(entry));
+  }
+  MULTIEM_RETURN_IF_ERROR(table.ExpectExhausted());
+  reader.bytes_ = std::move(bytes);
+  return reader;
+}
+
+bool ArtifactReader::HasSection(std::string_view name) const {
+  for (const SectionEntry& s : sections_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> ArtifactReader::SectionNames() const {
+  std::vector<std::string> names;
+  names.reserve(sections_.size());
+  for (const SectionEntry& s : sections_) names.push_back(s.name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<ByteReader> ArtifactReader::Section(std::string_view name) const {
+  for (const SectionEntry& s : sections_) {
+    if (s.name == name) {
+      return ByteReader(
+          std::span<const uint8_t>(bytes_.data() + s.offset, s.size));
+    }
+  }
+  std::string present;
+  for (const std::string& n : SectionNames()) {
+    if (!present.empty()) present += ", ";
+    present += n;
+  }
+  return Status::NotFound("artifact has no section '" + std::string(name) +
+                          "' (present: " + present + ")");
+}
+
+}  // namespace multiem::util

@@ -1,0 +1,343 @@
+/// \file io.h
+/// The shared on-disk container behind every MultiEM artifact (saved ANN
+/// indexes, fitted encoders, pipeline manifests — see docs/FORMATS.md for
+/// the byte-level spec).
+///
+/// One artifact file is: a fixed 24-byte header (per-artifact-kind magic,
+/// format version, section count, section-table offset), the section
+/// payloads back to back, then a section table (name, offset, size, FNV-1a
+/// checksum per section) itself protected by a trailing checksum. All
+/// integers are little-endian regardless of host byte order, so an artifact
+/// written on one machine loads on any other.
+///
+/// Writing is append-only and deterministic: the same logical content always
+/// produces the same bytes, which is what lets CI gate on byte-identical
+/// re-saves. Reading is fully validated up front — ArtifactReader::FromFile
+/// verifies magic, version, table bounds, and every section checksum before
+/// returning, so corrupt or truncated files fail with a clear util::Status
+/// and never reach the typed readers.
+
+#ifndef MULTIEM_UTIL_IO_H_
+#define MULTIEM_UTIL_IO_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multiem::util {
+
+/// 64-bit FNV-1a over `size` bytes, continuing from `state` (pass the
+/// default to start a fresh hash). Simple, fast, and byte-order independent;
+/// used as the per-section corruption check of the artifact container.
+inline constexpr uint64_t kFnv1a64Offset = 0xcbf29ce484222325ULL;
+uint64_t Fnv1a64(const void* data, size_t size,
+                 uint64_t state = kFnv1a64Offset);
+
+/// Packs an 8-character ASCII tag into the little-endian u64 artifact magic
+/// (the tag reads verbatim in a hexdump of the first 8 file bytes).
+constexpr uint64_t ArtifactMagic(const char (&tag)[9]) {
+  uint64_t magic = 0;
+  for (int i = 7; i >= 0; --i) {
+    magic = (magic << 8) | static_cast<uint8_t>(tag[i]);
+  }
+  return magic;
+}
+
+/// Append-only little-endian byte buffer: the assembly surface for one
+/// artifact section. Fixed-width writes only; strings and arrays carry
+/// explicit lengths, so the stream is self-describing given its schema.
+class ByteWriter {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+  void WriteU16(uint16_t v) { AppendLe(v, 2); }
+  void WriteU32(uint32_t v) { AppendLe(v, 4); }
+  void WriteU64(uint64_t v) { AppendLe(v, 8); }
+  void WriteI32(int32_t v) { AppendLe(static_cast<uint32_t>(v), 4); }
+  /// IEEE-754 bit patterns, little-endian.
+  void WriteF32(float v);
+  void WriteF64(double v);
+  /// u32 byte length + UTF-8 bytes (no terminator).
+  void WriteString(std::string_view s);
+  void WriteBytes(const void* data, size_t size);
+
+  /// Typed bulk arrays: u64 element count + the elements.
+  void WriteU32Array(std::span<const uint32_t> values);
+  void WriteU64Array(std::span<const uint64_t> values);
+  void WriteI32Array(std::span<const int32_t> values);
+  void WriteF32Array(std::span<const float> values);
+  void WriteF64Array(std::span<const double> values);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  void AppendLe(uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader over one section's bytes (a view; the
+/// owning ArtifactReader must outlive it). Every read returns OutOfRange
+/// instead of walking past the end, so a schema mismatch degrades to a
+/// Status, never UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status ReadU8(uint8_t* out);
+  Status ReadU16(uint16_t* out);
+  Status ReadU32(uint32_t* out);
+  Status ReadU64(uint64_t* out);
+  Status ReadI32(int32_t* out);
+  Status ReadF32(float* out);
+  Status ReadF64(double* out);
+  Status ReadString(std::string* out);
+
+  /// Typed bulk arrays (the ByteWriter Write*Array counterparts). The
+  /// element count is validated against the remaining bytes before any
+  /// allocation, so a corrupted count cannot trigger an overlarge reserve.
+  Status ReadU32Array(std::vector<uint32_t>* out) { return ReadArrayInto(out); }
+  Status ReadU64Array(std::vector<uint64_t>* out) { return ReadArrayInto(out); }
+  Status ReadI32Array(std::vector<int32_t>* out) { return ReadArrayInto(out); }
+  Status ReadF32Array(std::vector<float>* out) { return ReadArrayInto(out); }
+  Status ReadF64Array(std::vector<double>* out) { return ReadArrayInto(out); }
+
+  /// Same, into any contiguous vector-like container of 4- or 8-byte
+  /// elements (util::CacheAlignedVector included) — this is the zero-
+  /// temporary path big loaders use to read a slab straight into its final
+  /// member: one bounds check, then (on little-endian hosts, where the wire
+  /// image is the memory image) one memcpy.
+  template <typename Vec>
+  Status ReadArrayInto(Vec* out) {
+    using T = typename Vec::value_type;
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "arrays hold 4/8-byte elements");
+    uint64_t count;
+    MULTIEM_RETURN_IF_ERROR(ReadU64(&count));
+    // Validate before allocating: a corrupt count must not drive an
+    // overlarge resize (and count * sizeof(T) below cannot overflow).
+    if (count > remaining() / sizeof(T)) {
+      return Status::OutOfRange(
+          "binary array count " + std::to_string(count) + " exceeds the " +
+          std::to_string(remaining()) + " remaining section bytes");
+    }
+    out->resize(static_cast<size_t>(count));
+    const uint8_t* p;
+    MULTIEM_RETURN_IF_ERROR(Take(static_cast<size_t>(count) * sizeof(T), &p));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out->data(), p, static_cast<size_t>(count) * sizeof(T));
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t bits = 0;
+        for (size_t b = sizeof(T); b-- > 0;) {
+          bits = (bits << 8) | p[i * sizeof(T) + b];
+        }
+        if constexpr (sizeof(T) == 4) {
+          const uint32_t narrow = static_cast<uint32_t>(bits);
+          std::memcpy(&(*out)[i], &narrow, sizeof(T));
+        } else {
+          std::memcpy(&(*out)[i], &bits, sizeof(T));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+
+  /// InvalidArgument when trailing bytes remain — call after the last field
+  /// to reject sections longer than their schema (a symptom of reading a
+  /// newer writer's layout with an older reader).
+  Status ExpectExhausted() const;
+
+ private:
+  Status Take(size_t n, const uint8_t** out);
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+/// Assembles one artifact: named sections appended in call order, then
+/// WriteFile/Serialize emits header + payloads + checksummed section table.
+/// Section names must be unique; writers emit sections in a fixed order so
+/// equal content means equal bytes.
+class ArtifactWriter {
+ public:
+  /// `magic` identifies the artifact kind (use ArtifactMagic("MEMINDEX"));
+  /// `version` is that kind's format version, starting at 1.
+  ArtifactWriter(uint64_t magic, uint32_t version)
+      : magic_(magic), version_(version) {}
+
+  /// Starts (or aborts on a duplicate name) a new section and returns its
+  /// payload buffer; valid until the next AddSection call.
+  ByteWriter& AddSection(std::string name);
+
+  /// The complete artifact image.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Serializes and writes the artifact to `path` (atomically via a
+  /// same-directory temp file + rename, so readers never observe a torn
+  /// file).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  uint64_t magic_;
+  uint32_t version_;
+  std::vector<std::pair<std::string, ByteWriter>> sections_;
+};
+
+/// Opens and fully validates one artifact: magic, version, section-table
+/// bounds, the table's own checksum, and every section checksum. After
+/// FromFile/FromBytes succeeds, Section() lookups cannot fail for any reason
+/// other than a missing name.
+class ArtifactReader {
+ public:
+  /// Reads `path` expecting artifact kind `magic` at a version in
+  /// [1, max_version]. Distinguishes the failure classes callers branch on:
+  ///  * NotFound          — the file does not exist;
+  ///  * InvalidArgument   — wrong magic, truncation, or checksum mismatch;
+  ///  * FailedPrecondition — a version newer than `max_version` (the file is
+  ///    valid, this build is just too old to read it).
+  static Result<ArtifactReader> FromFile(const std::string& path,
+                                         uint64_t magic,
+                                         uint32_t max_version);
+
+  /// Same validation over an in-memory image (tests, transport).
+  static Result<ArtifactReader> FromBytes(std::vector<uint8_t> bytes,
+                                          uint64_t magic,
+                                          uint32_t max_version);
+
+  /// The artifact's format version (1-based).
+  uint32_t version() const { return version_; }
+
+  bool HasSection(std::string_view name) const;
+
+  /// Sorted names of all sections (diagnostics, forward-compat probing).
+  std::vector<std::string> SectionNames() const;
+
+  /// A reader positioned at the start of section `name`, or NotFound listing
+  /// the sections present.
+  Result<ByteReader> Section(std::string_view name) const;
+
+ private:
+  struct SectionEntry {
+    std::string name;
+    size_t offset;
+    size_t size;
+  };
+
+  ArtifactReader() = default;
+
+  std::vector<uint8_t> bytes_;
+  uint32_t version_ = 0;
+  std::vector<SectionEntry> sections_;
+};
+
+/// Kind-dispatched loader registry, shared by every artifact family that
+/// stores one of several polymorphic implementations (vector indexes, text
+/// encoders): the family's meta section starts with a kind tag string, and
+/// LoadFromFile opens + validates the container, reads the tag, and
+/// dispatches the loader registered for it. Thread-safe; built-in loaders
+/// are installed by the family's accessor function, third-party ones via
+/// Register from any translation unit.
+template <typename T>
+class ArtifactLoaderRegistry {
+ public:
+  /// Reconstructs one implementation from an opened, validated artifact.
+  using Loader =
+      std::function<Result<std::unique_ptr<T>>(const ArtifactReader&)>;
+
+  /// `what` names the family in error messages ("index", "encoder");
+  /// `magic`/`max_version` validate the container; `meta_section` is the
+  /// section whose first field is the kind tag.
+  ArtifactLoaderRegistry(std::string what, uint64_t magic,
+                         uint32_t max_version, std::string meta_section)
+      : what_(std::move(what)),
+        meta_section_(std::move(meta_section)),
+        magic_(magic),
+        max_version_(max_version) {}
+
+  ArtifactLoaderRegistry(const ArtifactLoaderRegistry&) = delete;
+  ArtifactLoaderRegistry& operator=(const ArtifactLoaderRegistry&) = delete;
+
+  /// Registers `loader` under `kind`. Returns false (keeping the existing
+  /// entry) when the kind is already taken.
+  bool Register(std::string kind, Loader loader) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return loaders_.emplace(std::move(kind), std::move(loader)).second;
+  }
+
+  /// Kind tags with a registered loader, sorted.
+  std::vector<std::string> Kinds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> kinds;
+    kinds.reserve(loaders_.size());
+    for (const auto& [kind, loader] : loaders_) kinds.push_back(kind);
+    return kinds;
+  }
+
+  /// Opens the artifact at `path`, validates it, reads the kind tag, and
+  /// dispatches the registered loader (unknown kinds fail with
+  /// InvalidArgument listing the registered ones).
+  Result<std::unique_ptr<T>> LoadFromFile(const std::string& path) const {
+    auto artifact = ArtifactReader::FromFile(path, magic_, max_version_);
+    if (!artifact.ok()) return artifact.status();
+
+    auto meta = artifact->Section(meta_section_);
+    if (!meta.ok()) return meta.status();
+    std::string kind;
+    MULTIEM_RETURN_IF_ERROR(meta->ReadString(&kind));
+
+    Loader loader;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = loaders_.find(kind);
+      if (it != loaders_.end()) loader = it->second;
+    }
+    if (!loader) {
+      std::string kinds;
+      for (const std::string& k : Kinds()) {
+        if (!kinds.empty()) kinds += ", ";
+        kinds += k;
+      }
+      return Status::InvalidArgument("no loader registered for " + what_ +
+                                     " kind '" + kind +
+                                     "' (registered: " + kinds + ")");
+    }
+    auto loaded = loader(*artifact);
+    if (loaded.ok() && *loaded == nullptr) {
+      return Status::Internal(what_ + " loader for kind '" + kind +
+                              "' returned null");
+    }
+    return loaded;
+  }
+
+ private:
+  std::string what_;
+  std::string meta_section_;
+  uint64_t magic_;
+  uint32_t max_version_;
+  mutable std::mutex mu_;
+  std::map<std::string, Loader> loaders_;
+};
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_IO_H_

@@ -1,6 +1,7 @@
 #ifndef MULTIEM_UTIL_RNG_H_
 #define MULTIEM_UTIL_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -84,6 +85,15 @@ class Rng {
   /// Index drawn from a discrete distribution proportional to `weights`
   /// (all weights must be >= 0; at least one > 0).
   size_t Discrete(const std::vector<double>& weights);
+
+  /// The four xoshiro256** state words, for persistence (util/io.h
+  /// artifacts): a restored generator continues the exact draw sequence of
+  /// the saved one, so e.g. a reloaded HNSW index assigns the same levels to
+  /// subsequently added nodes as the original would have.
+  std::array<uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  }
 
  private:
   uint64_t s_[4];

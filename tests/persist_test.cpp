@@ -1,0 +1,823 @@
+// Persistence tests: the util/io artifact container (round trips, magic /
+// version / checksum rejection), VectorIndex and TextEncoder save/load
+// (search and embedding equality pre/post reload, serial and parallel
+// builds, byte-stable golden files, corruption rejection), and the full
+// PipelineArtifact directory (MatchRecords identical after a reload in a
+// "fresh process", incremental AddTable, byte-identical re-save).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ann/brute_force.h"
+#include "ann/hnsw.h"
+#include "ann/index_io.h"
+#include "core/artifact.h"
+#include "core/matcher.h"
+#include "core/pipeline.h"
+#include "embed/encoder_io.h"
+#include "embed/hashing_encoder.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "util/io.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace multiem {
+namespace {
+
+using core::Matcher;
+using core::MultiEmConfig;
+using core::MultiEmPipeline;
+using core::PipelineArtifact;
+using core::PipelineBuilder;
+using core::PipelineResult;
+using core::RunContext;
+using table::Schema;
+using table::Table;
+
+// Per-test scratch path under the gtest temp dir; removed up front so
+// reruns start clean.
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "multiem_persist_" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+embed::EmbeddingMatrix RandomVectors(size_t n, size_t dim, uint64_t seed) {
+  util::Rng rng(seed);
+  embed::EmbeddingMatrix m(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = m.Row(i);
+    for (auto& x : row) x = static_cast<float>(rng.Normal());
+    embed::L2NormalizeInPlace(row);
+  }
+  return m;
+}
+
+// ------------------------------------------------------------------- io --
+
+constexpr uint64_t kTestMagic = util::ArtifactMagic("MEMTEST1");
+
+TEST(IoTest, PrimitivesRoundTrip) {
+  util::ByteWriter w;
+  w.WriteU8(7);
+  w.WriteU16(65535);
+  w.WriteU32(0xDEADBEEFu);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteF32(1.5f);
+  w.WriteF64(-2.25);
+  w.WriteString("hello");
+  w.WriteF32Array(std::vector<float>{1.0f, -1.0f});
+
+  util::ByteReader r(w.bytes());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  float f32;
+  double f64;
+  std::string s;
+  std::vector<float> floats;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI32(&i32).ok());
+  ASSERT_TRUE(r.ReadF32(&f32).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  ASSERT_TRUE(r.ReadF32Array(&floats).ok());
+  ASSERT_TRUE(r.ExpectExhausted().ok());
+  EXPECT_EQ(u8, 7u);
+  EXPECT_EQ(u16, 65535u);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, -1.0f}));
+
+  // Reading past the end is an error, not UB.
+  EXPECT_EQ(r.ReadU64(&u64).code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(IoTest, ArtifactSectionsRoundTrip) {
+  util::ArtifactWriter writer(kTestMagic, 1);
+  writer.AddSection("alpha").WriteU32(123);
+  writer.AddSection("beta").WriteString("payload");
+
+  auto reader =
+      util::ArtifactReader::FromBytes(writer.Serialize(), kTestMagic, 1);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ(reader->version(), 1u);
+  EXPECT_TRUE(reader->HasSection("alpha"));
+  EXPECT_FALSE(reader->HasSection("gamma"));
+  EXPECT_EQ(reader->SectionNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+
+  auto alpha = reader->Section("alpha");
+  ASSERT_TRUE(alpha.ok());
+  uint32_t v;
+  ASSERT_TRUE(alpha->ReadU32(&v).ok());
+  EXPECT_EQ(v, 123u);
+  ASSERT_TRUE(alpha->ExpectExhausted().ok());
+
+  EXPECT_EQ(reader->Section("gamma").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(IoTest, RejectsWrongMagic) {
+  util::ArtifactWriter writer(kTestMagic, 1);
+  writer.AddSection("s").WriteU32(1);
+  auto reader = util::ArtifactReader::FromBytes(
+      writer.Serialize(), util::ArtifactMagic("MEMOTHER"), 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, RejectsNewerVersion) {
+  util::ArtifactWriter writer(kTestMagic, 7);
+  writer.AddSection("s").WriteU32(1);
+  auto reader =
+      util::ArtifactReader::FromBytes(writer.Serialize(), kTestMagic, 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(IoTest, RejectsEveryTruncation) {
+  util::ArtifactWriter writer(kTestMagic, 1);
+  writer.AddSection("s").WriteU64(0x1122334455667788ull);
+  const std::vector<uint8_t> image = writer.Serialize();
+  for (size_t len = 0; len < image.size(); ++len) {
+    std::vector<uint8_t> prefix(image.begin(), image.begin() + len);
+    auto reader =
+        util::ArtifactReader::FromBytes(std::move(prefix), kTestMagic, 1);
+    EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(IoTest, RejectsEverySingleByteFlip) {
+  util::ArtifactWriter writer(kTestMagic, 1);
+  writer.AddSection("s").WriteU64(0xA5A5A5A5A5A5A5A5ull);
+  writer.AddSection("t").WriteString("guarded");
+  const std::vector<uint8_t> image = writer.Serialize();
+  for (size_t pos = 0; pos < image.size(); ++pos) {
+    std::vector<uint8_t> corrupt = image;
+    corrupt[pos] ^= 0x01;
+    auto reader =
+        util::ArtifactReader::FromBytes(std::move(corrupt), kTestMagic, 1);
+    EXPECT_FALSE(reader.ok()) << "flip at byte " << pos << " accepted";
+  }
+}
+
+TEST(IoTest, RejectsOverflowingTableOffset) {
+  // A header table offset near 2^64 must fail the bounds check, not wrap
+  // past it and drive the checksum off the end of the buffer.
+  util::ArtifactWriter writer(kTestMagic, 1);
+  writer.AddSection("s").WriteU32(1);
+  std::vector<uint8_t> image = writer.Serialize();
+  for (int b = 0; b < 8; ++b) image[16 + b] = 0xFF;
+  image[16] = 0xF8;  // table_offset = 0xFFFFFFFFFFFFFFF8
+  auto reader =
+      util::ArtifactReader::FromBytes(std::move(image), kTestMagic, 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  auto reader = util::ArtifactReader::FromFile(
+      TempPath("no_such_file.mem"), kTestMagic, 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), util::StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------------- hnsw --
+
+void ExpectIdenticalSearches(const ann::VectorIndex& a,
+                             const ann::VectorIndex& b,
+                             const embed::EmbeddingMatrix& queries,
+                             size_t k) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t q = 0; q < queries.num_rows(); ++q) {
+    EXPECT_EQ(a.Search(queries.Row(q), k), b.Search(queries.Row(q), k))
+        << "query " << q;
+  }
+}
+
+TEST(HnswPersistTest, SearchIdenticalAfterReload) {
+  const size_t dim = 24;
+  embed::EmbeddingMatrix corpus = RandomVectors(600, dim, 1);
+  embed::EmbeddingMatrix queries = RandomVectors(40, dim, 2);
+
+  ann::HnswIndex index(dim, ann::Metric::kCosine);
+  index.AddBatch(corpus);
+
+  const std::string path = TempPath("hnsw_roundtrip.mem");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ((*loaded)->kind(), "hnsw");
+  EXPECT_EQ((*loaded)->metric(), ann::Metric::kCosine);
+  EXPECT_EQ((*loaded)->size(), index.size());
+  EXPECT_EQ((*loaded)->SizeBytes(), index.SizeBytes());
+  auto* loaded_hnsw = dynamic_cast<ann::HnswIndex*>(loaded->get());
+  ASSERT_NE(loaded_hnsw, nullptr);
+  EXPECT_EQ(loaded_hnsw->max_level(), index.max_level());
+  ExpectIdenticalSearches(index, **loaded, queries, 10);
+}
+
+TEST(HnswPersistTest, ParallelBuildRoundTrips) {
+  const size_t dim = 16;
+  // Past HnswConfig::parallel_batch_min, so AddBatch takes the lock-striped
+  // concurrent path; the saved graph must still reload verbatim.
+  embed::EmbeddingMatrix corpus = RandomVectors(1500, dim, 3);
+  embed::EmbeddingMatrix queries = RandomVectors(25, dim, 4);
+
+  util::ThreadPool pool(4);
+  ann::HnswIndex index(dim, ann::Metric::kCosine);
+  index.AddBatch(corpus, &pool);
+
+  const std::string path = TempPath("hnsw_parallel.mem");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectIdenticalSearches(index, **loaded, queries, 10);
+}
+
+TEST(HnswPersistTest, EuclideanRoundTrips) {
+  const size_t dim = 8;
+  embed::EmbeddingMatrix corpus = RandomVectors(200, dim, 5);
+  embed::EmbeddingMatrix queries = RandomVectors(10, dim, 6);
+  ann::HnswIndex index(dim, ann::Metric::kEuclidean);
+  index.AddBatch(corpus);
+  const std::string path = TempPath("hnsw_euclidean.mem");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->metric(), ann::Metric::kEuclidean);
+  ExpectIdenticalSearches(index, **loaded, queries, 5);
+}
+
+TEST(HnswPersistTest, SaveBytesStableAcrossRebuildsAndReload) {
+  const size_t dim = 12;
+  embed::EmbeddingMatrix corpus = RandomVectors(300, dim, 7);
+
+  // Two independent serial builds of the same corpus are deterministic, so
+  // their artifacts are the golden file.
+  ann::HnswIndex first(dim, ann::Metric::kCosine);
+  first.AddBatch(corpus);
+  ann::HnswIndex second(dim, ann::Metric::kCosine);
+  second.AddBatch(corpus);
+  const std::string path_a = TempPath("hnsw_golden_a.mem");
+  const std::string path_b = TempPath("hnsw_golden_b.mem");
+  ASSERT_TRUE(first.Save(path_a).ok());
+  ASSERT_TRUE(second.Save(path_b).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+
+  // Load -> save must also be byte-identical (nothing rewritten, reordered,
+  // or refitted on the way through).
+  auto loaded = ann::LoadVectorIndex(path_a);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const std::string path_c = TempPath("hnsw_golden_c.mem");
+  ASSERT_TRUE((*loaded)->Save(path_c).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_c));
+}
+
+TEST(HnswPersistTest, ContinuesAddingIdenticallyAfterReload) {
+  const size_t dim = 12;
+  embed::EmbeddingMatrix corpus = RandomVectors(250, dim, 8);
+  embed::EmbeddingMatrix extra = RandomVectors(80, dim, 9);
+  embed::EmbeddingMatrix queries = RandomVectors(20, dim, 10);
+
+  ann::HnswIndex original(dim, ann::Metric::kCosine);
+  original.AddBatch(corpus);
+  const std::string path = TempPath("hnsw_continue.mem");
+  ASSERT_TRUE(original.Save(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  // The level-RNG state round-trips, so post-reload inserts draw the same
+  // levels and build the same graph the original would have.
+  original.AddBatch(extra);
+  (*loaded)->AddBatch(extra);
+  ExpectIdenticalSearches(original, **loaded, queries, 10);
+}
+
+TEST(HnswPersistTest, RejectsCorruptedFile) {
+  const size_t dim = 8;
+  embed::EmbeddingMatrix corpus = RandomVectors(64, dim, 11);
+  ann::HnswIndex index(dim, ann::Metric::kCosine);
+  index.AddBatch(corpus);
+  const std::string path = TempPath("hnsw_corrupt.mem");
+  ASSERT_TRUE(index.Save(path).ok());
+
+  std::vector<uint8_t> image = ReadFileBytes(path);
+  // Truncation.
+  WriteFileBytes(path, std::vector<uint8_t>(image.begin(),
+                                            image.begin() + image.size() / 2));
+  EXPECT_FALSE(ann::LoadVectorIndex(path).ok());
+  // Payload bit flip.
+  std::vector<uint8_t> flipped = image;
+  flipped[flipped.size() / 2] ^= 0x40;
+  WriteFileBytes(path, flipped);
+  EXPECT_FALSE(ann::LoadVectorIndex(path).ok());
+}
+
+TEST(HnswPersistTest, RejectsOverflowingCounts) {
+  // Checksum-valid artifacts whose 64-bit counts are crafted to wrap the
+  // size arithmetic: the division-form checks must reject them.
+  {
+    // dim near 2^63 with an empty vector payload (2 * 2^63 wraps to 0).
+    util::ArtifactWriter writer(ann::kIndexArtifactMagic,
+                                ann::kIndexArtifactVersion);
+    util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
+    meta.WriteString("hnsw");
+    meta.WriteU64(uint64_t{1} << 63);  // dim
+    meta.WriteU8(0);                   // cosine
+    meta.WriteU64(2);                  // num_nodes
+    meta.WriteU64((uint64_t{1} << 32) | 0);  // entry: level 0, node 0
+    util::ByteWriter& config = writer.AddSection("config");
+    for (uint64_t v : {uint64_t{16}, uint64_t{32}, uint64_t{200},
+                       uint64_t{64}, uint64_t{1}, uint64_t{1024}}) {
+      config.WriteU64(v);
+    }
+    writer.AddSection("rng").WriteU64Array(
+        std::vector<uint64_t>{1, 2, 3, 4});
+    writer.AddSection("vectors").WriteF32Array(std::vector<float>{});
+    const std::string path = TempPath("hnsw_wrap_dim.mem");
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+    auto loaded = ann::LoadVectorIndex(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    // Absurd link degrees would wrap the slab-size expectations.
+    util::ArtifactWriter writer(ann::kIndexArtifactMagic,
+                                ann::kIndexArtifactVersion);
+    util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
+    meta.WriteString("hnsw");
+    meta.WriteU64(4);  // dim
+    meta.WriteU8(0);
+    meta.WriteU64(0);  // empty index
+    meta.WriteU64(0);
+    util::ByteWriter& config = writer.AddSection("config");
+    for (uint64_t v : {uint64_t{1} << 40, uint64_t{1} << 41, uint64_t{200},
+                       uint64_t{64}, uint64_t{1}, uint64_t{1024}}) {
+      config.WriteU64(v);
+    }
+    const std::string path = TempPath("hnsw_wrap_degree.mem");
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+    auto loaded = ann::LoadVectorIndex(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    // brute_force: num_vectors * dim wrapping to 0 over empty payloads.
+    util::ArtifactWriter writer(ann::kIndexArtifactMagic,
+                                ann::kIndexArtifactVersion);
+    util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
+    meta.WriteString("brute_force");
+    meta.WriteU64(uint64_t{1} << 32);  // dim
+    meta.WriteU8(1);                   // euclidean (no norm cache)
+    meta.WriteU64(uint64_t{1} << 32);  // num_vectors; product wraps to 0
+    writer.AddSection("vectors").WriteF32Array(std::vector<float>{});
+    writer.AddSection("sq_norms").WriteF32Array(std::vector<float>{});
+    const std::string path = TempPath("bf_wrap.mem");
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+    auto loaded = ann::LoadVectorIndex(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(HnswPersistTest, RejectsUpperLinkToNodeBelowThatLevel) {
+  // A checksum-valid artifact whose level-1 block links to a node that only
+  // exists at level 0: following that edge at level 1 would read past the
+  // target's (absent) upper slab, so Load must reject it.
+  util::ArtifactWriter writer(ann::kIndexArtifactMagic,
+                              ann::kIndexArtifactVersion);
+  util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
+  meta.WriteString("hnsw");
+  meta.WriteU64(4);                        // dim
+  meta.WriteU8(0);                         // cosine
+  meta.WriteU64(2);                        // num_nodes
+  meta.WriteU64(uint64_t{2} << 32);        // entry: level 1, node 0
+  util::ByteWriter& config = writer.AddSection("config");
+  for (uint64_t v : {uint64_t{2}, uint64_t{4}, uint64_t{8}, uint64_t{8},
+                     uint64_t{1}, uint64_t{1024}}) {  // m=2 m0=4 -> strides 5/3
+    config.WriteU64(v);
+  }
+  writer.AddSection("rng").WriteU64Array(std::vector<uint64_t>{1, 2, 3, 4});
+  writer.AddSection("vectors").WriteF32Array(
+      std::vector<float>{1, 0, 0, 0, 0, 1, 0, 0});
+  writer.AddSection("levels").WriteI32Array(std::vector<int32_t>{1, 0});
+  writer.AddSection("links0").WriteU32Array(
+      std::vector<uint32_t>{1, 1, 0, 0, 0,    // node 0 -> node 1
+                            1, 0, 0, 0, 0});  // node 1 -> node 0
+  writer.AddSection("upper_offsets").WriteU64Array(
+      std::vector<uint64_t>{0, 3});
+  writer.AddSection("upper_links").WriteU32Array(
+      std::vector<uint32_t>{1, 1, 0});  // node 0, level 1 -> node 1 (invalid)
+  const std::string path = TempPath("hnsw_bad_upper_link.mem");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(HnswPersistTest, RejectsUnknownKind) {
+  // A checksum-valid MEMINDEX artifact whose kind tag has no loader.
+  util::ArtifactWriter writer(ann::kIndexArtifactMagic,
+                              ann::kIndexArtifactVersion);
+  writer.AddSection(ann::kIndexMetaSection).WriteString("martian");
+  const std::string path = TempPath("unknown_kind.mem");
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  auto loaded = ann::LoadVectorIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("martian"), std::string::npos);
+}
+
+// ---------------------------------------------------------- brute force --
+
+TEST(BruteForcePersistTest, RoundTripsBothMetrics) {
+  for (ann::Metric metric :
+       {ann::Metric::kCosine, ann::Metric::kEuclidean}) {
+    const size_t dim = 10;
+    embed::EmbeddingMatrix corpus = RandomVectors(120, dim, 12);
+    embed::EmbeddingMatrix queries = RandomVectors(15, dim, 13);
+    ann::BruteForceIndex index(dim, metric);
+    index.AddBatch(corpus);
+    const std::string path = TempPath("bf_roundtrip.mem");
+    ASSERT_TRUE(index.Save(path).ok());
+    auto loaded = ann::LoadVectorIndex(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ((*loaded)->kind(), "brute_force");
+    EXPECT_EQ((*loaded)->metric(), metric);
+    EXPECT_EQ((*loaded)->SizeBytes(), index.SizeBytes());
+    ExpectIdenticalSearches(index, **loaded, queries, 7);
+  }
+}
+
+// -------------------------------------------------------------- encoder --
+
+TEST(EncoderPersistTest, EmbeddingsIdenticalAfterReload) {
+  const std::vector<std::string> corpus = {
+      "apple iphone 8 plus 64gb silver", "samsung galaxy s9 dual sim",
+      "google pixel 3 xl 128gb white",   "apple iphone 8 plus unlocked",
+  };
+  embed::HashingEncoderConfig config;
+  config.dim = 128;
+  embed::HashingSentenceEncoder encoder(config);
+  encoder.FitFrequencies(corpus);
+
+  const std::string path = TempPath("encoder.mem");
+  ASSERT_TRUE(encoder.Save(path).ok());
+  auto loaded = embed::LoadTextEncoder(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->kind(), "hashing");
+  EXPECT_EQ((*loaded)->dim(), encoder.dim());
+
+  for (const std::string& text : corpus) {
+    EXPECT_EQ(encoder.Encode(text), (*loaded)->Encode(text)) << text;
+  }
+  EXPECT_EQ(encoder.Encode("iphone 8 64gb"), (*loaded)->Encode("iphone 8 64gb"));
+
+  auto* hashing =
+      dynamic_cast<embed::HashingSentenceEncoder*>(loaded->get());
+  ASSERT_NE(hashing, nullptr);
+  EXPECT_TRUE(hashing->fitted());
+  EXPECT_EQ(hashing->TokenWeight("iphone"), encoder.TokenWeight("iphone"));
+  EXPECT_EQ(hashing->TokenWeight("nonsense"), encoder.TokenWeight("nonsense"));
+
+  // Re-save of the loaded encoder is byte-identical (sorted vocab).
+  const std::string resaved = TempPath("encoder_resave.mem");
+  ASSERT_TRUE((*loaded)->Save(resaved).ok());
+  EXPECT_EQ(ReadFileBytes(path), ReadFileBytes(resaved));
+}
+
+TEST(EncoderPersistTest, UnfittedEncoderRoundTrips) {
+  embed::HashingSentenceEncoder encoder;
+  const std::string path = TempPath("encoder_unfitted.mem");
+  ASSERT_TRUE(encoder.Save(path).ok());
+  auto loaded = embed::LoadTextEncoder(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(encoder.Encode("hello world"), (*loaded)->Encode("hello world"));
+}
+
+TEST(EncoderPersistTest, RejectsIndexArtifact) {
+  // Feeding an index artifact to the encoder loader trips the magic check.
+  const size_t dim = 8;
+  ann::BruteForceIndex index(dim, ann::Metric::kCosine);
+  index.AddBatch(RandomVectors(4, dim, 14));
+  const std::string path = TempPath("not_an_encoder.mem");
+  ASSERT_TRUE(index.Save(path).ok());
+  auto loaded = embed::LoadTextEncoder(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------- pipeline artifact --
+
+std::vector<Table> ProductTables() {
+  Schema schema({"title", "color"});
+  std::vector<Table> tables;
+  {
+    Table t("shop_a", schema);
+    t.AppendRow({"apple iphone 8 plus 64gb", "silver"}).CheckOk();
+    t.AppendRow({"samsung galaxy s9 dual sim 64gb", "black"}).CheckOk();
+    t.AppendRow({"google pixel 3 xl 128gb", "white"}).CheckOk();
+    t.AppendRow({"sony wh-1000xm3 wireless headphones", "black"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_b", schema);
+    t.AppendRow({"apple iphone 8 plus 5.5 64gb unlocked", "silver"}).CheckOk();
+    t.AppendRow({"galaxy s9 duos 64 gb by samsung", "midnight black"})
+        .CheckOk();
+    t.AppendRow({"nintendo switch neon console", "neon"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_c", schema);
+    t.AppendRow({"apple iphone 8 plus 14 cm 64 gb ios 11", "silver"}).CheckOk();
+    t.AppendRow({"pixel 3 xl google smartphone 128 gb", "clearly white"})
+        .CheckOk();
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+MultiEmConfig ServingConfig() {
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.m = 0.72f;
+  config.eps = 1.2f;
+  return config;
+}
+
+Table QueryTable() {
+  Table q("queries", Schema({"title", "color"}));
+  q.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  q.AppendRow({"google pixel 3 xl", "white"}).CheckOk();
+  q.AppendRow({"espresso machine deluxe", "red"}).CheckOk();
+  return q;
+}
+
+util::Result<PipelineResult> RunWithMatcher(const MultiEmConfig& config,
+                                            const std::vector<Table>& tables) {
+  auto pipeline = PipelineBuilder(config).Build();
+  if (!pipeline.ok()) return pipeline.status();
+  RunContext ctx;
+  ctx.build_matcher = true;
+  PipelineResult result;
+  util::Status status = pipeline->Run(tables, ctx, &result);
+  if (!status.ok()) return status;
+  return result;
+}
+
+TEST(PipelineArtifactTest, MatchRecordsIdenticalAfterReload) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_NE(result->matcher, nullptr);
+  const Matcher& original = *result->matcher;
+
+  const Table queries = QueryTable();
+  auto before = original.MatchRecords(queries, 2);
+  ASSERT_TRUE(before.ok()) << before.status();
+  ASSERT_EQ(before->size(), queries.num_rows());
+
+  const std::string dir = TempPath("artifact_roundtrip");
+  ASSERT_TRUE(original.Save(dir).ok());
+
+  auto restored = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->num_items(), original.num_items());
+  EXPECT_EQ(restored->source_names(), original.source_names());
+  EXPECT_EQ(restored->schema_names(), original.schema_names());
+  EXPECT_EQ(restored->selection().selected_columns,
+            original.selection().selected_columns);
+  EXPECT_EQ(restored->Tuples().tuples(), original.Tuples().tuples());
+
+  // The acceptance bar: queries against the reloaded artifact return
+  // exactly what the original in-memory session returned.
+  auto after = restored->MatchRecords(queries, 2);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*before, *after);
+
+  // The iPhone query's best hit is the three-way iPhone group, within the
+  // run's matching threshold.
+  ASSERT_FALSE((*after)[0].empty());
+  const core::RecordMatch& top = (*after)[0][0];
+  EXPECT_LE(top.distance, restored->config().m);
+  EXPECT_EQ(restored->item_members(top.item).size(), 3u);
+}
+
+TEST(PipelineArtifactTest, ResaveIsByteIdentical) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string dir_a = TempPath("artifact_resave_a");
+  ASSERT_TRUE(result->matcher->Save(dir_a).ok());
+
+  auto restored = MultiEmPipeline::LoadArtifact(dir_a);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const std::string dir_b = TempPath("artifact_resave_b");
+  ASSERT_TRUE(restored->Save(dir_b).ok());
+
+  for (const char* file :
+       {PipelineArtifact::kManifestFile, PipelineArtifact::kEncoderFile,
+        PipelineArtifact::kIndexFile}) {
+    EXPECT_EQ(ReadFileBytes(dir_a + "/" + file),
+              ReadFileBytes(dir_b + "/" + file))
+        << file;
+  }
+}
+
+TEST(PipelineArtifactTest, AddTableMergesNewSourceIncrementally) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string dir = TempPath("artifact_addtable");
+  ASSERT_TRUE(result->matcher->Save(dir).ok());
+  auto matcher = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+  const size_t items_before = matcher->num_items();
+
+  Table t("shop_d", Schema({"title", "color"}));
+  t.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  t.AppendRow({"dyson v11 cordless vacuum", "purple"}).CheckOk();
+  ASSERT_TRUE(matcher->AddTable(t).ok());
+
+  // One row merges into the iPhone group, the novel row becomes its own
+  // item: net +1.
+  EXPECT_EQ(matcher->num_items(), items_before + 1);
+  ASSERT_EQ(matcher->source_names().size(), 4u);
+  EXPECT_EQ(matcher->source_names().back(), "shop_d");
+
+  Table q("queries", Schema({"title", "color"}));
+  q.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  q.AppendRow({"dyson v11 vacuum cordless", "purple"}).CheckOk();
+  auto matches = matcher->MatchRecords(q, 1);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  // The iPhone group now spans four sources, including the new one.
+  const auto& iphone_members = matcher->item_members((*matches)[0][0].item);
+  EXPECT_EQ(iphone_members.size(), 4u);
+  EXPECT_EQ(iphone_members.back().source(), 3u);
+  // The new vacuum record is findable.
+  const auto& vacuum_members = matcher->item_members((*matches)[1][0].item);
+  ASSERT_EQ(vacuum_members.size(), 1u);
+  EXPECT_EQ(vacuum_members[0], table::EntityId(3, 1));
+
+  // Ingesting the same source name twice, or a wrong schema, is rejected.
+  EXPECT_EQ(matcher->AddTable(t).code(),
+            util::StatusCode::kInvalidArgument);
+  Table wrong("shop_e", Schema({"name"}));
+  wrong.AppendRow({"thing"}).CheckOk();
+  EXPECT_EQ(matcher->AddTable(wrong).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineArtifactTest, MatcherValidatesQueries) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Matcher& matcher = *result->matcher;
+
+  Table wrong("queries", Schema({"only_title"}));
+  wrong.AppendRow({"iphone"}).CheckOk();
+  EXPECT_EQ(matcher.MatchRecords(wrong, 1).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(matcher.MatchRecords(QueryTable(), 0).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineArtifactTest, RejectsDamagedArtifacts) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string dir = TempPath("artifact_damage");
+  ASSERT_TRUE(result->matcher->Save(dir).ok());
+
+  // Corrupt manifest: flipped payload byte.
+  const std::string manifest =
+      dir + "/" + PipelineArtifact::kManifestFile;
+  std::vector<uint8_t> image = ReadFileBytes(manifest);
+  std::vector<uint8_t> flipped = image;
+  flipped[flipped.size() / 2] ^= 0x10;
+  WriteFileBytes(manifest, flipped);
+  EXPECT_FALSE(MultiEmPipeline::LoadArtifact(dir).ok());
+  WriteFileBytes(manifest, image);
+  ASSERT_TRUE(MultiEmPipeline::LoadArtifact(dir).ok());
+
+  // Swap the index for one of the wrong size: the cross-file invariant
+  // (one vector per entity item) must fail, not crash.
+  ann::BruteForceIndex tiny(result->matcher->encoder().dim(),
+                            ann::Metric::kCosine);
+  tiny.AddBatch(RandomVectors(2, result->matcher->encoder().dim(), 15));
+  ASSERT_TRUE(tiny.Save(dir + "/" + PipelineArtifact::kIndexFile).ok());
+  auto mismatched = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Remove the encoder file entirely.
+  ASSERT_TRUE(result->matcher->Save(dir).ok());
+  std::filesystem::remove(dir + "/" + PipelineArtifact::kEncoderFile);
+  auto missing = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+// Brute-force wrapper WITHOUT a Save override, to force a failure at the
+// last step of PipelineArtifact::Save (the index write).
+class NoSaveIndex : public ann::VectorIndex {
+ public:
+  NoSaveIndex(size_t dim, ann::Metric metric) : inner_(dim, metric) {}
+  void Add(std::span<const float> vec) override { inner_.Add(vec); }
+  std::vector<ann::Neighbor> Search(std::span<const float> query,
+                                    size_t k) const override {
+    return inner_.Search(query, k);
+  }
+  size_t size() const override { return inner_.size(); }
+  size_t dim() const override { return inner_.dim(); }
+  size_t SizeBytes() const override { return inner_.SizeBytes(); }
+  ann::Metric metric() const override { return inner_.metric(); }
+
+ private:
+  ann::BruteForceIndex inner_;
+};
+
+class NoSaveIndexFactory : public ann::VectorIndexFactory {
+ public:
+  std::unique_ptr<ann::VectorIndex> Create(
+      size_t dim, ann::Metric metric) const override {
+    return std::make_unique<NoSaveIndex>(dim, metric);
+  }
+};
+
+TEST(PipelineArtifactTest, FailedSaveNeverMixesWithPreviousArtifact) {
+  // A valid artifact already on disk ...
+  auto good = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(good.ok()) << good.status();
+  const std::string dir = TempPath("artifact_partial_save");
+  ASSERT_TRUE(good->matcher->Save(dir).ok());
+  const std::vector<uint8_t> manifest_before =
+      ReadFileBytes(dir + "/" + PipelineArtifact::kManifestFile);
+
+  // ... then a session whose index cannot be saved tries to overwrite it:
+  // the manifest and encoder writes succeed, the index write fails last.
+  auto pipeline = PipelineBuilder(ServingConfig())
+                      .WithIndexFactory(std::make_unique<NoSaveIndexFactory>())
+                      .Build();
+  ASSERT_TRUE(pipeline.ok());
+  RunContext ctx;
+  ctx.build_matcher = true;
+  PipelineResult result;
+  ASSERT_TRUE(pipeline->Run(ProductTables(), ctx, &result).ok());
+  util::Status failed = result.matcher->Save(dir);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), util::StatusCode::kFailedPrecondition);
+
+  // The published files are untouched (no new manifest over an old index),
+  // no staged leftovers remain, and the directory still loads as the
+  // original session.
+  EXPECT_EQ(ReadFileBytes(dir + "/" + PipelineArtifact::kManifestFile),
+            manifest_before);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".mem") << entry.path();
+  }
+  auto reloaded = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->num_items(), good->matcher->num_items());
+}
+
+TEST(PipelineArtifactTest, RunWithoutFlagBuildsNoMatcher) {
+  auto pipeline = PipelineBuilder(ServingConfig()).Build();
+  ASSERT_TRUE(pipeline.ok());
+  PipelineResult result;
+  ASSERT_TRUE(pipeline->Run(ProductTables(), RunContext{}, &result).ok());
+  EXPECT_EQ(result.matcher, nullptr);
+}
+
+}  // namespace
+}  // namespace multiem
