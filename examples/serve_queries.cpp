@@ -4,6 +4,8 @@
 //   $ ./examples/serve_queries build /tmp/multiem_artifact
 //   $ echo 'apple iphone 8 plus 64 gb|silver' |
 //       ./examples/serve_queries serve /tmp/multiem_artifact
+//   $ ./examples/serve_queries serve /tmp/multiem_artifact 3 --batch
+//   $ ./examples/serve_queries addtable /tmp/multiem_artifact new_rows.csv
 //   $ ./examples/serve_queries resave /tmp/multiem_artifact /tmp/copy
 //
 // `build` runs MultiEM over the Figure-1 demo corpus (the quickstart tables)
@@ -11,19 +13,28 @@
 // config, fitted encoder, entity table, serving index — as one directory.
 // `serve` restores the artifact (no refit, no re-match) and answers one
 // query per stdin line; fields are separated by '|' in schema order,
-// missing trailing fields stay empty. `resave` loads and immediately
-// re-saves: artifacts are deterministic, so the copy is byte-identical to
-// the source (CI gates on this).
+// missing trailing fields stay empty. With `--batch`, all stdin lines are
+// collected into one table and answered by a single batched MatchRecords
+// call fanned out across a thread pool, with the per-query ANN counters of
+// the MatchObserver hooks printed at the end — output per query is
+// otherwise identical to the line-at-a-time mode. `addtable` live-ingests a
+// CSV (header = schema) as a new source through the epoch-swapped
+// incremental path and saves the grown artifact back in place. `resave`
+// loads and immediately re-saves: artifacts are deterministic, so the copy
+// is byte-identical to the source (CI gates on this).
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/artifact.h"
 #include "core/pipeline.h"
+#include "table/csv.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 using multiem::core::Matcher;
 using multiem::core::MultiEmConfig;
@@ -95,7 +106,59 @@ int Build(const std::string& dir) {
   return 0;
 }
 
-int Serve(const std::string& dir, size_t k) {
+// One query's hits in the fixed serve output format. Resolving members
+// through the Snapshot keeps item ids and member lists from one epoch even
+// if a writer were active.
+void PrintHits(const Matcher& matcher, const Matcher::Snapshot& snap,
+               const std::string& line,
+               const std::vector<multiem::core::RecordMatch>& hits,
+               const std::vector<Table>& demo) {
+  std::printf("query: %s\n", line.c_str());
+  for (const auto& hit : hits) {
+    const auto& members = snap.item_members(hit.item);
+    const bool is_match = hit.distance <= matcher.config().m;
+    std::printf("  d=%.4f %s {", hit.distance,
+                is_match ? "MATCH   " : "no-match");
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::printf("%s%s", i == 0 ? "" : ", ", members[i].ToString().c_str());
+    }
+    std::printf("}\n");
+    for (auto id : members) {
+      if (id.source() < demo.size()) {
+        std::printf("           [%s] %s\n", demo[id.source()].name().c_str(),
+                    demo[id.source()].cell(id.row(), 0).c_str());
+      }
+    }
+  }
+}
+
+// Accumulates the per-query ANN counters of a batched MatchRecords call.
+class StatsObserver : public multiem::core::MatchObserver {
+ public:
+  void OnQueryMatched(size_t, const multiem::core::MatchQueryStats& s)
+      override {
+    visited_ += static_cast<double>(s.visited);
+    evals_ += static_cast<double>(s.distance_evals);
+    ++queries_;
+  }
+  void OnBatchMatched(size_t, double seconds) override { seconds_ = seconds; }
+
+  void Print() const {
+    std::printf("batched %.0f queries in %.3fms: mean visited %.1f, "
+                "mean distance evals %.1f\n",
+                queries_, seconds_ * 1e3,
+                queries_ ? visited_ / queries_ : 0.0,
+                queries_ ? evals_ / queries_ : 0.0);
+  }
+
+ private:
+  double visited_ = 0.0;
+  double evals_ = 0.0;
+  double queries_ = 0.0;
+  double seconds_ = 0.0;
+};
+
+int Serve(const std::string& dir, size_t k, bool batch) {
   auto matcher = MultiEmPipeline::LoadArtifact(dir);
   if (!matcher.ok()) {
     std::fprintf(stderr, "cannot load artifact: %s\n",
@@ -128,6 +191,9 @@ int Serve(const std::string& dir, size_t k) {
     if (have_demo) demo = std::move(candidate);
   }
 
+  const Matcher::Snapshot snap = matcher->snapshot();
+  std::vector<std::string> lines;
+  Table batch_queries("stdin", Schema(schema));
   std::string line;
   while (std::getline(std::cin, line)) {
     if (multiem::util::Trim(line).empty()) continue;
@@ -137,35 +203,90 @@ int Serve(const std::string& dir, size_t k) {
     }
     cells.resize(schema.size());  // missing trailing fields stay empty
 
+    if (batch) {  // collect now, answer with one fanned-out call below
+      lines.push_back(line);
+      batch_queries.AppendRow(std::move(cells)).CheckOk();
+      continue;
+    }
+
     Table query("stdin", Schema(schema));
     query.AppendRow(std::move(cells)).CheckOk();
-    auto matches = matcher->MatchRecords(query, k);
+    auto matches = snap.MatchRecords(query, k);
     if (!matches.ok()) {
       std::fprintf(stderr, "query failed: %s\n",
                    matches.status().ToString().c_str());
       return 1;
     }
+    PrintHits(*matcher, snap, line, (*matches)[0], demo);
+  }
 
-    std::printf("query: %s\n", line.c_str());
-    for (const auto& hit : (*matches)[0]) {
-      const auto& members = matcher->item_members(hit.item);
-      const bool is_match = hit.distance <= matcher->config().m;
-      std::printf("  d=%.4f %s {", hit.distance,
-                  is_match ? "MATCH   " : "no-match");
-      for (size_t i = 0; i < members.size(); ++i) {
-        std::printf("%s%s", i == 0 ? "" : ", ",
-                    members[i].ToString().c_str());
-      }
-      std::printf("}\n");
-      if (have_demo) {
-        for (auto id : members) {
-          std::printf("           [%s] %s\n",
-                      demo[id.source()].name().c_str(),
-                      demo[id.source()].cell(id.row(), 0).c_str());
-        }
-      }
+  if (batch && batch_queries.num_rows() > 0) {
+    multiem::util::ThreadPool pool(0);  // 0 = hardware concurrency
+    StatsObserver stats;
+    multiem::core::MatchOptions options;
+    options.k = k;
+    options.pool = &pool;
+    options.observer = &stats;
+    auto matches = snap.MatchRecords(batch_queries, options);
+    if (!matches.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n",
+                   matches.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t row = 0; row < lines.size(); ++row) {
+      PrintHits(*matcher, snap, lines[row], (*matches)[row], demo);
+    }
+    stats.Print();
+  }
+  return 0;
+}
+
+// Live ingest: parse the CSV (header row = schema), AddTable it through the
+// incremental epoch-swap path, and persist the grown session in place.
+int AddTableCsv(const std::string& dir, const std::string& csv_path,
+                std::string source_name) {
+  auto matcher = MultiEmPipeline::LoadArtifact(dir);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "cannot load artifact: %s\n",
+                 matcher.status().ToString().c_str());
+    return 1;
+  }
+  auto parsed = multiem::table::ReadCsvFile(csv_path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", csv_path.c_str(),
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  if (source_name.empty()) {  // default: file name without dir/extension
+    source_name = csv_path;
+    if (size_t slash = source_name.find_last_of('/');
+        slash != std::string::npos) {
+      source_name = source_name.substr(slash + 1);
+    }
+    if (size_t dot = source_name.find_last_of('.');
+        dot != std::string::npos && dot > 0) {
+      source_name = source_name.substr(0, dot);
     }
   }
+  Table table = std::move(*parsed);
+  table.set_name(source_name);
+
+  const uint64_t before = matcher->epoch();
+  multiem::util::ThreadPool pool(0);
+  if (auto status = matcher->AddTable(table, &pool); !status.ok()) {
+    std::fprintf(stderr, "AddTable failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  matcher->Save(dir).CheckOk();
+
+  const Matcher::Snapshot snap = matcher->snapshot();
+  std::printf("ingested %zu rows as source '%s': epoch %llu -> %llu, "
+              "%zu items, %zu retired slots; artifact updated in place\n",
+              table.num_rows(), source_name.c_str(),
+              static_cast<unsigned long long>(before),
+              static_cast<unsigned long long>(snap.epoch()),
+              snap.num_items(), snap.dead_slots());
   return 0;
 }
 
@@ -184,11 +305,17 @@ int Resave(const std::string& src, const std::string& dst) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: serve_queries build  <dir>        run the demo "
+               "usage: serve_queries build    <dir>        run the demo "
                "pipeline, save the artifact\n"
-               "       serve_queries serve  <dir> [k]    load the artifact, "
-               "answer stdin queries (default k=3)\n"
-               "       serve_queries resave <src> <dst>  load + save again "
+               "       serve_queries serve    <dir> [k] [--batch]\n"
+               "                 load the artifact, answer stdin queries "
+               "(default k=3); --batch\n"
+               "                 answers all lines with one pooled "
+               "MatchRecords call\n"
+               "       serve_queries addtable <dir> <csv> [name]\n"
+               "                 live-ingest a CSV as a new source and save "
+               "the artifact in place\n"
+               "       serve_queries resave   <src> <dst>  load + save again "
                "(byte-identity check)\n");
   return 2;
 }
@@ -198,17 +325,29 @@ int Usage() {
 int main(int argc, char** argv) {
   const std::string mode = argc >= 2 ? argv[1] : "";
   if (mode == "build" && argc == 3) return Build(argv[2]);
-  if (mode == "serve" && (argc == 3 || argc == 4)) {
+  if (mode == "serve" && argc >= 3 && argc <= 5) {
     size_t k = 3;
-    if (argc == 4) {
+    bool batch = false;
+    bool have_k = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--batch" && !batch) {
+        batch = true;
+        continue;
+      }
       char* end = nullptr;
-      const unsigned long parsed = std::strtoul(argv[3], &end, 10);
-      if (end == argv[3] || *end != '\0' || parsed == 0 || parsed > 1000) {
+      const unsigned long parsed = std::strtoul(argv[i], &end, 10);
+      if (have_k || end == argv[i] || *end != '\0' || parsed == 0 ||
+          parsed > 1000) {
         return Usage();
       }
       k = parsed;
+      have_k = true;
     }
-    return Serve(argv[2], k);
+    return Serve(argv[2], k, batch);
+  }
+  if (mode == "addtable" && (argc == 4 || argc == 5)) {
+    return AddTableCsv(argv[2], argv[3], argc == 5 ? argv[4] : "");
   }
   if (mode == "resave" && argc == 4) return Resave(argv[2], argv[3]);
   return Usage();

@@ -74,6 +74,25 @@ std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
   return all;
 }
 
+std::vector<Neighbor> BruteForceIndex::SearchWithStats(
+    std::span<const float> query, size_t k, size_t ef,
+    SearchStats* stats) const {
+  (void)ef;  // exact scan has no beam width
+  if (stats != nullptr) {
+    stats->visited = num_vectors_;
+    stats->distance_evals = num_vectors_;
+  }
+  return Search(query, k);
+}
+
+std::unique_ptr<VectorIndex> BruteForceIndex::Clone() const {
+  auto copy = std::make_unique<BruteForceIndex>(dim_, metric_);
+  copy->num_vectors_ = num_vectors_;
+  copy->data_ = data_;
+  copy->sq_norms_ = sq_norms_;
+  return copy;
+}
+
 util::Status BruteForceIndex::Save(const std::string& path) const {
   util::ArtifactWriter artifact(kIndexArtifactMagic, kIndexArtifactVersion);
   util::ByteWriter& meta = artifact.AddSection(kIndexMetaSection);

@@ -38,6 +38,18 @@ class BruteForceIndex : public VectorIndex {
 
   std::vector<Neighbor> Search(std::span<const float> query,
                                size_t k) const override;
+
+  /// Exact search ignores `ef`; the stats report the full scan (`size()`
+  /// nodes visited, `size()` distances) — the oracle cost the recall-vs-QPS
+  /// sweeps compare against.
+  std::vector<Neighbor> SearchWithStats(std::span<const float> query, size_t k,
+                                        size_t ef,
+                                        SearchStats* stats) const override;
+
+  /// Deep copy (rows + cached norms). Only reads, so safe concurrently with
+  /// Search; see the insert-under-readers contract in index.h.
+  std::unique_ptr<VectorIndex> Clone() const override;
+
   size_t size() const override { return num_vectors_; }
   size_t dim() const override { return dim_; }
   size_t SizeBytes() const override {

@@ -59,6 +59,11 @@ struct HnswIndex::SearchScratch {
   std::vector<uint32_t> selected;    // forward links of the inserted node
   std::vector<uint32_t> reverse_selected;  // re-pruned neighbor links
   std::vector<uint32_t> links;  // locked-mode snapshot of one link block
+  // Per-traversal instrumentation (SearchWithStats zeroes, then reads after
+  // the descent; inserts also bump them, which is harmless — the counters
+  // only mean something between that zero and that read).
+  size_t visited = 0;
+  size_t distance_evals = 0;
 };
 
 /// RAII acquire/release around the scratch pool.
@@ -187,9 +192,11 @@ uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
                                       SearchScratch& scratch) const {
   uint32_t current = entry;
   float current_dist = NodeDistance(query, current);
+  ++scratch.distance_evals;
   bool improved = true;
   while (improved) {
     improved = false;
+    ++scratch.visited;
     uint32_t count;
     const uint32_t* ids = SnapshotLinks<kLocked>(current, level, scratch,
                                                  &count);
@@ -198,6 +205,7 @@ uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
         util::PrefetchRead(vectors_.data() + size_t{ids[j + 1]} * dim_);
       }
       float d = NodeDistance(query, ids[j]);
+      ++scratch.distance_evals;
       if (d < current_dist) {
         current = ids[j];
         current_dist = d;
@@ -225,6 +233,7 @@ void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
   results.clear();
 
   float entry_dist = NodeDistance(query, entry);
+  ++scratch.distance_evals;
   candidates.push_back({entry, entry_dist});
   results.push_back({entry, entry_dist});
   scratch.stamps[entry] = stamp;
@@ -238,6 +247,7 @@ void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
     candidates.pop_back();
 
     const uint32_t node = static_cast<uint32_t>(closest.id);
+    ++scratch.visited;
     uint32_t count;
     const uint32_t* ids = SnapshotLinks<kLocked>(node, level, scratch, &count);
     for (uint32_t j = 0; j < count; ++j) {
@@ -253,6 +263,7 @@ void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
       if (scratch.stamps[neighbor] == stamp) continue;
       scratch.stamps[neighbor] = stamp;
       float d = NodeDistance(query, neighbor);
+      ++scratch.distance_evals;
       if (results.size() < ef || d < results.front().distance) {
         candidates.push_back({neighbor, d});
         std::push_heap(candidates.begin(), candidates.end(), CloserFirst{});
@@ -481,15 +492,25 @@ void HnswIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
 
 std::vector<Neighbor> HnswIndex::Search(std::span<const float> query,
                                         size_t k) const {
-  return SearchEf(query, k, std::max(k, config_.ef_search));
+  return SearchWithStats(query, k, /*ef=*/0, /*stats=*/nullptr);
 }
 
 std::vector<Neighbor> HnswIndex::SearchEf(std::span<const float> query,
                                           size_t k, size_t ef) const {
+  return SearchWithStats(query, k, ef, /*stats=*/nullptr);
+}
+
+std::vector<Neighbor> HnswIndex::SearchWithStats(std::span<const float> query,
+                                                 size_t k, size_t ef,
+                                                 SearchStats* stats) const {
+  if (stats != nullptr) *stats = SearchStats{};
   if (num_nodes_ == 0 || k == 0) return {};
+  if (ef == 0) ef = config_.ef_search;
   ef = std::max(ef, k);
 
   ScratchLease scratch(*this);
+  (*scratch).visited = 0;
+  (*scratch).distance_evals = 0;
   std::span<const float> q = query;
   if (metric_ == Metric::kCosine) {
     // Normalize into pooled scratch so the query path stays allocation-free.
@@ -507,7 +528,29 @@ std::vector<Neighbor> HnswIndex::SearchEf(std::span<const float> query,
   SearchLayer<false>(q, current, ef, 0, *scratch);
   std::vector<Neighbor>& found = (*scratch).found;
   if (found.size() > k) found.resize(k);
+  if (stats != nullptr) {
+    stats->visited = (*scratch).visited;
+    stats->distance_evals = (*scratch).distance_evals;
+  }
   return std::vector<Neighbor>(found.begin(), found.end());
+}
+
+std::unique_ptr<VectorIndex> HnswIndex::Clone() const {
+  // The constructor re-derives the clamped knobs and strides from config_
+  // (post-clamp, so idempotent — same reasoning as Load). Copying the RNG
+  // state means the clone assigns the same levels to future inserts that
+  // this index would have.
+  auto copy = std::make_unique<HnswIndex>(dim_, metric_, config_);
+  copy->level_rng_ = level_rng_;
+  copy->num_nodes_ = num_nodes_;
+  copy->vectors_ = vectors_;
+  copy->level0_links_ = level0_links_;
+  copy->upper_links_ = upper_links_;
+  copy->upper_offset_ = upper_offset_;
+  copy->node_level_ = node_level_;
+  copy->entry_state_.store(entry_state_.load(std::memory_order_acquire),
+                           std::memory_order_release);
+  return copy;
 }
 
 size_t HnswIndex::SizeBytes() const {

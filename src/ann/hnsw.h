@@ -68,6 +68,13 @@ struct HnswConfig {
 /// other Add/AddBatch calls on the same index. Parallel insertion order is
 /// nondeterministic, so two parallel builds of the same corpus may produce
 /// different (equally valid) graphs; serial builds are fully deterministic.
+///
+/// Serving under readers: rather than weakening the no-overlap rule above,
+/// concurrent serving goes through Clone() — a deep copy that only reads
+/// (safe under concurrent Search), into which the writer inserts privately
+/// before publishing it with an atomic pointer swap. core::Matcher is the
+/// canonical user of that protocol; readers of the old graph are never
+/// raced, and the flat slabs may reallocate freely inside the clone.
 class HnswIndex : public VectorIndex {
  public:
   HnswIndex(size_t dim, Metric metric, HnswConfig config = {});
@@ -85,6 +92,22 @@ class HnswIndex : public VectorIndex {
   /// Search with an explicit beam width (ef >= k recommended).
   std::vector<Neighbor> SearchEf(std::span<const float> query, size_t k,
                                  size_t ef) const;
+
+  /// Instrumented search: `ef` = 0 uses config().ef_search (always raised to
+  /// k); `stats` (optional) receives how many nodes this query expanded and
+  /// how many distances it computed. The counters cost two increments per
+  /// hop and are always maintained, so this is exactly Search plus the
+  /// readout. Thread-safe like Search.
+  std::vector<Neighbor> SearchWithStats(std::span<const float> query, size_t k,
+                                        size_t ef,
+                                        SearchStats* stats) const override;
+
+  /// Deep copy: flat slabs, vector payload, entry word, and the level-RNG
+  /// state (the clone draws the same future levels the original would).
+  /// Fresh mutexes and an empty scratch pool. Only reads this index, so it
+  /// is safe concurrently with Search — the serving layer's
+  /// insert-under-readers protocol (see index.h) builds on this.
+  std::unique_ptr<VectorIndex> Clone() const override;
 
   size_t size() const override { return num_nodes_; }
   size_t dim() const override { return dim_; }

@@ -2,6 +2,7 @@
 #define MULTIEM_ANN_INDEX_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -25,6 +26,18 @@ struct Neighbor {
   friend bool operator==(const Neighbor& a, const Neighbor& b) {
     return a.id == b.id && a.distance == b.distance;
   }
+};
+
+/// Instrumentation counters of one search call, in the style of pbbsbench's
+/// recall harness: how much graph the query actually touched. Exact indexes
+/// report their full scan; the default SearchWithStats reports zeros
+/// ("unknown").
+struct SearchStats {
+  /// Nodes whose adjacency was expanded (greedy hops + beam pops); for a
+  /// linear scan, the number of stored vectors.
+  size_t visited = 0;
+  /// Distance computations performed.
+  size_t distance_evals = 0;
 };
 
 /// Common interface of the nearest-neighbor indexes (HNSW and brute force),
@@ -63,6 +76,30 @@ class VectorIndex {
   /// (ties broken by id). Returns fewer than k when the index is smaller.
   virtual std::vector<Neighbor> Search(std::span<const float> query,
                                        size_t k) const = 0;
+
+  /// Search with an explicit beam width and per-query instrumentation.
+  /// `ef` = 0 selects the implementation's default (and is always raised to
+  /// at least k); exact indexes ignore it. `stats` (optional) receives the
+  /// visited/distance-eval counters of this one call. Implementations
+  /// without instrumentation keep this default, which zeroes the counters
+  /// and degrades to Search. Must be as thread-safe as Search.
+  virtual std::vector<Neighbor> SearchWithStats(std::span<const float> query,
+                                                size_t k, size_t ef,
+                                                SearchStats* stats) const {
+    (void)ef;
+    if (stats != nullptr) *stats = SearchStats{};
+    return Search(query, k);
+  }
+
+  /// Deep copy of the index, or nullptr when the implementation does not
+  /// support cloning. Clone only reads, so it is safe to run concurrently
+  /// with Search on this index; the returned copy is private to the caller.
+  /// This is the insert-under-readers contract of the serving layer: an
+  /// index that readers hold is never mutated — the writer clones it,
+  /// inserts into the clone (AddBatch), and publishes the clone atomically
+  /// (see core::Matcher). Implementations that cannot clone force the
+  /// serving layer back to a full rebuild, which is correct but slower.
+  virtual std::unique_ptr<VectorIndex> Clone() const { return nullptr; }
 
   /// Number of stored vectors.
   virtual size_t size() const = 0;

@@ -1,6 +1,8 @@
 #include "core/artifact.h"
 
+#include <cstdint>
 #include <filesystem>
+#include <mutex>
 #include <utility>
 
 #include "ann/index_io.h"
@@ -145,35 +147,53 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
                                   "': " + ec.message());
   }
 
+  // Serialize against AddTable (and other Saves) and pin the epoch being
+  // written. Readers keep serving lock-free meanwhile; the shared_ptr keeps
+  // the pinned state alive even if a later writer retires it.
+  std::lock_guard<std::mutex> writer(matcher.shared_->write_mu);
+  const std::shared_ptr<const Matcher::ServingState> state = matcher.state();
+
   util::ArtifactWriter manifest(kManifestMagic, kManifestVersion);
-  WriteConfig(manifest.AddSection("config"), matcher.config_);
-  WriteStringArray(manifest.AddSection("schema"), matcher.schema_names_);
+  WriteConfig(manifest.AddSection("config"), matcher.fixed_->config);
+  WriteStringArray(manifest.AddSection("schema"), matcher.fixed_->schema_names);
 
   util::ByteWriter& selection = manifest.AddSection("selection");
   {
-    std::vector<uint64_t> columns(matcher.selection_.selected_columns.begin(),
-                                  matcher.selection_.selected_columns.end());
+    const AttributeSelection& sel = matcher.fixed_->selection;
+    std::vector<uint64_t> columns(sel.selected_columns.begin(),
+                                  sel.selected_columns.end());
     selection.WriteU64Array(columns);
-    selection.WriteF64Array(matcher.selection_.shuffle_similarity);
-    WriteStringArray(selection, matcher.selection_.selected_names);
+    selection.WriteF64Array(sel.shuffle_similarity);
+    WriteStringArray(selection, sel.selected_names);
   }
 
-  WriteStringArray(manifest.AddSection("sources"), matcher.source_names_);
+  WriteStringArray(manifest.AddSection("sources"), state->source_names);
 
   util::ByteWriter& items = manifest.AddSection("items");
-  items.WriteU64(matcher.entities_.num_items());
-  for (const MergeItem& item : matcher.entities_.items()) {
+  items.WriteU64(state->entities.num_items());
+  for (const MergeItem& item : state->entities.items()) {
     items.WriteU64(item.members.size());
     for (table::EntityId id : item.members) items.WriteU64(id.packed());
   }
 
-  WriteMatrix(manifest.AddSection("centroids"),
-              matcher.entities_.embeddings());
+  WriteMatrix(manifest.AddSection("centroids"), state->entities.embeddings());
 
   util::ByteWriter& base = manifest.AddSection("base");
-  base.WriteU64(matcher.store_.num_sources());
-  for (size_t s = 0; s < matcher.store_.num_sources(); ++s) {
-    WriteMatrix(base, matcher.store_.source(s));
+  base.WriteU64(state->store.num_sources());
+  for (size_t s = 0; s < state->store.num_sources(); ++s) {
+    WriteMatrix(base, state->store.source(s));
+  }
+
+  // Format v2: the slot->item map of an incrementally grown index, so a
+  // reloaded session filters retired slots exactly like the original. The
+  // section is written only when the map is non-trivial — identity-mapped
+  // sessions (fresh Assemble, or AddTable epochs that never merged) stay
+  // byte-compatible with what they would have produced before, and resaving
+  // a loaded artifact reproduces the section verbatim.
+  if (!state->slot_to_item.empty()) {
+    std::vector<uint64_t> slots(state->slot_to_item.begin(),
+                                state->slot_to_item.end());
+    manifest.AddSection("slots").WriteU64Array(slots);
   }
 
   // Stage, then publish: all three files are written under staged names
@@ -183,9 +203,9 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
   // and silently serve stale neighbors. Only after all three staged writes
   // succeed are they renamed into place. The three renames themselves are
   // not one atomic step: a reader racing a concurrent Save of the SAME
-  // directory could observe a mix, but Save-over-an-existing-artifact is a
-  // writer operation under the Matcher's single-writer discipline (see
-  // matcher.h), and each individual file is still always complete.
+  // directory could observe a mix, but concurrent Saves of one matcher
+  // serialize on the writer mutex above, and each individual file is still
+  // always complete.
   const std::string staged_suffix = ".staged";
   const char* files[] = {kManifestFile, kEncoderFile, kIndexFile};
   auto remove_staged = [&] {
@@ -197,10 +217,11 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
   util::Status status =
       manifest.WriteFile(PathIn(dir, kManifestFile) + staged_suffix);
   if (status.ok()) {
-    status = matcher.encoder_->Save(PathIn(dir, kEncoderFile) + staged_suffix);
+    status = matcher.fixed_->encoder->Save(PathIn(dir, kEncoderFile) +
+                                           staged_suffix);
   }
   if (status.ok()) {
-    status = matcher.index_->Save(PathIn(dir, kIndexFile) + staged_suffix);
+    status = state->index->Save(PathIn(dir, kIndexFile) + staged_suffix);
   }
   if (!status.ok()) {
     remove_staged();
@@ -313,6 +334,27 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
     MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
   }
 
+  // Optional since v2: the slot->item map of an incrementally grown serving
+  // index. Absent (every v1 artifact, and v2 identity-mapped sessions) means
+  // slot i holds item i's vector.
+  std::vector<uint32_t> slot_to_item;
+  if (manifest->HasSection("slots")) {
+    auto section = manifest->Section("slots");
+    if (!section.ok()) return section.status();
+    std::vector<uint64_t> slots;
+    MULTIEM_RETURN_IF_ERROR(section->ReadU64Array(&slots));
+    MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
+    slot_to_item.reserve(slots.size());
+    for (uint64_t slot : slots) {
+      if (slot > UINT32_MAX) {
+        return util::Status::InvalidArgument(
+            "manifest slot map entry " + std::to_string(slot) +
+            " does not fit 32 bits");
+      }
+      slot_to_item.push_back(static_cast<uint32_t>(slot));
+    }
+  }
+
   auto encoder = embed::LoadTextEncoder(PathIn(dir, kEncoderFile));
   if (!encoder.ok()) return encoder.status();
   auto index = ann::LoadVectorIndex(PathIn(dir, kIndexFile));
@@ -325,13 +367,14 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
   if (!factory.ok()) return factory.status();
 
   // Matcher::Assemble revalidates the cross-file invariants (index size vs
-  // items, member ids vs base matrices, dimensionalities).
+  // items/slots, slot-map bijectivity, member ids vs base matrices,
+  // dimensionalities).
   return Matcher::Assemble(
       std::move(config), std::move(schema_names), std::move(selection),
       std::move(source_names), std::move(store), std::move(entities),
       std::shared_ptr<embed::TextEncoder>(std::move(*encoder)),
       std::shared_ptr<const ann::VectorIndexFactory>(std::move(*factory)),
-      std::move(*index));
+      std::move(*index), /*pool=*/nullptr, std::move(slot_to_item));
 }
 
 }  // namespace multiem::core

@@ -9,7 +9,9 @@
 ///
 ///   <dir>/manifest.mem   MEMMANIF — config, schema, attribute selection,
 ///                        source names, entity items, centroid and base
-///                        embedding matrices
+///                        embedding matrices, and (format v2, only when the
+///                        serving index was grown incrementally) the
+///                        slot->item map of the index
 ///   <dir>/encoder.mem    MEMENCDR — the fitted encoder (TextEncoder::Save)
 ///   <dir>/index.mem      MEMINDEX — the serving index (VectorIndex::Save)
 ///
@@ -35,8 +37,10 @@ namespace multiem::core {
 class PipelineArtifact {
  public:
   /// Magic + current format version of the MEMMANIF artifact family.
+  /// v2 added the optional "slots" section (incrementally grown serving
+  /// index); v1 artifacts still load, with the identity slot mapping.
   static constexpr uint64_t kManifestMagic = util::ArtifactMagic("MEMMANIF");
-  static constexpr uint32_t kManifestVersion = 1;
+  static constexpr uint32_t kManifestVersion = 2;
 
   /// File names inside the artifact directory.
   static constexpr const char* kManifestFile = "manifest.mem";
@@ -45,6 +49,9 @@ class PipelineArtifact {
 
   /// Persists `matcher` under directory `dir` (created if absent). Fails if
   /// the matcher's encoder or index implementation does not support Save.
+  /// Serializes against AddTable on the matcher's writer mutex and saves
+  /// that one consistent epoch; concurrent MatchRecords readers are never
+  /// blocked.
   static util::Status Save(const Matcher& matcher, const std::string& dir);
 
   /// Restores a ready serving session from `dir`. The encoder and index are

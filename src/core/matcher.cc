@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "ann/mutual_topk.h"
+#include "cluster/union_find.h"
 #include "core/artifact.h"
 #include "core/two_table_merger.h"
 #include "embed/serialize.h"
+#include "util/timer.h"
 
 namespace multiem::core {
 
@@ -15,7 +18,8 @@ util::Result<Matcher> Matcher::Assemble(
     EntityEmbeddingStore store, MergeTable entities,
     std::shared_ptr<embed::TextEncoder> encoder,
     std::shared_ptr<const ann::VectorIndexFactory> index_factory,
-    std::unique_ptr<ann::VectorIndex> index, util::ThreadPool* pool) {
+    std::unique_ptr<ann::VectorIndex> index, util::ThreadPool* pool,
+    std::vector<uint32_t> slot_to_item) {
   if (encoder == nullptr || index_factory == nullptr) {
     return util::Status::InvalidArgument(
         "Matcher needs a fitted encoder and an index factory");
@@ -54,7 +58,8 @@ util::Result<Matcher> Matcher::Assemble(
           " of a " + std::to_string(schema_names.size()) + "-column schema");
     }
   }
-  for (size_t i = 0; i < entities.num_items(); ++i) {
+  const size_t num_items = entities.num_items();
+  for (size_t i = 0; i < num_items; ++i) {
     for (table::EntityId id : entities.item(i).members) {
       if (id.source() >= store.num_sources() ||
           id.row() >= store.source(id.source()).num_rows()) {
@@ -65,25 +70,14 @@ util::Result<Matcher> Matcher::Assemble(
     }
   }
 
-  Matcher matcher;
-  matcher.config_ = std::move(config);
-  matcher.schema_names_ = std::move(schema_names);
-  matcher.selection_ = std::move(selection);
-  matcher.source_names_ = std::move(source_names);
-  matcher.store_ = std::move(store);
-  matcher.entities_ = std::move(entities);
-  matcher.encoder_ = std::move(encoder);
-  matcher.index_factory_ = std::move(index_factory);
+  auto state = std::make_shared<ServingState>();
+  state->source_names = std::move(source_names);
+  state->store = std::move(store);
+  state->entities = std::move(entities);
 
   if (index != nullptr) {
     // Artifact-load path: the persisted index is the serving index,
     // verbatim — that is what makes reloaded search results identical.
-    if (index->size() != matcher.entities_.num_items()) {
-      return util::Status::InvalidArgument(
-          "serving index holds " + std::to_string(index->size()) +
-          " vectors, entity table has " +
-          std::to_string(matcher.entities_.num_items()) + " items");
-    }
     if (index->metric() != ann::Metric::kCosine) {
       return util::Status::InvalidArgument(
           "serving index must use the cosine metric");
@@ -96,17 +90,80 @@ util::Result<Matcher> Matcher::Assemble(
           "serving index is " + std::to_string(index->dim()) +
           "-dimensional, entity embeddings are " + std::to_string(dim));
     }
-    matcher.index_ = std::move(index);
+    if (slot_to_item.empty()) {
+      if (index->size() != num_items) {
+        return util::Status::InvalidArgument(
+            "serving index holds " + std::to_string(index->size()) +
+            " vectors, entity table has " + std::to_string(num_items) +
+            " items");
+      }
+    } else {
+      // Incrementally grown index: the slot map must be a bijection between
+      // live slots and items — every item findable through exactly one
+      // slot, every other slot explicitly retired.
+      if (slot_to_item.size() > UINT32_MAX ||
+          index->size() != slot_to_item.size()) {
+        return util::Status::InvalidArgument(
+            "serving index holds " + std::to_string(index->size()) +
+            " vectors, slot map covers " +
+            std::to_string(slot_to_item.size()) + " slots");
+      }
+      std::vector<uint32_t> item_to_slot(num_items, kDeadSlot);
+      size_t dead = 0;
+      for (size_t slot = 0; slot < slot_to_item.size(); ++slot) {
+        const uint32_t item = slot_to_item[slot];
+        if (item == kDeadSlot) {
+          ++dead;
+          continue;
+        }
+        if (item >= num_items) {
+          return util::Status::InvalidArgument(
+              "slot map references item " + std::to_string(item) + " of a " +
+              std::to_string(num_items) + "-item entity table");
+        }
+        if (item_to_slot[item] != kDeadSlot) {
+          return util::Status::InvalidArgument(
+              "slot map holds item " + std::to_string(item) + " twice");
+        }
+        item_to_slot[item] = static_cast<uint32_t>(slot);
+      }
+      for (size_t i = 0; i < num_items; ++i) {
+        if (item_to_slot[i] == kDeadSlot) {
+          return util::Status::InvalidArgument(
+              "item " + std::to_string(i) + " has no live index slot");
+        }
+      }
+      state->slot_to_item = std::move(slot_to_item);
+      state->item_to_slot = std::move(item_to_slot);
+      state->dead_slots = dead;
+    }
+    state->index = std::shared_ptr<const ann::VectorIndex>(std::move(index));
   } else {
-    matcher.index_ =
-        matcher.index_factory_->Create(dim, ann::Metric::kCosine);
-    matcher.index_->AddBatch(matcher.entities_.embeddings(), pool);
+    if (!slot_to_item.empty()) {
+      return util::Status::InvalidArgument(
+          "a slot map is only meaningful with an explicit index");
+    }
+    std::unique_ptr<ann::VectorIndex> built =
+        index_factory->Create(dim, ann::Metric::kCosine);
+    built->AddBatch(state->entities.embeddings(), pool);
+    state->index = std::move(built);
   }
+
+  Matcher matcher;
+  auto fixed = std::make_shared<Fixed>();
+  fixed->config = std::move(config);
+  fixed->schema_names = std::move(schema_names);
+  fixed->selection = std::move(selection);
+  fixed->encoder = std::move(encoder);
+  fixed->index_factory = std::move(index_factory);
+  matcher.fixed_ = std::move(fixed);
+  matcher.shared_ = std::make_unique<Shared>();
+  matcher.shared_->state.store(std::move(state), std::memory_order_release);
   return matcher;
 }
 
 util::Status Matcher::CheckSchema(const table::Table& t) const {
-  if (t.schema().names() != schema_names_) {
+  if (t.schema().names() != fixed_->schema_names) {
     return util::Status::InvalidArgument(
         "table '" + t.name() +
         "' does not carry the session schema this matcher was built on");
@@ -117,62 +174,310 @@ util::Status Matcher::CheckSchema(const table::Table& t) const {
 embed::EmbeddingMatrix Matcher::EncodeTable(const table::Table& t,
                                             util::ThreadPool* pool) const {
   const std::vector<std::string> texts =
-      embed::SerializeTable(t, selection_.selected_columns);
-  return encoder_->EncodeBatch(texts, pool);
+      embed::SerializeTable(t, fixed_->selection.selected_columns);
+  return fixed_->encoder->EncodeBatch(texts, pool);
+}
+
+Matcher::Snapshot Matcher::snapshot() const { return Snapshot(fixed_, state()); }
+
+uint64_t Matcher::epoch() const { return state()->epoch; }
+
+size_t Matcher::num_items() const { return state()->entities.num_items(); }
+
+std::vector<table::EntityId> Matcher::item_members(size_t i) const {
+  return state()->entities.item(i).members;
+}
+
+std::vector<std::string> Matcher::source_names() const {
+  return state()->source_names;
+}
+
+const ann::VectorIndex& Matcher::index() const { return *state()->index; }
+
+util::Result<std::vector<std::vector<RecordMatch>>> Matcher::MatchRecords(
+    const table::Table& records, const MatchOptions& options) const {
+  return snapshot().MatchRecords(records, options);
 }
 
 util::Result<std::vector<std::vector<RecordMatch>>> Matcher::MatchRecords(
     const table::Table& records, size_t k, util::ThreadPool* pool) const {
-  MULTIEM_RETURN_IF_ERROR(CheckSchema(records));
-  if (k == 0) {
+  MatchOptions options;
+  options.k = k;
+  options.pool = pool;
+  return snapshot().MatchRecords(records, options);
+}
+
+util::Result<std::vector<std::vector<RecordMatch>>>
+Matcher::Snapshot::MatchRecords(const table::Table& records, size_t k,
+                                util::ThreadPool* pool) const {
+  MatchOptions options;
+  options.k = k;
+  options.pool = pool;
+  return MatchRecords(records, options);
+}
+
+util::Result<std::vector<std::vector<RecordMatch>>>
+Matcher::Snapshot::MatchRecords(const table::Table& records,
+                                const MatchOptions& options) const {
+  if (records.schema().names() != fixed_->schema_names) {
+    return util::Status::InvalidArgument(
+        "table '" + records.name() +
+        "' does not carry the session schema this matcher was built on");
+  }
+  if (options.k == 0) {
     return util::Status::InvalidArgument("MatchRecords needs k >= 1");
   }
-  const embed::EmbeddingMatrix queries = EncodeTable(records, pool);
+  util::WallTimer timer;
+  const std::vector<std::string> texts =
+      embed::SerializeTable(records, fixed_->selection.selected_columns);
+  const embed::EmbeddingMatrix queries =
+      fixed_->encoder->EncodeBatch(texts, options.pool);
+
+  const ServingState& s = *state_;
+  const ann::VectorIndex& index = *s.index;
+  const bool mapped = !s.slot_to_item.empty();
+  // Oversample by the retired-slot count so k live hits survive the filter
+  // (AddTable compacts before dead slots exceed 25%, so this stays small).
+  const size_t want = std::min(options.k + s.dead_slots, index.size());
+  const bool collect = options.observer != nullptr;
+
   std::vector<std::vector<RecordMatch>> matches(queries.num_rows());
-  util::ParallelFor(pool, queries.num_rows(), [&](size_t row) {
-    const std::vector<ann::Neighbor> hits =
-        index_->Search(queries.Row(row), k);
-    matches[row].reserve(hits.size());
-    for (const ann::Neighbor& hit : hits) {
-      matches[row].push_back({hit.id, hit.distance});
+  std::vector<MatchQueryStats> stats(collect ? queries.num_rows() : 0);
+  util::ParallelFor(
+      options.pool, queries.num_rows(),
+      [&](size_t row) {
+        ann::SearchStats search_stats;
+        const std::vector<ann::Neighbor> hits = index.SearchWithStats(
+            queries.Row(row), want, options.ef_search,
+            collect ? &search_stats : nullptr);
+        std::vector<RecordMatch>& out = matches[row];
+        out.reserve(std::min(options.k, hits.size()));
+        for (const ann::Neighbor& hit : hits) {
+          if (out.size() == options.k) break;
+          size_t item = hit.id;
+          if (mapped) {
+            const uint32_t live = s.slot_to_item[hit.id];
+            if (live == kDeadSlot) continue;  // retired slot: centroid moved
+            item = live;
+          }
+          out.push_back({item, hit.distance});
+        }
+        // Slot->item remapping can permute ties; restore the documented
+        // (distance, item) order.
+        if (mapped) {
+          std::sort(out.begin(), out.end(),
+                    [](const RecordMatch& a, const RecordMatch& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.item < b.item;
+                    });
+        }
+        if (collect) {
+          stats[row] = {search_stats.visited, search_stats.distance_evals,
+                        out.size()};
+        }
+      },
+      /*min_block_size=*/8);
+
+  if (collect) {
+    for (size_t row = 0; row < stats.size(); ++row) {
+      options.observer->OnQueryMatched(row, stats[row]);
     }
-  });
+    options.observer->OnBatchMatched(queries.num_rows(),
+                                     timer.ElapsedSeconds());
+  }
   return matches;
 }
 
 util::Status Matcher::AddTable(const table::Table& table,
                                util::ThreadPool* pool) {
+  AddTableOptions options;
+  options.pool = pool;
+  return AddTable(table, options);
+}
+
+util::Status Matcher::AddTable(const table::Table& table,
+                               const AddTableOptions& options) {
   MULTIEM_RETURN_IF_ERROR(CheckSchema(table));
   if (table.num_rows() == 0) {
     return util::Status::InvalidArgument(
         "table '" + table.name() + "' is empty: nothing to merge");
   }
-  if (std::find(source_names_.begin(), source_names_.end(), table.name()) !=
-      source_names_.end()) {
+
+  // One writer at a time; readers are never blocked — they keep serving the
+  // published state until the release-store below swaps the next one in.
+  std::lock_guard<std::mutex> writer(shared_->write_mu);
+  const std::shared_ptr<const ServingState> old = state();
+
+  if (std::find(old->source_names.begin(), old->source_names.end(),
+                table.name()) != old->source_names.end()) {
     return util::Status::InvalidArgument(
         "source '" + table.name() + "' was already merged into this session");
   }
-  if (source_names_.size() >= (size_t{1} << 16)) {
+  if (old->source_names.size() >= (size_t{1} << 16)) {
     return util::Status::ResourceExhausted(
         "EntityId packs the source into 16 bits; 65536 sources reached");
   }
 
-  const uint32_t source = static_cast<uint32_t>(source_names_.size());
-  embed::EmbeddingMatrix embeddings = EncodeTable(table, pool);
-  MergeTable fresh = MergeTable::FromSource(source, embeddings);
-  store_.AddSource(std::move(embeddings));
-  source_names_.push_back(table.name());
+  const uint32_t source = static_cast<uint32_t>(old->source_names.size());
+  const size_t dim = old->store.dim();
+  embed::EmbeddingMatrix embeddings = EncodeTable(table, options.pool);
 
-  // One pairwise merge (Algorithm 3) between the existing entity table and
-  // the new source — the same mutual top-K standard a pipeline merge level
-  // applies, with centroids recomputed from base embeddings.
-  TwoTableMerger merger(config_, &store_, index_factory_.get());
-  entities_ = merger.Merge(entities_, fresh, pool);
+  // One pairwise match (Algorithm 3 step 1) between the existing entity
+  // table and the new rows — the same mutual top-K standard a pipeline
+  // merge level applies.
+  const ann::MutualTopKOptions mutual =
+      MutualOptionsFromConfig(fixed_->config, fixed_->index_factory.get());
+  const std::vector<ann::MutualPair> matched_pairs = ann::MutualTopK(
+      old->entities.embeddings(), embeddings, mutual, options.pool);
 
-  // The serving index has no update path (HNSW is insert-only and item
-  // centroids move); rebuild it over the merged table.
-  index_ = index_factory_->Create(store_.dim(), ann::Metric::kCosine);
-  index_->AddBatch(entities_.embeddings(), pool);
+  auto next = std::make_shared<ServingState>();
+  next->epoch = old->epoch + 1;
+  next->source_names = old->source_names;
+  next->source_names.push_back(table.name());
+  next->store = old->store;  // O(sources) shared_ptr copies, no payload copy
+  next->store.AddSource(std::move(embeddings));
+  const embed::EmbeddingMatrix& fresh = next->store.source(source);
+
+  // Union by transitivity (Algorithm 3 step 2). Old items take union-find
+  // ids [0, n_old); the new rows take [n_old, ...).
+  const size_t n_old = old->entities.num_items();
+  const size_t n_new = table.num_rows();
+  cluster::UnionFind uf(n_old + n_new);
+  for (const ann::MutualPair& match : matched_pairs) {
+    uf.Union(match.left, n_old + match.right);
+  }
+
+  // Build the next entity table with incremental representation updates.
+  // Every union edge crosses into the new source, so a group is unchanged
+  // iff it is exactly one old item — those carry members and centroid
+  // verbatim (no recompute from base embeddings); only groups the new
+  // source touched recompute, with the same member order and arithmetic as
+  // TwoTableMerger::Merge so the two paths stay bitwise equal.
+  MergeTable entities;
+  entities.Reserve(uf.num_sets(), dim);
+  std::vector<uint32_t> renumber(n_old, kDeadSlot);  // old item -> new item
+  std::vector<uint32_t> inserted_items;  // new items the index must learn
+  embed::EmbeddingMatrix inserted;       // their vectors, in the same order
+  std::vector<float> centroid(dim);
+  for (const std::vector<size_t>& group : uf.Groups()) {
+    const uint32_t new_item = static_cast<uint32_t>(entities.num_items());
+    if (group.size() == 1 && group[0] < n_old) {
+      renumber[group[0]] = new_item;
+      entities.Append(old->entities.item(group[0]),
+                      old->entities.embeddings().Row(group[0]));
+      continue;
+    }
+    inserted_items.push_back(new_item);
+    if (group.size() == 1) {
+      // Unmatched new row: a fresh single-member item with its own
+      // embedding (the carried representation of a FromSource item).
+      MergeItem item;
+      const size_t row = group[0] - n_old;
+      item.members.push_back(table::EntityId(source, row));
+      entities.Append(std::move(item), fresh.Row(row));
+      inserted.AppendRow(fresh.Row(row));
+      continue;
+    }
+    MergeItem item;
+    for (size_t uf_id : group) {
+      if (uf_id < n_old) {
+        const std::vector<table::EntityId>& members =
+            old->entities.item(uf_id).members;
+        item.members.insert(item.members.end(), members.begin(),
+                            members.end());
+      } else {
+        item.members.push_back(table::EntityId(source, uf_id - n_old));
+      }
+    }
+    std::sort(item.members.begin(), item.members.end());
+    item.members.erase(std::unique(item.members.begin(), item.members.end()),
+                       item.members.end());
+    if (fixed_->config.merged_repr == MergedItemRepr::kFirstMember) {
+      std::span<const float> first = next->store.Row(item.members.front());
+      entities.Append(std::move(item), first);
+      inserted.AppendRow(first);
+      continue;
+    }
+    // Centroid of the base entity embeddings of this group only,
+    // re-normalized (members are sorted, so the sum order is deterministic).
+    std::fill(centroid.begin(), centroid.end(), 0.0f);
+    for (table::EntityId member : item.members) {
+      std::span<const float> row = next->store.Row(member);
+      for (size_t d = 0; d < dim; ++d) centroid[d] += row[d];
+    }
+    const float inv = 1.0f / static_cast<float>(item.members.size());
+    for (float& x : centroid) x *= inv;
+    embed::L2NormalizeInPlace(centroid);
+    entities.Append(std::move(item), centroid);
+    inserted.AppendRow(centroid);
+  }
+  const size_t new_items = entities.num_items();
+  next->entities = std::move(entities);
+
+  // Extend the serving index. Preferred path: clone the published graph
+  // (readers searching it are never raced — the insert-under-readers
+  // contract of index.h), insert only the new/changed vectors into the
+  // private clone, and retire the slots of absorbed items via the slot
+  // map. Compact with a full rebuild when the index kind cannot clone,
+  // retired slots would exceed 25%, or the caller forces the reference
+  // rebuild path.
+  bool incremental = !options.rebuild_index;
+  std::vector<uint32_t> slot_to_item;
+  size_t dead_slots = 0;
+  if (incremental) {
+    const size_t old_slots = old->index->size();
+    const size_t total_slots = old_slots + inserted_items.size();
+    dead_slots = total_slots - new_items;  // each item keeps one live slot
+    if (total_slots > UINT32_MAX || dead_slots * 4 > total_slots) {
+      incremental = false;
+    } else if (dead_slots > 0 || !old->slot_to_item.empty()) {
+      slot_to_item.assign(total_slots, kDeadSlot);
+      for (size_t i = 0; i < n_old; ++i) {
+        if (renumber[i] == kDeadSlot) continue;  // absorbed: slot retires
+        const uint32_t slot = old->slot_to_item.empty()
+                                  ? static_cast<uint32_t>(i)
+                                  : old->item_to_slot[i];
+        slot_to_item[slot] = renumber[i];
+      }
+      for (size_t j = 0; j < inserted_items.size(); ++j) {
+        slot_to_item[old_slots + j] = inserted_items[j];
+      }
+    }
+    // dead_slots == 0 with an identity-mapped predecessor means nothing
+    // merged: the mapping is the identity and the maps stay empty.
+  }
+  std::unique_ptr<ann::VectorIndex> clone;
+  if (incremental) {
+    clone = old->index->Clone();
+    if (clone == nullptr) incremental = false;  // kind without a clone path
+  }
+  if (incremental) {
+    clone->AddBatch(inserted, options.pool);
+    next->index = std::move(clone);
+    if (!slot_to_item.empty()) {
+      std::vector<uint32_t> item_to_slot(new_items, kDeadSlot);
+      for (size_t slot = 0; slot < slot_to_item.size(); ++slot) {
+        if (slot_to_item[slot] != kDeadSlot) {
+          item_to_slot[slot_to_item[slot]] = static_cast<uint32_t>(slot);
+        }
+      }
+      next->slot_to_item = std::move(slot_to_item);
+      next->item_to_slot = std::move(item_to_slot);
+      next->dead_slots = dead_slots;
+    }
+  } else {
+    std::unique_ptr<ann::VectorIndex> rebuilt =
+        fixed_->index_factory->Create(dim, ann::Metric::kCosine);
+    rebuilt->AddBatch(next->entities.embeddings(), options.pool);
+    next->index = std::move(rebuilt);
+  }
+
+  // Publish: the release store pairs with every reader's acquire load, so
+  // a reader that observes the new pointer sees the fully built state.
+  MULTIEM_TSAN_ACQUIRE(&shared_->state);  // see the shim note in matcher.h
+  shared_->state.store(std::move(next), std::memory_order_release);
   return util::Status::Ok();
 }
 

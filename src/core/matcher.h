@@ -10,7 +10,7 @@
 ///    row's top-k entity items by cosine distance — the online-query path.
 ///  * AddTable(table): merge one new source into the entity store through
 ///    the same mutual top-K relation (Eq. 1) a pipeline merge level uses,
-///    then rebuild the serving index — the incremental-ingest path.
+///    then extend the serving index incrementally — the live-ingest path.
 ///
 /// A Matcher is produced by MultiEmPipeline::Run with
 /// RunContext::build_matcher set, or restored from disk via
@@ -21,7 +21,10 @@
 #ifndef MULTIEM_CORE_MATCHER_H_
 #define MULTIEM_CORE_MATCHER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,13 +39,44 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+// ThreadSanitizer modeling shim for libstdc++'s std::atomic<std::shared_ptr>
+// (the serving-state swap point). Its _Sp_atomic embeds a spinlock in the
+// refcount word and unlocks the reader path with memory_order_relaxed
+// (GCC 12): mutual exclusion over the guarded pointer field is still real —
+// the lock is taken with an acquire RMW — but TSan sees no happens-before
+// edge from a reader's critical section to the next writer's, and reports
+// the field as racing. The annotations below restore exactly that edge:
+// every reader releases on the swap point right after loading, the writer
+// acquires it right before storing. They compile to nothing outside TSan
+// builds and hide no real race (writer/reader ordering proper is carried by
+// the release-store/acquire-load pair on the atomic itself).
+#if defined(__SANITIZE_THREAD__)
+#define MULTIEM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MULTIEM_TSAN_ENABLED 1
+#endif
+#endif
+#ifdef MULTIEM_TSAN_ENABLED
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+#define MULTIEM_TSAN_ACQUIRE(addr) __tsan_acquire((void*)(addr))
+#define MULTIEM_TSAN_RELEASE(addr) __tsan_release((void*)(addr))
+#else
+#define MULTIEM_TSAN_ACQUIRE(addr) ((void)0)
+#define MULTIEM_TSAN_RELEASE(addr) ((void)0)
+#endif
+
 namespace multiem::core {
 
 /// One serving-time hit: an item of the matcher's entity table and its
 /// cosine distance to the query record's embedding.
 struct RecordMatch {
-  /// Index into the entity table; resolve members via
-  /// Matcher::item_members(item).
+  /// Index into the entity table of the epoch the call observed; resolve
+  /// members via the same Snapshot's item_members(item) (see
+  /// Matcher::snapshot() for why ids are epoch-relative).
   size_t item;
   float distance;
 
@@ -51,17 +85,99 @@ struct RecordMatch {
   }
 };
 
+/// Per-query ANN instrumentation of one MatchRecords call (mirrors
+/// pbbsbench's recall-harness counters): how much of the graph the query
+/// expanded and how many distances it computed, plus the hit count after
+/// dead-slot filtering.
+struct MatchQueryStats {
+  size_t visited = 0;
+  size_t distance_evals = 0;
+  size_t hits = 0;
+};
+
+/// Observer of a batched MatchRecords call, in the PipelineObserver style:
+/// every hook fires on the thread that called MatchRecords, after the
+/// parallel fan-out has completed, in query-row order — implementations need
+/// no locking. Default implementations do nothing.
+class MatchObserver {
+ public:
+  virtual ~MatchObserver() = default;
+
+  /// One query's counters, fired per row in ascending row order.
+  virtual void OnQueryMatched(size_t row, const MatchQueryStats& stats) {
+    (void)row;
+    (void)stats;
+  }
+
+  /// End of the batch: number of queries and the wall-clock seconds the
+  /// whole call took (encoding + search + resolution).
+  virtual void OnBatchMatched(size_t num_queries, double seconds) {
+    (void)num_queries;
+    (void)seconds;
+  }
+};
+
+/// Options of the batched MatchRecords overload.
+struct MatchOptions {
+  /// Hits returned per query row (>= 1).
+  size_t k = 1;
+  /// ANN beam width override; 0 keeps the index's configured default.
+  /// Exact indexes ignore it. Raised to k either way.
+  size_t ef_search = 0;
+  /// Fans the query batch (encoding and searches) out across the pool under
+  /// one util::TaskGroup; null runs on the calling thread.
+  util::ThreadPool* pool = nullptr;
+  /// Optional instrumentation sink (see MatchObserver).
+  MatchObserver* observer = nullptr;
+};
+
+/// Options of AddTable.
+struct AddTableOptions {
+  /// Parallelizes encoding, the mutual top-K match, and the index insertion.
+  util::ThreadPool* pool = nullptr;
+  /// Forces the full index rebuild of the pre-epoch-swap serving path
+  /// instead of clone-and-insert. The merge itself is identical either way;
+  /// this is the reference baseline the incremental path is benchmarked and
+  /// equivalence-tested against (bench_serve, persist_test).
+  bool rebuild_index = false;
+};
+
 /// A loaded (or freshly run) matching session. Move-only: it owns the
-/// serving index and shares the fitted encoder.
+/// serving state and shares the fitted encoder.
 ///
-/// Thread-safety: MatchRecords is const and safe to call concurrently from
-/// any number of threads (encoder EncodeInto and index Search are both
-/// const and thread-safe) — a loaded artifact can serve reads with no
-/// locking. AddTable mutates the store and swaps the index; it must be
-/// externally serialized against every other call, including MatchRecords
-/// (readers-writer style: many MatchRecords, or one AddTable).
+/// Thread-safety — the epoch-swap contract:
+///
+///  * All read paths (MatchRecords, snapshot(), the accessors) are const,
+///    lock-free, and safe from any number of threads at any time, including
+///    while AddTable runs. Each read acquires the current immutable
+///    ServingState once via an atomic shared_ptr load and never sees a
+///    half-updated store.
+///  * AddTable is the writer: it serializes against other AddTable/Save
+///    calls on an internal mutex, builds the next state privately (cloning
+///    the ANN index and inserting into the private clone, so readers of the
+///    published graph are never raced), and publishes it with one
+///    release-store swap. Readers that loaded the old state keep serving
+///    from it; its shared_ptr keeps it alive until the last reader drops it.
+///  * Memory ordering: the writer's release store pairs with every reader's
+///    acquire load, so everything written into a state before publication
+///    is visible to any reader that observes the new pointer. States are
+///    never mutated after publication. docs/API.md ("Threading model")
+///    spells out the full invariants.
+///
+/// Item ids are epoch-relative: a RecordMatch::item obtained from one call
+/// indexes the entity table of the epoch that call observed. Point-in-time
+/// accessors (num_items, item_members, Tuples, source_names) are therefore
+/// individually consistent but may straddle epochs across calls; callers
+/// that resolve hits while a writer may be active should take one
+/// snapshot() and do all reads through it.
 class Matcher {
  public:
+  class Snapshot;
+
+  /// Sentinel in a slot->item map for a retired index slot (its vector
+  /// belongs to an item whose centroid has since moved).
+  static constexpr uint32_t kDeadSlot = UINT32_MAX;
+
   Matcher(Matcher&&) = default;
   Matcher& operator=(Matcher&&) = default;
   Matcher(const Matcher&) = delete;
@@ -70,10 +186,13 @@ class Matcher {
   /// Builds a session from a finished run's state. `index` may be null, in
   /// which case one is created from `index_factory` over the entity table's
   /// embeddings (`pool`, optional, parallelizes that build); a non-null
-  /// `index` (the artifact-load path) is taken as-is and must already hold
-  /// exactly one vector per entity item, under the cosine metric.
-  /// `encoder` must be fitted; `selection` and `schema_names` must describe
-  /// the run that produced `store`/`entities`.
+  /// `index` (the artifact-load path) is taken as-is and must be under the
+  /// cosine metric. `slot_to_item` (optional) maps index slots to entity
+  /// items for an incrementally grown index (kDeadSlot marks retired
+  /// slots); empty means the identity mapping, in which case the index must
+  /// hold exactly one vector per item. `encoder` must be fitted;
+  /// `selection` and `schema_names` must describe the run that produced
+  /// `store`/`entities`.
   static util::Result<Matcher> Assemble(
       MultiEmConfig config, std::vector<std::string> schema_names,
       AttributeSelection selection, std::vector<std::string> source_names,
@@ -81,16 +200,24 @@ class Matcher {
       std::shared_ptr<embed::TextEncoder> encoder,
       std::shared_ptr<const ann::VectorIndexFactory> index_factory,
       std::unique_ptr<ann::VectorIndex> index = nullptr,
-      util::ThreadPool* pool = nullptr);
+      util::ThreadPool* pool = nullptr,
+      std::vector<uint32_t> slot_to_item = {});
 
   /// Answers entity-match queries for every row of `records` (a table with
   /// the session's schema): each row is serialized with the run's selected
   /// attributes, encoded with the fitted encoder, and matched against the
-  /// serving index. Returns one vector per input row with up to `k` hits
-  /// sorted by ascending (distance, item). Hits are raw nearest neighbors;
-  /// callers wanting the pipeline's matching standard should drop hits with
-  /// distance > config().m. `pool` (optional) parallelizes the encoding of
-  /// large batches.
+  /// serving index of one consistent epoch. Returns one vector per input
+  /// row with up to `options.k` hits sorted by ascending (distance, item).
+  /// Hits are raw nearest neighbors; callers wanting the pipeline's
+  /// matching standard should drop hits with distance > config().m. With
+  /// `options.pool`, the batch fans out across the pool under one
+  /// util::TaskGroup; `options.observer` receives per-query
+  /// visited/distance-eval counters afterwards. Safe concurrently with
+  /// AddTable (see the class comment).
+  util::Result<std::vector<std::vector<RecordMatch>>> MatchRecords(
+      const table::Table& records, const MatchOptions& options) const;
+
+  /// Convenience overload: MatchOptions with just `k` and `pool` set.
   util::Result<std::vector<std::vector<RecordMatch>>> MatchRecords(
       const table::Table& records, size_t k,
       util::ThreadPool* pool = nullptr) const;
@@ -98,62 +225,127 @@ class Matcher {
   /// Merges `table` into the session as a new source: rows are encoded with
   /// the fitted encoder (no refit), matched against the entity table through
   /// the same mutual top-K relation (Eq. 1, ann::MutualTopK) a pipeline
-  /// merge level uses, unioned into the existing items (members merge,
-  /// centroids recompute from base embeddings), and the serving index is
-  /// rebuilt over the updated table. Unmatched rows become new single-member
-  /// items. The table must use the session's schema and a source name not
-  /// seen before. `pool` (optional) parallelizes encoding, matching, and the
-  /// index rebuild.
+  /// merge level uses, and unioned into the existing items. Centroid updates
+  /// are incremental — unchanged items keep their stored representation
+  /// verbatim; only items the new source touched recompute from base
+  /// embeddings — and so is the serving index: the current index is cloned,
+  /// vectors of new/changed items are inserted into the clone (slots of
+  /// absorbed items are retired via the slot map), and the new state is
+  /// published atomically, so concurrent MatchRecords readers never block
+  /// and never observe a torn table. When retired slots exceed 25% of the
+  /// index — or the index kind cannot Clone — the index is compacted by a
+  /// full rebuild instead. Unmatched rows become new single-member items.
+  /// The table must use the session's schema and a source name not seen
+  /// before. Writers serialize on an internal mutex.
+  util::Status AddTable(const table::Table& table,
+                        const AddTableOptions& options);
+
+  /// Convenience overload: AddTableOptions with just `pool` set.
   util::Status AddTable(const table::Table& table,
                         util::ThreadPool* pool = nullptr);
 
   /// Persists the session to directory `dir` (PipelineArtifact layout:
-  /// manifest + encoder + index files; see docs/FORMATS.md). Restore with
-  /// MultiEmPipeline::LoadArtifact.
+  /// manifest + encoder + index files; see docs/FORMATS.md). Reads one
+  /// consistent epoch, so it is safe concurrently with readers and with an
+  /// AddTable writer (the artifact is the epoch Save observed). Restore
+  /// with MultiEmPipeline::LoadArtifact.
   util::Status Save(const std::string& dir) const;
 
-  /// Number of items in the entity table (matched groups and singletons).
-  size_t num_items() const { return entities_.num_items(); }
+  /// An immutable point-in-time view of the serving state (see snapshot()).
+  Snapshot snapshot() const;
 
-  /// Member entities of item `i` (sorted; size 1 = so-far-unmatched record).
-  const std::vector<table::EntityId>& item_members(size_t i) const {
-    return entities_.item(i).members;
-  }
+  /// Ingest epoch of the current state: 0 after Assemble, +1 per AddTable.
+  uint64_t epoch() const;
+
+  /// Number of items in the entity table (matched groups and singletons).
+  size_t num_items() const;
+
+  /// Member entities of item `i` (sorted; size 1 = so-far-unmatched
+  /// record). Returns a copy: under a concurrent AddTable the underlying
+  /// epoch may retire at any time. Item ids are epoch-relative — resolve
+  /// ids from MatchRecords through one Snapshot instead when a writer may
+  /// be active.
+  std::vector<table::EntityId> item_members(size_t i) const;
 
   /// The entity table's matched tuples (items with >= 2 members) in
   /// canonical form — the unpruned counterpart of PipelineResult::tuples.
-  /// (Header-inline like PipelineResult::ToTupleSet, so multiem_core does
-  /// not itself depend on the eval library.)
+  /// One consistent epoch. (Header-inline like PipelineResult::ToTupleSet,
+  /// so multiem_core does not itself depend on the eval library.)
   eval::TupleSet Tuples() const {
+    std::shared_ptr<const ServingState> s = state();
     std::vector<eval::Tuple> tuples;
-    for (const MergeItem& item : entities_.items()) {
+    for (const MergeItem& item : s->entities.items()) {
       if (item.members.size() >= 2) tuples.push_back(item.members);
     }
     return eval::TupleSet(std::move(tuples));
   }
 
-  /// Source-table names in id order (EntityId::source indexes this).
-  const std::vector<std::string>& source_names() const {
-    return source_names_;
-  }
+  /// Source-table names in id order (EntityId::source indexes this). By
+  /// value: AddTable appends to this list across epochs.
+  std::vector<std::string> source_names() const;
 
   /// The common schema every served/ingested table must match.
   const std::vector<std::string>& schema_names() const {
-    return schema_names_;
+    return fixed_->schema_names;
   }
 
   /// The attribute selection of the original run (MatchRecords serializes
   /// queries with exactly these columns).
-  const AttributeSelection& selection() const { return selection_; }
+  const AttributeSelection& selection() const { return fixed_->selection; }
 
-  const MultiEmConfig& config() const { return config_; }
-  const embed::TextEncoder& encoder() const { return *encoder_; }
-  const ann::VectorIndex& index() const { return *index_; }
+  const MultiEmConfig& config() const { return fixed_->config; }
+  const embed::TextEncoder& encoder() const { return *fixed_->encoder; }
+
+  /// The serving index of the current epoch. The reference stays valid
+  /// while the epoch does; under a concurrent writer, hold a Snapshot and
+  /// use Snapshot::index() instead.
+  const ann::VectorIndex& index() const;
 
  private:
-  friend class PipelineArtifact;  // serializes the internals on Save
+  friend class PipelineArtifact;  // serializes one state snapshot on Save
+
+  /// Everything fixed at Assemble time, shared by all epochs (and by
+  /// outstanding Snapshots, which keep it alive past a Matcher move).
+  struct Fixed {
+    MultiEmConfig config;
+    std::vector<std::string> schema_names;
+    AttributeSelection selection;
+    std::shared_ptr<embed::TextEncoder> encoder;
+    std::shared_ptr<const ann::VectorIndexFactory> index_factory;
+  };
+
+  /// One immutable serving epoch. Published whole via the atomic
+  /// shared_ptr in Shared; never mutated afterwards.
+  struct ServingState {
+    std::vector<std::string> source_names;
+    EntityEmbeddingStore store;  // cheap copy: shared_ptr source matrices
+    MergeTable entities;
+    std::shared_ptr<const ann::VectorIndex> index;
+    /// Index slot -> item id; empty = identity (slot i holds item i's
+    /// vector and nothing is retired). kDeadSlot entries are retired slots
+    /// whose vectors MatchRecords filters out.
+    std::vector<uint32_t> slot_to_item;
+    /// Inverse map (item id -> live slot); empty when slot_to_item is.
+    std::vector<uint32_t> item_to_slot;
+    size_t dead_slots = 0;
+    uint64_t epoch = 0;
+  };
+
+  /// The swap point. Held through unique_ptr so the Matcher stays movable
+  /// (std::atomic and std::mutex are not).
+  struct Shared {
+    std::atomic<std::shared_ptr<const ServingState>> state;
+    std::mutex write_mu;  // serializes AddTable writers
+  };
 
   Matcher() = default;
+
+  std::shared_ptr<const ServingState> state() const {
+    std::shared_ptr<const ServingState> s =
+        shared_->state.load(std::memory_order_acquire);
+    MULTIEM_TSAN_RELEASE(&shared_->state);  // see the shim note at the top
+    return s;
+  }
 
   /// InvalidArgument unless `t` carries exactly the session schema.
   util::Status CheckSchema(const table::Table& t) const;
@@ -162,15 +354,71 @@ class Matcher {
   embed::EmbeddingMatrix EncodeTable(const table::Table& t,
                                      util::ThreadPool* pool) const;
 
-  MultiEmConfig config_;
-  std::vector<std::string> schema_names_;
-  AttributeSelection selection_;
-  std::vector<std::string> source_names_;
-  EntityEmbeddingStore store_;
-  MergeTable entities_;
-  std::shared_ptr<embed::TextEncoder> encoder_;
-  std::shared_ptr<const ann::VectorIndexFactory> index_factory_;
-  std::unique_ptr<ann::VectorIndex> index_;
+  std::shared_ptr<const Fixed> fixed_;
+  std::unique_ptr<Shared> shared_;
+};
+
+/// A pinned, immutable view of one serving epoch. All reads through one
+/// Snapshot are mutually consistent: item ids returned by MatchRecords
+/// resolve against the same entity table the search ran on, no matter how
+/// many AddTable epochs retire meanwhile (the Snapshot keeps its state
+/// alive). Copyable and cheap (two shared_ptr copies); safe to use from any
+/// thread.
+class Matcher::Snapshot {
+ public:
+  /// Identical semantics to Matcher::MatchRecords, but against this pinned
+  /// epoch.
+  util::Result<std::vector<std::vector<RecordMatch>>> MatchRecords(
+      const table::Table& records, const MatchOptions& options) const;
+  util::Result<std::vector<std::vector<RecordMatch>>> MatchRecords(
+      const table::Table& records, size_t k,
+      util::ThreadPool* pool = nullptr) const;
+
+  uint64_t epoch() const { return state_->epoch; }
+  size_t num_items() const { return state_->entities.num_items(); }
+
+  /// Member entities of item `i`. The reference is valid for the life of
+  /// this Snapshot (which pins the epoch).
+  const std::vector<table::EntityId>& item_members(size_t i) const {
+    return state_->entities.item(i).members;
+  }
+
+  /// Matched tuples (items with >= 2 members) in canonical form.
+  /// (Header-inline so multiem_core does not depend on the eval library.)
+  eval::TupleSet Tuples() const {
+    std::vector<eval::Tuple> tuples;
+    for (const MergeItem& item : state_->entities.items()) {
+      if (item.members.size() >= 2) tuples.push_back(item.members);
+    }
+    return eval::TupleSet(std::move(tuples));
+  }
+
+  const std::vector<std::string>& source_names() const {
+    return state_->source_names;
+  }
+
+  /// Item representations (one row per item) of this epoch — the vectors
+  /// the serving index holds for live slots. Exposed for recall oracles
+  /// (bench_serve) and the centroid regression tests.
+  const embed::EmbeddingMatrix& centroids() const {
+    return state_->entities.embeddings();
+  }
+
+  const ann::VectorIndex& index() const { return *state_->index; }
+
+  /// Retired slots currently carried by the index (0 right after a rebuild
+  /// or a fresh Assemble).
+  size_t dead_slots() const { return state_->dead_slots; }
+
+ private:
+  friend class Matcher;
+
+  Snapshot(std::shared_ptr<const Fixed> fixed,
+           std::shared_ptr<const ServingState> state)
+      : fixed_(std::move(fixed)), state_(std::move(state)) {}
+
+  std::shared_ptr<const Fixed> fixed_;
+  std::shared_ptr<const ServingState> state_;
 };
 
 }  // namespace multiem::core

@@ -2,6 +2,8 @@
 #define MULTIEM_CORE_MERGE_TABLE_H_
 
 #include <cstddef>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "embed/embedding.h"
@@ -19,6 +21,11 @@ struct MergeItem {
 /// EntityId (per-source matrices). Built once in the representation phase;
 /// merged-item centroids are recomputed from these base vectors so centroid
 /// drift never accumulates across hierarchies.
+///
+/// Source matrices are held through shared_ptr and are immutable once added,
+/// so copying a store is O(num_sources) pointer copies — the serving layer
+/// (core::Matcher) relies on this to snapshot the store per ingest epoch
+/// without duplicating the embedding payload.
 class EntityEmbeddingStore {
  public:
   EntityEmbeddingStore() = default;
@@ -26,29 +33,30 @@ class EntityEmbeddingStore {
   /// Adds the embedding matrix of the next source (source ids are assigned
   /// in call order: first call = source 0, ...).
   void AddSource(embed::EmbeddingMatrix embeddings) {
-    sources_.push_back(std::move(embeddings));
+    sources_.push_back(
+        std::make_shared<const embed::EmbeddingMatrix>(std::move(embeddings)));
   }
 
   /// Embedding of entity `id`.
   std::span<const float> Row(table::EntityId id) const {
-    return sources_[id.source()].Row(id.row());
+    return sources_[id.source()]->Row(id.row());
   }
 
   size_t num_sources() const { return sources_.size(); }
-  const embed::EmbeddingMatrix& source(size_t s) const { return sources_[s]; }
+  const embed::EmbeddingMatrix& source(size_t s) const { return *sources_[s]; }
 
   /// Embedding dimensionality (0 when empty).
-  size_t dim() const { return sources_.empty() ? 0 : sources_[0].dim(); }
+  size_t dim() const { return sources_.empty() ? 0 : sources_[0]->dim(); }
 
   /// Total payload bytes (memory accounting).
   size_t SizeBytes() const {
     size_t total = 0;
-    for (const auto& m : sources_) total += m.SizeBytes();
+    for (const auto& m : sources_) total += m->SizeBytes();
     return total;
   }
 
  private:
-  std::vector<embed::EmbeddingMatrix> sources_;
+  std::vector<std::shared_ptr<const embed::EmbeddingMatrix>> sources_;
 };
 
 /// A table in the merging hierarchy: items plus one embedding per item

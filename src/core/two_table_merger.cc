@@ -8,24 +8,31 @@
 
 namespace multiem::core {
 
+ann::MutualTopKOptions MutualOptionsFromConfig(
+    const MultiEmConfig& config,
+    const ann::VectorIndexFactory* index_factory) {
+  ann::MutualTopKOptions options;
+  options.k = config.k;
+  options.max_distance = config.m;
+  options.metric = ann::Metric::kCosine;
+  options.index_factory = index_factory;
+  // Null-factory fallback: honor the configured index name (and the
+  // deprecated use_exact_knn shim behind it), not just the shim, so direct
+  // merger users asking for "brute_force" by name get the exact index.
+  options.use_exact = config.effective_index_name() == kBruteForceIndexName;
+  options.hnsw_m = config.hnsw_m;
+  options.hnsw_ef_construction = config.hnsw_ef_construction;
+  options.hnsw_ef_search = config.hnsw_ef_search;
+  options.hnsw_seed = config.seed ^ 0x484E5357ULL;
+  return options;
+}
+
 MergeTable TwoTableMerger::Merge(const MergeTable& a, const MergeTable& b,
                                  util::ThreadPool* pool,
                                  TwoTableMergeStats* stats) const {
   // Step 1 (Algorithm 3 lines 3-5): mutual top-K pairs under the cap m.
-  ann::MutualTopKOptions options;
-  options.k = config_.k;
-  options.max_distance = config_.m;
-  options.metric = ann::Metric::kCosine;
-  options.index_factory = index_factory_;
-  // Null-factory fallback: honor the configured index name (and the
-  // deprecated use_exact_knn shim behind it), not just the shim, so direct
-  // merger users asking for "brute_force" by name get the exact index.
-  options.use_exact =
-      config_.effective_index_name() == kBruteForceIndexName;
-  options.hnsw_m = config_.hnsw_m;
-  options.hnsw_ef_construction = config_.hnsw_ef_construction;
-  options.hnsw_ef_search = config_.hnsw_ef_search;
-  options.hnsw_seed = config_.seed ^ 0x484E5357ULL;
+  const ann::MutualTopKOptions options =
+      MutualOptionsFromConfig(config_, index_factory_);
   std::vector<ann::MutualPair> matches =
       ann::MutualTopK(a.embeddings(), b.embeddings(), options, pool);
 

@@ -4,11 +4,22 @@
 #include <cstddef>
 
 #include "ann/index_factory.h"
+#include "ann/mutual_topk.h"
 #include "core/config.h"
 #include "core/merge_table.h"
 #include "util/thread_pool.h"
 
 namespace multiem::core {
+
+/// The mutual top-K options (Eq. 1 knobs) a run config implies: k, the
+/// distance cap m, the cosine metric, and the configured index backend.
+/// Shared by TwoTableMerger::Merge and Matcher::AddTable so serve-time
+/// ingestion applies exactly the matching standard the pipeline's merge
+/// levels used. `index_factory` (optional, non-owning) overrides the
+/// config-name-resolved backend, mirroring the TwoTableMerger constructor.
+ann::MutualTopKOptions MutualOptionsFromConfig(
+    const MultiEmConfig& config,
+    const ann::VectorIndexFactory* index_factory);
 
 /// Counters reported by one two-table merge.
 struct TwoTableMergeStats {

@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "core/pipeline.h"
 #include "embed/encoder_io.h"
 #include "embed/hashing_encoder.h"
+#include "embed/serialize.h"
 #include "table/schema.h"
 #include "table/table.h"
 #include "util/io.h"
@@ -698,6 +701,200 @@ TEST(PipelineArtifactTest, AddTableMergesNewSourceIncrementally) {
   wrong.AppendRow({"thing"}).CheckOk();
   EXPECT_EQ(matcher->AddTable(wrong).code(),
             util::StatusCode::kInvalidArgument);
+}
+
+// Ingest sequence used by the incremental-vs-rebuild equivalence tests:
+// every table plants one duplicate of an existing record (forcing a merge,
+// which retires a slot on the incremental index path) plus one novel row.
+std::vector<Table> IngestSequence() {
+  Schema schema({"title", "color"});
+  std::vector<Table> tables;
+  {
+    Table t("shop_d", schema);
+    t.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+    t.AppendRow({"dyson v11 cordless vacuum", "purple"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_e", schema);
+    t.AppendRow({"google pixel 3 xl 128 gb", "white"}).CheckOk();
+    t.AppendRow({"breville espresso machine", "steel"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_f", schema);
+    t.AppendRow({"sony wh-1000xm3 headphones wireless", "black"}).CheckOk();
+    t.AppendRow({"kindle paperwhite 8gb ereader", "black"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+TEST(PipelineArtifactTest, IncrementalAddTableMatchesRebuildPath) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string dir = TempPath("artifact_inc_vs_rebuild");
+  ASSERT_TRUE(result->matcher->Save(dir).ok());
+
+  // Two copies of the same session ingest the same sequence, one via
+  // clone-and-insert, one via the reference full-rebuild path.
+  auto incremental = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+  auto rebuild = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(rebuild.ok()) << rebuild.status();
+  for (const Table& t : IngestSequence()) {
+    core::AddTableOptions inc;
+    ASSERT_TRUE(incremental->AddTable(t, inc).ok());
+    core::AddTableOptions reb;
+    reb.rebuild_index = true;
+    ASSERT_TRUE(rebuild->AddTable(t, reb).ok());
+  }
+
+  // The merge output is identical: the incremental centroid updates must
+  // reproduce the rebuild path's entity table exactly.
+  EXPECT_EQ(incremental->num_items(), rebuild->num_items());
+  EXPECT_EQ(incremental->source_names(), rebuild->source_names());
+  EXPECT_EQ(incremental->Tuples().tuples(), rebuild->Tuples().tuples());
+
+  // Planted-duplicate recall: each planted duplicate's query resolves to
+  // the same (grown) entity group on both paths, within the threshold.
+  Table q("queries", Schema({"title", "color"}));
+  q.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  q.AppendRow({"google pixel 3 xl 128 gb", "white"}).CheckOk();
+  q.AppendRow({"sony wh-1000xm3 headphones", "black"}).CheckOk();
+  auto inc_matches = incremental->MatchRecords(q, 1);
+  ASSERT_TRUE(inc_matches.ok()) << inc_matches.status();
+  auto reb_matches = rebuild->MatchRecords(q, 1);
+  ASSERT_TRUE(reb_matches.ok()) << reb_matches.status();
+  const core::Matcher::Snapshot inc_snap = incremental->snapshot();
+  const core::Matcher::Snapshot reb_snap = rebuild->snapshot();
+  for (size_t row = 0; row < q.num_rows(); ++row) {
+    ASSERT_FALSE((*inc_matches)[row].empty());
+    ASSERT_FALSE((*reb_matches)[row].empty());
+    const core::RecordMatch& inc_hit = (*inc_matches)[row][0];
+    const core::RecordMatch& reb_hit = (*reb_matches)[row][0];
+    EXPECT_LE(inc_hit.distance, incremental->config().m) << "row " << row;
+    EXPECT_EQ(inc_snap.item_members(inc_hit.item),
+              reb_snap.item_members(reb_hit.item))
+        << "row " << row;
+    EXPECT_EQ(inc_hit.distance, reb_hit.distance) << "row " << row;
+  }
+}
+
+TEST(PipelineArtifactTest, ReloadedIncrementallyGrownSessionServesIdentically) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string base_dir = TempPath("artifact_grown_base");
+  ASSERT_TRUE(result->matcher->Save(base_dir).ok());
+
+  auto grown = MultiEmPipeline::LoadArtifact(base_dir);
+  ASSERT_TRUE(grown.ok()) << grown.status();
+  for (const Table& t : IngestSequence()) {
+    ASSERT_TRUE(grown->AddTable(t).ok());
+  }
+  // The merging ingests retired slots, so the saved manifest carries a
+  // non-trivial slot map (format v2).
+  ASSERT_GT(grown->snapshot().dead_slots(), 0u);
+
+  const std::string dir = TempPath("artifact_grown");
+  ASSERT_TRUE(grown->Save(dir).ok());
+  auto reloaded = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->epoch(), 0u);  // epochs are session-local
+  EXPECT_EQ(reloaded->num_items(), grown->num_items());
+  EXPECT_EQ(reloaded->snapshot().dead_slots(),
+            grown->snapshot().dead_slots());
+  EXPECT_EQ(reloaded->Tuples().tuples(), grown->Tuples().tuples());
+
+  // Bit-equal serving: the reloaded session (index + slot map verbatim)
+  // answers exactly like the in-memory grown session.
+  Table q("queries", Schema({"title", "color"}));
+  q.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  q.AppendRow({"dyson v11 vacuum", "purple"}).CheckOk();
+  q.AppendRow({"kindle paperwhite ereader", "black"}).CheckOk();
+  auto before = grown->MatchRecords(q, 3);
+  ASSERT_TRUE(before.ok()) << before.status();
+  auto after = reloaded->MatchRecords(q, 3);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*before, *after);
+
+  // Resave of the reloaded artifact is byte-identical, slot map included.
+  const std::string resaved = TempPath("artifact_grown_resave");
+  ASSERT_TRUE(reloaded->Save(resaved).ok());
+  for (const char* file :
+       {PipelineArtifact::kManifestFile, PipelineArtifact::kEncoderFile,
+        PipelineArtifact::kIndexFile}) {
+    EXPECT_EQ(ReadFileBytes(dir + "/" + file),
+              ReadFileBytes(resaved + "/" + file))
+        << file;
+  }
+
+  // And the reloaded session keeps growing identically: one more ingest on
+  // both sessions yields the same answers again.
+  Table extra("shop_g", Schema({"title", "color"}));
+  extra.AppendRow({"dyson v11 vacuum cordless", "purple"}).CheckOk();
+  extra.AppendRow({"lego millennium falcon 75192", "grey"}).CheckOk();
+  ASSERT_TRUE(grown->AddTable(extra).ok());
+  ASSERT_TRUE(reloaded->AddTable(extra).ok());
+  auto grown_more = grown->MatchRecords(q, 3);
+  ASSERT_TRUE(grown_more.ok());
+  auto reloaded_more = reloaded->MatchRecords(q, 3);
+  ASSERT_TRUE(reloaded_more.ok());
+  EXPECT_EQ(*grown_more, *reloaded_more);
+}
+
+TEST(PipelineArtifactTest, AddTableCentroidsMatchFullRecompute) {
+  auto result = RunWithMatcher(ServingConfig(), ProductTables());
+  ASSERT_TRUE(result.ok()) << result.status();
+  const std::string dir = TempPath("artifact_centroids");
+  ASSERT_TRUE(result->matcher->Save(dir).ok());
+  auto matcher = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(matcher.ok()) << matcher.status();
+  for (const Table& t : IngestSequence()) {
+    ASSERT_TRUE(matcher->AddTable(t).ok());
+  }
+
+  // Regression pin for the incremental centroid update: AddTable only
+  // recomputes representations of items the new source touched; this
+  // oracle recomputes EVERY item from scratch — re-encode each source row
+  // with the session's fitted encoder and selection, then apply the
+  // TwoTableMerger::Merge arithmetic (sum over sorted members, scale by
+  // 1/n, L2-normalize) — and the incrementally maintained centroids must
+  // match float-exactly, carried and merged items alike.
+  std::vector<Table> sources = ProductTables();
+  for (const Table& t : IngestSequence()) sources.push_back(t);
+  std::vector<embed::EmbeddingMatrix> base;
+  base.reserve(sources.size());
+  for (const Table& t : sources) {
+    base.push_back(matcher->encoder().EncodeBatch(
+        embed::SerializeTable(t, matcher->selection().selected_columns)));
+  }
+
+  const core::Matcher::Snapshot snap = matcher->snapshot();
+  ASSERT_EQ(snap.source_names().size(), sources.size());
+  const embed::EmbeddingMatrix& centroids = snap.centroids();
+  const size_t dim = centroids.dim();
+  size_t multi_member_items = 0;
+  for (size_t i = 0; i < snap.num_items(); ++i) {
+    const std::vector<table::EntityId>& members = snap.item_members(i);
+    ASSERT_TRUE(std::is_sorted(members.begin(), members.end()));
+    std::vector<float> expect(dim, 0.0f);
+    for (table::EntityId member : members) {
+      std::span<const float> row = base[member.source()].Row(member.row());
+      for (size_t d = 0; d < dim; ++d) expect[d] += row[d];
+    }
+    if (members.size() >= 2) {
+      ++multi_member_items;
+      const float inv = 1.0f / static_cast<float>(members.size());
+      for (float& x : expect) x *= inv;
+      embed::L2NormalizeInPlace(expect);
+    }
+    const std::span<const float> got = centroids.Row(i);
+    for (size_t d = 0; d < dim; ++d) {
+      ASSERT_EQ(got[d], expect[d]) << "item " << i << " dim " << d;
+    }
+  }
+  ASSERT_GT(multi_member_items, 0u);
 }
 
 TEST(PipelineArtifactTest, MatcherValidatesQueries) {

@@ -1,0 +1,548 @@
+// Concurrent-serving tests for core::Matcher's epoch-swap contract:
+// MatchRecords readers hammering a session while an AddTable writer loops
+// must always observe exactly one published epoch (never a torn mix of
+// entity table, slot map, and index), batched MatchRecords must equal the
+// sequential path bitwise, Snapshots must pin their epoch for id
+// resolution, and the MatchObserver hooks must fire on the calling thread
+// in row order. The *Concurrent* tests double as the TSan stress suite
+// (.github/workflows/ci.yml runs `serve_test --gtest_filter='*Concurrent*'`
+// under -DMULTIEM_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/matcher.h"
+#include "core/pipeline.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "util/thread_pool.h"
+
+namespace multiem {
+namespace {
+
+using core::AddTableOptions;
+using core::Matcher;
+using core::MatchObserver;
+using core::MatchOptions;
+using core::MatchQueryStats;
+using core::MultiEmConfig;
+using core::MultiEmPipeline;
+using core::PipelineBuilder;
+using core::PipelineResult;
+using core::RecordMatch;
+using core::RunContext;
+using table::Schema;
+using table::Table;
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "multiem_serve_" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+// Same demo corpus family as persist_test: three overlapping product tables.
+std::vector<Table> BaseTables() {
+  Schema schema({"title", "color"});
+  std::vector<Table> tables;
+  {
+    Table t("shop_a", schema);
+    t.AppendRow({"apple iphone 8 plus 64gb", "silver"}).CheckOk();
+    t.AppendRow({"samsung galaxy s9 dual sim 64gb", "black"}).CheckOk();
+    t.AppendRow({"google pixel 3 xl 128gb", "white"}).CheckOk();
+    t.AppendRow({"sony wh-1000xm3 wireless headphones", "black"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_b", schema);
+    t.AppendRow({"apple iphone 8 plus 5.5 64gb unlocked", "silver"}).CheckOk();
+    t.AppendRow({"galaxy s9 duos 64 gb by samsung", "midnight black"})
+        .CheckOk();
+    t.AppendRow({"nintendo switch neon console", "neon"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_c", schema);
+    t.AppendRow({"apple iphone 8 plus 14 cm 64 gb ios 11", "silver"}).CheckOk();
+    t.AppendRow({"pixel 3 xl google smartphone 128 gb", "clearly white"})
+        .CheckOk();
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+// The writer's ingest sequence: each table mixes one row that merges into
+// an existing group (retiring a slot on the incremental path) with one
+// novel row (a fresh insert), so every epoch exercises both transitions.
+std::vector<Table> IngestTables() {
+  Schema schema({"title", "color"});
+  std::vector<Table> tables;
+  {
+    Table t("shop_d", schema);
+    t.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+    t.AppendRow({"dyson v11 cordless vacuum", "purple"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_e", schema);
+    t.AppendRow({"google pixel 3 xl 128 gb", "white"}).CheckOk();
+    t.AppendRow({"breville espresso machine", "steel"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_f", schema);
+    t.AppendRow({"sony wh-1000xm3 headphones wireless", "black"}).CheckOk();
+    t.AppendRow({"kindle paperwhite 8gb ereader", "black"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  {
+    Table t("shop_g", schema);
+    t.AppendRow({"dyson v11 vacuum cordless", "purple"}).CheckOk();
+    t.AppendRow({"lego millennium falcon 75192", "grey"}).CheckOk();
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+Table QueryTable() {
+  Table q("queries", Schema({"title", "color"}));
+  q.AppendRow({"apple iphone 8 plus 64 gb", "silver"}).CheckOk();
+  q.AppendRow({"google pixel 3 xl", "white"}).CheckOk();
+  q.AppendRow({"dyson v11 vacuum", "purple"}).CheckOk();
+  q.AppendRow({"sony wireless headphones wh-1000xm3", "black"}).CheckOk();
+  return q;
+}
+
+MultiEmConfig ServingConfig() {
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.m = 0.72f;
+  config.eps = 1.2f;
+  return config;
+}
+
+// Builds the base session once per binary run and saves it, so every test
+// (and the serial reference replay vs the concurrent replay) starts from a
+// bit-identical session.
+const std::string& SharedArtifactDir() {
+  static const std::string dir = [] {
+    std::string path = TempPath("shared_artifact");
+    auto pipeline = PipelineBuilder(ServingConfig()).Build();
+    pipeline.status().CheckOk();
+    RunContext ctx;
+    ctx.build_matcher = true;
+    PipelineResult result;
+    pipeline->Run(BaseTables(), ctx, &result).CheckOk();
+    result.matcher->Save(path).CheckOk();
+    return path;
+  }();
+  return dir;
+}
+
+Matcher LoadSession() {
+  auto matcher = MultiEmPipeline::LoadArtifact(SharedArtifactDir());
+  matcher.status().CheckOk();
+  return std::move(*matcher);
+}
+
+// The full per-epoch answer set a reader may legally observe: the match
+// results of the fixed query table plus, for every hit, the resolved member
+// list — so a torn read of any layer (index, slot map, entity table) is
+// detectable, not just a torn top-1.
+struct EpochAnswers {
+  std::vector<std::vector<RecordMatch>> matches;
+  std::vector<std::vector<std::vector<table::EntityId>>> members;
+};
+
+EpochAnswers AnswersOf(const Matcher::Snapshot& snapshot, const Table& queries,
+                       const MatchOptions& options) {
+  EpochAnswers answers;
+  auto matches = snapshot.MatchRecords(queries, options);
+  matches.status().CheckOk();
+  answers.matches = std::move(*matches);
+  answers.members.resize(answers.matches.size());
+  for (size_t row = 0; row < answers.matches.size(); ++row) {
+    for (const RecordMatch& hit : answers.matches[row]) {
+      answers.members[row].push_back(snapshot.item_members(hit.item));
+    }
+  }
+  return answers;
+}
+
+// ------------------------------------------------- concurrency stress --
+
+// N reader threads loop snapshot+MatchRecords+resolve while one writer
+// applies the ingest sequence. AddTable is deterministic, so replaying the
+// identical sequence serially on a second copy of the session yields the
+// exact answer set of every epoch; each concurrent read must then equal
+// the serial answers of the epoch its snapshot pinned — pre- or
+// post-swap, never a mix.
+TEST(ServeConcurrentTest, ReadersNeverObserveTornStateUnderAddTable) {
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+
+  // Serial reference replay.
+  std::vector<EpochAnswers> expected;
+  {
+    Matcher reference = LoadSession();
+    expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    for (const Table& t : IngestTables()) {
+      ASSERT_TRUE(reference.AddTable(t).ok());
+      ASSERT_EQ(reference.epoch(), expected.size());
+      expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    }
+  }
+
+  // Concurrent replay of the same sequence on a fresh copy.
+  Matcher live = LoadSession();
+  std::atomic<bool> done{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<size_t> post_swap_reads{0};
+  const size_t kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        Matcher::Snapshot snapshot = live.snapshot();
+        const uint64_t epoch = snapshot.epoch();
+        ASSERT_LT(epoch, expected.size());
+        const EpochAnswers seen = AnswersOf(snapshot, queries, options);
+        EXPECT_EQ(seen.matches, expected[epoch].matches)
+            << "epoch " << epoch << " answers torn";
+        EXPECT_EQ(seen.members, expected[epoch].members)
+            << "epoch " << epoch << " member resolution torn";
+        reads.fetch_add(1, std::memory_order_relaxed);
+        if (epoch > 0) {
+          post_swap_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  util::ThreadPool writer_pool(2);
+  for (const Table& t : IngestTables()) {
+    // Give readers a window on each epoch, including epoch 0.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    AddTableOptions add;
+    add.pool = &writer_pool;
+    ASSERT_TRUE(live.AddTable(t, add).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(live.epoch(), IngestTables().size());
+  EXPECT_GT(reads.load(), 0u);
+  EXPECT_GT(post_swap_reads.load(), 0u)
+      << "no reader ever sampled a post-swap epoch; stress window too short";
+  // The final concurrent state answers exactly like the serial replay.
+  EXPECT_EQ(AnswersOf(live.snapshot(), queries, options).matches,
+            expected.back().matches);
+}
+
+// Readers that pinned a Snapshot before a swap keep getting the old
+// epoch's answers from it even while (and after) writers retire that
+// epoch — and batched reads through a pool race nothing in the writer.
+TEST(ServeConcurrentTest, SnapshotsPinTheirEpochAcrossSwaps) {
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+
+  Matcher live = LoadSession();
+  const Matcher::Snapshot pinned = live.snapshot();
+  const EpochAnswers before = AnswersOf(pinned, queries, options);
+
+  util::ThreadPool pool(4);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (size_t r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      MatchOptions batched = options;
+      batched.pool = &pool;
+      while (!done.load(std::memory_order_relaxed)) {
+        const EpochAnswers seen = AnswersOf(pinned, queries, batched);
+        EXPECT_EQ(seen.matches, before.matches);
+        EXPECT_EQ(seen.members, before.members);
+      }
+    });
+  }
+  for (const Table& t : IngestTables()) {
+    ASSERT_TRUE(live.AddTable(t).ok());
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(pinned.epoch(), 0u);
+  EXPECT_EQ(live.epoch(), IngestTables().size());
+  // The retired epoch still resolves identically through the pinned view.
+  const EpochAnswers after = AnswersOf(pinned, queries, options);
+  EXPECT_EQ(after.matches, before.matches);
+  EXPECT_EQ(after.members, before.members);
+}
+
+// Save is a reader-plus-writer-mutex operation: saving while MatchRecords
+// readers run and an AddTable writer loops must produce an artifact of
+// exactly one epoch, which then loads and answers like that epoch.
+TEST(ServeConcurrentTest, SaveUnderConcurrentReadersAndWriterIsOneEpoch) {
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+
+  std::vector<EpochAnswers> expected;
+  {
+    Matcher reference = LoadSession();
+    expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    for (const Table& t : IngestTables()) {
+      ASSERT_TRUE(reference.AddTable(t).ok());
+      expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    }
+  }
+
+  Matcher live = LoadSession();
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      Matcher::Snapshot snapshot = live.snapshot();
+      const EpochAnswers seen = AnswersOf(snapshot, queries, options);
+      EXPECT_EQ(seen.matches, expected[snapshot.epoch()].matches);
+    }
+  });
+  const std::string dir = TempPath("save_under_writers");
+  std::thread saver([&] { EXPECT_TRUE(live.Save(dir).ok()); });
+  for (const Table& t : IngestTables()) {
+    ASSERT_TRUE(live.AddTable(t).ok());
+  }
+  saver.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  auto reloaded = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  const uint64_t saved_epoch_items = reloaded->num_items();
+  bool matches_some_epoch = false;
+  Matcher replay = LoadSession();
+  for (size_t e = 0; e <= IngestTables().size(); ++e) {
+    if (replay.num_items() == saved_epoch_items) {
+      // Epochs are distinguishable by item count here (every ingest adds
+      // exactly one net item); the artifact must answer like that epoch.
+      auto got = reloaded->MatchRecords(queries, options);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(*got, expected[e].matches);
+      matches_some_epoch = true;
+      break;
+    }
+    if (e < IngestTables().size()) {
+      ASSERT_TRUE(replay.AddTable(IngestTables()[e]).ok());
+    }
+  }
+  EXPECT_TRUE(matches_some_epoch)
+      << "saved artifact matches no published epoch";
+}
+
+// --------------------------------------------------- batched match path --
+
+TEST(ServeBatchTest, BatchedMatchesSequentialExactly) {
+  Matcher matcher = LoadSession();
+  // A wider batch than the fan-out block size, so several pool tasks run.
+  Table queries("queries", Schema({"title", "color"}));
+  const std::vector<std::vector<std::string>> rows = {
+      {"apple iphone 8 plus 64 gb", "silver"},
+      {"iphone 8 plus apple 64gb", ""},
+      {"google pixel 3 xl", "white"},
+      {"pixel 3 xl 128 gb", "clearly white"},
+      {"samsung galaxy s9 dual sim", "black"},
+      {"galaxy s9 64 gb", "midnight black"},
+      {"sony wh-1000xm3 headphones", "black"},
+      {"wireless headphones sony", ""},
+      {"nintendo switch console", "neon"},
+      {"espresso machine deluxe", "red"},
+      {"mechanical keyboard rgb", "black"},
+      {"usb-c charging cable 2m", "white"},
+  };
+  for (const auto& row : rows) {
+    queries.AppendRow(std::vector<std::string>(row)).CheckOk();
+  }
+
+  util::ThreadPool pool(4);
+  for (size_t k : {1, 3}) {
+    MatchOptions sequential;
+    sequential.k = k;
+    MatchOptions batched;
+    batched.k = k;
+    batched.pool = &pool;
+    auto expect = matcher.MatchRecords(queries, sequential);
+    ASSERT_TRUE(expect.ok()) << expect.status();
+    auto got = matcher.MatchRecords(queries, batched);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(*got, *expect) << "k=" << k;
+  }
+}
+
+class RecordingObserver : public MatchObserver {
+ public:
+  void OnQueryMatched(size_t row, const MatchQueryStats& stats) override {
+    rows.push_back(row);
+    stats_per_row.push_back(stats);
+  }
+  void OnBatchMatched(size_t num_queries, double seconds) override {
+    ++batches;
+    batch_queries = num_queries;
+    batch_seconds = seconds;
+  }
+
+  std::vector<size_t> rows;
+  std::vector<MatchQueryStats> stats_per_row;
+  size_t batches = 0;
+  size_t batch_queries = 0;
+  double batch_seconds = -1.0;
+};
+
+TEST(ServeBatchTest, ObserverFiresInRowOrderWithRealCounters) {
+  Matcher matcher = LoadSession();
+  const Table queries = QueryTable();
+  util::ThreadPool pool(4);
+
+  RecordingObserver observer;
+  MatchOptions options;
+  options.k = 2;
+  options.pool = &pool;
+  options.observer = &observer;
+  auto matches = matcher.MatchRecords(queries, options);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+
+  // One hook per row, fired in ascending row order, after the fan-out.
+  ASSERT_EQ(observer.rows.size(), queries.num_rows());
+  for (size_t row = 0; row < observer.rows.size(); ++row) {
+    EXPECT_EQ(observer.rows[row], row);
+    EXPECT_EQ(observer.stats_per_row[row].hits, (*matches)[row].size());
+    // Searching a non-empty index touches at least one node and computes
+    // at least one distance.
+    EXPECT_GT(observer.stats_per_row[row].visited, 0u) << "row " << row;
+    EXPECT_GT(observer.stats_per_row[row].distance_evals, 0u)
+        << "row " << row;
+  }
+  EXPECT_EQ(observer.batches, 1u);
+  EXPECT_EQ(observer.batch_queries, queries.num_rows());
+  EXPECT_GE(observer.batch_seconds, 0.0);
+}
+
+TEST(ServeBatchTest, EfSearchOverrideChangesEffortNotContract) {
+  Matcher matcher = LoadSession();
+  const Table queries = QueryTable();
+
+  RecordingObserver narrow_observer;
+  MatchOptions narrow;
+  narrow.k = 2;
+  narrow.ef_search = 2;  // raised to k, minimal beam
+  narrow.observer = &narrow_observer;
+  auto narrow_matches = matcher.MatchRecords(queries, narrow);
+  ASSERT_TRUE(narrow_matches.ok());
+
+  RecordingObserver wide_observer;
+  MatchOptions wide = narrow;
+  wide.ef_search = 256;
+  wide.observer = &wide_observer;
+  auto wide_matches = matcher.MatchRecords(queries, wide);
+  ASSERT_TRUE(wide_matches.ok());
+
+  size_t narrow_evals = 0, wide_evals = 0;
+  for (const auto& s : narrow_observer.stats_per_row) {
+    narrow_evals += s.distance_evals;
+  }
+  for (const auto& s : wide_observer.stats_per_row) {
+    wide_evals += s.distance_evals;
+  }
+  // A wider beam does strictly more work on this tiny index...
+  EXPECT_GE(wide_evals, narrow_evals);
+  // ... and at ef >> index size it is exhaustive, so hits are exact: each
+  // query's top hit must be its true nearest item.
+  for (size_t row = 0; row < wide_matches->size(); ++row) {
+    ASSERT_FALSE((*wide_matches)[row].empty());
+  }
+}
+
+// --------------------------------------------------------- ingest paths --
+
+// The incremental index path retires slots of absorbed items; readers must
+// filter them and never return a retired slot's stale centroid.
+TEST(ServeIngestTest, MergingIngestRetiresSlotsAndStaysConsistent) {
+  Matcher incremental = LoadSession();
+  Matcher rebuild = LoadSession();
+  size_t max_dead = 0;
+  for (const Table& t : IngestTables()) {
+    AddTableOptions inc;
+    ASSERT_TRUE(incremental.AddTable(t, inc).ok());
+    AddTableOptions reb;
+    reb.rebuild_index = true;
+    ASSERT_TRUE(rebuild.AddTable(t, reb).ok());
+    // Epoch invariant: the index holds exactly one live slot per item plus
+    // the retired ones.
+    const Matcher::Snapshot epoch = incremental.snapshot();
+    EXPECT_EQ(epoch.index().size(),
+              epoch.num_items() + epoch.dead_slots());
+    max_dead = std::max(max_dead, epoch.dead_slots());
+  }
+
+  const Matcher::Snapshot inc_snap = incremental.snapshot();
+  const Matcher::Snapshot reb_snap = rebuild.snapshot();
+  // The merge itself is identical: same items, same members, same tuples.
+  EXPECT_EQ(inc_snap.num_items(), reb_snap.num_items());
+  EXPECT_EQ(incremental.Tuples().tuples(), rebuild.Tuples().tuples());
+  // Every ingest above merges one row, so slots retire along the way...
+  EXPECT_GT(max_dead, 0u);
+  // ... until the 25% threshold compacts the index back to zero dead slots
+  // (this sequence is sized to cross it on the last ingest); the rebuild
+  // path never carries any.
+  EXPECT_EQ(inc_snap.dead_slots(), 0u);
+  EXPECT_EQ(reb_snap.dead_slots(), 0u);
+  EXPECT_EQ(inc_snap.index().size(), inc_snap.num_items());
+
+  // Every returned hit is a live item with in-range id and its distance to
+  // the resolved centroid is the reported one (i.e. no stale-slot leak).
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 3;
+  auto matches = inc_snap.MatchRecords(queries, options);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  auto reb_matches = reb_snap.MatchRecords(queries, options);
+  ASSERT_TRUE(reb_matches.ok());
+  for (size_t row = 0; row < matches->size(); ++row) {
+    for (const RecordMatch& hit : (*matches)[row]) {
+      ASSERT_LT(hit.item, inc_snap.num_items());
+    }
+    // Top hits agree with the rebuild session (both resolve the same
+    // entity group, whatever slot it lives in).
+    ASSERT_FALSE((*matches)[row].empty());
+    ASSERT_FALSE((*reb_matches)[row].empty());
+    EXPECT_EQ(inc_snap.item_members((*matches)[row][0].item),
+              reb_snap.item_members((*reb_matches)[row][0].item))
+        << "row " << row;
+  }
+}
+
+TEST(ServeIngestTest, EpochCountsAndSourceNamesAdvance) {
+  Matcher matcher = LoadSession();
+  EXPECT_EQ(matcher.epoch(), 0u);
+  uint64_t expected_epoch = 0;
+  for (const Table& t : IngestTables()) {
+    ASSERT_TRUE(matcher.AddTable(t).ok());
+    ++expected_epoch;
+    EXPECT_EQ(matcher.epoch(), expected_epoch);
+    EXPECT_EQ(matcher.source_names().back(), t.name());
+  }
+  // Re-ingesting a seen source name fails without publishing an epoch.
+  EXPECT_FALSE(matcher.AddTable(IngestTables()[0]).ok());
+  EXPECT_EQ(matcher.epoch(), expected_epoch);
+}
+
+}  // namespace
+}  // namespace multiem
