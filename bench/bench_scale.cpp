@@ -1,0 +1,322 @@
+/// \file bench_scale.cpp
+/// Million-row scale-out benchmark: streamed corpus generation
+/// (datagen::ScaleCorpusGenerator), a disk-backed end-to-end pipeline run
+/// (RunContext::merge_spill_dir -> core::ShardedMerger), artifact
+/// save/reload, and the zero-copy serving path — the numbers behind
+/// docs/API.md "Zero-copy serving" and "Sharded merging & memory budget".
+///
+/// CI gates on the emitted BENCH_scale.json:
+///   * peak RSS within --rss_budget_mb (the sharded merge keeps only one
+///     shard pair resident, so the budget holds regardless of corpus size),
+///   * merging speedup at --threads > the CI threshold (only meaningful on
+///     a multi-core runner — the JSON records hardware_concurrency so the
+///     gate can refuse to lie on a single-core box), and
+///   * mmap reload-to-first-query at least ~10x faster than the heap
+///     kFull reload, with bit-identical answers.
+///
+/// Method: every source is rendered in --chunk_rows chunks (the corpus is
+/// counter-seeded, so chunks are order-independent); the pipeline runs once
+/// serially and once at --threads, both spilled, to isolate the merge-phase
+/// speedup exactly like bench_fig5 does; the reload comparison times
+/// LoadArtifact + one small MatchRecords batch for the default heap/kFull
+/// open against the mmap/kStructural open of the same artifact.
+///
+/// Flags: --rows=1000000      total rows across all sources
+///        --sources=4         number of source tables
+///        --overlap=0.3       shared-entity fraction per source
+///        --threads=4         workers of the parallel run
+///        --dim=48            embedding dimensionality (hashing encoder)
+///        --chunk_rows=65536  datagen streaming chunk size
+///        --queries=32        rows of the reload-to-first-query batch
+///        --reload_repeat=3   best-of-N for both reload timings
+///        --measure_speedup=1 also run serially for the merge speedup
+///        --rss_budget_mb=0   fail (exit 1) if peak RSS exceeds this; 0 = off
+///        --json=PATH         output JSON path ("-" disables)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/matcher.h"
+#include "datagen/scale.h"
+#include "util/io.h"
+#include "util/thread_pool.h"
+
+namespace multiem::bench {
+namespace {
+
+namespace core = multiem::core;
+namespace fs = std::filesystem;
+
+/// Pipeline knobs tuned for synthetic million-row corpora on the hashing
+/// encoder: a moderate dimension and lean HNSW parameters keep the
+/// per-insert cost bounded while the m=0.5 threshold still recovers the
+/// generator's shared-prefix matches (see scale_test.cpp).
+core::MultiEmConfig ScaleConfig(size_t dim, size_t threads) {
+  core::MultiEmConfig config;
+  config.embedding_dim = dim;
+  config.sample_ratio = 0.05;  // the paper's 5M-entity Person setting
+  config.m = 0.5f;
+  config.hnsw_m = 8;
+  config.hnsw_ef_construction = 40;
+  config.hnsw_ef_search = 32;
+  config.num_threads = threads;
+  config.seed = 7;
+  return config;
+}
+
+/// Streams every source of the corpus into memory in chunk_rows chunks.
+/// Chunked on purpose even though the result is resident: it exercises the
+/// same AppendRows ranges a disk-spooling caller would use.
+std::vector<table::Table> BuildCorpus(
+    const datagen::ScaleCorpusGenerator& gen, size_t chunk_rows) {
+  std::vector<table::Table> sources;
+  sources.reserve(gen.num_sources());
+  for (size_t s = 0; s < gen.num_sources(); ++s) {
+    table::Table t(gen.source_name(s), gen.schema());
+    for (size_t begin = 0; begin < gen.rows_per_source();
+         begin += chunk_rows) {
+      gen.AppendRows(s, begin, begin + chunk_rows, &t);
+    }
+    sources.push_back(std::move(t));
+  }
+  return sources;
+}
+
+struct RunOutcome {
+  double pipeline_seconds = 0.0;
+  double merge_seconds = 0.0;
+  size_t num_tuples = 0;
+  size_t num_items = 0;
+  std::shared_ptr<core::Matcher> matcher;
+};
+
+RunOutcome RunPipeline(const core::MultiEmConfig& config,
+                       const std::vector<table::Table>& sources,
+                       const std::string& spill_dir, bool build_matcher) {
+  auto pipeline = core::PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  core::RunContext ctx;
+  ctx.merge_spill_dir = spill_dir;
+  ctx.build_matcher = build_matcher;
+  core::PipelineResult result;
+  util::WallTimer timer;
+  pipeline->Run(sources, ctx, &result).CheckOk();
+  RunOutcome out;
+  out.pipeline_seconds = timer.ElapsedSeconds();
+  out.merge_seconds = result.timings.Get(core::kPhaseMerging);
+  out.num_tuples = result.tuples.size();
+  out.num_items = result.matcher ? result.matcher->num_items() : 0;
+  out.matcher = std::move(result.matcher);
+  return out;
+}
+
+size_t DirectoryBytes(const fs::path& dir) {
+  size_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+/// Best-of-`repeat` wall time of LoadArtifact(options) + one MatchRecords
+/// batch — "reload to first query". The last run's answers are kept so the
+/// two open modes can be compared bit-for-bit.
+double TimeReload(const std::string& dir,
+                  const util::ArtifactOpenOptions& options,
+                  const table::Table& queries, int repeat,
+                  std::vector<std::vector<core::RecordMatch>>* answers) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    util::WallTimer timer;
+    auto matcher = core::MultiEmPipeline::LoadArtifact(dir, options);
+    matcher.status().CheckOk();
+    core::MatchOptions match;
+    match.k = 3;
+    auto got = matcher->MatchRecords(queries, match);
+    double seconds = timer.ElapsedSeconds();
+    got.status().CheckOk();
+    if (r == 0 || seconds < best) best = seconds;
+    if (r == repeat - 1) *answers = std::move(*got);
+  }
+  return best;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const size_t rows = static_cast<size_t>(flags.GetDouble("rows", 1e6));
+  const size_t num_sources =
+      static_cast<size_t>(flags.GetDouble("sources", 4));
+  const double overlap = flags.GetDouble("overlap", 0.3);
+  const size_t threads = static_cast<size_t>(flags.GetDouble("threads", 4));
+  const size_t dim = static_cast<size_t>(flags.GetDouble("dim", 48));
+  const size_t chunk_rows =
+      static_cast<size_t>(flags.GetDouble("chunk_rows", 65536));
+  const size_t num_queries =
+      static_cast<size_t>(flags.GetDouble("queries", 32));
+  const int reload_repeat =
+      static_cast<int>(flags.GetDouble("reload_repeat", 3));
+  const bool measure_speedup = flags.GetBool("measure_speedup", true);
+  const double rss_budget_mb = flags.GetDouble("rss_budget_mb", 0.0);
+  const std::string json_path = flags.Get("json", "BENCH_scale.json");
+  const size_t hardware = std::thread::hardware_concurrency();
+
+  datagen::ScaleCorpusConfig corpus_config;
+  corpus_config.seed = 42;
+  corpus_config.num_sources = num_sources;
+  corpus_config.rows_per_source = std::max<size_t>(1, rows / num_sources);
+  corpus_config.overlap = overlap;
+  datagen::ScaleCorpusGenerator gen(corpus_config);
+
+  std::printf("# bench_scale: %zu rows over %zu sources (%zu shared/source), "
+              "dim=%zu, threads=%zu, %zu hardware threads\n",
+              gen.total_rows(), gen.num_sources(), gen.shared_rows(), dim,
+              threads, hardware);
+
+  fs::path work_dir = fs::temp_directory_path() / "multiem_bench_scale";
+  fs::remove_all(work_dir);
+  fs::create_directories(work_dir);
+  const std::string spill_dir = (work_dir / "spill").string();
+  const std::string artifact_dir = (work_dir / "artifact").string();
+
+  // ---- datagen: streamed chunks, order-independent per-row seeding.
+  util::WallTimer datagen_timer;
+  std::vector<table::Table> sources = BuildCorpus(gen, chunk_rows);
+  double datagen_seconds = datagen_timer.ElapsedSeconds();
+  std::printf("# datagen: %.2fs (%.0f rows/s, chunk=%zu)\n", datagen_seconds,
+              static_cast<double>(gen.total_rows()) / datagen_seconds,
+              chunk_rows);
+
+  // ---- end-to-end pipeline at --threads, disk-backed merge, with the
+  // serving session built so the artifact path below is the full story.
+  RunOutcome parallel =
+      RunPipeline(ScaleConfig(dim, threads), sources, spill_dir, true);
+  std::printf("# pipeline x%zu: %.2fs total, %.2fs merging — %zu tuples, "
+              "%zu items\n",
+              threads, parallel.pipeline_seconds, parallel.merge_seconds,
+              parallel.num_tuples, parallel.num_items);
+
+  // ---- serial reference for the merge speedup (fig5's method, both runs
+  // spilled so only the thread count differs).
+  double serial_merge_seconds = 0.0;
+  if (measure_speedup) {
+    RunOutcome serial =
+        RunPipeline(ScaleConfig(dim, 1), sources, spill_dir, false);
+    serial_merge_seconds = serial.merge_seconds;
+    std::printf("# pipeline x1: %.2fs merging — speedup %.2fx\n",
+                serial_merge_seconds,
+                parallel.merge_seconds > 0.0
+                    ? serial_merge_seconds / parallel.merge_seconds
+                    : 0.0);
+  }
+
+  // ---- artifact save + the reload-to-first-query comparison: default
+  // heap/kFull open vs the zero-copy mmap/kStructural open.
+  util::WallTimer save_timer;
+  parallel.matcher->Save(artifact_dir).CheckOk();
+  double save_seconds = save_timer.ElapsedSeconds();
+  size_t artifact_bytes = DirectoryBytes(artifact_dir);
+  parallel.matcher.reset();  // reloads below must not share its pages
+
+  table::Table queries("queries", gen.schema());
+  gen.AppendRows(0, 0, num_queries, &queries);
+
+  util::ArtifactOpenOptions heap_open;  // defaults: kDisable + kFull
+  util::ArtifactOpenOptions mmap_open;
+  mmap_open.mapping = util::ArtifactOpenOptions::Mapping::kPrefer;
+  mmap_open.verify = util::ArtifactOpenOptions::Verify::kStructural;
+
+  std::vector<std::vector<core::RecordMatch>> heap_answers, mmap_answers;
+  double heap_seconds = TimeReload(artifact_dir, heap_open, queries,
+                                   reload_repeat, &heap_answers);
+  double mmap_seconds = TimeReload(artifact_dir, mmap_open, queries,
+                                   reload_repeat, &mmap_answers);
+  bool answers_identical = heap_answers == mmap_answers;
+  double reload_speedup =
+      mmap_seconds > 0.0 ? heap_seconds / mmap_seconds : 0.0;
+  std::printf("# artifact: %zu bytes (save %.2fs); reload-to-first-query "
+              "heap %.4fs vs mmap %.4fs (%.1fx, answers %s)\n",
+              artifact_bytes, save_seconds, heap_seconds, mmap_seconds,
+              reload_speedup, answers_identical ? "identical" : "DIFFER");
+
+  size_t peak_rss = util::PeakRssBytes();
+  double peak_rss_mb = static_cast<double>(peak_rss) / (1024.0 * 1024.0);
+  std::printf("# peak RSS: %.1f MB%s\n", peak_rss_mb,
+              rss_budget_mb > 0.0
+                  ? (peak_rss_mb <= rss_budget_mb ? " (within budget)"
+                                                  : " (OVER BUDGET)")
+                  : "");
+
+  double end_to_end_seconds =
+      datagen_seconds + parallel.pipeline_seconds + save_seconds;
+
+  if (json_path != "-" && !json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"scale\",\n"
+                 "  \"rows\": %zu,\n"
+                 "  \"sources\": %zu,\n"
+                 "  \"shared_rows_per_source\": %zu,\n"
+                 "  \"dim\": %zu,\n"
+                 "  \"threads\": %zu,\n"
+                 "  \"hardware_concurrency\": %zu,\n"
+                 "  \"datagen_seconds\": %.4f,\n"
+                 "  \"pipeline_seconds\": %.4f,\n"
+                 "  \"save_seconds\": %.4f,\n"
+                 "  \"end_to_end_seconds\": %.4f,\n"
+                 "  \"num_tuples\": %zu,\n"
+                 "  \"num_items\": %zu,\n"
+                 "  \"peak_rss_mb\": %.1f,\n"
+                 "  \"rss_budget_mb\": %.1f,\n",
+                 gen.total_rows(), gen.num_sources(), gen.shared_rows(), dim,
+                 threads, hardware, datagen_seconds,
+                 parallel.pipeline_seconds, save_seconds, end_to_end_seconds,
+                 parallel.num_tuples, parallel.num_items, peak_rss_mb,
+                 rss_budget_mb);
+    std::fprintf(f,
+                 "  \"merge\": {\"serial_seconds\": %.4f, "
+                 "\"parallel_seconds\": %.4f, \"speedup\": %.3f, "
+                 "\"measured\": %s},\n",
+                 serial_merge_seconds, parallel.merge_seconds,
+                 measure_speedup && parallel.merge_seconds > 0.0
+                     ? serial_merge_seconds / parallel.merge_seconds
+                     : 0.0,
+                 measure_speedup ? "true" : "false");
+    std::fprintf(f,
+                 "  \"reload\": {\"artifact_bytes\": %zu, "
+                 "\"heap_seconds\": %.6f, \"mmap_seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"queries\": %zu, "
+                 "\"answers_identical\": %s}\n"
+                 "}\n",
+                 artifact_bytes, heap_seconds, mmap_seconds, reload_speedup,
+                 queries.num_rows(), answers_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  }
+
+  fs::remove_all(work_dir);
+  if (!answers_identical) {
+    std::fprintf(stderr, "FAIL: mmap and heap answers differ\n");
+    return 1;
+  }
+  if (rss_budget_mb > 0.0 && peak_rss_mb > rss_budget_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds budget %.1f MB\n",
+                 peak_rss_mb, rss_budget_mb);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace multiem::bench
+
+int main(int argc, char** argv) { return multiem::bench::Main(argc, argv); }

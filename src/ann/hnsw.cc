@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
 
 #include "ann/index_io.h"
 #include "util/thread_pool.h"
@@ -147,12 +149,20 @@ int HnswIndex::DrawLevel() {
   return static_cast<int>(-std::log(u) * level_lambda_);
 }
 
+void HnswIndex::EnsureOwnedSlabs() {
+  vectors_.EnsureOwned();
+  level0_links_.EnsureOwned();
+  upper_links_.EnsureOwned();
+  upper_offset_.EnsureOwned();
+  node_level_.EnsureOwned();
+}
+
 uint32_t HnswIndex::RegisterNode(std::span<const float> vec) {
   if (vec.size() != dim_) std::abort();
   if (num_nodes_ >= UINT32_MAX) std::abort();  // flat ids are 32-bit
   const uint32_t node = static_cast<uint32_t>(num_nodes_);
   const size_t offset = vectors_.size();
-  vectors_.insert(vectors_.end(), vec.begin(), vec.end());
+  vectors_.append(vec.begin(), vec.end());
   if (metric_ == Metric::kCosine) {
     embed::L2NormalizeInPlace(std::span<float>(vectors_.data() + offset, dim_));
   }
@@ -437,6 +447,7 @@ void HnswIndex::InsertNode(uint32_t node, SearchScratch& scratch) {
 }
 
 void HnswIndex::Add(std::span<const float> vec) {
+  EnsureOwnedSlabs();
   const uint32_t node = RegisterNode(vec);
   if (node == 0) {
     entry_state_.store(PackEntryState(node_level_[0], 0),
@@ -451,6 +462,7 @@ void HnswIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
                          util::ThreadPool* pool) {
   const size_t n = vectors.num_rows();
   if (n == 0) return;
+  EnsureOwnedSlabs();
   if (pool == nullptr || pool->num_threads() <= 1 ||
       n < config_.parallel_batch_min) {
     for (size_t i = 0; i < n; ++i) Add(vectors.Row(i));
@@ -596,8 +608,7 @@ util::Status HnswIndex::Save(const std::string& path) const {
   artifact.AddSection("links0").WriteU32Array(
       std::span<const uint32_t>(level0_links_.data(), level0_links_.size()));
 
-  std::vector<uint64_t> offsets(upper_offset_.begin(), upper_offset_.end());
-  artifact.AddSection("upper_offsets").WriteU64Array(offsets);
+  artifact.AddSection("upper_offsets").WriteU64Array(upper_offset_.span());
   artifact.AddSection("upper_links").WriteU32Array(
       std::span<const uint32_t>(upper_links_.data(), upper_links_.size()));
 
@@ -704,12 +715,16 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
   index->level_rng_.set_state(
       {rng_state[0], rng_state[1], rng_state[2], rng_state[3]});
 
-  // Each slab reads straight into its member (one memcpy out of the file
-  // image; see ByteReader::ReadArrayInto) and is validated in place; a
-  // failed check discards the half-built index.
+  // Each slab either binds as a zero-copy view straight onto the mapped
+  // file (mmap open: the keepalive pins the mapping, reload touches no slab
+  // bytes beyond validation) or reads into its member with one memcpy out
+  // of the heap image (ByteReader::ReadArrayCow picks per slab). Either way
+  // it is validated in place; a failed check discards the half-built index.
+  const std::shared_ptr<const void> keepalive =
+      artifact.mapped() ? artifact.backing() : nullptr;
   auto vectors = artifact.Section("vectors");
   if (!vectors.ok()) return vectors.status();
-  MULTIEM_RETURN_IF_ERROR(vectors->ReadArrayInto(&index->vectors_));
+  MULTIEM_RETURN_IF_ERROR(vectors->ReadArrayCow(&index->vectors_, keepalive));
   MULTIEM_RETURN_IF_ERROR(vectors->ExpectExhausted());
   // Division form, not `num_nodes * dim`: a crafted dim near 2^64 must not
   // wrap the product into agreeing with an empty payload.
@@ -723,16 +738,16 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
 
   auto levels = artifact.Section("levels");
   if (!levels.ok()) return levels.status();
-  MULTIEM_RETURN_IF_ERROR(levels->ReadArrayInto(&index->node_level_));
+  MULTIEM_RETURN_IF_ERROR(levels->ReadArrayCow(&index->node_level_, keepalive));
   MULTIEM_RETURN_IF_ERROR(levels->ExpectExhausted());
-  const std::vector<int>& node_levels = index->node_level_;
+  const auto& node_levels = index->node_level_;
   if (node_levels.size() != num_nodes) {
     return util::Status::InvalidArgument(
         "hnsw artifact: level array holds " +
         std::to_string(node_levels.size()) + " entries, want " +
         std::to_string(num_nodes));
   }
-  for (int level : node_levels) {
+  for (int32_t level : node_levels) {
     // A top layer above 63 cannot arise from the geometric draw (P(level
     // >= 64) is ~m^-64); rejecting it also keeps the upper-slab offset
     // accumulation below safely inside 64 bits.
@@ -744,7 +759,7 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
 
   auto links0 = artifact.Section("links0");
   if (!links0.ok()) return links0.status();
-  MULTIEM_RETURN_IF_ERROR(links0->ReadArrayInto(&index->level0_links_));
+  MULTIEM_RETURN_IF_ERROR(links0->ReadArrayCow(&index->level0_links_, keepalive));
   MULTIEM_RETURN_IF_ERROR(links0->ExpectExhausted());
   if (index->level0_links_.size() % index->level0_stride_ != 0 ||
       index->level0_links_.size() / index->level0_stride_ != num_nodes) {
@@ -758,15 +773,14 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
   auto offsets_section = artifact.Section("upper_offsets");
   if (!offsets_section.ok()) return offsets_section.status();
   MULTIEM_RETURN_IF_ERROR(
-      offsets_section->ReadArrayInto(&index->upper_offset_));
+      offsets_section->ReadArrayCow(&index->upper_offset_, keepalive));
   MULTIEM_RETURN_IF_ERROR(offsets_section->ExpectExhausted());
   auto upper_section = artifact.Section("upper_links");
   if (!upper_section.ok()) return upper_section.status();
-  MULTIEM_RETURN_IF_ERROR(upper_section->ReadArrayInto(&index->upper_links_));
+  MULTIEM_RETURN_IF_ERROR(upper_section->ReadArrayCow(&index->upper_links_, keepalive));
   MULTIEM_RETURN_IF_ERROR(upper_section->ExpectExhausted());
-  const std::vector<size_t>& upper_offsets = index->upper_offset_;
-  const util::CacheAlignedVector<uint32_t>& upper_links =
-      index->upper_links_;
+  const auto& upper_offsets = index->upper_offset_;
+  const auto& upper_links = index->upper_links_;
 
   // Recompute the per-node upper-slab offsets from the level array; they are
   // fully determined by it, so a mismatch means an inconsistent file.
@@ -794,34 +808,61 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
         std::to_string(expected_offset));
   }
 
-  MULTIEM_RETURN_IF_ERROR(ValidateLinkSlab(index->level0_links_.data(),
-                                           num_nodes, index->level0_stride_,
-                                           num_nodes, "layer-0"));
-  // Upper blocks carry a (node, level) identity, and a link on level l must
-  // target a node that participates in level l — GreedySearchLayer follows
-  // it at that same level, and a node with a lower top layer has no block
-  // there, so an unchecked edge would walk past its slab (ValidateLinkSlab
-  // alone cannot see this; it only knows ids exist at layer 0).
-  for (size_t i = 0; i < num_nodes; ++i) {
-    for (int l = 1; l <= node_levels[i]; ++l) {
-      const uint32_t* block = upper_links.data() + upper_offsets[i] +
-                              size_t(l - 1) * index->upper_stride_;
-      if (block[0] >= index->upper_stride_) {
-        return util::Status::InvalidArgument(
-            "hnsw artifact: upper block of node " + std::to_string(i) +
-            " claims " + std::to_string(block[0]) + " links, capacity is " +
-            std::to_string(index->upper_stride_ - 1));
-      }
-      for (uint32_t j = 1; j <= block[0]; ++j) {
-        if (block[j] >= num_nodes ||
-            node_levels[block[j]] < l) {
-          return util::Status::InvalidArgument(
-              "hnsw artifact: node " + std::to_string(i) + " links to node " +
-              std::to_string(block[j]) + " on level " + std::to_string(l) +
-              ", which that node does not reach");
-        }
-      }
-    }
+  // Per-link semantic validation. Skipped entirely under a structural-only
+  // open (the caller vouched for the bytes; see ArtifactOpenOptions), and
+  // parallelized over the open's verify pool otherwise — at millions of
+  // nodes this sweep, not the I/O, dominates reload time.
+  if (artifact.deep_verify()) {
+    std::atomic<bool> bad{false};
+    std::mutex err_mu;
+    util::Status first_error = util::Status::Ok();
+    auto record = [&](util::Status s) {
+      bad.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (first_error.ok()) first_error = std::move(s);
+    };
+    util::ParallelFor(
+        artifact.load_pool(), num_nodes,
+        [&](size_t i) {
+          if (bad.load(std::memory_order_relaxed)) return;
+          util::Status s = ValidateLinkSlab(
+              index->level0_links_.data() + i * index->level0_stride_,
+              /*num_blocks=*/1, index->level0_stride_, num_nodes, "layer-0");
+          if (!s.ok()) {
+            record(std::move(s));
+            return;
+          }
+          // Upper blocks carry a (node, level) identity, and a link on
+          // level l must target a node that participates in level l —
+          // GreedySearchLayer follows it at that same level, and a node
+          // with a lower top layer has no block there, so an unchecked
+          // edge would walk past its slab (ValidateLinkSlab alone cannot
+          // see this; it only knows ids exist at layer 0).
+          for (int l = 1; l <= node_levels[i]; ++l) {
+            const uint32_t* block = upper_links.data() + upper_offsets[i] +
+                                    size_t(l - 1) * index->upper_stride_;
+            if (block[0] >= index->upper_stride_) {
+              record(util::Status::InvalidArgument(
+                  "hnsw artifact: upper block of node " + std::to_string(i) +
+                  " claims " + std::to_string(block[0]) +
+                  " links, capacity is " +
+                  std::to_string(index->upper_stride_ - 1)));
+              return;
+            }
+            for (uint32_t j = 1; j <= block[0]; ++j) {
+              if (block[j] >= num_nodes || node_levels[block[j]] < l) {
+                record(util::Status::InvalidArgument(
+                    "hnsw artifact: node " + std::to_string(i) +
+                    " links to node " + std::to_string(block[j]) +
+                    " on level " + std::to_string(l) +
+                    ", which that node does not reach"));
+                return;
+              }
+            }
+          }
+        },
+        /*min_block_size=*/4096);
+    if (!first_error.ok()) return first_error;
   }
 
   // Entry point: empty index <=> empty state; otherwise the stored node must

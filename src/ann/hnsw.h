@@ -195,6 +195,11 @@ class HnswIndex : public VectorIndex {
   /// Draws a node's top level: floor(-ln(U) * 1/ln(M)).
   int DrawLevel();
 
+  /// Materializes private copies of any slab still backed by a mapped
+  /// artifact (see the member comment below); called by every mutating
+  /// entry point before the first write.
+  void EnsureOwnedSlabs();
+
   /// Appends the vector (normalized for cosine), draws the node's level, and
   /// grows the link slabs (zero-filled blocks). Single-threaded; in a
   /// parallel AddBatch every registration happens before the concurrent
@@ -256,11 +261,18 @@ class HnswIndex : public VectorIndex {
   size_t upper_stride_;   // m + 1
 
   size_t num_nodes_ = 0;
-  util::CacheAlignedVector<float> vectors_;  // row-major (normalized if cosine)
-  util::CacheAlignedVector<uint32_t> level0_links_;  // [node * (m0+1)]
-  util::CacheAlignedVector<uint32_t> upper_links_;   // per-node level slabs
-  std::vector<size_t> upper_offset_;  // node -> first block in upper_links_
-  std::vector<int> node_level_;
+  // The flat slabs are copy-on-write: built in place (owned, cache-aligned)
+  // by Add/AddBatch, or bound as zero-copy views over an mmap'd artifact by
+  // Load. Any mutating entry point calls EnsureOwnedSlabs() first, so the
+  // search loops (including the MutableLinkBlock const_cast) only ever write
+  // owned memory.
+  util::CowSlab<float, util::AlignedAllocator<float>> vectors_;  // row-major
+  util::CowSlab<uint32_t, util::AlignedAllocator<uint32_t>>
+      level0_links_;  // [node * (m0+1)]
+  util::CowSlab<uint32_t, util::AlignedAllocator<uint32_t>>
+      upper_links_;  // per-node level slabs
+  util::CowSlab<uint64_t> upper_offset_;  // node -> first upper_links_ block
+  util::CowSlab<int32_t> node_level_;
   std::atomic<uint64_t> entry_state_{kEmptyEntryState};
 
   mutable std::unique_ptr<std::mutex[]> link_stripes_;

@@ -47,8 +47,8 @@ std::vector<std::string> RegisteredIndexLoaderKinds() {
 }
 
 util::Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(
-    const std::string& path) {
-  return Registry().LoadFromFile(path);
+    const std::string& path, const util::ArtifactOpenOptions& options) {
+  return Registry().LoadFromFile(path, options);
 }
 
 }  // namespace multiem::ann

@@ -56,9 +56,11 @@ std::vector<std::string> RegisteredIndexLoaderKinds();
 /// Opens the MEMINDEX artifact at `path`, validates it (magic, version,
 /// checksums), reads the kind tag, and dispatches the registered loader.
 /// The returned index answers Search immediately; see the implementation's
-/// Save contract for what state round-trips.
+/// Save contract for what state round-trips. `options` selects mmap-backed
+/// zero-copy opening and the verification depth (util::ArtifactOpenOptions);
+/// the defaults read into heap memory with full verification.
 util::Result<std::unique_ptr<VectorIndex>> LoadVectorIndex(
-    const std::string& path);
+    const std::string& path, const util::ArtifactOpenOptions& options = {});
 
 }  // namespace multiem::ann
 

@@ -8,6 +8,7 @@
 #include "ann/index_io.h"
 #include "core/registry.h"
 #include "embed/encoder_io.h"
+#include "embed/matrix_io.h"
 
 namespace multiem::core {
 
@@ -34,36 +35,6 @@ util::Status ReadStringArray(util::ByteReader& in,
     MULTIEM_RETURN_IF_ERROR(in.ReadString(&s));
     out->push_back(std::move(s));
   }
-  return util::Status::Ok();
-}
-
-void WriteMatrix(util::ByteWriter& out, const embed::EmbeddingMatrix& m) {
-  out.WriteU64(m.num_rows());
-  out.WriteU64(m.dim());
-  out.WriteF32Array(m.data());
-}
-
-util::Status ReadMatrix(util::ByteReader& in, embed::EmbeddingMatrix* out) {
-  uint64_t rows, dim;
-  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&rows));
-  MULTIEM_RETURN_IF_ERROR(in.ReadU64(&dim));
-  std::vector<float> data;
-  MULTIEM_RETURN_IF_ERROR(in.ReadF32Array(&data));
-  // Division form (crafted counts must not wrap the product), plus a
-  // plausibility cap on dim: a consistent-but-absurd dimensionality would
-  // otherwise sail through every cross-check and blow up only at the first
-  // query's EncodeBatch allocation.
-  constexpr uint64_t kMaxDim = uint64_t{1} << 24;
-  if (dim == 0 || dim > kMaxDim || data.size() % dim != 0 ||
-      data.size() / dim != rows) {
-    return util::Status::InvalidArgument(
-        "manifest matrix holds " + std::to_string(data.size()) +
-        " floats, header claims " + std::to_string(rows) + " x " +
-        std::to_string(dim));
-  }
-  *out = embed::EmbeddingMatrix(static_cast<size_t>(rows),
-                                static_cast<size_t>(dim));
-  std::copy(data.begin(), data.end(), out->mutable_data().begin());
   return util::Status::Ok();
 }
 
@@ -169,19 +140,24 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
 
   WriteStringArray(manifest.AddSection("sources"), state->source_names);
 
+  // Format v3: an item with zero members is a tombstone — a retired entry
+  // that keeps later items' ids stable across ingest epochs. It must have
+  // no live slot in the "slots" section (Matcher::Assemble enforces this).
   util::ByteWriter& items = manifest.AddSection("items");
   items.WriteU64(state->entities.num_items());
-  for (const MergeItem& item : state->entities.items()) {
+  for (size_t i = 0; i < state->entities.num_items(); ++i) {
+    const MergeItem& item = state->entities.item(i);
     items.WriteU64(item.members.size());
     for (table::EntityId id : item.members) items.WriteU64(id.packed());
   }
 
-  WriteMatrix(manifest.AddSection("centroids"), state->entities.embeddings());
+  embed::WriteMatrix(manifest.AddSection("centroids"),
+                     state->entities.GatherEmbeddings());
 
   util::ByteWriter& base = manifest.AddSection("base");
   base.WriteU64(state->store.num_sources());
   for (size_t s = 0; s < state->store.num_sources(); ++s) {
-    WriteMatrix(base, state->store.source(s));
+    embed::WriteMatrix(base, state->store.source(s));
   }
 
   // Format v2: the slot->item map of an incrementally grown index, so a
@@ -242,9 +218,18 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
 }
 
 util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
+  return Load(dir, util::ArtifactOpenOptions{});
+}
+
+util::Result<Matcher> PipelineArtifact::Load(
+    const std::string& dir, const util::ArtifactOpenOptions& options) {
   auto manifest = util::ArtifactReader::FromFile(
-      PathIn(dir, kManifestFile), kManifestMagic, kManifestVersion);
+      PathIn(dir, kManifestFile), kManifestMagic, kManifestVersion, options);
   if (!manifest.ok()) return manifest.status();
+  // Zero-copy lever: with a mapped file, matrix payloads bind views over
+  // the mapped pages (keepalive = the mapping) instead of copying.
+  const std::shared_ptr<const void> keepalive =
+      manifest->mapped() ? manifest->backing() : nullptr;
 
   MultiEmConfig config;
   {
@@ -292,18 +277,26 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
     auto centroid_section = manifest->Section("centroids");
     if (!centroid_section.ok()) return centroid_section.status();
     embed::EmbeddingMatrix centroids;
-    MULTIEM_RETURN_IF_ERROR(ReadMatrix(*centroid_section, &centroids));
+    MULTIEM_RETURN_IF_ERROR(
+        embed::ReadMatrix(*centroid_section, keepalive, &centroids));
+    MULTIEM_RETURN_IF_ERROR(centroid_section->ExpectExhausted());
     if (centroids.num_rows() != num_items) {
       return util::Status::InvalidArgument(
           "manifest holds " + std::to_string(centroids.num_rows()) +
           " centroids for " + std::to_string(num_items) + " items");
     }
 
-    entities.Reserve(static_cast<size_t>(num_items), centroids.dim());
+    std::vector<MergeItem> parsed;
+    parsed.reserve(static_cast<size_t>(num_items));
     for (uint64_t i = 0; i < num_items; ++i) {
       uint64_t member_count;
       MULTIEM_RETURN_IF_ERROR(items->ReadU64(&member_count));
-      if (member_count == 0 || member_count > items->remaining() / 8) {
+      // Zero members is a tombstone, legal since format v3 (older files
+      // never carry one — keep rejecting it there, a v1/v2 writer could
+      // only produce it by corruption the checksums happened to miss).
+      const bool tombstones_legal = manifest->version() >= 3;
+      if ((member_count == 0 && !tombstones_legal) ||
+          member_count > items->remaining() / 8) {
         return util::Status::InvalidArgument(
             "manifest item " + std::to_string(i) + " claims " +
             std::to_string(member_count) + " members");
@@ -315,9 +308,11 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
         MULTIEM_RETURN_IF_ERROR(items->ReadU64(&packed));
         item.members.push_back(table::EntityId::FromPacked(packed));
       }
-      entities.Append(std::move(item), centroids.Row(i));
+      parsed.push_back(std::move(item));
     }
     MULTIEM_RETURN_IF_ERROR(items->ExpectExhausted());
+    // With a mapped manifest the chunks alias the centroid rows in place.
+    entities = MergeTable::FromParts(std::move(parsed), centroids);
   }
 
   EntityEmbeddingStore store;
@@ -328,7 +323,7 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
     MULTIEM_RETURN_IF_ERROR(section->ReadU64(&num_sources));
     for (uint64_t s = 0; s < num_sources; ++s) {
       embed::EmbeddingMatrix source;
-      MULTIEM_RETURN_IF_ERROR(ReadMatrix(*section, &source));
+      MULTIEM_RETURN_IF_ERROR(embed::ReadMatrix(*section, keepalive, &source));
       store.AddSource(std::move(source));
     }
     MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
@@ -355,9 +350,9 @@ util::Result<Matcher> PipelineArtifact::Load(const std::string& dir) {
     }
   }
 
-  auto encoder = embed::LoadTextEncoder(PathIn(dir, kEncoderFile));
+  auto encoder = embed::LoadTextEncoder(PathIn(dir, kEncoderFile), options);
   if (!encoder.ok()) return encoder.status();
-  auto index = ann::LoadVectorIndex(PathIn(dir, kIndexFile));
+  auto index = ann::LoadVectorIndex(PathIn(dir, kIndexFile), options);
   if (!index.ok()) return index.status();
 
   // The index factory backs future AddTable rebuilds; resolve it from the

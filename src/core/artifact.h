@@ -38,9 +38,12 @@ class PipelineArtifact {
  public:
   /// Magic + current format version of the MEMMANIF artifact family.
   /// v2 added the optional "slots" section (incrementally grown serving
-  /// index); v1 artifacts still load, with the identity slot mapping.
+  /// index); v3 allows zero-member items in "items" (tombstones — retired
+  /// entries that keep item ids stable across ingest epochs; they must hold
+  /// no live slot). v1/v2 artifacts still load, with the identity slot
+  /// mapping and no tombstones respectively.
   static constexpr uint64_t kManifestMagic = util::ArtifactMagic("MEMMANIF");
-  static constexpr uint32_t kManifestVersion = 2;
+  static constexpr uint32_t kManifestVersion = 3;
 
   /// File names inside the artifact directory.
   static constexpr const char* kManifestFile = "manifest.mem";
@@ -59,6 +62,13 @@ class PipelineArtifact {
   /// resolved from the saved config's index name (so future AddTable calls
   /// rebuild with the same backend the run used).
   static util::Result<Matcher> Load(const std::string& dir);
+
+  /// Same, with explicit open options applied to all three files: mmap-backed
+  /// zero-copy opening (embedding matrices and index slabs bind views over
+  /// the mapped pages) and the verification depth. The defaults match the
+  /// 1-arg overload — heap reads, full checksum verification.
+  static util::Result<Matcher> Load(const std::string& dir,
+                                    const util::ArtifactOpenOptions& options);
 };
 
 }  // namespace multiem::core

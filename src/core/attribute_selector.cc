@@ -27,19 +27,32 @@ util::Result<AttributeSelection> AttributeSelector::Run(
   size_t num_columns = sample.num_columns();
   out.shuffle_similarity.resize(num_columns, 1.0);
 
-  // Lines 5-11: per-attribute shuffle, re-embed, score. The column loop
-  // stays serial on purpose — ShuffleColumn draws from one deterministic rng
-  // stream, so reordering it would change the selection for a given seed;
-  // the parallelism lives inside each EncodeBatch (a task group on `pool`).
+  // Lines 5-11: per-attribute shuffle, re-embed, score. The shuffles are
+  // drawn serially up front — ShuffleColumn consumes one deterministic rng
+  // stream, so reordering the draws would change the selection for a given
+  // seed. Everything after the draw (serialize, re-embed, score) is
+  // independent per column and fans out across the pool; scores land in
+  // indexed slots and the selection is assembled in column order below, so
+  // the result is invariant to the thread count (gated by
+  // core_test SelectionInvariantAcrossThreadCounts).
+  std::vector<table::Table> shuffled;
+  shuffled.reserve(num_columns);
   for (size_t col = 0; col < num_columns; ++col) {
-    table::Table shuffled = table::ShuffleColumn(sample, col, rng);
-    std::vector<std::string> texts = embed::SerializeTable(shuffled);
+    shuffled.push_back(table::ShuffleColumn(sample, col, rng));
+  }
+  util::ParallelFor(pool, num_columns, [&](size_t col) {
+    std::vector<std::string> texts = embed::SerializeTable(shuffled[col]);
+    // Nested fan-out: with fewer columns than workers, each column's
+    // EncodeBatch still spreads its rows over the pool (TaskGroup::Wait
+    // helps, so nesting never deadlocks).
     embed::EmbeddingMatrix perturbed = encoder_->EncodeBatch(texts, pool);
     double total = 0.0;
     for (size_t r = 0; r < base.num_rows(); ++r) {
       total += embed::CosineSimilarity(base.Row(r), perturbed.Row(r));
     }
     out.shuffle_similarity[col] = total / static_cast<double>(base.num_rows());
+  });
+  for (size_t col = 0; col < num_columns; ++col) {
     if (out.shuffle_similarity[col] <= config_.gamma) {
       out.selected_columns.push_back(col);
     }

@@ -33,12 +33,11 @@ util::Result<Matcher> Matcher::Assemble(
         " sources but " + std::to_string(source_names.size()) + " names");
   }
   const size_t dim = store.dim();
-  if (dim == 0 || encoder->dim() != dim ||
-      entities.embeddings().dim() != dim) {
+  if (dim == 0 || encoder->dim() != dim || entities.dim() != dim) {
     return util::Status::InvalidArgument(
         "Matcher dimensionality mismatch: store " + std::to_string(dim) +
         ", encoder " + std::to_string(encoder->dim()) + ", entity table " +
-        std::to_string(entities.embeddings().dim()));
+        std::to_string(entities.dim()));
   }
   // store.dim() only reflects source 0; every source matrix must agree, or
   // the centroid recompute in a later AddTable would walk a narrower row
@@ -91,6 +90,12 @@ util::Result<Matcher> Matcher::Assemble(
           "-dimensional, entity embeddings are " + std::to_string(dim));
     }
     if (slot_to_item.empty()) {
+      if (state->entities.num_tombstones() > 0) {
+        return util::Status::InvalidArgument(
+            "entity table carries " +
+            std::to_string(state->entities.num_tombstones()) +
+            " tombstones but no slot map says which index slots are live");
+      }
       if (index->size() != num_items) {
         return util::Status::InvalidArgument(
             "serving index holds " + std::to_string(index->size()) +
@@ -127,10 +132,18 @@ util::Result<Matcher> Matcher::Assemble(
         }
         item_to_slot[item] = static_cast<uint32_t>(slot);
       }
+      // Tombstoned items (empty members) are the one exception: they are
+      // retired table entries and must NOT be findable through any slot.
       for (size_t i = 0; i < num_items; ++i) {
-        if (item_to_slot[i] == kDeadSlot) {
+        const bool tombstone = state->entities.item(i).members.empty();
+        if (!tombstone && item_to_slot[i] == kDeadSlot) {
           return util::Status::InvalidArgument(
               "item " + std::to_string(i) + " has no live index slot");
+        }
+        if (tombstone && item_to_slot[i] != kDeadSlot) {
+          return util::Status::InvalidArgument(
+              "tombstoned item " + std::to_string(i) + " holds live slot " +
+              std::to_string(item_to_slot[i]));
         }
       }
       state->slot_to_item = std::move(slot_to_item);
@@ -143,9 +156,14 @@ util::Result<Matcher> Matcher::Assemble(
       return util::Status::InvalidArgument(
           "a slot map is only meaningful with an explicit index");
     }
+    if (state->entities.num_tombstones() > 0) {
+      return util::Status::InvalidArgument(
+          "building a fresh index over a table with tombstones needs an "
+          "explicit index and slot map");
+    }
     std::unique_ptr<ann::VectorIndex> built =
         index_factory->Create(dim, ann::Metric::kCosine);
-    built->AddBatch(state->entities.embeddings(), pool);
+    built->AddBatch(state->entities.GatherEmbeddings(), pool);
     state->index = std::move(built);
   }
 
@@ -325,12 +343,28 @@ util::Status Matcher::AddTable(const table::Table& table,
   embed::EmbeddingMatrix embeddings = EncodeTable(table, options.pool);
 
   // One pairwise match (Algorithm 3 step 1) between the existing entity
-  // table and the new rows — the same mutual top-K standard a pipeline
-  // merge level applies.
+  // table's *live* items and the new rows — the same mutual top-K standard
+  // a pipeline merge level applies. Tombstoned items are retired entries
+  // whose rows are stale; they must not attract matches.
+  const size_t n_old = old->entities.num_items();
+  const bool has_tombstones = old->entities.num_tombstones() > 0;
+  std::vector<uint32_t> live_of_row;  // live-matrix row -> item id
+  embed::EmbeddingMatrix live(0, dim);
+  if (has_tombstones) {
+    live_of_row.reserve(old->entities.num_live_items());
+    live.ReserveRows(old->entities.num_live_items());
+    for (size_t i = 0; i < n_old; ++i) {
+      if (old->entities.item(i).members.empty()) continue;
+      live_of_row.push_back(static_cast<uint32_t>(i));
+      live.AppendRow(old->entities.Row(i));
+    }
+  } else {
+    live = old->entities.GatherEmbeddings();
+  }
   const ann::MutualTopKOptions mutual =
       MutualOptionsFromConfig(fixed_->config, fixed_->index_factory.get());
-  const std::vector<ann::MutualPair> matched_pairs = ann::MutualTopK(
-      old->entities.embeddings(), embeddings, mutual, options.pool);
+  const std::vector<ann::MutualPair> matched_pairs =
+      ann::MutualTopK(live, embeddings, mutual, options.pool);
 
   auto next = std::make_shared<ServingState>();
   next->epoch = old->epoch + 1;
@@ -342,47 +376,49 @@ util::Status Matcher::AddTable(const table::Table& table,
 
   // Union by transitivity (Algorithm 3 step 2). Old items take union-find
   // ids [0, n_old); the new rows take [n_old, ...).
-  const size_t n_old = old->entities.num_items();
   const size_t n_new = table.num_rows();
   cluster::UnionFind uf(n_old + n_new);
   for (const ann::MutualPair& match : matched_pairs) {
-    uf.Union(match.left, n_old + match.right);
+    const size_t left =
+        has_tombstones ? live_of_row[match.left] : match.left;
+    uf.Union(left, n_old + match.right);
   }
 
-  // Build the next entity table with incremental representation updates.
-  // Every union edge crosses into the new source, so a group is unchanged
-  // iff it is exactly one old item — those carry members and centroid
-  // verbatim (no recompute from base embeddings); only groups the new
-  // source touched recompute, with the same member order and arithmetic as
-  // TwoTableMerger::Merge so the two paths stay bitwise equal.
-  MergeTable entities;
-  entities.Reserve(uf.num_sets(), dim);
-  std::vector<uint32_t> renumber(n_old, kDeadSlot);  // old item -> new item
-  std::vector<uint32_t> inserted_items;  // new items the index must learn
-  embed::EmbeddingMatrix inserted;       // their vectors, in the same order
+  // Update the entity table in place. Item ids are stable across epochs by
+  // construction: an untouched item keeps its index (and, through the
+  // copy-on-write chunks of MergeTable, is not even copied — consecutive
+  // epochs share every chunk the ingest left alone); a merged group lands
+  // at its smallest old item id with the other old participants tombstoned;
+  // unmatched new rows append at the end. Every union edge crosses into the
+  // new source, so a group is unchanged iff it is exactly one old item.
+  // Merged representations recompute with the same member order and
+  // arithmetic as TwoTableMerger::Merge so the two paths stay bitwise
+  // equal.
+  next->entities = old->entities;  // O(num_chunks) pointer copies
+  std::vector<uint32_t> inserted_items;  // items the index must (re)learn
+  embed::EmbeddingMatrix inserted(0, dim);  // their vectors, in order
+  std::vector<uint32_t> retired_items;  // old items whose slots retire
   std::vector<float> centroid(dim);
   for (const std::vector<size_t>& group : uf.Groups()) {
-    const uint32_t new_item = static_cast<uint32_t>(entities.num_items());
-    if (group.size() == 1 && group[0] < n_old) {
-      renumber[group[0]] = new_item;
-      entities.Append(old->entities.item(group[0]),
-                      old->entities.embeddings().Row(group[0]));
-      continue;
-    }
-    inserted_items.push_back(new_item);
+    if (group.size() == 1 && group[0] < n_old) continue;  // untouched
     if (group.size() == 1) {
       // Unmatched new row: a fresh single-member item with its own
       // embedding (the carried representation of a FromSource item).
       MergeItem item;
       const size_t row = group[0] - n_old;
       item.members.push_back(table::EntityId(source, row));
-      entities.Append(std::move(item), fresh.Row(row));
+      inserted_items.push_back(
+          static_cast<uint32_t>(next->entities.num_items()));
+      next->entities.Append(std::move(item), fresh.Row(row));
       inserted.AppendRow(fresh.Row(row));
       continue;
     }
+    // A multi-node group holds at least one old item (edges are old<->new).
     MergeItem item;
+    size_t target = n_old;
     for (size_t uf_id : group) {
       if (uf_id < n_old) {
+        target = std::min(target, uf_id);
         const std::vector<table::EntityId>& members =
             old->entities.item(uf_id).members;
         item.members.insert(item.members.end(), members.begin(),
@@ -394,10 +430,20 @@ util::Status Matcher::AddTable(const table::Table& table,
     std::sort(item.members.begin(), item.members.end());
     item.members.erase(std::unique(item.members.begin(), item.members.end()),
                        item.members.end());
+    for (size_t uf_id : group) {
+      if (uf_id < n_old && uf_id != target) {
+        next->entities.TombstoneItem(uf_id);
+        retired_items.push_back(static_cast<uint32_t>(uf_id));
+      }
+    }
+    // The target item's representation moved, so its old slot retires and
+    // the recomputed vector is inserted under a fresh slot.
+    retired_items.push_back(static_cast<uint32_t>(target));
+    inserted_items.push_back(static_cast<uint32_t>(target));
     if (fixed_->config.merged_repr == MergedItemRepr::kFirstMember) {
       std::span<const float> first = next->store.Row(item.members.front());
-      entities.Append(std::move(item), first);
       inserted.AppendRow(first);
+      next->entities.ReplaceItem(target, std::move(item), first);
       continue;
     }
     // Centroid of the base entity embeddings of this group only,
@@ -410,11 +456,10 @@ util::Status Matcher::AddTable(const table::Table& table,
     const float inv = 1.0f / static_cast<float>(item.members.size());
     for (float& x : centroid) x *= inv;
     embed::L2NormalizeInPlace(centroid);
-    entities.Append(std::move(item), centroid);
     inserted.AppendRow(centroid);
+    next->entities.ReplaceItem(target, std::move(item), centroid);
   }
-  const size_t new_items = entities.num_items();
-  next->entities = std::move(entities);
+  const size_t new_items = next->entities.num_items();
 
   // Extend the serving index. Preferred path: clone the published graph
   // (readers searching it are never raced — the insert-under-readers
@@ -429,17 +474,23 @@ util::Status Matcher::AddTable(const table::Table& table,
   if (incremental) {
     const size_t old_slots = old->index->size();
     const size_t total_slots = old_slots + inserted_items.size();
-    dead_slots = total_slots - new_items;  // each item keeps one live slot
+    dead_slots = old->dead_slots + retired_items.size();
     if (total_slots > UINT32_MAX || dead_slots * 4 > total_slots) {
       incremental = false;
     } else if (dead_slots > 0 || !old->slot_to_item.empty()) {
-      slot_to_item.assign(total_slots, kDeadSlot);
-      for (size_t i = 0; i < n_old; ++i) {
-        if (renumber[i] == kDeadSlot) continue;  // absorbed: slot retires
-        const uint32_t slot = old->slot_to_item.empty()
-                                  ? static_cast<uint32_t>(i)
-                                  : old->item_to_slot[i];
-        slot_to_item[slot] = renumber[i];
+      slot_to_item.resize(total_slots, kDeadSlot);
+      if (old->slot_to_item.empty()) {
+        for (size_t i = 0; i < old_slots; ++i) {
+          slot_to_item[i] = static_cast<uint32_t>(i);
+        }
+      } else {
+        std::copy(old->slot_to_item.begin(), old->slot_to_item.end(),
+                  slot_to_item.begin());
+      }
+      for (uint32_t item : retired_items) {
+        const uint32_t slot =
+            old->slot_to_item.empty() ? item : old->item_to_slot[item];
+        slot_to_item[slot] = kDeadSlot;
       }
       for (size_t j = 0; j < inserted_items.size(); ++j) {
         slot_to_item[old_slots + j] = inserted_items[j];
@@ -468,9 +519,32 @@ util::Status Matcher::AddTable(const table::Table& table,
       next->dead_slots = dead_slots;
     }
   } else {
+    // Compaction: a fresh index over the live rows only. Item ids still do
+    // not move — tombstones keep their (slotless) table entries; only the
+    // retired index slots are dropped.
     std::unique_ptr<ann::VectorIndex> rebuilt =
         fixed_->index_factory->Create(dim, ann::Metric::kCosine);
-    rebuilt->AddBatch(next->entities.embeddings(), options.pool);
+    if (next->entities.num_tombstones() == 0) {
+      rebuilt->AddBatch(next->entities.GatherEmbeddings(), options.pool);
+    } else {
+      std::vector<uint32_t> live_map;
+      live_map.reserve(next->entities.num_live_items());
+      embed::EmbeddingMatrix live_rows(0, dim);
+      live_rows.ReserveRows(next->entities.num_live_items());
+      for (size_t i = 0; i < new_items; ++i) {
+        if (next->entities.item(i).members.empty()) continue;
+        live_map.push_back(static_cast<uint32_t>(i));
+        live_rows.AppendRow(next->entities.Row(i));
+      }
+      rebuilt->AddBatch(live_rows, options.pool);
+      std::vector<uint32_t> item_to_slot(new_items, kDeadSlot);
+      for (size_t slot = 0; slot < live_map.size(); ++slot) {
+        item_to_slot[live_map[slot]] = static_cast<uint32_t>(slot);
+      }
+      next->slot_to_item = std::move(live_map);
+      next->item_to_slot = std::move(item_to_slot);
+      next->dead_slots = 0;
+    }
     next->index = std::move(rebuilt);
   }
 

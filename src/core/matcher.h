@@ -274,7 +274,8 @@ class Matcher {
   eval::TupleSet Tuples() const {
     std::shared_ptr<const ServingState> s = state();
     std::vector<eval::Tuple> tuples;
-    for (const MergeItem& item : s->entities.items()) {
+    for (size_t i = 0; i < s->entities.num_items(); ++i) {
+      const MergeItem& item = s->entities.item(i);
       if (item.members.size() >= 2) tuples.push_back(item.members);
     }
     return eval::TupleSet(std::move(tuples));
@@ -377,6 +378,15 @@ class Matcher::Snapshot {
   uint64_t epoch() const { return state_->epoch; }
   size_t num_items() const { return state_->entities.num_items(); }
 
+  /// Items retired by merging ingests: empty-member entries kept so later
+  /// item ids never shift across epochs. Never matched against (no live
+  /// index slot).
+  size_t num_tombstones() const { return state_->entities.num_tombstones(); }
+
+  /// Items that can appear in MatchRecords hits:
+  /// num_items() - num_tombstones().
+  size_t num_live_items() const { return state_->entities.num_live_items(); }
+
   /// Member entities of item `i`. The reference is valid for the life of
   /// this Snapshot (which pins the epoch).
   const std::vector<table::EntityId>& item_members(size_t i) const {
@@ -387,7 +397,8 @@ class Matcher::Snapshot {
   /// (Header-inline so multiem_core does not depend on the eval library.)
   eval::TupleSet Tuples() const {
     std::vector<eval::Tuple> tuples;
-    for (const MergeItem& item : state_->entities.items()) {
+    for (size_t i = 0; i < state_->entities.num_items(); ++i) {
+      const MergeItem& item = state_->entities.item(i);
       if (item.members.size() >= 2) tuples.push_back(item.members);
     }
     return eval::TupleSet(std::move(tuples));
@@ -397,11 +408,13 @@ class Matcher::Snapshot {
     return state_->source_names;
   }
 
-  /// Item representations (one row per item) of this epoch — the vectors
-  /// the serving index holds for live slots. Exposed for recall oracles
-  /// (bench_serve) and the centroid regression tests.
-  const embed::EmbeddingMatrix& centroids() const {
-    return state_->entities.embeddings();
+  /// Item representations (one row per item) of this epoch gathered into a
+  /// contiguous matrix — the vectors the serving index holds for live
+  /// slots. Rows of tombstoned items (empty item_members) are stale
+  /// leftovers with no live slot; consumers must skip them. Exposed for
+  /// recall oracles (bench_serve) and the centroid regression tests.
+  embed::EmbeddingMatrix centroids() const {
+    return state_->entities.GatherEmbeddings();
   }
 
   const ann::VectorIndex& index() const { return *state_->index; }

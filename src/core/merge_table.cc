@@ -1,5 +1,10 @@
 #include "core/merge_table.h"
 
+#include <algorithm>
+#include <iterator>
+
+#include "embed/matrix_io.h"
+
 namespace multiem::core {
 
 MergeTable MergeTable::FromSource(uint32_t source,
@@ -14,28 +19,167 @@ MergeTable MergeTable::FromSource(uint32_t source,
   return out;
 }
 
+MergeTable MergeTable::FromParts(std::vector<MergeItem> items,
+                                 const embed::EmbeddingMatrix& embeddings) {
+  MergeTable out;
+  out.dim_ = embeddings.dim();
+  const size_t n = items.size();
+  out.chunks_.reserve((n + kChunkItems - 1) / kChunkItems);
+  for (size_t begin = 0; begin < n; begin += kChunkItems) {
+    const size_t count = std::min(kChunkItems, n - begin);
+    auto chunk = std::make_shared<Chunk>();
+    chunk->items.assign(std::make_move_iterator(items.begin() + begin),
+                        std::make_move_iterator(items.begin() + begin + count));
+    chunk->embeddings = embeddings.RowsView(begin, count);
+    for (const MergeItem& item : chunk->items) {
+      if (item.members.empty()) ++out.num_tombstones_;
+    }
+    out.chunks_.push_back(std::move(chunk));
+  }
+  out.num_items_ = n;
+  return out;
+}
+
+MergeTable::Chunk* MergeTable::MutableChunk(size_t i) {
+  std::shared_ptr<Chunk>& slot = chunks_[i / kChunkItems];
+  // use_count() == 1 is a stable claim here: every copy of a MergeTable is
+  // made by the single serializing writer (AddTable holds the write mutex),
+  // and a concurrent release by a retiring epoch can only make a shared
+  // count look *higher* than it is — never lower.
+  if (slot.use_count() != 1) slot = std::make_shared<Chunk>(*slot);
+  return slot.get();
+}
+
 void MergeTable::Append(MergeItem item, std::span<const float> embedding) {
-  items_.push_back(std::move(item));
-  embeddings_.AppendRow(embedding);
+  if (dim_ == 0) dim_ = embedding.size();
+  if (item.members.empty()) ++num_tombstones_;
+  if (num_items_ / kChunkItems == chunks_.size()) {
+    chunks_.push_back(std::make_shared<Chunk>());
+  }
+  Chunk* chunk = MutableChunk(num_items_);
+  chunk->items.push_back(std::move(item));
+  chunk->embeddings.AppendRow(embedding);
+  ++num_items_;
+}
+
+void MergeTable::ReplaceItem(size_t i, MergeItem item,
+                             std::span<const float> embedding) {
+  Chunk* chunk = MutableChunk(i);
+  MergeItem& slot = chunk->items[i % kChunkItems];
+  if (slot.members.empty() != item.members.empty()) {
+    num_tombstones_ += item.members.empty() ? 1 : -1;
+  }
+  slot = std::move(item);
+  std::span<float> row = chunk->embeddings.Row(i % kChunkItems);
+  std::copy(embedding.begin(), embedding.end(), row.begin());
+}
+
+void MergeTable::TombstoneItem(size_t i) {
+  Chunk* chunk = MutableChunk(i);
+  MergeItem& slot = chunk->items[i % kChunkItems];
+  if (slot.members.empty()) return;
+  slot.members.clear();
+  slot.members.shrink_to_fit();
+  ++num_tombstones_;
 }
 
 void MergeTable::Reserve(size_t n, size_t dim) {
-  items_.reserve(n);
-  embeddings_.mutable_data().reserve(n * dim);
+  if (dim_ == 0) dim_ = dim;
+  chunks_.reserve((n + kChunkItems - 1) / kChunkItems);
+}
+
+embed::EmbeddingMatrix MergeTable::GatherEmbeddings() const {
+  embed::EmbeddingMatrix out(0, dim_);
+  out.ReserveRows(num_items_);
+  for (const std::shared_ptr<Chunk>& chunk : chunks_) {
+    out.AppendRows(chunk->embeddings.data());
+  }
+  return out;
 }
 
 size_t MergeTable::TotalMembers() const {
   size_t total = 0;
-  for (const MergeItem& item : items_) total += item.members.size();
+  for (const std::shared_ptr<Chunk>& chunk : chunks_) {
+    for (const MergeItem& item : chunk->items) total += item.members.size();
+  }
   return total;
 }
 
 size_t MergeTable::SizeBytes() const {
-  size_t bytes = embeddings_.SizeBytes();
-  for (const MergeItem& item : items_) {
-    bytes += sizeof(item) + item.members.capacity() * sizeof(table::EntityId);
+  size_t bytes = 0;
+  for (const std::shared_ptr<Chunk>& chunk : chunks_) {
+    bytes += chunk->embeddings.SizeBytes();
+    for (const MergeItem& item : chunk->items) {
+      bytes += sizeof(item) + item.members.capacity() * sizeof(table::EntityId);
+    }
   }
   return bytes;
+}
+
+util::Status MergeTable::Save(const std::string& path) const {
+  if (num_tombstones_ != 0) {
+    return util::Status::InvalidArgument(
+        "merge-table files do not carry tombstones (" +
+        std::to_string(num_tombstones_) + " present)");
+  }
+  util::ArtifactWriter writer(kArtifactMagic, kArtifactVersion);
+  util::ByteWriter& items = writer.AddSection("items");
+  items.WriteU64(num_items_);
+  for (size_t i = 0; i < num_items_; ++i) {
+    const MergeItem& it = item(i);
+    items.WriteU64(it.members.size());
+    for (table::EntityId id : it.members) items.WriteU64(id.packed());
+  }
+  util::ByteWriter& emb = writer.AddSection("embeddings");
+  embed::WriteMatrix(emb, GatherEmbeddings());
+  return writer.WriteFile(path);
+}
+
+util::Result<MergeTable> MergeTable::Load(
+    const std::string& path, const util::ArtifactOpenOptions& options) {
+  auto reader = util::ArtifactReader::FromFile(path, kArtifactMagic,
+                                               kArtifactVersion, options);
+  if (!reader.ok()) return reader.status();
+
+  auto items_section = reader->Section("items");
+  if (!items_section.ok()) return items_section.status();
+  uint64_t num_items;
+  MULTIEM_RETURN_IF_ERROR(items_section->ReadU64(&num_items));
+  std::vector<MergeItem> items;
+  items.reserve(static_cast<size_t>(num_items));
+  for (uint64_t i = 0; i < num_items; ++i) {
+    uint64_t member_count;
+    MULTIEM_RETURN_IF_ERROR(items_section->ReadU64(&member_count));
+    if (member_count == 0 ||
+        member_count > items_section->remaining() / 8) {
+      return util::Status::InvalidArgument(
+          "merge-table item " + std::to_string(i) + " claims " +
+          std::to_string(member_count) + " members");
+    }
+    MergeItem item;
+    item.members.reserve(static_cast<size_t>(member_count));
+    for (uint64_t j = 0; j < member_count; ++j) {
+      uint64_t packed;
+      MULTIEM_RETURN_IF_ERROR(items_section->ReadU64(&packed));
+      item.members.push_back(table::EntityId::FromPacked(packed));
+    }
+    items.push_back(std::move(item));
+  }
+  MULTIEM_RETURN_IF_ERROR(items_section->ExpectExhausted());
+
+  auto emb_section = reader->Section("embeddings");
+  if (!emb_section.ok()) return emb_section.status();
+  embed::EmbeddingMatrix embeddings;
+  MULTIEM_RETURN_IF_ERROR(embed::ReadMatrix(
+      *emb_section, reader->mapped() ? reader->backing() : nullptr,
+      &embeddings));
+  MULTIEM_RETURN_IF_ERROR(emb_section->ExpectExhausted());
+  if (embeddings.num_rows() != num_items) {
+    return util::Status::InvalidArgument(
+        "merge-table file holds " + std::to_string(embeddings.num_rows()) +
+        " embeddings for " + std::to_string(num_items) + " items");
+  }
+  return FromParts(std::move(items), embeddings);
 }
 
 }  // namespace multiem::core

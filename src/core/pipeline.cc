@@ -7,6 +7,7 @@
 
 #include "core/artifact.h"
 #include "core/registry.h"
+#include "core/sharded_merger.h"
 #include "embed/serialize.h"
 #include "util/logging.h"
 
@@ -210,9 +211,25 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
     for (const MergeTable& mt : merge_tables) initial_bytes += mt.SizeBytes();
     result->approx_peak_bytes =
         std::max(result->approx_peak_bytes, 2 * initial_bytes);
-    HierarchicalMerger merger(config_, &store, index_factory.get());
-    integrated = merger.Run(std::move(merge_tables), pool.get(),
-                            &result->merge_stats, ctx);
+    if (!ctx.merge_spill_dir.empty()) {
+      // Disk-backed merging: same schedule, bitwise-identical result, but
+      // only one table pair resident at a time (core/sharded_merger.h).
+      ShardedMergerOptions spill;
+      spill.spill_dir = ctx.merge_spill_dir;
+      ShardedMerger merger(config_, &store, std::move(spill),
+                           index_factory.get());
+      ShardedMergeStats sharded_stats;
+      auto merged =
+          merger.Run(std::move(merge_tables), pool.get(), &sharded_stats, ctx);
+      if (!merged.ok()) return merged.status();
+      integrated = std::move(*merged);
+      result->merge_stats.levels = std::move(sharded_stats.levels);
+      result->merge_stats.total_mutual_pairs = sharded_stats.total_mutual_pairs;
+    } else {
+      HierarchicalMerger merger(config_, &store, index_factory.get());
+      integrated = merger.Run(std::move(merge_tables), pool.get(),
+                              &result->merge_stats, ctx);
+    }
   }
   if (ctx.cancelled()) return CancelledAfter(kPhaseMerging);
 
@@ -255,6 +272,11 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
 
 util::Result<Matcher> MultiEmPipeline::LoadArtifact(const std::string& dir) {
   return PipelineArtifact::Load(dir);
+}
+
+util::Result<Matcher> MultiEmPipeline::LoadArtifact(
+    const std::string& dir, const util::ArtifactOpenOptions& options) {
+  return PipelineArtifact::Load(dir, options);
 }
 
 util::Result<MultiEmPipeline> PipelineBuilder::Build() {

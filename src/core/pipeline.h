@@ -38,6 +38,7 @@
 #include "core/matcher.h"
 #include "core/pruner.h"
 #include "core/run_context.h"
+#include "util/io.h"
 #include "embed/text_encoder.h"
 #include "eval/tuples.h"
 #include "table/table.h"
@@ -135,6 +136,12 @@ class MultiEmPipeline {
   /// to the session that was saved. Corrupt, truncated, or newer-versioned
   /// artifacts fail with a descriptive Status.
   static util::Result<Matcher> LoadArtifact(const std::string& dir);
+
+  /// Same, with explicit util::ArtifactOpenOptions — mmap-backed zero-copy
+  /// opening and/or structural-only verification for fast reloads. The
+  /// defaults match the 1-arg overload (heap reads, full verification).
+  static util::Result<Matcher> LoadArtifact(
+      const std::string& dir, const util::ArtifactOpenOptions& options);
 
   const MultiEmConfig& config() const { return config_; }
 

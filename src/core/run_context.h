@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <string_view>
 
 namespace multiem::core {
@@ -94,6 +95,14 @@ struct RunContext {
   /// persistent artifact (core/artifact.h). Costs one extra ANN index build
   /// over the final entity table, so it is opt-in.
   bool build_matcher = false;
+
+  /// When non-empty, the merging phase runs disk-backed through
+  /// core::ShardedMerger with this spill directory: merge tables are kept
+  /// as MEMMERGT files and only the pair being merged is resident, capping
+  /// the phase's memory regardless of corpus size. Results are bitwise
+  /// identical to the in-memory merge; see docs/API.md "Sharded merging &
+  /// memory budget".
+  std::string merge_spill_dir;
 
   /// True iff a token is attached and has fired.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }

@@ -1,0 +1,100 @@
+/// \file sharded_merger.h
+/// Bounded-memory hierarchical merging for corpora whose merge tables do
+/// not all fit in RAM at once.
+///
+/// core::ShardedMerger runs the exact merge schedule of HierarchicalMerger
+/// (Algorithm 2: per-level random pairing from the same seeded shuffle), but
+/// keeps every merge table spilled to disk as a MEMMERGT artifact file
+/// (MergeTable::Save) and loads only the one pair being merged — plus its
+/// output, which is spilled again before the next pair starts. Resident
+/// memory per pair is therefore bounded by the two largest shard tables of
+/// a level plus their merge result, regardless of how many sources or rows
+/// the corpus has. Given the same config (seed, k, m, index backend) the
+/// integrated table is bitwise identical to HierarchicalMerger::Run —
+/// tests/scale_test.cpp gates on that equivalence.
+///
+/// The pool still parallelizes *inside* each pairwise merge (the two ANN
+/// index builds and the mutual top-K searches fan out exactly as in the
+/// in-memory path); pairs themselves run sequentially, which is what caps
+/// the resident set. See docs/API.md "Sharded merging & memory budget".
+
+#ifndef MULTIEM_CORE_SHARDED_MERGER_H_
+#define MULTIEM_CORE_SHARDED_MERGER_H_
+
+#include <string>
+#include <vector>
+
+#include "ann/index_factory.h"
+#include "core/config.h"
+#include "core/hierarchical_merger.h"
+#include "core/merge_table.h"
+#include "core/run_context.h"
+#include "core/two_table_merger.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// Counters for one sharded hierarchical merge. `levels` mirrors
+/// HierarchicalMergeStats so existing reporting can consume either.
+struct ShardedMergeStats {
+  std::vector<MergeLevelStats> levels;
+  size_t total_mutual_pairs = 0;
+  size_t spill_files_written = 0;   ///< MEMMERGT files created (inputs + merges)
+  size_t spill_bytes_written = 0;   ///< total bytes of those files
+  size_t peak_resident_bytes = 0;   ///< max SizeBytes of co-resident tables
+};
+
+/// Options of a sharded merge run.
+struct ShardedMergerOptions {
+  /// Directory for the MEMMERGT spill files (created if absent). Required.
+  std::string spill_dir;
+
+  /// Remove every spill file this run created once it is consumed (and the
+  /// final one after it is loaded). Leave them only for debugging.
+  bool cleanup = true;
+};
+
+/// Disk-backed Algorithm 2: same pairing schedule and pairwise merges as
+/// HierarchicalMerger, with at most one pair of shard tables resident.
+class ShardedMerger {
+ public:
+  ShardedMerger(const MultiEmConfig& config, const EntityEmbeddingStore* store,
+                ShardedMergerOptions options,
+                const ann::VectorIndexFactory* index_factory = nullptr)
+      : config_(config),
+        options_(std::move(options)),
+        merger_(config, store, index_factory) {}
+
+  /// Spills `tables` (consumed and released one by one, so the caller's
+  /// vector is never duplicated) and runs the hierarchy over the files.
+  /// Returns the integrated table, loaded back into memory.
+  util::Result<MergeTable> Run(std::vector<MergeTable> tables,
+                               util::ThreadPool* pool = nullptr,
+                               ShardedMergeStats* stats = nullptr,
+                               const RunContext& ctx = {});
+
+  /// Same, over tables the caller already spilled (MergeTable::Save) — the
+  /// fully streaming entry: no more than one pair is ever resident. The
+  /// files are consumed (removed when options.cleanup) level by level.
+  /// Cancellation between levels returns the first remaining (partially
+  /// merged) table, mirroring HierarchicalMerger.
+  util::Result<MergeTable> RunSpilled(std::vector<std::string> paths,
+                                      util::ThreadPool* pool = nullptr,
+                                      ShardedMergeStats* stats = nullptr,
+                                      const RunContext& ctx = {});
+
+  /// The spill path Run would use for its `n`-th file — for callers that
+  /// pre-spill their own inputs into the same directory.
+  std::string SpillPath(size_t n) const;
+
+ private:
+  MultiEmConfig config_;
+  ShardedMergerOptions options_;
+  TwoTableMerger merger_;
+  size_t next_spill_ = 0;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_SHARDED_MERGER_H_

@@ -33,8 +33,11 @@ MergeTable TwoTableMerger::Merge(const MergeTable& a, const MergeTable& b,
   // Step 1 (Algorithm 3 lines 3-5): mutual top-K pairs under the cap m.
   const ann::MutualTopKOptions options =
       MutualOptionsFromConfig(config_, index_factory_);
-  std::vector<ann::MutualPair> matches =
-      ann::MutualTopK(a.embeddings(), b.embeddings(), options, pool);
+  // MutualTopK wants contiguous matrices; the tables store their rows in
+  // copy-on-write chunks, so gather once per merge (negligible next to the
+  // two index builds it feeds).
+  std::vector<ann::MutualPair> matches = ann::MutualTopK(
+      a.GatherEmbeddings(), b.GatherEmbeddings(), options, pool);
 
   // Step 2 (lines 6-10): union by transitivity. Items of `a` take union-find
   // ids [0, a.num_items()); items of `b` take [a.num_items(), ...). The
@@ -51,9 +54,8 @@ MergeTable TwoTableMerger::Merge(const MergeTable& a, const MergeTable& b,
                                  : b.item(uf_id - a.num_items());
   };
   auto embedding_at = [&](size_t uf_id) {
-    return uf_id < a.num_items()
-               ? a.embeddings().Row(uf_id)
-               : b.embeddings().Row(uf_id - a.num_items());
+    return uf_id < a.num_items() ? a.Row(uf_id)
+                                 : b.Row(uf_id - a.num_items());
   };
 
   MergeTable merged;

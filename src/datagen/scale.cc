@@ -1,0 +1,95 @@
+#include "datagen/scale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/vocab.h"
+#include "util/rng.h"
+
+namespace multiem::datagen {
+
+namespace {
+
+// Counter-based stream seed: one Mix64 chain over (seed, domain, counter).
+// Every row draws from its own Rng seeded this way, which is what makes
+// chunks order-independent.
+uint64_t StreamSeed(uint64_t seed, uint64_t domain, uint64_t counter) {
+  return util::Mix64(util::Mix64(seed ^ 0x5343414C45ULL /* "SCALE" */) ^
+                     util::Mix64(domain * 0x9E3779B97F4A7C15ULL + counter));
+}
+
+// Canonical (pre-corruption) entity render: title from the product banks,
+// a color, drawn from the entity's own stream.
+struct CanonicalEntity {
+  std::string title;
+  std::string color;
+};
+
+CanonicalEntity RenderEntity(uint64_t seed, uint64_t entity) {
+  util::Rng rng(StreamSeed(seed, /*domain=*/0, entity));
+  CanonicalEntity out;
+  out.title = std::string(Pick(Brands(), rng));
+  out.title += ' ';
+  out.title += PickPhrase(ProductNouns(), 2, rng);
+  out.title += ' ';
+  out.title += Pick(ProductSpecs(), rng);
+  out.color = Pick(Colors(), rng);
+  return out;
+}
+
+std::string RandomSku(util::Rng& rng) {
+  static constexpr char kAlnum[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string sku;
+  sku.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    sku += kAlnum[rng.NextBounded(sizeof(kAlnum) - 1)];
+  }
+  return sku;
+}
+
+}  // namespace
+
+ScaleCorpusGenerator::ScaleCorpusGenerator(ScaleCorpusConfig config)
+    : config_(std::move(config)),
+      schema_({"title", "color", "sku"}),
+      corruption_(config_.corruption) {
+  shared_rows_ = static_cast<size_t>(
+      std::llround(config_.overlap *
+                   static_cast<double>(config_.rows_per_source)));
+  shared_rows_ = std::min(shared_rows_, config_.rows_per_source);
+}
+
+void ScaleCorpusGenerator::AppendRows(size_t source, size_t row_begin,
+                                      size_t row_end,
+                                      table::Table* out) const {
+  row_end = std::min(row_end, config_.rows_per_source);
+  for (size_t row = row_begin; row < row_end; ++row) {
+    // Shared prefix: entity id = row, identical in every source. Unique
+    // tail: an id no other (source, row) produces.
+    const bool shared = row < shared_rows_;
+    const uint64_t entity =
+        shared ? row
+               : (source + 1) * config_.rows_per_source + row;
+    CanonicalEntity canonical = RenderEntity(config_.seed, entity);
+
+    // The copy stream covers everything source-specific: corruption of
+    // shared entities (unique ones stay verbatim so they do not accidentally
+    // drift toward each other) and the noise `sku` cell.
+    util::Rng copy_rng(
+        StreamSeed(config_.seed, /*domain=*/source + 1, entity));
+    std::string title =
+        shared ? corruption_.CorruptText(canonical.title, copy_rng)
+               : std::move(canonical.title);
+    out->AppendRow({std::move(title), std::move(canonical.color),
+                    RandomSku(copy_rng)})
+        .CheckOk();
+  }
+}
+
+table::Table ScaleCorpusGenerator::MaterializeSource(size_t source) const {
+  table::Table t(source_name(source), schema_);
+  AppendRows(source, 0, config_.rows_per_source, &t);
+  return t;
+}
+
+}  // namespace multiem::datagen

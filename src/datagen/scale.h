@@ -1,0 +1,92 @@
+/// \file scale.h
+/// Streaming million-row corpus generator for the scale benchmarks
+/// (bench/bench_scale.cpp) and CI scale jobs.
+///
+/// Unlike the Table-III-style generators (geo/music/person/shopee), which
+/// assemble whole benchmarks in memory, this generator renders any row range
+/// of any source on demand: every cell of row (source, row) derives from a
+/// counter-based hash of (seed, source, row) — no shared rng stream — so
+/// chunks can be produced in any order, in parallel, or re-produced later,
+/// always byte-identically. A 10M-row corpus therefore never has to be
+/// resident; callers stream chunks straight into the encoder or onto disk.
+///
+/// Entity overlap: the first `overlap * rows_per_source` rows of every
+/// source render the SAME canonical entity per row index (with per-source
+/// textual corruption — the cross-platform drift of Figure 1), so row r of
+/// source a matches row r of source b for r below the shared prefix. The
+/// remaining rows are globally unique entities. That yields a known
+/// ground-truth match count at any scale without materializing a TupleSet.
+
+#ifndef MULTIEM_DATAGEN_SCALE_H_
+#define MULTIEM_DATAGEN_SCALE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/corruption.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace multiem::datagen {
+
+/// Shape of a streamed scale corpus. Total rows = num_sources *
+/// rows_per_source; the defaults give 1M rows over 4 sources.
+struct ScaleCorpusConfig {
+  uint64_t seed = 42;
+  size_t num_sources = 4;
+  size_t rows_per_source = 250'000;
+  /// Fraction of each source's rows that are copies of shared entities
+  /// (present in every source); the rest are unique.
+  double overlap = 0.3;
+  /// Noise applied when rendering a shared entity into a source.
+  CorruptionConfig corruption;
+};
+
+/// Stateless row-range renderer of the corpus described by a
+/// ScaleCorpusConfig. All methods are const and thread-safe; any chunk
+/// renders independently of every other.
+class ScaleCorpusGenerator {
+ public:
+  explicit ScaleCorpusGenerator(ScaleCorpusConfig config);
+
+  /// Common schema of every source: `title` and `color` carry the entity's
+  /// identity signal; `sku` is per-copy random noise (so attribute
+  /// selection has something to reject at scale).
+  const table::Schema& schema() const { return schema_; }
+
+  size_t num_sources() const { return config_.num_sources; }
+  size_t rows_per_source() const { return config_.rows_per_source; }
+  size_t total_rows() const {
+    return config_.num_sources * config_.rows_per_source;
+  }
+
+  /// Rows [0, shared_rows()) of every source render shared entities: row r
+  /// of any two sources is a ground-truth match.
+  size_t shared_rows() const { return shared_rows_; }
+
+  std::string source_name(size_t source) const {
+    return "scale_" + std::to_string(source);
+  }
+
+  /// Renders one cell chunk: rows [row_begin, row_end) of `source`,
+  /// appended to `out` (a table with schema()). Byte-identical for a given
+  /// (config, source, row) regardless of chunking or call order.
+  void AppendRows(size_t source, size_t row_begin, size_t row_end,
+                  table::Table* out) const;
+
+  /// Whole source in one table — for tests and sub-million corpora; prefer
+  /// AppendRows chunking beyond that.
+  table::Table MaterializeSource(size_t source) const;
+
+ private:
+  ScaleCorpusConfig config_;
+  table::Schema schema_;
+  size_t shared_rows_ = 0;
+  CorruptionModel corruption_;
+};
+
+}  // namespace multiem::datagen
+
+#endif  // MULTIEM_DATAGEN_SCALE_H_

@@ -12,7 +12,12 @@ namespace multiem::embed {
 void EmbeddingMatrix::AppendRow(std::span<const float> row) {
   if (dim_ == 0) dim_ = row.size();
   if (row.size() != dim_) std::abort();
-  data_.insert(data_.end(), row.begin(), row.end());
+  data_.append(row.begin(), row.end());
+}
+
+void EmbeddingMatrix::AppendRows(std::span<const float> rows) {
+  if (dim_ == 0 || rows.size() % dim_ != 0) std::abort();
+  data_.append(rows.begin(), rows.end());
 }
 
 float Dot(std::span<const float> a, std::span<const float> b) {

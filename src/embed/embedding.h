@@ -2,25 +2,57 @@
 #define MULTIEM_EMBED_EMBEDDING_H_
 
 #include <cstddef>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
+
+#include "util/memory.h"
 
 namespace multiem::embed {
 
 /// Dense row-major matrix of float embeddings; row i is the embedding of
 /// entity/item i. The whole pipeline passes these around by reference; rows
 /// are exposed as std::span so no copies are made on the hot path.
+///
+/// Storage is a util::CowSlab: a matrix either owns its floats or is a
+/// read-only *view* over externally owned bytes — typically rows of an
+/// mmap'd artifact section (the zero-copy load path). A view materializes a
+/// private owned copy on the first mutation; copying a view is O(1) and
+/// shares the backing pages.
 class EmbeddingMatrix {
  public:
   EmbeddingMatrix() : dim_(0) {}
   /// Creates a zero-initialized num_rows x dim matrix.
   EmbeddingMatrix(size_t num_rows, size_t dim)
-      : dim_(dim), data_(num_rows * dim, 0.0f) {}
+      : dim_(dim), data_(std::vector<float>(num_rows * dim, 0.0f)) {}
+
+  /// A matrix whose rows alias externally owned floats (`data.size()` must
+  /// be a multiple of `dim`). `keepalive` must keep the bytes valid for as
+  /// long as any copy of this matrix lives; see util::CowSlab.
+  static EmbeddingMatrix FromView(size_t dim, std::span<const float> data,
+                                  std::shared_ptr<const void> keepalive) {
+    EmbeddingMatrix m;
+    m.dim_ = dim;
+    m.data_.BindView(data, std::move(keepalive));
+    return m;
+  }
+
+  /// Adopts `data` — owned or view — as the row-major payload of a matrix
+  /// of dimension `dim` (`data.size()` must be a multiple of `dim`). This is
+  /// how matrix_io.h hands a ReadArrayCow-bound slab to a matrix.
+  static EmbeddingMatrix FromSlab(size_t dim, util::CowSlab<float> data) {
+    EmbeddingMatrix m;
+    m.dim_ = dim;
+    m.data_ = std::move(data);
+    return m;
+  }
 
   size_t num_rows() const { return dim_ == 0 ? 0 : data_.size() / dim_; }
   size_t dim() const { return dim_; }
+  bool is_view() const { return data_.is_view(); }
 
-  /// Mutable view of row `i`.
+  /// Mutable view of row `i` (materializes an owned copy of a view).
   std::span<float> Row(size_t i) {
     return std::span<float>(data_.data() + i * dim_, dim_);
   }
@@ -29,18 +61,43 @@ class EmbeddingMatrix {
     return std::span<const float>(data_.data() + i * dim_, dim_);
   }
 
+  /// A matrix over rows [row_begin, row_begin + row_count). When this matrix
+  /// is a view, the result is a sub-view sharing the same backing (no float
+  /// is copied); when owned, the rows are copied out.
+  EmbeddingMatrix RowsView(size_t row_begin, size_t row_count) const {
+    const std::span<const float> rows(data_.data() + row_begin * dim_,
+                                      row_count * dim_);
+    if (is_view()) return FromView(dim_, rows, data_.keepalive());
+    EmbeddingMatrix out;
+    out.dim_ = dim_;
+    out.data_.append(rows.begin(), rows.end());
+    return out;
+  }
+
   /// Appends a row (must have length dim; first append fixes dim when 0).
   void AppendRow(std::span<const float> row);
 
-  const std::vector<float>& data() const { return data_; }
-  std::vector<float>& mutable_data() { return data_; }
+  /// Appends whole row-major rows at once (`rows.size()` must be a multiple
+  /// of the already-fixed dim).
+  void AppendRows(std::span<const float> rows);
 
-  /// Bytes of embedding payload held (for the memory accounting bench).
+  /// Reserves capacity for `n` rows (materializes an owned copy of a view).
+  void ReserveRows(size_t n) { data_.reserve(n * dim_); }
+
+  std::span<const float> data() const { return data_.span(); }
+
+  /// Bytes of embedding payload reachable through this matrix (for the
+  /// memory accounting bench). Views count their mapped bytes too; use
+  /// OwnedBytes for private-heap accounting only.
   size_t SizeBytes() const { return data_.size() * sizeof(float); }
+
+  /// Private heap bytes (0 while a view — the pages belong to the mapped
+  /// file and are shared between processes).
+  size_t OwnedBytes() const { return data_.OwnedBytes(); }
 
  private:
   size_t dim_;
-  std::vector<float> data_;
+  util::CowSlab<float> data_;
 };
 
 /// Dot product of two equal-length vectors.

@@ -50,9 +50,10 @@ std::vector<std::string> RegisteredTextEncoderLoaderKinds();
 /// Opens the MEMENCDR artifact at `path`, validates it, reads the kind tag,
 /// and dispatches the registered loader. The returned encoder is ready to
 /// EncodeInto — its fitted state round-tripped; do not call FitCorpus again
-/// unless you mean to refit on a new corpus.
+/// unless you mean to refit on a new corpus. `options` selects mmap-backed
+/// opening and the verification depth (util::ArtifactOpenOptions).
 util::Result<std::unique_ptr<TextEncoder>> LoadTextEncoder(
-    const std::string& path);
+    const std::string& path, const util::ArtifactOpenOptions& options = {});
 
 }  // namespace multiem::embed
 

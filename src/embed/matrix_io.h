@@ -1,0 +1,31 @@
+/// \file matrix_io.h
+/// EmbeddingMatrix <-> artifact-section serialization, shared by the
+/// pipeline manifest (core/artifact.cc) and the standalone merge-table spill
+/// files (core/merge_table.cc). The wire form is u64 rows, u64 dim, then the
+/// count-prefixed f32 row-major payload.
+
+#ifndef MULTIEM_EMBED_MATRIX_IO_H_
+#define MULTIEM_EMBED_MATRIX_IO_H_
+
+#include <memory>
+
+#include "embed/embedding.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace multiem::embed {
+
+/// Appends `m` to `out` (rows, dim, payload).
+void WriteMatrix(util::ByteWriter& out, const EmbeddingMatrix& m);
+
+/// Reads one matrix written by WriteMatrix, validating that the header and
+/// payload agree. With a non-null `keepalive` (the section comes from an
+/// mmap'd artifact; pass ArtifactReader::backing()) the matrix binds a
+/// zero-copy view over the mapped floats instead of copying them.
+util::Status ReadMatrix(util::ByteReader& in,
+                        const std::shared_ptr<const void>& keepalive,
+                        EmbeddingMatrix* out);
+
+}  // namespace multiem::embed
+
+#endif  // MULTIEM_EMBED_MATRIX_IO_H_

@@ -51,8 +51,8 @@ std::vector<std::string> RegisteredTextEncoderLoaderKinds() {
 }
 
 util::Result<std::unique_ptr<TextEncoder>> LoadTextEncoder(
-    const std::string& path) {
-  return Registry().LoadFromFile(path);
+    const std::string& path, const util::ArtifactOpenOptions& options) {
+  return Registry().LoadFromFile(path, options);
 }
 
 }  // namespace multiem::embed

@@ -1,10 +1,14 @@
 #include "util/io.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <cstring>
 #include <utility>
+
+#include "util/mmap.h"
+#include "util/thread_pool.h"
 
 namespace multiem::util {
 
@@ -30,6 +34,10 @@ std::string MagicToTag(uint64_t magic) {
     tag.push_back((c >= 0x20 && c < 0x7f) ? c : '?');
   }
   return tag;
+}
+
+size_t AlignUp(size_t offset, size_t align) {
+  return (offset + align - 1) / align * align;
 }
 
 }  // namespace
@@ -199,30 +207,42 @@ ByteWriter& ArtifactWriter::AddSection(std::string name) {
 }
 
 std::vector<uint8_t> ArtifactWriter::Serialize() const {
-  // Header + payloads.
+  // Every payload starts on a kSectionAlignBytes boundary (deterministic
+  // zero fill in the gaps) so that a reader mapping the file can hand out
+  // in-place views of the flat slabs. Checksums cover payload bytes only;
+  // the padding is protected by the bounds checks (a reader never reads it).
+  std::vector<size_t> offsets;
+  offsets.reserve(sections_.size());
+  size_t cursor = kHeaderBytes;
+  for (const auto& [name, payload] : sections_) {
+    cursor = AlignUp(cursor, kSectionAlignBytes);
+    offsets.push_back(cursor);
+    cursor += payload.size();
+  }
+  const size_t table_offset = cursor;
+
+  // Header + padded payloads.
   ByteWriter image;
   image.WriteU64(magic_);
   image.WriteU32(version_);
   image.WriteU32(static_cast<uint32_t>(sections_.size()));
-  size_t table_offset = kHeaderBytes;
-  for (const auto& [name, payload] : sections_) {
-    table_offset += payload.size();
-  }
   image.WriteU64(table_offset);
-  for (const auto& [name, payload] : sections_) {
+  static constexpr uint8_t kZeros[kSectionAlignBytes] = {};
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    image.WriteBytes(kZeros, offsets[i] - image.size());
+    const ByteWriter& payload = sections_[i].second;
     image.WriteBytes(payload.bytes().data(), payload.size());
   }
 
   // Section table, then its own checksum.
   ByteWriter table;
-  size_t offset = kHeaderBytes;
-  for (const auto& [name, payload] : sections_) {
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    const auto& [name, payload] = sections_[i];
     table.WriteU16(static_cast<uint16_t>(name.size()));
     table.WriteBytes(name.data(), name.size());
-    table.WriteU64(offset);
+    table.WriteU64(offsets[i]);
     table.WriteU64(payload.size());
     table.WriteU64(Fnv1a64(payload.bytes().data(), payload.size()));
-    offset += payload.size();
   }
   image.WriteBytes(table.bytes().data(), table.size());
   image.WriteU64(Fnv1a64(table.bytes().data(), table.size()));
@@ -258,25 +278,60 @@ Status ArtifactWriter::WriteFile(const std::string& path) const {
 Result<ArtifactReader> ArtifactReader::FromFile(const std::string& path,
                                                 uint64_t magic,
                                                 uint32_t max_version) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("artifact file '" + path + "' does not exist");
+  return FromFile(path, magic, max_version, ArtifactOpenOptions{});
+}
+
+Result<ArtifactReader> ArtifactReader::FromFile(
+    const std::string& path, uint64_t magic, uint32_t max_version,
+    const ArtifactOpenOptions& options) {
+  ArtifactReader reader;
+  reader.load_pool_ = options.verify_pool;
+
+  if (options.mapping != ArtifactOpenOptions::Mapping::kDisable) {
+    auto mapped = MmapFile::Open(path);
+    if (mapped.ok()) {
+      // The open-time validation streams the whole file once; the serving
+      // phase after it is random access over the graph.
+      mapped->AdviseSequential();
+      auto holder = std::make_shared<MmapFile>(std::move(*mapped));
+      reader.data_ = holder->bytes();
+      reader.backing_ = std::move(holder);
+      reader.mapped_ = true;
+    } else if (options.mapping == ArtifactOpenOptions::Mapping::kRequire ||
+               mapped.status().code() == StatusCode::kNotFound) {
+      return Status(mapped.status().code(),
+                    "'" + path + "': " + mapped.status().message());
+    }
+    // kPrefer falls through to the heap read on any other mmap failure.
   }
-  std::fseek(f, 0, SEEK_END);
-  long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(size > 0 ? static_cast<size_t>(size) : 0);
-  const size_t read =
-      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (read != bytes.size()) {
-    return Status::InvalidArgument("cannot read artifact file '" + path +
-                                   "'");
+
+  if (!reader.mapped_) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::NotFound("artifact file '" + path + "' does not exist");
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    auto bytes = std::make_shared<std::vector<uint8_t>>(
+        size > 0 ? static_cast<size_t>(size) : 0);
+    const size_t read =
+        bytes->empty() ? 0 : std::fread(bytes->data(), 1, bytes->size(), f);
+    std::fclose(f);
+    if (read != bytes->size()) {
+      return Status::InvalidArgument("cannot read artifact file '" + path +
+                                     "'");
+    }
+    reader.data_ = std::span<const uint8_t>(bytes->data(), bytes->size());
+    reader.backing_ = std::move(bytes);
   }
-  auto reader = FromBytes(std::move(bytes), magic, max_version);
-  if (!reader.ok()) {
-    return Status(reader.status().code(),
-                  "'" + path + "': " + reader.status().message());
+
+  Status status = reader.Init(magic, max_version, options);
+  if (!status.ok()) {
+    return Status(status.code(), "'" + path + "': " + status.message());
+  }
+  if (reader.mapped_) {
+    static_cast<const MmapFile*>(reader.backing_.get())->AdviseRandom();
   }
   return reader;
 }
@@ -284,6 +339,18 @@ Result<ArtifactReader> ArtifactReader::FromFile(const std::string& path,
 Result<ArtifactReader> ArtifactReader::FromBytes(std::vector<uint8_t> bytes,
                                                  uint64_t magic,
                                                  uint32_t max_version) {
+  ArtifactReader reader;
+  auto holder = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  reader.data_ = std::span<const uint8_t>(holder->data(), holder->size());
+  reader.backing_ = std::move(holder);
+  MULTIEM_RETURN_IF_ERROR(reader.Init(magic, max_version, {}));
+  return reader;
+}
+
+Status ArtifactReader::Init(uint64_t magic, uint32_t max_version,
+                            const ArtifactOpenOptions& options) {
+  deep_verify_ = options.verify == ArtifactOpenOptions::Verify::kFull;
+  const std::span<const uint8_t> bytes = data_;
   if (bytes.size() < kHeaderBytes + 8) {
     return Status::InvalidArgument(
         "artifact truncated: " + std::to_string(bytes.size()) +
@@ -326,10 +393,11 @@ Result<ArtifactReader> ArtifactReader::FromBytes(std::vector<uint8_t> bytes,
         "file)");
   }
 
-  ArtifactReader reader;
-  reader.version_ = version;
+  version_ = version;
   ByteReader table(std::span<const uint8_t>(bytes.data() + table_offset,
                                             table_size));
+  std::vector<uint64_t> checksums;
+  checksums.reserve(section_count);
   for (uint32_t i = 0; i < section_count; ++i) {
     uint16_t name_len;
     MULTIEM_RETURN_IF_ERROR(table.ReadU16(&name_len));
@@ -354,17 +422,77 @@ Result<ArtifactReader> ArtifactReader::FromBytes(std::vector<uint8_t> bytes,
       return Status::InvalidArgument("artifact section '" + entry.name +
                                      "' lies outside the payload area");
     }
-    if (Fnv1a64(bytes.data() + offset, size) != checksum) {
-      return Status::InvalidArgument("artifact section '" + entry.name +
-                                     "' checksum mismatch (corrupt file)");
-    }
     entry.offset = static_cast<size_t>(offset);
     entry.size = static_cast<size_t>(size);
-    reader.sections_.push_back(std::move(entry));
+    sections_.push_back(std::move(entry));
+    checksums.push_back(checksum);
   }
   MULTIEM_RETURN_IF_ERROR(table.ExpectExhausted());
-  reader.bytes_ = std::move(bytes);
-  return reader;
+
+  // Alignment padding is deterministic zero fill and no checksum covers it,
+  // so enforce the zeros here — every byte of a valid container is then
+  // either validated content or provably-zero padding, keeping the
+  // "any single-byte flip is rejected" guarantee intact.
+  {
+    size_t cursor = kHeaderBytes;
+    for (const SectionEntry& s : sections_) {
+      for (size_t b = cursor; b < s.offset && b < bytes.size(); ++b) {
+        if (bytes[b] != 0) {
+          return Status::InvalidArgument(
+              "artifact padding byte at offset " + std::to_string(b) +
+              " is non-zero (corrupt file)");
+        }
+      }
+      cursor = std::max(cursor, s.offset + s.size);
+    }
+    for (size_t b = cursor; b < table_offset; ++b) {
+      if (bytes[b] != 0) {
+        return Status::InvalidArgument(
+            "artifact padding byte at offset " + std::to_string(b) +
+            " is non-zero (corrupt file)");
+      }
+    }
+  }
+
+  // Payload checksums last: the O(file size) part, skippable (kStructural)
+  // and parallelizable across sections — the FNV-1a sweep is byte-serial
+  // within one section but sections are independent.
+  if (options.verify == ArtifactOpenOptions::Verify::kFull) {
+    const size_t n = sections_.size();
+    auto check_one = [&](size_t i) {
+      return Fnv1a64(bytes.data() + sections_[i].offset, sections_[i].size) ==
+             checksums[i];
+    };
+    size_t first_bad = n;
+    if (options.verify_pool != nullptr && n > 1) {
+      std::atomic<size_t> bad{n};
+      ParallelFor(
+          options.verify_pool, n,
+          [&](size_t i) {
+            if (!check_one(i)) {
+              size_t cur = bad.load(std::memory_order_relaxed);
+              while (i < cur && !bad.compare_exchange_weak(
+                                    cur, i, std::memory_order_relaxed)) {
+              }
+            }
+          },
+          /*min_block_size=*/1);
+      first_bad = bad.load(std::memory_order_relaxed);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (!check_one(i)) {
+          first_bad = i;
+          break;
+        }
+      }
+    }
+    if (first_bad < n) {
+      return Status::InvalidArgument("artifact section '" +
+                                     sections_[first_bad].name +
+                                     "' checksum mismatch (corrupt file)");
+    }
+  }
+  return Status::Ok();
 }
 
 bool ArtifactReader::HasSection(std::string_view name) const {
@@ -385,8 +513,7 @@ std::vector<std::string> ArtifactReader::SectionNames() const {
 Result<ByteReader> ArtifactReader::Section(std::string_view name) const {
   for (const SectionEntry& s : sections_) {
     if (s.name == name) {
-      return ByteReader(
-          std::span<const uint8_t>(bytes_.data() + s.offset, s.size));
+      return ByteReader(data_.subspan(s.offset, s.size));
     }
   }
   std::string present;

@@ -34,9 +34,12 @@
 #include <utility>
 #include <vector>
 
+#include "util/memory.h"
 #include "util/status.h"
 
 namespace multiem::util {
+
+class ThreadPool;
 
 /// 64-bit FNV-1a over `size` bytes, continuing from `state` (pass the
 /// default to start a fresh hash). Simple, fast, and byte-order independent;
@@ -54,6 +57,45 @@ constexpr uint64_t ArtifactMagic(const char (&tag)[9]) {
   }
   return magic;
 }
+
+/// Every section payload starts on a 64-byte (cache-line) boundary within
+/// the container, with deterministic zero padding in the gaps. Combined with
+/// the typed-array encoding (a u64 count, then the raw little-endian
+/// elements, so array data sits 8 bytes past any 8-byte-aligned point) this
+/// makes every flat slab in an artifact directly addressable in place — the
+/// alignment guarantee the mmap zero-copy load path relies on. Pre-alignment
+/// files (any artifact written before this padding existed) still load
+/// through the same readers; they just may fall back to copying slabs whose
+/// mapped address is misaligned for the element type.
+inline constexpr size_t kSectionAlignBytes = 64;
+
+/// How an artifact file should be opened and verified.
+struct ArtifactOpenOptions {
+  enum class Mapping {
+    kDisable,  ///< Heap read (fread the whole image). The default.
+    kPrefer,   ///< mmap when the platform supports it, else heap.
+    kRequire,  ///< mmap or fail (tests; "I need page sharing").
+  };
+  enum class Verify {
+    /// Validate header, bounds, the section table's checksum, and every
+    /// section payload checksum before returning. The default.
+    kFull,
+    /// Validate header, bounds, and the table checksum only, skipping the
+    /// O(file size) payload sweep. For re-opening artifacts this process
+    /// (or a trusted peer) just wrote and verified: reload-to-first-query
+    /// becomes O(pages actually touched). Semantic validation in the typed
+    /// loaders still runs; flipped payload bytes surface there or not at all.
+    kStructural,
+  };
+
+  Mapping mapping = Mapping::kDisable;
+  Verify verify = Verify::kFull;
+  /// When set, payload checksums are verified in parallel across sections
+  /// on this pool (the FNV-1a sweep is the dominant open-time cost for
+  /// multi-hundred-MB artifacts). Loaders may also use it via
+  /// ArtifactReader::load_pool() for their own validation passes.
+  ThreadPool* verify_pool = nullptr;
+};
 
 /// Append-only little-endian byte buffer: the assembly surface for one
 /// artifact section. Fixed-width writes only; strings and arrays carry
@@ -140,21 +182,43 @@ class ByteReader {
     out->resize(static_cast<size_t>(count));
     const uint8_t* p;
     MULTIEM_RETURN_IF_ERROR(Take(static_cast<size_t>(count) * sizeof(T), &p));
-    if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(out->data(), p, static_cast<size_t>(count) * sizeof(T));
+    DecodeArray(p, static_cast<size_t>(count), out->data());
+    return Status::Ok();
+  }
+
+  /// Zero-copy variant: binds `out` as a *view* over the array's wire bytes
+  /// when that is sound — `keepalive` non-null (it must keep this section's
+  /// bytes alive, e.g. ArtifactReader::backing()), a little-endian host
+  /// (wire image == memory image), and the in-file address aligned for T —
+  /// and otherwise falls back to an owned copy, bit-identical either way.
+  /// This is how the flat HNSW slabs and entity-table columns serve straight
+  /// from mapped pages.
+  template <typename T, typename Alloc>
+  Status ReadArrayCow(CowSlab<T, Alloc>* out,
+                      const std::shared_ptr<const void>& keepalive) {
+    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
+                  "arrays hold 4/8-byte elements");
+    uint64_t count;
+    MULTIEM_RETURN_IF_ERROR(ReadU64(&count));
+    if (count > remaining() / sizeof(T)) {
+      return Status::OutOfRange(
+          "binary array count " + std::to_string(count) + " exceeds the " +
+          std::to_string(remaining()) + " remaining section bytes");
+    }
+    const uint8_t* p;
+    MULTIEM_RETURN_IF_ERROR(Take(static_cast<size_t>(count) * sizeof(T), &p));
+    const bool can_view =
+        keepalive != nullptr &&
+        std::endian::native == std::endian::little &&
+        reinterpret_cast<uintptr_t>(p) % alignof(T) == 0;
+    if (can_view) {
+      out->BindView(std::span<const T>(reinterpret_cast<const T*>(p),
+                                       static_cast<size_t>(count)),
+                    keepalive);
     } else {
-      for (size_t i = 0; i < count; ++i) {
-        uint64_t bits = 0;
-        for (size_t b = sizeof(T); b-- > 0;) {
-          bits = (bits << 8) | p[i * sizeof(T) + b];
-        }
-        if constexpr (sizeof(T) == 4) {
-          const uint32_t narrow = static_cast<uint32_t>(bits);
-          std::memcpy(&(*out)[i], &narrow, sizeof(T));
-        } else {
-          std::memcpy(&(*out)[i], &bits, sizeof(T));
-        }
-      }
+      out->clear();
+      out->resize(static_cast<size_t>(count));
+      DecodeArray(p, static_cast<size_t>(count), out->data());
     }
     return Status::Ok();
   }
@@ -169,6 +233,28 @@ class ByteReader {
 
  private:
   Status Take(size_t n, const uint8_t** out);
+
+  /// Decodes `count` wire elements at `p` into `out` (one memcpy on
+  /// little-endian hosts, an element loop elsewhere).
+  template <typename T>
+  static void DecodeArray(const uint8_t* p, size_t count, T* out) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(out, p, count * sizeof(T));
+    } else {
+      for (size_t i = 0; i < count; ++i) {
+        uint64_t bits = 0;
+        for (size_t b = sizeof(T); b-- > 0;) {
+          bits = (bits << 8) | p[i * sizeof(T) + b];
+        }
+        if constexpr (sizeof(T) == 4) {
+          const uint32_t narrow = static_cast<uint32_t>(bits);
+          std::memcpy(&out[i], &narrow, sizeof(T));
+        } else {
+          std::memcpy(&out[i], &bits, sizeof(T));
+        }
+      }
+    }
+  }
 
   std::span<const uint8_t> data_;
   size_t pos_ = 0;
@@ -219,6 +305,17 @@ class ArtifactReader {
                                          uint64_t magic,
                                          uint32_t max_version);
 
+  /// As above, with explicit open behavior: `options.mapping` selects the
+  /// heap read (default), mmap-with-fallback, or mmap-or-fail;
+  /// `options.verify`/`options.verify_pool` control the checksum sweep (see
+  /// ArtifactOpenOptions). A mapped reader shares its pages with every other
+  /// process serving the same artifact, and its Section() bytes point
+  /// straight into the mapping — the zero-copy substrate for the typed
+  /// loaders.
+  static Result<ArtifactReader> FromFile(const std::string& path,
+                                         uint64_t magic, uint32_t max_version,
+                                         const ArtifactOpenOptions& options);
+
   /// Same validation over an in-memory image (tests, transport).
   static Result<ArtifactReader> FromBytes(std::vector<uint8_t> bytes,
                                           uint64_t magic,
@@ -236,6 +333,27 @@ class ArtifactReader {
   /// the sections present.
   Result<ByteReader> Section(std::string_view name) const;
 
+  /// True when this reader serves from an mmap'd file rather than a heap
+  /// buffer. Typed loaders use this to decide whether binding views
+  /// (ByteReader::ReadArrayCow with backing()) buys page sharing.
+  bool mapped() const { return mapped_; }
+
+  /// Shared handle keeping the underlying bytes (heap buffer or mapping)
+  /// alive. Loaders binding zero-copy views must stash this as the views'
+  /// keepalive; it is never null after FromFile/FromBytes succeed.
+  const std::shared_ptr<const void>& backing() const { return backing_; }
+
+  /// The pool FromFile was opened with (options.verify_pool), or null.
+  /// Loaders may use it for their own parallel validation; it must outlive
+  /// the load call, not the reader's whole lifetime.
+  ThreadPool* load_pool() const { return load_pool_; }
+
+  /// False when the file was opened with Verify::kStructural — the caller
+  /// vouched for the payload bytes, so typed loaders may in turn skip their
+  /// O(content) semantic sweeps and keep reload latency proportional to the
+  /// pages actually touched.
+  bool deep_verify() const { return deep_verify_; }
+
  private:
   struct SectionEntry {
     std::string name;
@@ -245,7 +363,16 @@ class ArtifactReader {
 
   ArtifactReader() = default;
 
-  std::vector<uint8_t> bytes_;
+  /// Validates the container image in data_/backing_ and fills version_ and
+  /// sections_. `context` prefixes error messages (the file path).
+  Status Init(uint64_t magic, uint32_t max_version,
+              const ArtifactOpenOptions& options);
+
+  std::span<const uint8_t> data_;
+  std::shared_ptr<const void> backing_;
+  bool mapped_ = false;
+  bool deep_verify_ = true;
+  ThreadPool* load_pool_ = nullptr;
   uint32_t version_ = 0;
   std::vector<SectionEntry> sections_;
 };
@@ -295,9 +422,13 @@ class ArtifactLoaderRegistry {
 
   /// Opens the artifact at `path`, validates it, reads the kind tag, and
   /// dispatches the registered loader (unknown kinds fail with
-  /// InvalidArgument listing the registered ones).
-  Result<std::unique_ptr<T>> LoadFromFile(const std::string& path) const {
-    auto artifact = ArtifactReader::FromFile(path, magic_, max_version_);
+  /// InvalidArgument listing the registered ones). `options` selects heap vs
+  /// mmap backing and the verification mode (see ArtifactOpenOptions);
+  /// loaders that understand zero-copy bind their slabs onto the mapping.
+  Result<std::unique_ptr<T>> LoadFromFile(
+      const std::string& path, const ArtifactOpenOptions& options = {}) const {
+    auto artifact =
+        ArtifactReader::FromFile(path, magic_, max_version_, options);
     if (!artifact.ok()) return artifact.status();
 
     auto meta = artifact->Section(meta_section_);

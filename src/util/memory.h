@@ -2,7 +2,10 @@
 #define MULTIEM_UTIL_MEMORY_H_
 
 #include <cstddef>
+#include <cstring>
+#include <memory>
 #include <new>
+#include <span>
 #include <vector>
 
 #if defined(__SSE2__)
@@ -64,6 +67,111 @@ class AlignedAllocator {
 /// std::vector whose buffer starts on a cache-line boundary.
 template <typename T>
 using CacheAlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/// A flat array that either owns its storage (a std::vector) or is a
+/// read-only *view* over externally owned bytes — typically a section of an
+/// mmap'd artifact — kept alive by a shared keepalive handle. This is the
+/// storage type behind the zero-copy load path: `HnswIndex::Load` and the
+/// pipeline-artifact loader bind their flat slabs directly onto mapped pages
+/// instead of copying them, and the first mutation (`EnsureOwned`, or any
+/// non-const accessor) materializes a private owned copy.
+///
+/// Copying a CowSlab is cheap while it is a view (the copy shares the view
+/// and its keepalive — this is what lets consecutive serving epochs share
+/// unchanged data) and a deep copy once owned. The container is deliberately
+/// vector-shaped (`value_type`, `resize`, `data`) so it drops into
+/// `ByteReader::ReadArrayInto` unchanged on the copying fallback path.
+template <typename T, typename Alloc = std::allocator<T>>
+class CowSlab {
+ public:
+  using value_type = T;
+
+  CowSlab() = default;
+  explicit CowSlab(std::vector<T, Alloc> v) : owned_(std::move(v)) {}
+
+  /// Points this slab at externally owned, immutable elements. `keepalive`
+  /// must keep `view`'s bytes valid for as long as any copy of this slab
+  /// (or of its keepalive) lives.
+  void BindView(std::span<const T> view, std::shared_ptr<const void> keepalive) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    view_ = view;
+    keepalive_ = std::move(keepalive);
+  }
+
+  bool is_view() const { return keepalive_ != nullptr; }
+
+  /// The keepalive handle of a view (null when owned). Exposed so a
+  /// container built over a CowSlab can hand out sub-views that share the
+  /// same backing (EmbeddingMatrix::RowsView).
+  const std::shared_ptr<const void>& keepalive() const { return keepalive_; }
+
+  /// Materializes an owned private copy when this slab is a view; no-op when
+  /// already owned. Every mutating member calls this, so explicit calls are
+  /// only needed before raw const_cast-style writes through data().
+  void EnsureOwned() {
+    if (!is_view()) return;
+    owned_.assign(view_.begin(), view_.end());
+    view_ = {};
+    keepalive_.reset();
+  }
+
+  size_t size() const { return is_view() ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+
+  const T* data() const { return is_view() ? view_.data() : owned_.data(); }
+  T* data() {
+    EnsureOwned();
+    return owned_.data();
+  }
+
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& operator[](size_t i) {
+    EnsureOwned();
+    return owned_[i];
+  }
+
+  std::span<const T> span() const { return {data(), size()}; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  void clear() {
+    owned_.clear();
+    view_ = {};
+    keepalive_.reset();
+  }
+
+  void resize(size_t n) {
+    EnsureOwned();
+    owned_.resize(n);
+  }
+  void resize(size_t n, const T& v) {
+    EnsureOwned();
+    owned_.resize(n, v);
+  }
+  void reserve(size_t n) {
+    EnsureOwned();
+    owned_.reserve(n);
+  }
+  void push_back(const T& v) {
+    EnsureOwned();
+    owned_.push_back(v);
+  }
+  template <typename It>
+  void append(It first, It last) {
+    EnsureOwned();
+    owned_.insert(owned_.end(), first, last);
+  }
+
+  /// Bytes held by the owned buffer (0 while a view — the pages belong to
+  /// the mapped file and are shared between processes).
+  size_t OwnedBytes() const { return owned_.capacity() * sizeof(T); }
+
+ private:
+  std::vector<T, Alloc> owned_;
+  std::span<const T> view_;
+  std::shared_ptr<const void> keepalive_;
+};
 
 /// Read-prefetch hint for the cache line at `p`. No-op where unsupported;
 /// safe on any address (prefetch never faults). The HNSW hot loops use this

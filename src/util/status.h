@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,         ///< Invariant violation inside the library.
   kResourceExhausted,   ///< A configured budget (time/memory) was exceeded.
   kCancelled,        ///< The operation was cooperatively cancelled by the caller.
+  kUnimplemented,    ///< The platform/build lacks support for the operation.
 };
 
 /// Returns the canonical spelling of a status code ("OK", "InvalidArgument"...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   /// True iff this status represents success.

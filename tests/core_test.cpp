@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -68,8 +69,81 @@ TEST(MergeTableTest, FromSourceBuildsSingletonItems) {
   EXPECT_EQ(t.TotalMembers(), 4u);
   EXPECT_EQ(t.item(1).members.size(), 1u);
   EXPECT_EQ(t.item(1).members[0], EntityId(2, 1));
-  EXPECT_FLOAT_EQ(t.embeddings().Row(1)[1], 1.0f);
+  EXPECT_FLOAT_EQ(t.Row(1)[1], 1.0f);
   EXPECT_GT(t.SizeBytes(), 0u);
+}
+
+// Copying a MergeTable shares its chunks; a mutation clones only the chunk
+// it touches. Observed through item addresses: a shared chunk serves the
+// same MergeItem storage to both tables.
+TEST(MergeTableTest, CopySharesChunksUntilMutation) {
+  const size_t n = MergeTable::kChunkItems + 10;  // two chunks
+  MergeTable original = MergeTable::FromSource(0, UnitAxisVectors(n, 4));
+  MergeTable copy = original;
+  EXPECT_EQ(&copy.item(0), &original.item(0));
+  EXPECT_EQ(&copy.item(n - 1), &original.item(n - 1));
+
+  // Appending to the copy touches only the last chunk; the first stays
+  // shared.
+  std::vector<float> row = {1.0f, 0.0f, 0.0f, 0.0f};
+  copy.Append(MergeItem{{EntityId(1, 0)}}, row);
+  EXPECT_EQ(&copy.item(0), &original.item(0));
+  EXPECT_NE(&copy.item(n - 1), &original.item(n - 1));
+  EXPECT_EQ(original.num_items(), n);
+  EXPECT_EQ(copy.num_items(), n + 1);
+
+  // Tombstoning in the copy clones chunk 0 and never alters the original.
+  copy.TombstoneItem(3);
+  EXPECT_NE(&copy.item(0), &original.item(0));
+  EXPECT_TRUE(copy.item(3).members.empty());
+  EXPECT_EQ(copy.num_tombstones(), 1u);
+  EXPECT_EQ(copy.num_live_items(), n);
+  EXPECT_EQ(original.item(3).members.size(), 1u);
+  EXPECT_EQ(original.num_tombstones(), 0u);
+}
+
+TEST(MergeTableTest, ReplaceItemTracksTombstoneTransitions) {
+  MergeTable t = MergeTable::FromSource(0, UnitAxisVectors(3, 4));
+  std::vector<float> row = {0.0f, 1.0f, 0.0f, 0.0f};
+  t.TombstoneItem(1);
+  EXPECT_EQ(t.num_tombstones(), 1u);
+  // Reviving a tombstone and retiring a live item both adjust the count.
+  t.ReplaceItem(1, MergeItem{{EntityId(0, 1), EntityId(1, 1)}}, row);
+  EXPECT_EQ(t.num_tombstones(), 0u);
+  EXPECT_EQ(t.item(1).members.size(), 2u);
+  EXPECT_FLOAT_EQ(t.Row(1)[1], 1.0f);
+  t.ReplaceItem(2, MergeItem{}, row);
+  EXPECT_EQ(t.num_tombstones(), 1u);
+}
+
+TEST(MergeTableTest, FromPartsAndSpillRoundTrip) {
+  auto embeddings = UnitAxisVectors(5, 4);
+  std::vector<MergeItem> items;
+  for (size_t i = 0; i < 5; ++i) {
+    items.push_back(MergeItem{{EntityId(0, i), EntityId(1, i)}});
+  }
+  MergeTable t = MergeTable::FromParts(std::move(items), embeddings);
+  ASSERT_EQ(t.num_items(), 5u);
+  EXPECT_EQ(t.TotalMembers(), 10u);
+
+  const std::string path =
+      ::testing::TempDir() + "multiem_core_spill.mem";
+  std::filesystem::remove(path);
+  ASSERT_TRUE(t.Save(path).ok());
+  auto loaded = MergeTable::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_items(), t.num_items());
+  EXPECT_EQ(loaded->dim(), t.dim());
+  for (size_t i = 0; i < t.num_items(); ++i) {
+    EXPECT_EQ(loaded->item(i).members, t.item(i).members);
+    for (size_t d = 0; d < t.dim(); ++d) {
+      EXPECT_EQ(loaded->Row(i)[d], t.Row(i)[d]);
+    }
+  }
+
+  // The spill format carries pipeline tables only — never tombstones.
+  t.TombstoneItem(0);
+  EXPECT_FALSE(t.Save(path).ok());
 }
 
 TEST(EntityEmbeddingStoreTest, RowLookupAcrossSources) {
@@ -139,6 +213,35 @@ TEST(AttributeSelectorTest, FallbackKeepsAllWhenNothingPasses) {
   auto result = selector.Run(tables);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->selected_columns.size(), 2u);
+}
+
+// The per-column scoring loop fans out across the pool; the selection (and
+// the exact similarity scores) must not depend on the thread count, because
+// the column shuffles are all drawn from the rng stream before the fan-out.
+TEST(AttributeSelectorTest, SelectionInvariantAcrossThreadCounts) {
+  auto tables = NoisyIdTables(48);
+  embed::HashingSentenceEncoder encoder;
+  std::vector<std::string> corpus;
+  for (const auto& t : tables) {
+    auto texts = embed::SerializeTable(t);
+    corpus.insert(corpus.end(), texts.begin(), texts.end());
+  }
+  encoder.FitFrequencies(corpus);
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.seed = 11;
+  AttributeSelector selector(&encoder, config);
+  auto serial = selector.Run(tables, /*pool=*/nullptr);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {2, 4, 7}) {
+    util::ThreadPool pool(threads);
+    auto parallel = selector.Run(tables, &pool);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->selected_columns, serial->selected_columns)
+        << threads << " threads";
+    EXPECT_EQ(parallel->shuffle_similarity, serial->shuffle_similarity)
+        << threads << " threads";
+  }
 }
 
 TEST(AttributeSelectorTest, DeterministicGivenSeed) {
@@ -227,7 +330,7 @@ TEST(TwoTableMergerTest, CentroidIsNormalizedMeanOfMembers) {
   MergeTable merged = merger.Merge(a, b);
   for (size_t i = 0; i < merged.num_items(); ++i) {
     // Members are identical vectors, so the centroid equals the member.
-    auto row = merged.embeddings().Row(i);
+    auto row = merged.Row(i);
     EXPECT_NEAR(embed::Norm(row), 1.0f, 1e-5);
     auto member = store.Row(merged.item(i).members[0]);
     EXPECT_NEAR(embed::CosineSimilarity(row, member), 1.0f, 1e-5);
@@ -411,7 +514,8 @@ TEST(HierarchicalMergerTest, NoEntityAppearsTwice) {
   HierarchicalMerger merger(config, &store);
   MergeTable integrated = merger.Run(std::move(tables));
   std::set<uint64_t> seen;
-  for (const auto& item : integrated.items()) {
+  for (size_t i = 0; i < integrated.num_items(); ++i) {
+    const MergeItem& item = integrated.item(i);
     for (EntityId id : item.members) {
       EXPECT_TRUE(seen.insert(id.packed()).second)
           << "entity " << id.ToString() << " in two items";

@@ -11,6 +11,7 @@
 #include "datagen/geo.h"
 #include "datagen/music.h"
 #include "datagen/person.h"
+#include "datagen/scale.h"
 #include "datagen/shopee.h"
 #include "datagen/vocab.h"
 #include "util/string_util.h"
@@ -336,6 +337,92 @@ TEST_P(DatasetInvariantSweep, NoEntityInTwoTruthTuples) {
 INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetInvariantSweep,
                          ::testing::Values("geo", "music-20", "music-200",
                                            "person", "shopee"));
+
+// ----------------------------------------------------- Streaming (scale) --
+
+ScaleCorpusConfig SmallScaleConfig() {
+  ScaleCorpusConfig config;
+  config.seed = 9;
+  config.num_sources = 3;
+  config.rows_per_source = 200;
+  config.overlap = 0.4;
+  return config;
+}
+
+TEST(ScaleCorpusTest, ChunksAreOrderIndependent) {
+  ScaleCorpusGenerator gen(SmallScaleConfig());
+  table::Table whole = gen.MaterializeSource(1);
+  ASSERT_EQ(whole.num_rows(), 200u);
+
+  // Render the same source in odd-sized chunks, back-to-front, into a fresh
+  // table per chunk; every cell must match the one-shot render.
+  std::vector<std::pair<size_t, size_t>> chunks = {
+      {128, 200}, {37, 128}, {0, 37}};
+  for (auto [begin, end] : chunks) {
+    table::Table part("part", gen.schema());
+    gen.AppendRows(1, begin, end, &part);
+    ASSERT_EQ(part.num_rows(), end - begin);
+    for (size_t r = 0; r < part.num_rows(); ++r) {
+      for (size_t c = 0; c < gen.schema().num_attributes(); ++c) {
+        EXPECT_EQ(part.cell(r, c), whole.cell(begin + r, c))
+            << "row " << begin + r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ScaleCorpusTest, DeterministicGivenSeedAndDistinctAcrossSeeds) {
+  ScaleCorpusGenerator a(SmallScaleConfig());
+  ScaleCorpusGenerator b(SmallScaleConfig());
+  table::Table ta = a.MaterializeSource(0);
+  table::Table tb = b.MaterializeSource(0);
+  ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  for (size_t r = 0; r < ta.num_rows(); ++r) {
+    EXPECT_EQ(ta.row(r), tb.row(r));
+  }
+  ScaleCorpusConfig other = SmallScaleConfig();
+  other.seed = 10;
+  table::Table tc = ScaleCorpusGenerator(other).MaterializeSource(0);
+  size_t differing = 0;
+  for (size_t r = 0; r < ta.num_rows(); ++r) {
+    if (ta.cell(r, 0) != tc.cell(r, 0)) ++differing;
+  }
+  EXPECT_GT(differing, ta.num_rows() / 2);
+}
+
+TEST(ScaleCorpusTest, SharedPrefixOverlapsAcrossSourcesUniqueTailDoesNot) {
+  ScaleCorpusGenerator gen(SmallScaleConfig());
+  EXPECT_EQ(gen.shared_rows(), 80u);  // 0.4 * 200
+  EXPECT_EQ(gen.total_rows(), 600u);
+  table::Table s0 = gen.MaterializeSource(0);
+  table::Table s1 = gen.MaterializeSource(1);
+
+  // Shared rows render the same canonical entity per row index: identical
+  // color (never corrupted) and a title that survives corruption with most
+  // tokens intact is the realistic case — require at least identical color
+  // and that the two titles differ from a random pairing's.
+  size_t same_color = 0;
+  for (size_t r = 0; r < gen.shared_rows(); ++r) {
+    if (s0.cell(r, 1) == s1.cell(r, 1)) ++same_color;
+  }
+  EXPECT_EQ(same_color, gen.shared_rows());
+
+  // Unique-tail rows are distinct entities; their colors agree only by
+  // bank-collision chance, never systematically.
+  size_t tail_same_title = 0;
+  for (size_t r = gen.shared_rows(); r < gen.rows_per_source(); ++r) {
+    if (s0.cell(r, 0) == s1.cell(r, 0)) ++tail_same_title;
+  }
+  EXPECT_EQ(tail_same_title, 0u);
+
+  // The noise column is per-copy random: it must not agree even on shared
+  // rows (it is what attribute selection should reject).
+  size_t same_sku = 0;
+  for (size_t r = 0; r < gen.shared_rows(); ++r) {
+    if (s0.cell(r, 2) == s1.cell(r, 2)) ++same_sku;
+  }
+  EXPECT_EQ(same_sku, 0u);
+}
 
 }  // namespace
 }  // namespace multiem::datagen

@@ -484,11 +484,11 @@ TEST(ServeIngestTest, MergingIngestRetiresSlotsAndStaysConsistent) {
     AddTableOptions reb;
     reb.rebuild_index = true;
     ASSERT_TRUE(rebuild.AddTable(t, reb).ok());
-    // Epoch invariant: the index holds exactly one live slot per item plus
-    // the retired ones.
+    // Epoch invariant: the index holds exactly one live slot per live item
+    // plus the retired ones (tombstoned items carry no slot at all).
     const Matcher::Snapshot epoch = incremental.snapshot();
     EXPECT_EQ(epoch.index().size(),
-              epoch.num_items() + epoch.dead_slots());
+              epoch.num_live_items() + epoch.dead_slots());
     max_dead = std::max(max_dead, epoch.dead_slots());
   }
 
@@ -504,7 +504,7 @@ TEST(ServeIngestTest, MergingIngestRetiresSlotsAndStaysConsistent) {
   // path never carries any.
   EXPECT_EQ(inc_snap.dead_slots(), 0u);
   EXPECT_EQ(reb_snap.dead_slots(), 0u);
-  EXPECT_EQ(inc_snap.index().size(), inc_snap.num_items());
+  EXPECT_EQ(inc_snap.index().size(), inc_snap.num_live_items());
 
   // Every returned hit is a live item with in-range id and its distance to
   // the resolved centroid is the reported one (i.e. no stale-slot leak).
@@ -527,6 +527,123 @@ TEST(ServeIngestTest, MergingIngestRetiresSlotsAndStaysConsistent) {
               reb_snap.item_members((*reb_matches)[row][0].item))
         << "row " << row;
   }
+}
+
+// An ingest row that bridges two previously distinct items forces an
+// old-old merge. The absorbed item must become a tombstone (empty members,
+// no index slot) instead of being dropped, so every other item keeps its id
+// across the epoch — and the tombstone must survive a save/load roundtrip
+// (manifest format v3).
+TEST(ServeIngestTest, BridgingIngestTombstonesAbsorbedItem) {
+  Schema schema({"title"});
+  std::vector<Table> sources;
+  {
+    Table t("src_a", schema);
+    t.AppendRow({"silver laptop computer"}).CheckOk();
+    t.AppendRow({"red apple fruit"}).CheckOk();
+    t.AppendRow({"green forest tree"}).CheckOk();
+    t.AppendRow({"loud concert music"}).CheckOk();
+    t.AppendRow({"ancient stone castle"}).CheckOk();
+    sources.push_back(std::move(t));
+  }
+  {
+    Table t("src_b", schema);
+    t.AppendRow({"fast notebook machine"}).CheckOk();
+    t.AppendRow({"blue ocean wave"}).CheckOk();
+    t.AppendRow({"warm desert sand"}).CheckOk();
+    t.AppendRow({"quiet library book"}).CheckOk();
+    t.AppendRow({"frozen winter lake"}).CheckOk();
+    sources.push_back(std::move(t));
+  }
+
+  MultiEmConfig config;
+  config.sample_ratio = 1.0;
+  config.enable_attribute_selection = false;
+  config.enable_pruning = false;
+  config.use_exact_knn = true;
+  config.k = 2;  // the bridge row must reach both of its neighbors
+  config.m = 0.72f;
+  auto pipeline = PipelineBuilder(config).Build();
+  pipeline.status().CheckOk();
+  RunContext ctx;
+  ctx.build_matcher = true;
+  PipelineResult result;
+  pipeline->Run(std::move(sources), ctx, &result).CheckOk();
+  Matcher& matcher = *result.matcher;
+
+  // All token sets are disjoint, so nothing merges at build time.
+  const Matcher::Snapshot before = matcher.snapshot();
+  ASSERT_EQ(before.num_items(), 10u);
+  ASSERT_EQ(before.num_tombstones(), 0u);
+  std::vector<std::vector<table::EntityId>> members_before;
+  for (size_t i = 0; i < before.num_items(); ++i) {
+    members_before.push_back(before.item_members(i));
+  }
+
+  Table bridge("src_bridge", schema);
+  bridge.AppendRow({"silver laptop computer fast notebook machine"}).CheckOk();
+  ASSERT_TRUE(matcher.AddTable(bridge).ok());
+
+  const Matcher::Snapshot after = matcher.snapshot();
+  // No item was dropped and none appended: the bridge row joined a group.
+  ASSERT_EQ(after.num_items(), 10u);
+  EXPECT_EQ(after.num_tombstones(), 1u);
+  EXPECT_EQ(after.num_live_items(), 9u);
+  EXPECT_EQ(after.index().size(),
+            after.num_live_items() + after.dead_slots());
+
+  size_t tombstoned = after.num_items(), merged = after.num_items();
+  for (size_t i = 0; i < after.num_items(); ++i) {
+    const auto& members = after.item_members(i);
+    if (members.empty()) {
+      EXPECT_EQ(tombstoned, after.num_items()) << "two tombstones";
+      tombstoned = i;
+    } else if (members != members_before[i]) {
+      EXPECT_EQ(merged, after.num_items()) << "two items changed";
+      merged = i;
+    }
+  }
+  ASSERT_LT(tombstoned, after.num_items());
+  ASSERT_LT(merged, after.num_items());
+  // The group lives at the smaller participating id; it unions both old
+  // items' members plus the bridge row.
+  EXPECT_LT(merged, tombstoned);
+  EXPECT_EQ(after.item_members(merged).size(),
+            members_before[merged].size() +
+                members_before[tombstoned].size() + 1);
+  // Every non-participant item kept its members at its old id.
+  for (size_t i = 0; i < after.num_items(); ++i) {
+    if (i == tombstoned || i == merged) continue;
+    EXPECT_EQ(after.item_members(i), members_before[i]) << "item " << i;
+  }
+
+  // Queries resolve to the merged group and never surface the tombstone.
+  Table queries("queries", schema);
+  queries.AppendRow({"silver laptop computer"}).CheckOk();
+  queries.AppendRow({"fast notebook machine"}).CheckOk();
+  auto matches = after.MatchRecords(queries, /*k=*/3);
+  ASSERT_TRUE(matches.ok()) << matches.status();
+  for (const auto& row : *matches) {
+    ASSERT_FALSE(row.empty());
+    EXPECT_EQ(row[0].item, merged);
+    for (const RecordMatch& hit : row) {
+      EXPECT_NE(hit.item, tombstoned);
+      EXPECT_FALSE(after.item_members(hit.item).empty());
+    }
+  }
+
+  // The tombstone round-trips through the artifact (manifest v3) and the
+  // reloaded session answers identically.
+  const std::string dir = TempPath("tombstone_artifact");
+  ASSERT_TRUE(matcher.Save(dir).ok());
+  auto reloaded = MultiEmPipeline::LoadArtifact(dir);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  const Matcher::Snapshot replay = reloaded->snapshot();
+  EXPECT_EQ(replay.num_items(), after.num_items());
+  EXPECT_EQ(replay.num_tombstones(), after.num_tombstones());
+  auto replay_matches = replay.MatchRecords(queries, /*k=*/3);
+  ASSERT_TRUE(replay_matches.ok()) << replay_matches.status();
+  EXPECT_EQ(*replay_matches, *matches);
 }
 
 TEST(ServeIngestTest, EpochCountsAndSourceNamesAdvance) {

@@ -5,12 +5,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "util/memory.h"
+#include "util/mmap.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -529,6 +533,52 @@ TEST(MemoryTest, RssProbesArePlausible) {
   size_t peak = PeakRssBytes();
   EXPECT_GT(rss, 1u << 20);   // more than 1 MiB resident
   EXPECT_GE(peak, rss / 2);   // peak should not be wildly below current
+}
+
+// ------------------------------------------------------------- MmapFile --
+
+TEST(MmapFileTest, OpenExposesFileBytesReadOnly) {
+  const std::string path = ::testing::TempDir() + "multiem_util_mmap.bin";
+  const std::string payload = "mapped bytes, read-only, shared pages";
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  }
+  auto mapped = MmapFile::Open(path);
+  if (!MmapFile::Supported()) {
+    ASSERT_FALSE(mapped.ok());
+    EXPECT_EQ(mapped.status().code(), StatusCode::kUnimplemented);
+    return;
+  }
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_EQ(mapped->size(), payload.size());
+  EXPECT_EQ(std::memcmp(mapped->data(), payload.data(), payload.size()), 0);
+  mapped->AdviseSequential();
+  mapped->AdviseRandom();
+  mapped->AdviseWillNeed();  // best-effort hints never fail
+
+  // Move transfers the mapping; the source becomes empty-but-valid.
+  MmapFile moved = std::move(*mapped);
+  EXPECT_EQ(moved.size(), payload.size());
+  std::filesystem::remove(path);
+}
+
+TEST(MmapFileTest, MissingFileIsNotFoundAndEmptyFileIsEmptySpan) {
+  auto missing = MmapFile::Open(::testing::TempDir() + "multiem_no_such_file");
+  ASSERT_FALSE(missing.ok());
+  if (!MmapFile::Supported()) {
+    EXPECT_EQ(missing.status().code(), StatusCode::kUnimplemented);
+    return;
+  }
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  const std::string path = ::testing::TempDir() + "multiem_util_empty.bin";
+  { std::ofstream f(path, std::ios::binary | std::ios::trunc); }
+  auto empty = MmapFile::Open(path);
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_TRUE(empty->valid());
+  std::filesystem::remove(path);
 }
 
 }  // namespace
