@@ -2,6 +2,7 @@
 // fresh process — the save/load path of docs/API.md "Persistence & serving".
 //
 //   $ ./examples/serve_queries build /tmp/multiem_artifact
+//   $ ./examples/serve_queries shard-build /tmp/multiem_shard --workers=4
 //   $ echo 'apple iphone 8 plus 64 gb|silver' |
 //       ./examples/serve_queries serve /tmp/multiem_artifact
 //   $ ./examples/serve_queries serve /tmp/multiem_artifact 3 --batch
@@ -11,6 +12,9 @@
 // `build` runs MultiEM over the Figure-1 demo corpus (the quickstart tables)
 // with RunContext::build_matcher set and persists the resulting Matcher —
 // config, fitted encoder, entity table, serving index — as one directory.
+// `shard-build` produces the same artifact through distrib::Coordinator:
+// the corpus is partitioned across N forked worker processes and the saved
+// bytes are identical to `build`'s (CI cmp-gates this).
 // `serve` restores the artifact (no refit, no re-match) and answers one
 // query per stdin line; fields are separated by '|' in schema order,
 // missing trailing fields stay empty. With `--batch`, all stdin lines are
@@ -32,6 +36,7 @@
 
 #include "core/artifact.h"
 #include "core/pipeline.h"
+#include "distrib/coordinator.h"
 #include "table/csv.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -84,11 +89,19 @@ std::vector<Table> DemoTables() {
   return tables;
 }
 
-int Build(const std::string& dir) {
+// The demo pipeline config; num_threads stays at its serial default, so
+// every build of this corpus — single-process or shard-build at any worker
+// count — produces a byte-identical artifact.
+MultiEmConfig DemoConfig() {
   MultiEmConfig config;
   config.sample_ratio = 1.0;
   config.m = 0.72f;
   config.eps = 1.2f;
+  return config;
+}
+
+int Build(const std::string& dir) {
+  MultiEmConfig config = DemoConfig();
   auto pipeline = PipelineBuilder(config).Build();
   pipeline.status().CheckOk();
 
@@ -103,6 +116,32 @@ int Build(const std::string& dir) {
       "%zu matched tuples\n",
       dir.c_str(), result.matcher->num_items(),
       result.matcher->source_names().size(), result.tuples.size());
+  return 0;
+}
+
+// Same demo corpus, built by N forked worker processes through
+// distrib::Coordinator instead of the in-process pipeline. The saved
+// artifact is byte-identical to `build`'s (CI cmp-gates this): every merge
+// node is a pure function of its children, so the process boundary changes
+// wall clock, never bytes.
+int ShardBuild(const std::string& dir, size_t workers) {
+  multiem::distrib::CoordinatorOptions options;
+  options.num_workers = workers;
+  options.work_dir = dir + "_shards";
+  options.build_matcher = true;
+  multiem::distrib::Coordinator coordinator(DemoConfig(), options);
+  auto result = coordinator.Build(DemoTables());
+  if (!result.ok()) {
+    std::fprintf(stderr, "shard-build failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  result->matcher->Save(dir).CheckOk();
+  std::printf(
+      "shard-built artifact at %s with %zu worker processes: %zu entity "
+      "items over %zu sources, %zu matched tuples\n",
+      dir.c_str(), result->distrib.workers, result->matcher->num_items(),
+      result->matcher->source_names().size(), result->tuples.size());
   return 0;
 }
 
@@ -307,6 +346,10 @@ int Usage() {
   std::fprintf(stderr,
                "usage: serve_queries build    <dir>        run the demo "
                "pipeline, save the artifact\n"
+               "       serve_queries shard-build <dir> [--workers=N]\n"
+               "                 same corpus built by N forked worker "
+               "processes; the saved\n"
+               "                 artifact is byte-identical to `build`'s\n"
                "       serve_queries serve    <dir> [k] [--batch]\n"
                "                 load the artifact, answer stdin queries "
                "(default k=3); --batch\n"
@@ -325,6 +368,20 @@ int Usage() {
 int main(int argc, char** argv) {
   const std::string mode = argc >= 2 ? argv[1] : "";
   if (mode == "build" && argc == 3) return Build(argv[2]);
+  if (mode == "shard-build" && (argc == 3 || argc == 4)) {
+    size_t workers = 2;
+    if (argc == 4) {
+      const std::string arg = argv[3];
+      const std::string prefix = "--workers=";
+      if (arg.rfind(prefix, 0) != 0) return Usage();
+      char* end = nullptr;
+      const unsigned long parsed =
+          std::strtoul(arg.c_str() + prefix.size(), &end, 10);
+      if (*end != '\0' || parsed == 0 || parsed > 256) return Usage();
+      workers = parsed;
+    }
+    return ShardBuild(argv[2], workers);
+  }
   if (mode == "serve" && argc >= 3 && argc <= 5) {
     size_t k = 3;
     bool batch = false;

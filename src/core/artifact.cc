@@ -107,6 +107,63 @@ std::string PathIn(const std::string& dir, const char* file) {
   return (std::filesystem::path(dir) / file).string();
 }
 
+// The "items" + "centroids" sections of an open manifest, reassembled into
+// a MergeTable. Shared by Load (full serving session) and LoadEntityTable
+// (merge-plane reopen of a shard artifact).
+util::Status ReadEntityTable(util::ArtifactReader& manifest,
+                             MergeTable* entities) {
+  // Zero-copy lever: with a mapped file, matrix payloads bind views over
+  // the mapped pages (keepalive = the mapping) instead of copying.
+  const std::shared_ptr<const void> keepalive =
+      manifest.mapped() ? manifest.backing() : nullptr;
+
+  auto items = manifest.Section("items");
+  if (!items.ok()) return items.status();
+  uint64_t num_items;
+  MULTIEM_RETURN_IF_ERROR(items->ReadU64(&num_items));
+
+  auto centroid_section = manifest.Section("centroids");
+  if (!centroid_section.ok()) return centroid_section.status();
+  embed::EmbeddingMatrix centroids;
+  MULTIEM_RETURN_IF_ERROR(
+      embed::ReadMatrix(*centroid_section, keepalive, &centroids));
+  MULTIEM_RETURN_IF_ERROR(centroid_section->ExpectExhausted());
+  if (centroids.num_rows() != num_items) {
+    return util::Status::InvalidArgument(
+        "manifest holds " + std::to_string(centroids.num_rows()) +
+        " centroids for " + std::to_string(num_items) + " items");
+  }
+
+  std::vector<MergeItem> parsed;
+  parsed.reserve(static_cast<size_t>(num_items));
+  for (uint64_t i = 0; i < num_items; ++i) {
+    uint64_t member_count;
+    MULTIEM_RETURN_IF_ERROR(items->ReadU64(&member_count));
+    // Zero members is a tombstone, legal since format v3 (older files
+    // never carry one — keep rejecting it there, a v1/v2 writer could
+    // only produce it by corruption the checksums happened to miss).
+    const bool tombstones_legal = manifest.version() >= 3;
+    if ((member_count == 0 && !tombstones_legal) ||
+        member_count > items->remaining() / 8) {
+      return util::Status::InvalidArgument(
+          "manifest item " + std::to_string(i) + " claims " +
+          std::to_string(member_count) + " members");
+    }
+    MergeItem item;
+    item.members.reserve(static_cast<size_t>(member_count));
+    for (uint64_t j = 0; j < member_count; ++j) {
+      uint64_t packed;
+      MULTIEM_RETURN_IF_ERROR(items->ReadU64(&packed));
+      item.members.push_back(table::EntityId::FromPacked(packed));
+    }
+    parsed.push_back(std::move(item));
+  }
+  MULTIEM_RETURN_IF_ERROR(items->ExpectExhausted());
+  // With a mapped manifest the chunks alias the centroid rows in place.
+  *entities = MergeTable::FromParts(std::move(parsed), centroids);
+  return util::Status::Ok();
+}
+
 }  // namespace
 
 util::Status PipelineArtifact::Save(const Matcher& matcher,
@@ -268,52 +325,7 @@ util::Result<Matcher> PipelineArtifact::Load(
   }
 
   MergeTable entities;
-  {
-    auto items = manifest->Section("items");
-    if (!items.ok()) return items.status();
-    uint64_t num_items;
-    MULTIEM_RETURN_IF_ERROR(items->ReadU64(&num_items));
-
-    auto centroid_section = manifest->Section("centroids");
-    if (!centroid_section.ok()) return centroid_section.status();
-    embed::EmbeddingMatrix centroids;
-    MULTIEM_RETURN_IF_ERROR(
-        embed::ReadMatrix(*centroid_section, keepalive, &centroids));
-    MULTIEM_RETURN_IF_ERROR(centroid_section->ExpectExhausted());
-    if (centroids.num_rows() != num_items) {
-      return util::Status::InvalidArgument(
-          "manifest holds " + std::to_string(centroids.num_rows()) +
-          " centroids for " + std::to_string(num_items) + " items");
-    }
-
-    std::vector<MergeItem> parsed;
-    parsed.reserve(static_cast<size_t>(num_items));
-    for (uint64_t i = 0; i < num_items; ++i) {
-      uint64_t member_count;
-      MULTIEM_RETURN_IF_ERROR(items->ReadU64(&member_count));
-      // Zero members is a tombstone, legal since format v3 (older files
-      // never carry one — keep rejecting it there, a v1/v2 writer could
-      // only produce it by corruption the checksums happened to miss).
-      const bool tombstones_legal = manifest->version() >= 3;
-      if ((member_count == 0 && !tombstones_legal) ||
-          member_count > items->remaining() / 8) {
-        return util::Status::InvalidArgument(
-            "manifest item " + std::to_string(i) + " claims " +
-            std::to_string(member_count) + " members");
-      }
-      MergeItem item;
-      item.members.reserve(static_cast<size_t>(member_count));
-      for (uint64_t j = 0; j < member_count; ++j) {
-        uint64_t packed;
-        MULTIEM_RETURN_IF_ERROR(items->ReadU64(&packed));
-        item.members.push_back(table::EntityId::FromPacked(packed));
-      }
-      parsed.push_back(std::move(item));
-    }
-    MULTIEM_RETURN_IF_ERROR(items->ExpectExhausted());
-    // With a mapped manifest the chunks alias the centroid rows in place.
-    entities = MergeTable::FromParts(std::move(parsed), centroids);
-  }
+  MULTIEM_RETURN_IF_ERROR(ReadEntityTable(*manifest, &entities));
 
   EntityEmbeddingStore store;
   {
@@ -370,6 +382,22 @@ util::Result<Matcher> PipelineArtifact::Load(
       std::shared_ptr<embed::TextEncoder>(std::move(*encoder)),
       std::shared_ptr<const ann::VectorIndexFactory>(std::move(*factory)),
       std::move(*index), /*pool=*/nullptr, std::move(slot_to_item));
+}
+
+util::Result<MergeTable> PipelineArtifact::LoadEntityTable(
+    const std::string& dir, const util::ArtifactOpenOptions& options) {
+  auto manifest = util::ArtifactReader::FromFile(
+      PathIn(dir, kManifestFile), kManifestMagic, kManifestVersion, options);
+  if (!manifest.ok()) return manifest.status();
+  MergeTable entities;
+  MULTIEM_RETURN_IF_ERROR(ReadEntityTable(*manifest, &entities));
+  if (entities.num_tombstones() > 0) {
+    return util::Status::FailedPrecondition(
+        "artifact '" + dir + "' holds " +
+        std::to_string(entities.num_tombstones()) +
+        " tombstoned items and cannot re-enter the merge hierarchy");
+  }
+  return entities;
 }
 
 }  // namespace multiem::core

@@ -1,88 +1,57 @@
 #include "core/hierarchical_merger.h"
 
-#include <numeric>
+#include <utility>
 
-#include "util/rng.h"
+#include "util/logging.h"
 
 namespace multiem::core {
+
+util::Result<MergeTable> HierarchicalMerger::Run(
+    std::vector<MergeSource> sources, util::ThreadPool* pool,
+    HierarchicalMergeStats* stats, const RunContext& ctx) const {
+  if (sources.empty()) return MergeTable();
+  const MergePlan plan = MergePlan::Build(sources.size(), config_.seed);
+
+  MergeExecOptions options;
+  options.parallel_pairs = config_.num_threads != 1 && pool != nullptr;
+  MergeExecStats exec;
+  auto merged =
+      ExecuteMergePlan(plan, std::move(sources), merger_, options, pool,
+                       &exec, ctx);
+  if (!merged.ok()) return merged.status();
+
+  if (stats != nullptr) {
+    std::vector<MergeLevelStats> levels = AggregateLevelStats(plan, exec.nodes);
+    levels.resize(exec.levels_completed);  // a cancelled run reports only
+                                           // the levels it finished
+    for (const MergeLevelStats& level : levels) {
+      stats->total_mutual_pairs += level.mutual_pairs;
+    }
+    stats->levels.insert(stats->levels.end(),
+                         std::make_move_iterator(levels.begin()),
+                         std::make_move_iterator(levels.end()));
+  }
+  return merged;
+}
 
 MergeTable HierarchicalMerger::Run(std::vector<MergeTable> tables,
                                    util::ThreadPool* pool,
                                    HierarchicalMergeStats* stats,
                                    const RunContext& ctx) const {
-  if (tables.empty()) return MergeTable();
-  util::Rng rng(config_.seed ^ 0x4D455247ULL);  // "MERG"
-  bool parallel_pairs = config_.num_threads != 1 && pool != nullptr;
-  size_t level_index = 0;
-
-  // Line 1: iterate until one table remains. A fired cancellation token
-  // stops between levels; the partially merged first table is returned and
-  // the pipeline reports Status::Cancelled.
-  while (tables.size() > 1) {
-    if (ctx.cancelled()) break;
-    // Line 3: random pairing — shuffle, then take consecutive pairs.
-    std::vector<size_t> order(tables.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    rng.Shuffle(order);
-
-    size_t num_pairs = tables.size() / 2;
-    std::vector<MergeTable> next(num_pairs + tables.size() % 2);
-    std::vector<TwoTableMergeStats> pair_stats(num_pairs);
-
-    // The pool is threaded through every level of parallelism: pairs fan
-    // out as tasks of one group, and each pair's inner work — the two index
-    // builds (parallel HNSW insertion for large sides) and the ANN searches
-    // of both directions — fans out as nested groups (safe because
-    // TaskGroup::Wait helps instead of blocking). The final, largest levels
-    // — always a single pair for the common 2-table case — therefore still
-    // use every worker.
-    auto merge_pair = [&](size_t p) {
-      const MergeTable& a = tables[order[2 * p]];
-      const MergeTable& b = tables[order[2 * p + 1]];
-      next[p] = merger_.Merge(a, b, pool, &pair_stats[p]);
-    };
-
-    if (parallel_pairs && num_pairs > 1) {
-      util::TaskGroup level_group(*pool);
-      for (size_t p = 0; p < num_pairs; ++p) {
-        pool->Submit(level_group, [&, p] { merge_pair(p); });
-      }
-      level_group.Wait();
-    } else {
-      for (size_t p = 0; p < num_pairs; ++p) merge_pair(p);
-    }
-
-    // Odd table carries to the next level untouched (Algorithm 2 keeps
-    // sampling until fewer than two tables remain).
-    if (tables.size() % 2 == 1) {
-      next[num_pairs] = std::move(tables[order[tables.size() - 1]]);
-    }
-
-    size_t level_mutual_pairs = 0;
-    for (const TwoTableMergeStats& s : pair_stats) {
-      level_mutual_pairs += s.mutual_pairs;
-    }
-    if (stats != nullptr) {
-      MergeLevelStats level;
-      level.tables_in = tables.size();
-      level.pairs_merged = num_pairs;
-      level.mutual_pairs = level_mutual_pairs;
-      stats->total_mutual_pairs += level.mutual_pairs;
-      stats->levels.push_back(level);
-    }
-    if (ctx.observer != nullptr) {
-      MergeLevelProgress progress;
-      progress.level = level_index;
-      progress.tables_in = tables.size();
-      progress.tables_out = next.size();
-      progress.pairs_merged = num_pairs;
-      progress.mutual_pairs = level_mutual_pairs;
-      ctx.observer->OnMergeLevel(progress);
-    }
-    ++level_index;
-    tables = std::move(next);
+  std::vector<MergeSource> sources;
+  sources.reserve(tables.size());
+  for (MergeTable& t : tables) {
+    sources.push_back(MergeSource::FromTable(std::move(t)));
   }
-  return std::move(tables[0]);
+  auto merged = Run(std::move(sources), pool, stats, ctx);
+  if (!merged.ok()) {
+    // Unreachable: resident handles never touch the filesystem, and the
+    // plan always matches the source count built from it.
+    MULTIEM_LOG(kError) << "resident hierarchical merge failed: "
+                        << merged.status().ToString();
+    return MergeTable();
+  }
+  return std::move(*merged);
 }
 
 }  // namespace multiem::core

@@ -9,6 +9,11 @@
 /// items into candidate tuples. Lemmas 1-3 of the paper bound the total
 /// work of this schedule against the pairwise (Figure 2(a)) and chain
 /// alternatives — bench/bench_lemma_complexity.cpp measures exactly that.
+///
+/// The schedule itself lives in core/merge_plan.h (MergePlan reifies the
+/// seeded pairing as a tree, ExecuteMergePlan runs it); this class is the
+/// resident-mode policy: every table in memory, pairs of a level merged in
+/// parallel on the pool.
 
 #ifndef MULTIEM_CORE_HIERARCHICAL_MERGER_H_
 #define MULTIEM_CORE_HIERARCHICAL_MERGER_H_
@@ -17,21 +22,18 @@
 
 #include "ann/index_factory.h"
 #include "core/config.h"
+#include "core/merge_plan.h"
+#include "core/merge_source.h"
 #include "core/merge_table.h"
 #include "core/run_context.h"
 #include "core/two_table_merger.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace multiem::core {
 
-/// Per-hierarchy-level counters.
-struct MergeLevelStats {
-  size_t tables_in = 0;
-  size_t pairs_merged = 0;      ///< table pairs processed at this level
-  size_t mutual_pairs = 0;      ///< sum of |P_m| across the level's merges
-};
-
-/// Counters for the whole hierarchical merge.
+/// Counters for the whole hierarchical merge. (Per-level MergeLevelStats
+/// lives in core/merge_plan.h, next to the schedule that defines levels.)
 struct HierarchicalMergeStats {
   std::vector<MergeLevelStats> levels;
   size_t total_mutual_pairs = 0;
@@ -61,16 +63,26 @@ class HierarchicalMerger {
         store_(store),
         merger_(config, store, index_factory) {}
 
-  /// Consumes `tables` and returns the final integrated table. The pairing
-  /// order is a deterministic shuffle of config.seed per level (Figure 6(b)
-  /// studies sensitivity to this order). An empty input yields an empty
-  /// table; a single table is returned unchanged.
+  /// Handle-consuming primary entry. `sources` may mix resident tables,
+  /// MEMMERGT spill files, and pipeline artifact directories (see
+  /// core/merge_source.h); each pair is materialized when merged. The
+  /// pairing order is a deterministic shuffle of config.seed per level
+  /// (Figure 6(b) studies sensitivity to this order). An empty input yields
+  /// an empty table; a single handle is returned materialized unchanged.
   ///
   /// The run session `ctx` is optional: ctx.observer receives one
   /// OnMergeLevel per completed hierarchy level; ctx.cancel is polled
   /// between levels — when it fires, merging stops and the first remaining
   /// (partially merged) table is returned, which the pipeline turns into
   /// Status::Cancelled.
+  util::Result<MergeTable> Run(std::vector<MergeSource> sources,
+                               util::ThreadPool* pool = nullptr,
+                               HierarchicalMergeStats* stats = nullptr,
+                               const RunContext& ctx = {}) const;
+
+  /// Resident adapter: wraps each table in MergeSource::FromTable and runs
+  /// the handle entry. Kept for callers that already hold materialized
+  /// tables; resident-only execution cannot fail.
   MergeTable Run(std::vector<MergeTable> tables,
                  util::ThreadPool* pool = nullptr,
                  HierarchicalMergeStats* stats = nullptr,

@@ -1,0 +1,336 @@
+#include "core/merge_plan.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <system_error>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace multiem::core {
+
+MergePlan MergePlan::Build(size_t num_tables, uint64_t seed) {
+  MergePlan plan;
+  plan.num_leaves_ = num_tables;
+  plan.nodes_.resize(num_tables);  // leaves: ids [0, num_tables)
+  if (num_tables == 0) return plan;
+
+  // Exactly the draw sequence of the legacy merger loop: one shuffle of the
+  // live-table list per level, consecutive pairs, odd table carried last.
+  // Changing anything here changes every integrated table ever built.
+  util::Rng rng(seed ^ 0x4D455247ULL);  // "MERG"
+  std::vector<size_t> live(num_tables);
+  std::iota(live.begin(), live.end(), size_t{0});
+
+  size_t level_index = 0;
+  while (live.size() > 1) {
+    std::vector<size_t> order(live.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    rng.Shuffle(order);
+
+    const size_t num_pairs = live.size() / 2;
+    MergePlanLevel level;
+    level.tables_in = live.size();
+    std::vector<size_t> next;
+    next.reserve(num_pairs + live.size() % 2);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      MergePlanNode node;
+      node.left = live[order[2 * p]];
+      node.right = live[order[2 * p + 1]];
+      node.level = level_index;
+      const size_t id = plan.nodes_.size();
+      plan.nodes_.push_back(node);
+      level.pair_nodes.push_back(id);
+      next.push_back(id);
+    }
+    if (live.size() % 2 == 1) {
+      level.carried = live[order[live.size() - 1]];
+      next.push_back(level.carried);
+    }
+    plan.levels_.push_back(std::move(level));
+    live = std::move(next);
+    ++level_index;
+  }
+  plan.root_ = live[0];
+  return plan;
+}
+
+std::vector<size_t> MergePlan::LiveNodesAtLevel(size_t level) const {
+  if (level == 0 || levels_.empty()) {
+    std::vector<size_t> leaves(num_leaves_);
+    std::iota(leaves.begin(), leaves.end(), size_t{0});
+    return leaves;
+  }
+  const MergePlanLevel& prev = levels_[std::min(level, levels_.size()) - 1];
+  std::vector<size_t> live = prev.pair_nodes;
+  if (prev.carried != MergePlanNode::kNone) live.push_back(prev.carried);
+  return live;
+}
+
+std::vector<size_t> MergePlan::SubtreeLeaves(size_t id) const {
+  std::vector<size_t> leaves;
+  std::vector<size_t> stack = {id};
+  while (!stack.empty()) {
+    const size_t n = stack.back();
+    stack.pop_back();
+    const MergePlanNode& node = nodes_[n];
+    if (node.is_leaf()) {
+      leaves.push_back(n);
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return leaves;
+}
+
+std::vector<MergeLevelStats> AggregateLevelStats(
+    const MergePlan& plan, const std::vector<MergeNodeStats>& nodes) {
+  std::vector<MergeLevelStats> levels(plan.levels().size());
+  for (size_t l = 0; l < levels.size(); ++l) {
+    levels[l].tables_in = plan.levels()[l].tables_in;
+  }
+  for (const MergeNodeStats& n : nodes) {
+    const MergePlanNode& node = plan.node(n.node);
+    if (node.is_leaf()) continue;
+    MergeLevelStats& level = levels[node.level];
+    ++level.pairs_merged;
+    level.mutual_pairs += n.mutual_pairs;
+  }
+  return levels;
+}
+
+namespace {
+
+size_t FileBytes(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<size_t>(size);
+}
+
+// Shared mutable state of one executor run. `mu` guards everything when
+// pairs run in parallel (resident mode only).
+struct ExecState {
+  std::mutex mu;
+  MergeExecStats* stats = nullptr;
+  size_t next_spill = 0;
+};
+
+std::string SpillOutputPath(const MergeExecOptions& options, size_t node,
+                            size_t spill_index) {
+  const std::string name =
+      options.name_by_node
+          ? "merge_" + std::to_string(node) + ".mem"
+          : "shard_" + std::to_string(spill_index) + ".mem";
+  return (std::filesystem::path(options.spill_dir) / name).string();
+}
+
+// Executes one pair node: acquires both child handles, merges, and installs
+// the output handle in slots[id]. Consumed inputs' owned backing files are
+// removed only after the output is durable (spilled) or resident.
+util::Status ExecuteNode(const MergePlan& plan, size_t id,
+                         std::vector<MergeSource>& slots,
+                         const TwoTableMerger& merger,
+                         const MergeExecOptions& options,
+                         util::ThreadPool* pool, ExecState& state) {
+  const MergePlanNode& node = plan.node(id);
+  MergeSource& left = slots[node.left];
+  MergeSource& right = slots[node.right];
+  if (left.empty() || right.empty()) {
+    return util::Status::Internal("merge plan node " + std::to_string(id) +
+                                  " scheduled before its inputs");
+  }
+
+  MergeNodeStats node_stats;
+  node_stats.node = id;
+  MergeTable merged;
+  size_t resident_bytes = 0;
+  {
+    auto a = left.Acquire();
+    if (!a.ok()) return a.status();
+    auto b = right.Acquire();
+    if (!b.ok()) return b.status();
+    TwoTableMergeStats pair_stats;
+    merged = merger.Merge(*a, *b, pool, &pair_stats);
+    node_stats.mutual_pairs = pair_stats.mutual_pairs;
+    node_stats.merged_items = pair_stats.merged_items;
+    node_stats.carried_items = pair_stats.carried_items;
+    resident_bytes = a->SizeBytes() + b->SizeBytes() + merged.SizeBytes();
+  }  // both inputs leave residency before the output is spilled
+
+  size_t spill_bytes = 0;
+  if (options.spill_outputs) {
+    size_t spill_index;
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      spill_index = state.next_spill++;
+    }
+    const std::string out = SpillOutputPath(options, id, spill_index);
+    MULTIEM_RETURN_IF_ERROR(merged.Save(out));
+    spill_bytes = FileBytes(out);
+    merged = MergeTable();  // release before anything else loads
+    slots[id] = MergeSource::FromSpill(out, options.reopen, options.cleanup);
+  } else {
+    slots[id] = MergeSource::FromTable(std::move(merged));
+  }
+
+  // Output durable — now the consumed inputs' files can go.
+  left.RemoveBackingFile();
+  right.RemoveBackingFile();
+
+  if (state.stats != nullptr) {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.stats->nodes.push_back(node_stats);
+    state.stats->peak_resident_bytes =
+        std::max(state.stats->peak_resident_bytes, resident_bytes);
+    if (options.spill_outputs) {
+      ++state.stats->spill_files_written;
+      state.stats->spill_bytes_written += spill_bytes;
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status EnsureSpillDir(const MergeExecOptions& options) {
+  if (!options.spill_outputs) return util::Status::Ok();
+  std::error_code ec;
+  std::filesystem::create_directories(options.spill_dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create spill directory '" +
+                                  options.spill_dir + "': " + ec.message());
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<MergeTable> ExecuteMergePlan(
+    const MergePlan& plan, std::vector<MergeSource> sources,
+    const TwoTableMerger& merger, const MergeExecOptions& options,
+    util::ThreadPool* pool, MergeExecStats* stats, const RunContext& ctx) {
+  if (plan.num_leaves() == 0) return MergeTable();
+  if (sources.size() != plan.num_leaves()) {
+    return util::Status::InvalidArgument(
+        "merge plan expects " + std::to_string(plan.num_leaves()) +
+        " sources, got " + std::to_string(sources.size()));
+  }
+  MULTIEM_RETURN_IF_ERROR(EnsureSpillDir(options));
+
+  // Slot i holds node i's handle; preallocated so parallel pairs write
+  // disjoint elements without reallocation.
+  std::vector<MergeSource> slots = std::move(sources);
+  slots.resize(plan.num_nodes());
+
+  // Counters are always collected (the observer needs per-level mutual-pair
+  // sums even when the caller passed no stats sink).
+  MergeExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  ExecState state;
+  state.stats = stats;
+  state.next_spill = options.first_spill_index;
+
+  std::vector<size_t> live = plan.LiveNodesAtLevel(0);
+  for (size_t l = 0; l < plan.levels().size(); ++l) {
+    // A fired cancellation token stops between levels; the partially merged
+    // first table of the current frontier is returned (legacy contract).
+    if (ctx.cancelled()) break;
+    const MergePlanLevel& level = plan.levels()[l];
+    const std::vector<size_t>& pair_nodes = level.pair_nodes;
+
+    util::Status level_status = util::Status::Ok();
+    const bool parallel = options.parallel_pairs && !options.spill_outputs &&
+                          pool != nullptr && pair_nodes.size() > 1;
+    if (parallel) {
+      std::mutex error_mu;
+      util::TaskGroup level_group(*pool);
+      for (size_t id : pair_nodes) {
+        pool->Submit(level_group, [&, id] {
+          util::Status s =
+              ExecuteNode(plan, id, slots, merger, options, pool, state);
+          if (!s.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (level_status.ok()) level_status = std::move(s);
+          }
+        });
+      }
+      level_group.Wait();
+    } else {
+      for (size_t id : pair_nodes) {
+        level_status = ExecuteNode(plan, id, slots, merger, options, pool,
+                                   state);
+        if (!level_status.ok()) break;
+      }
+    }
+    if (!level_status.ok()) return level_status;
+
+    live = plan.LiveNodesAtLevel(l + 1);
+    ++stats->levels_completed;
+    size_t level_mutual_pairs = 0;
+    for (const MergeNodeStats& n : stats->nodes) {
+      if (plan.node(n.node).level == l) level_mutual_pairs += n.mutual_pairs;
+    }
+    if (ctx.observer != nullptr) {
+      MergeLevelProgress progress;
+      progress.level = l;
+      progress.tables_in = level.tables_in;
+      progress.tables_out = live.size();
+      progress.pairs_merged = pair_nodes.size();
+      progress.mutual_pairs = level_mutual_pairs;
+      ctx.observer->OnMergeLevel(progress);
+    }
+  }
+
+  MergeSource& result = slots[live.front()];
+  auto table = result.Acquire();
+  if (!table.ok()) return table.status();
+  result.RemoveBackingFile();
+  return table;
+}
+
+util::Status ExecuteMergeSubtree(const MergePlan& plan, size_t target,
+                                 std::vector<MergeSource>& slots,
+                                 const TwoTableMerger& merger,
+                                 const MergeExecOptions& options,
+                                 util::ThreadPool* pool, MergeExecStats* stats,
+                                 const RunContext& ctx) {
+  if (target >= plan.num_nodes() || slots.size() != plan.num_nodes()) {
+    return util::Status::InvalidArgument(
+        "merge subtree target/slots do not match the plan");
+  }
+  MULTIEM_RETURN_IF_ERROR(EnsureSpillDir(options));
+
+  // Nodes still missing under `target`, stopping at pre-filled slots.
+  std::vector<size_t> missing;
+  std::vector<size_t> stack = {target};
+  while (!stack.empty()) {
+    const size_t id = stack.back();
+    stack.pop_back();
+    if (!slots[id].empty()) continue;
+    const MergePlanNode& node = plan.node(id);
+    if (node.is_leaf()) {
+      return util::Status::FailedPrecondition(
+          "merge subtree leaf " + std::to_string(id) + " has no source");
+    }
+    missing.push_back(id);
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  // Node ids are topological (children < parent), so ascending id order is
+  // a valid — and deterministic — execution order.
+  std::sort(missing.begin(), missing.end());
+
+  ExecState state;
+  state.stats = stats;
+  state.next_spill = options.first_spill_index;
+  for (size_t id : missing) {
+    if (ctx.cancelled()) return util::Status::Cancelled("merge cancelled");
+    MULTIEM_RETURN_IF_ERROR(
+        ExecuteNode(plan, id, slots, merger, options, pool, state));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace multiem::core

@@ -1,0 +1,179 @@
+/// \file merge_plan.h
+/// The Algorithm 2 merge schedule, reified as a deterministic binary tree,
+/// plus the single executor that every merger (and the multi-process
+/// coordinator) runs on.
+///
+/// HierarchicalMerger and ShardedMerger used to each carry a verbatim copy
+/// of the seeded per-level pairing loop, kept in lockstep by comment and
+/// test. MergePlan::Build replays exactly those random draws once, up
+/// front, and records the result as a tree: leaves 0..S-1 are the input
+/// tables, each internal node is the pairwise merge of two earlier nodes,
+/// appended level by level in pair order. Because every internal node's
+/// table is a pure function of its two children (TwoTableMerger::Merge
+/// consults only the two inputs and the base embedding store), *any*
+/// topological execution order of the tree produces bitwise-identical
+/// tables — which is what lets N worker processes each execute a disjoint
+/// subtree and a coordinator finish the top, with output identical to the
+/// single-process run (src/distrib/coordinator.h).
+///
+/// ExecuteMergePlan is the one schedule loop. Its options reproduce both
+/// legacy modes: resident outputs with per-level parallel pairs (the old
+/// HierarchicalMerger body) or spilled outputs with sequential pairs and at
+/// most one pair resident (the old ShardedMerger body). ExecuteMergeSubtree
+/// is the partial form used by shard workers and the coordinator.
+
+#ifndef MULTIEM_CORE_MERGE_PLAN_H_
+#define MULTIEM_CORE_MERGE_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/merge_source.h"
+#include "core/run_context.h"
+#include "core/two_table_merger.h"
+#include "util/io.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace multiem::core {
+
+/// Per-hierarchy-level counters (reported by both mergers).
+struct MergeLevelStats {
+  size_t tables_in = 0;
+  size_t pairs_merged = 0;      ///< table pairs processed at this level
+  size_t mutual_pairs = 0;      ///< sum of |P_m| across the level's merges
+};
+
+/// One node of a merge plan: a leaf (input table) or the pairwise merge of
+/// two earlier nodes. Node ids order topologically: children always have
+/// smaller ids than their parent, and within a level ids follow pair order.
+struct MergePlanNode {
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t left = kNone;    ///< kNone for leaves
+  size_t right = kNone;
+  size_t level = kNone;   ///< hierarchy level producing this node; kNone for leaves
+  bool is_leaf() const { return left == kNone; }
+};
+
+/// One hierarchy level of the plan.
+struct MergePlanLevel {
+  size_t tables_in = 0;                   ///< live tables entering the level
+  std::vector<size_t> pair_nodes;         ///< merge nodes, in pair order
+  size_t carried = MergePlanNode::kNone;  ///< node carried unmerged (odd count)
+};
+
+/// Deterministic function of (num_tables, seed): replays the exact random
+/// draws of the legacy per-level loop (seed ^ "MERG", one Fisher-Yates
+/// shuffle of the live list per level, consecutive pairs, odd table carried
+/// last), so plans and the old inline schedules agree table for table.
+class MergePlan {
+ public:
+  static MergePlan Build(size_t num_tables, uint64_t seed);
+
+  size_t num_leaves() const { return num_leaves_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  /// The integrated table's node. kNone for an empty plan; the single leaf
+  /// when num_tables == 1.
+  size_t root() const { return root_; }
+  const MergePlanNode& node(size_t id) const { return nodes_[id]; }
+  const std::vector<MergePlanLevel>& levels() const { return levels_; }
+
+  /// Node ids live at the start of hierarchy level `level`, in input-list
+  /// order (level 0: all leaves; levels().size(): just the root). The head
+  /// of this list is what a cancelled run returns, and a prefix cut of
+  /// these frontiers is how the coordinator partitions work.
+  std::vector<size_t> LiveNodesAtLevel(size_t level) const;
+
+  /// Leaf ids of the subtree rooted at `id`, ascending.
+  std::vector<size_t> SubtreeLeaves(size_t id) const;
+
+ private:
+  size_t num_leaves_ = 0;
+  size_t root_ = MergePlanNode::kNone;
+  std::vector<MergePlanNode> nodes_;
+  std::vector<MergePlanLevel> levels_;
+};
+
+/// Counters of one executed merge node — the aggregation unit shipped back
+/// from worker processes (MEMSHARD "stats" section).
+struct MergeNodeStats {
+  size_t node = 0;
+  size_t mutual_pairs = 0;
+  size_t merged_items = 0;
+  size_t carried_items = 0;
+};
+
+/// Counters of one executor run. `nodes` holds every pair node this call
+/// executed, in completion order (deterministic only for sequential runs).
+struct MergeExecStats {
+  std::vector<MergeNodeStats> nodes;
+  size_t levels_completed = 0;      ///< fully executed plan levels (ExecuteMergePlan)
+  size_t spill_files_written = 0;   ///< MEMMERGT outputs written
+  size_t spill_bytes_written = 0;
+  size_t peak_resident_bytes = 0;   ///< max bytes of one pair + its output
+};
+
+/// Folds per-node counters (possibly gathered from several processes) into
+/// the per-level reporting shape. Covers every plan level; a level counts
+/// only the nodes present in `nodes`, so a fully executed plan reproduces
+/// the legacy level stats exactly.
+std::vector<MergeLevelStats> AggregateLevelStats(
+    const MergePlan& plan, const std::vector<MergeNodeStats>& nodes);
+
+/// Policy of one executor run.
+struct MergeExecOptions {
+  /// Spill every merge output as a MEMMERGT file under `spill_dir` instead
+  /// of keeping it resident — the bounded-memory mode: at most one pair
+  /// plus its output resident. Spilling forces sequential pairs.
+  bool spill_outputs = false;
+  std::string spill_dir;
+
+  /// Output file naming. Sequential mode: "shard_<first_spill_index + n>.mem"
+  /// in execution order (the legacy ShardedMerger names). With name_by_node,
+  /// "merge_<node id>.mem" instead — stable across partial executions, which
+  /// is what the distrib worker/coordinator handoff keys on.
+  size_t first_spill_index = 0;
+  bool name_by_node = false;
+
+  /// Spilled outputs own their files (consumed handles delete them once the
+  /// successor table is written; the root's file is deleted after the final
+  /// load). Clear to keep every intermediate for debugging.
+  bool cleanup = true;
+
+  /// Open options applied when a spilled output is loaded back.
+  util::ArtifactOpenOptions reopen;
+
+  /// Merge a level's pairs concurrently on the pool (resident outputs
+  /// only). Each pair's inner index builds and ANN searches fan out on the
+  /// same pool regardless — see TwoTableMerger::Merge.
+  bool parallel_pairs = false;
+};
+
+/// Runs the whole plan over the leaf handles `sources` (slot i = leaf i;
+/// consumed) and returns the integrated table. ctx.observer receives one
+/// OnMergeLevel per completed level; ctx.cancel is polled between levels —
+/// when it fires, the first remaining (partially merged) table is returned,
+/// mirroring the legacy mergers.
+util::Result<MergeTable> ExecuteMergePlan(
+    const MergePlan& plan, std::vector<MergeSource> sources,
+    const TwoTableMerger& merger, const MergeExecOptions& options,
+    util::ThreadPool* pool = nullptr, MergeExecStats* stats = nullptr,
+    const RunContext& ctx = {});
+
+/// Partial execution: computes `target`'s table given `slots` (size
+/// num_nodes) already holding handles for some nodes — non-empty slots act
+/// as leaves and their subtrees are not descended into. Executes the
+/// missing nodes sequentially in plan order and leaves the result handle in
+/// slots[target] (spilled or resident per `options`). Polls ctx.cancel
+/// between nodes and returns Status::Cancelled when it fires.
+util::Status ExecuteMergeSubtree(
+    const MergePlan& plan, size_t target, std::vector<MergeSource>& slots,
+    const TwoTableMerger& merger, const MergeExecOptions& options,
+    util::ThreadPool* pool = nullptr, MergeExecStats* stats = nullptr,
+    const RunContext& ctx = {});
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_MERGE_PLAN_H_

@@ -1,0 +1,98 @@
+/// \file merge_source.h
+/// Artifact-handle abstraction over the inputs of the merge hierarchy.
+///
+/// Every merger input used to be a fully materialized MergeTable, which
+/// forced two parallel implementations of Algorithm 2 — one resident
+/// (HierarchicalMerger) and one spilled (ShardedMerger). core::MergeSource
+/// collapses the difference: a handle names a table without committing to
+/// where its bytes live, and the merge plane (core/merge_plan.h) loads at
+/// most one pair of handles at a time. Three backings exist:
+///
+///   * resident      — wraps an in-memory MergeTable;
+///   * spill         — a MEMMERGT file (MergeTable::Save), opened lazily
+///                     with the handle's ArtifactOpenOptions (mmap-preferred
+///                     rows alias the mapped pages);
+///   * artifact dir  — a full pipeline artifact directory (PR 5 manifest);
+///                     materializing loads just the integrated entity table,
+///                     skipping the encoder and index files. This is how a
+///                     finished shard build re-enters the hierarchy in the
+///                     multi-process coordinator (src/distrib/).
+///
+/// Handles are cheap to copy-construct from paths and move-only-in-spirit
+/// for resident tables (copying a resident handle would duplicate chunks;
+/// Materialize makes the chunk-sharing copy explicit instead).
+
+#ifndef MULTIEM_CORE_MERGE_SOURCE_H_
+#define MULTIEM_CORE_MERGE_SOURCE_H_
+
+#include <string>
+
+#include "core/merge_table.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace multiem::core {
+
+/// A handle to one table of the merge hierarchy. See file comment.
+class MergeSource {
+ public:
+  enum class Kind {
+    kEmpty,        ///< default-constructed or already consumed
+    kResident,     ///< in-memory MergeTable
+    kSpill,        ///< MEMMERGT file on disk
+    kArtifactDir,  ///< pipeline artifact directory (manifest.mem inside)
+  };
+
+  MergeSource() = default;
+
+  /// Wraps an in-memory table.
+  static MergeSource FromTable(MergeTable table);
+
+  /// Names a MEMMERGT spill file, opened lazily on Materialize/Acquire with
+  /// `options`. When `owns_file` is set, RemoveBackingFile() deletes the
+  /// file — the merge executor calls that once a consumed handle's output
+  /// is safely written, which is how spill cleanup works.
+  static MergeSource FromSpill(std::string path,
+                               util::ArtifactOpenOptions options = {},
+                               bool owns_file = false);
+
+  /// Names a pipeline artifact directory; materializing loads the
+  /// integrated entity table (PipelineArtifact::LoadEntityTable). Artifacts
+  /// holding tombstoned items are rejected at load time — a table
+  /// re-entering the hierarchy must be fully live.
+  static MergeSource FromArtifactDir(std::string dir,
+                                     util::ArtifactOpenOptions options = {});
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return kind_ == Kind::kEmpty; }
+  bool resident() const { return kind_ == Kind::kResident; }
+  /// Spill-file or artifact-directory path; empty for resident handles.
+  const std::string& path() const { return path_; }
+  bool owns_file() const { return owns_file_; }
+
+  /// Non-consuming load. Resident handles copy (chunk-sharing, O(chunks));
+  /// disk handles open and parse their backing. The handle stays valid.
+  util::Result<MergeTable> Materialize() const;
+
+  /// Consuming load: resident handles move their table out, disk handles
+  /// load as Materialize. The handle is kEmpty afterwards; an owned backing
+  /// file is NOT removed (call RemoveBackingFile once the data derived from
+  /// it is durable).
+  util::Result<MergeTable> Acquire();
+
+  /// Deletes the backing file of an owned spill handle (best-effort; no-op
+  /// for every other kind). Safe after Acquire — ownership survives
+  /// consumption so the executor can order "write output, then drop inputs".
+  void RemoveBackingFile();
+
+ private:
+  Kind kind_ = Kind::kEmpty;
+  MergeTable table_;             // kResident
+  std::string path_;             // kSpill / kArtifactDir
+  util::ArtifactOpenOptions options_;
+  bool owns_file_ = false;
+};
+
+}  // namespace multiem::core
+
+#endif  // MULTIEM_CORE_MERGE_SOURCE_H_

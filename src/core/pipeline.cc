@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/artifact.h"
+#include "core/merge_source.h"
 #include "core/registry.h"
 #include "core/sharded_merger.h"
 #include "embed/serialize.h"
@@ -201,14 +202,17 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
   MergeTable integrated;
   {
     ScopedPhase phase(result, ctx, kPhaseMerging);
-    std::vector<MergeTable> merge_tables;
-    merge_tables.reserve(tables.size());
-    for (size_t s = 0; s < tables.size(); ++s) {
-      merge_tables.push_back(MergeTable::FromSource(
-          static_cast<uint32_t>(s), store.source(s)));
-    }
+    // Both merge policies consume the same handles (core/merge_source.h);
+    // the spill dir only flips which policy executes the shared MergePlan.
+    std::vector<MergeSource> merge_sources;
+    merge_sources.reserve(tables.size());
     size_t initial_bytes = store.SizeBytes();
-    for (const MergeTable& mt : merge_tables) initial_bytes += mt.SizeBytes();
+    for (size_t s = 0; s < tables.size(); ++s) {
+      MergeTable table =
+          MergeTable::FromSource(static_cast<uint32_t>(s), store.source(s));
+      initial_bytes += table.SizeBytes();
+      merge_sources.push_back(MergeSource::FromTable(std::move(table)));
+    }
     result->approx_peak_bytes =
         std::max(result->approx_peak_bytes, 2 * initial_bytes);
     if (!ctx.merge_spill_dir.empty()) {
@@ -219,16 +223,18 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
       ShardedMerger merger(config_, &store, std::move(spill),
                            index_factory.get());
       ShardedMergeStats sharded_stats;
-      auto merged =
-          merger.Run(std::move(merge_tables), pool.get(), &sharded_stats, ctx);
+      auto merged = merger.RunSources(std::move(merge_sources), pool.get(),
+                                      &sharded_stats, ctx);
       if (!merged.ok()) return merged.status();
       integrated = std::move(*merged);
       result->merge_stats.levels = std::move(sharded_stats.levels);
       result->merge_stats.total_mutual_pairs = sharded_stats.total_mutual_pairs;
     } else {
       HierarchicalMerger merger(config_, &store, index_factory.get());
-      integrated = merger.Run(std::move(merge_tables), pool.get(),
-                              &result->merge_stats, ctx);
+      auto merged = merger.Run(std::move(merge_sources), pool.get(),
+                               &result->merge_stats, ctx);
+      if (!merged.ok()) return merged.status();
+      integrated = std::move(*merged);
     }
   }
   if (ctx.cancelled()) return CancelledAfter(kPhaseMerging);

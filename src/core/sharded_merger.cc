@@ -1,11 +1,9 @@
 #include "core/sharded_merger.h"
 
+#include <algorithm>
 #include <filesystem>
-#include <numeric>
 #include <system_error>
 #include <utility>
-
-#include "util/rng.h"
 
 namespace multiem::core {
 
@@ -17,12 +15,6 @@ size_t FileBytes(const std::string& path) {
   return ec ? 0 : static_cast<size_t>(size);
 }
 
-void RemoveIf(bool cleanup, const std::string& path) {
-  if (!cleanup) return;
-  std::error_code ignored;
-  std::filesystem::remove(path, ignored);
-}
-
 }  // namespace
 
 std::string ShardedMerger::SpillPath(size_t n) const {
@@ -31,122 +23,88 @@ std::string ShardedMerger::SpillPath(size_t n) const {
       .string();
 }
 
-util::Result<MergeTable> ShardedMerger::Run(std::vector<MergeTable> tables,
-                                            util::ThreadPool* pool,
-                                            ShardedMergeStats* stats,
-                                            const RunContext& ctx) {
+util::Result<MergeTable> ShardedMerger::RunSources(
+    std::vector<MergeSource> sources, util::ThreadPool* pool,
+    ShardedMergeStats* stats, const RunContext& ctx) {
+  if (sources.empty()) return MergeTable();
   std::error_code ec;
   std::filesystem::create_directories(options_.spill_dir, ec);
   if (ec) {
     return util::Status::Internal("cannot create spill directory '" +
                                   options_.spill_dir + "': " + ec.message());
   }
-  std::vector<std::string> paths;
-  paths.reserve(tables.size());
-  for (MergeTable& t : tables) {
-    std::string path = SpillPath(next_spill_++);
-    MULTIEM_RETURN_IF_ERROR(t.Save(path));
+
+  // Spill resident handles up front, releasing each table as it lands on
+  // disk — this is what keeps the resident set bounded by one pair even
+  // when the caller hands over a fully materialized corpus.
+  for (MergeSource& source : sources) {
+    if (!source.resident()) continue;
+    auto table = source.Acquire();
+    if (!table.ok()) return table.status();
+    const std::string path = SpillPath(next_spill_++);
+    MULTIEM_RETURN_IF_ERROR(table->Save(path));
     if (stats != nullptr) {
       ++stats->spill_files_written;
       stats->spill_bytes_written += FileBytes(path);
     }
-    t = MergeTable();  // release before the next spill
-    paths.push_back(std::move(path));
+    source = MergeSource::FromSpill(path, {}, options_.cleanup);
+  }
+
+  const MergePlan plan = MergePlan::Build(sources.size(), config_.seed);
+  MergeExecOptions exec_options;
+  exec_options.spill_outputs = true;
+  exec_options.spill_dir = options_.spill_dir;
+  exec_options.first_spill_index = next_spill_;
+  exec_options.cleanup = options_.cleanup;
+  MergeExecStats exec;
+  auto merged = ExecuteMergePlan(plan, std::move(sources), merger_,
+                                 exec_options, pool, &exec, ctx);
+  next_spill_ += exec.spill_files_written;
+  if (!merged.ok()) return merged.status();
+
+  if (stats != nullptr) {
+    std::vector<MergeLevelStats> levels = AggregateLevelStats(plan, exec.nodes);
+    levels.resize(exec.levels_completed);
+    for (const MergeLevelStats& level : levels) {
+      stats->total_mutual_pairs += level.mutual_pairs;
+    }
+    stats->levels.insert(stats->levels.end(),
+                         std::make_move_iterator(levels.begin()),
+                         std::make_move_iterator(levels.end()));
+    stats->spill_files_written += exec.spill_files_written;
+    stats->spill_bytes_written += exec.spill_bytes_written;
+    stats->peak_resident_bytes =
+        std::max(stats->peak_resident_bytes, exec.peak_resident_bytes);
+  }
+  return merged;
+}
+
+util::Result<MergeTable> ShardedMerger::Run(std::vector<MergeTable> tables,
+                                            util::ThreadPool* pool,
+                                            ShardedMergeStats* stats,
+                                            const RunContext& ctx) {
+  std::vector<MergeSource> sources;
+  sources.reserve(tables.size());
+  for (MergeTable& t : tables) {
+    sources.push_back(MergeSource::FromTable(std::move(t)));
   }
   tables.clear();
-  return RunSpilled(std::move(paths), pool, stats, ctx);
+  return RunSources(std::move(sources), pool, stats, ctx);
 }
 
 util::Result<MergeTable> ShardedMerger::RunSpilled(
     std::vector<std::string> paths, util::ThreadPool* pool,
     ShardedMergeStats* stats, const RunContext& ctx) {
-  if (paths.empty()) return MergeTable();
-  std::error_code ec;
-  std::filesystem::create_directories(options_.spill_dir, ec);
-  if (ec) {
-    return util::Status::Internal("cannot create spill directory '" +
-                                  options_.spill_dir + "': " + ec.message());
+  std::vector<MergeSource> sources;
+  sources.reserve(paths.size());
+  for (std::string& path : paths) {
+    sources.push_back(
+        MergeSource::FromSpill(std::move(path), {}, options_.cleanup));
   }
-
-  // Identical schedule to HierarchicalMerger::Run: same seed derivation,
-  // same per-level shuffle, consecutive pairs, odd table carried over. Keep
-  // the two in lockstep — scale_test gates on bitwise-equal results.
-  util::Rng rng(config_.seed ^ 0x4D455247ULL);  // "MERG"
-  size_t level_index = 0;
-
-  while (paths.size() > 1) {
-    if (ctx.cancelled()) break;
-    std::vector<size_t> order(paths.size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    rng.Shuffle(order);
-
-    size_t num_pairs = paths.size() / 2;
-    std::vector<std::string> next(num_pairs + paths.size() % 2);
-    size_t level_mutual_pairs = 0;
-
-    // Pairs run sequentially — that is the memory cap: only (a, b, merged)
-    // of one pair are ever resident. The pool still parallelizes each
-    // pair's index builds and ANN searches (TwoTableMerger::Merge).
-    for (size_t p = 0; p < num_pairs; ++p) {
-      const std::string& path_a = paths[order[2 * p]];
-      const std::string& path_b = paths[order[2 * p + 1]];
-      MergeTable merged;
-      {
-        auto a = MergeTable::Load(path_a);
-        if (!a.ok()) return a.status();
-        auto b = MergeTable::Load(path_b);
-        if (!b.ok()) return b.status();
-
-        TwoTableMergeStats pair_stats;
-        merged = merger_.Merge(*a, *b, pool, &pair_stats);
-        level_mutual_pairs += pair_stats.mutual_pairs;
-        if (stats != nullptr) {
-          stats->peak_resident_bytes =
-              std::max(stats->peak_resident_bytes,
-                       a->SizeBytes() + b->SizeBytes() + merged.SizeBytes());
-        }
-      }  // a and b leave residency before the merge result is spilled
-
-      std::string out = SpillPath(next_spill_++);
-      MULTIEM_RETURN_IF_ERROR(merged.Save(out));
-      if (stats != nullptr) {
-        ++stats->spill_files_written;
-        stats->spill_bytes_written += FileBytes(out);
-      }
-      RemoveIf(options_.cleanup, path_a);
-      RemoveIf(options_.cleanup, path_b);
-      next[p] = std::move(out);
-    }
-
-    if (paths.size() % 2 == 1) {
-      next[num_pairs] = std::move(paths[order[paths.size() - 1]]);
-    }
-
-    if (stats != nullptr) {
-      MergeLevelStats level;
-      level.tables_in = paths.size();
-      level.pairs_merged = num_pairs;
-      level.mutual_pairs = level_mutual_pairs;
-      stats->total_mutual_pairs += level.mutual_pairs;
-      stats->levels.push_back(level);
-    }
-    if (ctx.observer != nullptr) {
-      MergeLevelProgress progress;
-      progress.level = level_index;
-      progress.tables_in = paths.size();
-      progress.tables_out = next.size();
-      progress.pairs_merged = num_pairs;
-      progress.mutual_pairs = level_mutual_pairs;
-      ctx.observer->OnMergeLevel(progress);
-    }
-    ++level_index;
-    paths = std::move(next);
-  }
-
-  auto integrated = MergeTable::Load(paths[0]);
-  if (!integrated.ok()) return integrated.status();
-  RemoveIf(options_.cleanup, paths[0]);
-  return integrated;
+  // Keep output names clear of caller-provided input files: outputs start
+  // past both the merger's own counter and the input count.
+  next_spill_ = std::max(next_spill_, sources.size());
+  return RunSources(std::move(sources), pool, stats, ctx);
 }
 
 }  // namespace multiem::core

@@ -3,15 +3,18 @@
 /// not all fit in RAM at once.
 ///
 /// core::ShardedMerger runs the exact merge schedule of HierarchicalMerger
-/// (Algorithm 2: per-level random pairing from the same seeded shuffle), but
-/// keeps every merge table spilled to disk as a MEMMERGT artifact file
-/// (MergeTable::Save) and loads only the one pair being merged — plus its
-/// output, which is spilled again before the next pair starts. Resident
-/// memory per pair is therefore bounded by the two largest shard tables of
-/// a level plus their merge result, regardless of how many sources or rows
-/// the corpus has. Given the same config (seed, k, m, index backend) the
-/// integrated table is bitwise identical to HierarchicalMerger::Run —
-/// tests/scale_test.cpp gates on that equivalence.
+/// (the same MergePlan — Algorithm 2's per-level random pairing from the
+/// same seeded shuffle), but keeps every merge table spilled to disk as a
+/// MEMMERGT artifact file (MergeTable::Save) and loads only the one pair
+/// being merged — plus its output, which is spilled again before the next
+/// pair starts. Resident memory per pair is therefore bounded by the two
+/// largest shard tables of a level plus their merge result, regardless of
+/// how many sources or rows the corpus has. Given the same config (seed, k,
+/// m, index backend) the integrated table is bitwise identical to
+/// HierarchicalMerger::Run — tests/scale_test.cpp gates on that
+/// equivalence, which now holds by construction: both classes execute the
+/// same plan through core/merge_plan.h's one executor, differing only in
+/// the spill-outputs policy bit.
 ///
 /// The pool still parallelizes *inside* each pairwise merge (the two ANN
 /// index builds and the mutual top-K searches fan out exactly as in the
@@ -27,6 +30,8 @@
 #include "ann/index_factory.h"
 #include "core/config.h"
 #include "core/hierarchical_merger.h"
+#include "core/merge_plan.h"
+#include "core/merge_source.h"
 #include "core/merge_table.h"
 #include "core/run_context.h"
 #include "core/two_table_merger.h"
@@ -66,19 +71,30 @@ class ShardedMerger {
         options_(std::move(options)),
         merger_(config, store, index_factory) {}
 
-  /// Spills `tables` (consumed and released one by one, so the caller's
-  /// vector is never duplicated) and runs the hierarchy over the files.
-  /// Returns the integrated table, loaded back into memory.
+  /// Handle-consuming primary entry. Resident handles are spilled first
+  /// (one at a time, so the caller's tables are never duplicated); disk
+  /// handles run as they are. The hierarchy then executes with every merge
+  /// output spilled — at most one pair plus its output resident. Returns
+  /// the integrated table, loaded back into memory.
+  ///
+  /// Cancellation between levels returns the first remaining (partially
+  /// merged) table, mirroring HierarchicalMerger.
+  util::Result<MergeTable> RunSources(std::vector<MergeSource> sources,
+                                      util::ThreadPool* pool = nullptr,
+                                      ShardedMergeStats* stats = nullptr,
+                                      const RunContext& ctx = {});
+
+  /// Resident adapter: wraps and spills `tables` (consumed and released one
+  /// by one) and runs the hierarchy over the files.
   util::Result<MergeTable> Run(std::vector<MergeTable> tables,
                                util::ThreadPool* pool = nullptr,
                                ShardedMergeStats* stats = nullptr,
                                const RunContext& ctx = {});
 
-  /// Same, over tables the caller already spilled (MergeTable::Save) — the
-  /// fully streaming entry: no more than one pair is ever resident. The
-  /// files are consumed (removed when options.cleanup) level by level.
-  /// Cancellation between levels returns the first remaining (partially
-  /// merged) table, mirroring HierarchicalMerger.
+  /// Spill-file adapter, for tables the caller already saved
+  /// (MergeTable::Save) — the fully streaming entry: no more than one pair
+  /// is ever resident. The files are consumed (removed when
+  /// options.cleanup) as the hierarchy advances.
   util::Result<MergeTable> RunSpilled(std::vector<std::string> paths,
                                       util::ThreadPool* pool = nullptr,
                                       ShardedMergeStats* stats = nullptr,

@@ -7,9 +7,12 @@
 #include "ann/mutual_topk.h"
 #include "core/config.h"
 #include "core/merge_table.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace multiem::core {
+
+class MergeSource;
 
 /// The mutual top-K options (Eq. 1 knobs) a run config implies: k, the
 /// distance cap m, the cosine metric, and the configured index backend.
@@ -55,6 +58,14 @@ class TwoTableMerger {
   MergeTable Merge(const MergeTable& a, const MergeTable& b,
                    util::ThreadPool* pool = nullptr,
                    TwoTableMergeStats* stats = nullptr) const;
+
+  /// Handle form: materializes `a` and `b` (loading spilled or
+  /// artifact-backed handles, chunk-sharing resident ones — see
+  /// core/merge_source.h) and merges. At most the two inputs plus the
+  /// output are resident during the call.
+  util::Result<MergeTable> Merge(const MergeSource& a, const MergeSource& b,
+                                 util::ThreadPool* pool = nullptr,
+                                 TwoTableMergeStats* stats = nullptr) const;
 
  private:
   MultiEmConfig config_;

@@ -1,0 +1,365 @@
+#include "distrib/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/merge_plan.h"
+#include "core/merge_source.h"
+#include "core/merge_table.h"
+#include "core/registry.h"
+#include "core/two_table_merger.h"
+#include "distrib/shard_worker.h"
+#include "util/logging.h"
+#include "util/subprocess.h"
+#include "util/timer.h"
+
+namespace multiem::distrib {
+
+namespace {
+
+/// SIGKILL, spelled as a constant so this file still compiles under the
+/// non-POSIX util::Subprocess fallback (where every call returns
+/// Unimplemented long before a signal is sent).
+constexpr int kSigKill = 9;
+
+/// Same input contract as MultiEmPipeline::Run.
+util::Status ValidateTables(const std::vector<table::Table>& tables) {
+  if (tables.size() < 2) {
+    return util::Status::InvalidArgument(
+        "multi-table EM needs at least 2 tables, got " +
+        std::to_string(tables.size()));
+  }
+  std::unordered_set<std::string> names;
+  for (const table::Table& t : tables) {
+    if (t.num_rows() == 0) {
+      return util::Status::InvalidArgument(
+          "table '" + t.name() +
+          "' is empty: every input table needs at least one row");
+    }
+    if (!names.insert(t.name()).second) {
+      return util::Status::InvalidArgument(
+          "duplicate table name '" + t.name() +
+          "': table names identify sources and must be unique");
+    }
+    if (t.schema() != tables[0].schema()) {
+      return util::Status::InvalidArgument(
+          "table '" + t.name() + "' does not share the common schema");
+    }
+  }
+  return util::Status::Ok();
+}
+
+std::string DescribeExit(const util::ExitStatus& ws) {
+  if (ws.signaled) {
+    return "killed by signal " + std::to_string(ws.term_signal);
+  }
+  return "exited with code " + std::to_string(ws.exit_code);
+}
+
+/// Forks one worker. The child builds its shard, frames its final Status
+/// back over the pipe, and exits 0/1; with `hang` it sleeps forever
+/// instead (fault injection — the parent's timeout must reap it).
+util::Result<util::Subprocess> LaunchWorker(
+    const core::MultiEmConfig& worker_config,
+    const std::vector<table::Table>& tables,
+    const ShardAssignment& assignment, const std::string& shard_dir,
+    bool hang) {
+  return util::Subprocess::Fork([&worker_config, &tables, &assignment,
+                                 &shard_dir, hang](int fd) -> int {
+    if (hang) {
+      for (;;) std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    std::unique_ptr<util::ThreadPool> pool;
+    if (worker_config.num_threads != 1) {
+      pool = std::make_unique<util::ThreadPool>(worker_config.num_threads);
+    }
+    ShardWorkerOptions opts;
+    opts.shard_dir = shard_dir;
+    opts.pool = pool.get();
+    util::Status built =
+        RunShardWorker(worker_config, tables, assignment, opts);
+    std::string message = built.ToString();
+    // Best-effort: the exit code already carries success/failure; the
+    // message just adds detail for the coordinator's error report.
+    (void)util::Subprocess::WriteMessage(fd, message.data(), message.size());
+    return built.ok() ? 0 : 1;
+  });
+}
+
+std::vector<uint64_t> ToU64(const std::vector<size_t>& v) {
+  return std::vector<uint64_t>(v.begin(), v.end());
+}
+
+}  // namespace
+
+util::Result<DistributedBuildResult> Coordinator::Build(
+    const std::vector<table::Table>& tables) const {
+  util::WallTimer total_timer;
+  MULTIEM_RETURN_IF_ERROR(config_.ValidateValues());
+  MULTIEM_RETURN_IF_ERROR(ValidateTables(tables));
+  if (options_.num_workers == 0) {
+    return util::Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options_.work_dir.empty()) {
+    return util::Status::InvalidArgument("work_dir must be set");
+  }
+
+  core::MergePlan plan = core::MergePlan::Build(tables.size(), config_.seed);
+  std::vector<ShardAssignment> assignments =
+      PartitionPlan(plan, options_.num_workers);
+  const size_t workers = assignments.size();
+
+  DistributedBuildResult result;
+  result.distrib.workers = workers;
+  for (const ShardAssignment& a : assignments) {
+    result.distrib.frontier_nodes += a.roots.size();
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.work_dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create work directory '" +
+                                  options_.work_dir + "': " + ec.message());
+  }
+  std::vector<std::string> shard_dirs;
+  for (size_t w = 0; w < workers; ++w) {
+    shard_dirs.push_back(options_.work_dir + "/" + ShardDirName(w));
+    // A stale shard from an earlier run would otherwise pass the
+    // completion check below with the wrong contents.
+    std::filesystem::remove_all(shard_dirs.back(), ec);
+  }
+
+  core::MultiEmConfig worker_config = config_;
+  worker_config.num_threads = options_.worker_threads;
+
+  // 1. Fork every worker before any ThreadPool exists in this process
+  // (util/subprocess.h: a child forked from a multithreaded parent can
+  // inherit locked allocator state).
+  util::WallTimer worker_timer;
+  std::vector<util::Subprocess> procs;
+  procs.reserve(workers);
+  std::vector<size_t> attempts(workers, 1);
+  for (size_t w = 0; w < workers; ++w) {
+    auto proc = LaunchWorker(worker_config, tables, assignments[w],
+                             shard_dirs[w], options_.hang_worker == w);
+    if (!proc.ok()) return proc.status();
+    procs.push_back(std::move(*proc));
+  }
+  if (options_.kill_worker < workers) {
+    (void)procs[options_.kill_worker].Kill(kSigKill);
+  }
+
+  // 2. Overlap the workers with the coordinator's own deterministic
+  // replay of the representation decisions (no pool yet — see above).
+  auto fitted = FitRepresentation(config_, tables, /*pool=*/nullptr);
+  if (!fitted.ok()) return fitted.status();
+
+  // 3. Reap each worker; retry crashed/hung/incomplete ones. Any terminal
+  // failure returns through here, and the Subprocess destructors SIGKILL
+  // and reap whatever is still running — no zombies, no hangs.
+  for (size_t w = 0; w < workers; ++w) {
+    for (;;) {
+      util::Status failure;
+      auto ws = procs[w].Wait(options_.worker_timeout_ms);
+      if (!ws.ok()) {
+        if (ws.status().code() != util::StatusCode::kResourceExhausted) {
+          return ws.status();
+        }
+        (void)procs[w].Kill(kSigKill);
+        (void)procs[w].Wait(/*timeout_ms=*/-1);
+        failure = util::Status::ResourceExhausted(
+            "worker " + std::to_string(w) + " exceeded its " +
+            std::to_string(options_.worker_timeout_ms) + " ms deadline");
+      } else if (!ws->ok()) {
+        std::string detail;
+        auto message = procs[w].ReadMessage(/*timeout_ms=*/200);
+        if (message.ok()) {
+          detail = ": " + std::string(message->begin(), message->end());
+        }
+        failure = util::Status::Internal("worker " + std::to_string(w) +
+                                         " " + DescribeExit(*ws) + detail);
+      } else if (!std::filesystem::exists(shard_dirs[w] + "/" +
+                                          ShardManifestName())) {
+        failure = util::Status::Internal(
+            "worker " + std::to_string(w) +
+            " exited cleanly but left no shard manifest");
+      } else {
+        break;  // success
+      }
+
+      if (attempts[w] > options_.max_retries) {
+        return util::Status(failure.code(),
+                            "distributed build failed after " +
+                                std::to_string(attempts[w]) +
+                                " attempt(s): " + failure.message());
+      }
+      MULTIEM_LOG(kWarning) << "retrying worker " << w << ": "
+                            << failure.ToString();
+      ++attempts[w];
+      ++result.distrib.retries;
+      std::filesystem::remove_all(shard_dirs[w], ec);
+      // Fault injection applies to first attempts only: the retry is the
+      // recovery path under test.
+      auto proc = LaunchWorker(worker_config, tables, assignments[w],
+                               shard_dirs[w], /*hang=*/false);
+      if (!proc.ok()) return proc.status();
+      procs[w] = std::move(*proc);
+    }
+  }
+  result.distrib.worker_seconds = worker_timer.ElapsedSeconds();
+
+  // Parallelism is safe from here on: every fork already happened.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.num_threads != 1) {
+    pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+  util::ArtifactOpenOptions open = options_.shard_open;
+  if (open.verify_pool == nullptr) open.verify_pool = pool.get();
+
+  // 4. Open the shards and cross-check that every worker reached the same
+  // deterministic decisions this process did.
+  std::vector<ShardArtifact> shards;
+  shards.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    auto shard = OpenShardArtifact(shard_dirs[w], open);
+    if (!shard.ok()) {
+      return util::Status::Internal("cannot open shard " + std::to_string(w) +
+                                    ": " + shard.status().ToString());
+    }
+    if (shard->total_sources != tables.size() ||
+        shard->seed != config_.seed ||
+        shard->dim != fitted->encoder->dim() ||
+        shard->covered_sources != ToU64(assignments[w].sources) ||
+        shard->roots != ToU64(assignments[w].roots)) {
+      return util::Status::Internal(
+          "shard " + std::to_string(w) +
+          " does not match its assignment (stale or foreign artifact?)");
+    }
+    if (shard->selected_columns !=
+        ToU64(fitted->selection.selected_columns)) {
+      return util::Status::Internal(
+          "worker " + std::to_string(w) +
+          " disagrees with the coordinator on attribute selection — the "
+          "fit is expected to be deterministic across processes");
+    }
+    shards.push_back(std::move(*shard));
+  }
+
+  // Assemble the global embedding store from the shard base matrices
+  // (zero-copy views into the mapped manifests when mapping succeeded).
+  core::EntityEmbeddingStore store;
+  {
+    constexpr size_t kUnset = static_cast<size_t>(-1);
+    std::vector<std::pair<size_t, size_t>> where(tables.size(),
+                                                 {kUnset, kUnset});
+    for (size_t w = 0; w < workers; ++w) {
+      for (size_t i = 0; i < shards[w].covered_sources.size(); ++i) {
+        size_t s = static_cast<size_t>(shards[w].covered_sources[i]);
+        if (s >= tables.size() || where[s].first != kUnset) {
+          return util::Status::Internal(
+              "source " + std::to_string(s) +
+              " is covered by more than one shard");
+        }
+        where[s] = {w, i};
+      }
+    }
+    for (size_t s = 0; s < tables.size(); ++s) {
+      auto [w, i] = where[s];
+      if (w == kUnset) {
+        return util::Status::Internal("source " + std::to_string(s) +
+                                      " is covered by no shard");
+      }
+      if (shards[w].bases[i].num_rows() != tables[s].num_rows()) {
+        return util::Status::Internal(
+            "shard " + std::to_string(w) + " holds " +
+            std::to_string(shards[w].bases[i].num_rows()) +
+            " embeddings for source " + std::to_string(s) + ", expected " +
+            std::to_string(tables[s].num_rows()));
+      }
+      store.AddSource(std::move(shards[w].bases[i]));
+    }
+  }
+
+  // 5. Seed the plan slots — resident handles for frontier leaves, spill
+  // handles (not file-owning; the shard dir outlives the build) for worker
+  // merge roots — and execute the remaining top of the plan.
+  util::WallTimer merge_timer;
+  auto factory =
+      core::IndexFactories().Create(config_.effective_index_name(), config_);
+  if (!factory.ok()) return factory.status();
+  std::shared_ptr<const ann::VectorIndexFactory> index_factory =
+      std::move(*factory);
+
+  std::vector<core::MergeSource> slots(plan.num_nodes());
+  for (size_t w = 0; w < workers; ++w) {
+    for (size_t root : assignments[w].roots) {
+      if (plan.node(root).is_leaf()) {
+        slots[root] = core::MergeSource::FromTable(core::MergeTable::FromSource(
+            static_cast<uint32_t>(root), store.source(root)));
+      } else {
+        slots[root] = core::MergeSource::FromSpill(
+            shard_dirs[w] + "/" + MergeOutputName(root), options_.shard_open,
+            /*owns_file=*/false);
+      }
+    }
+  }
+  core::TwoTableMerger merger(config_, &store, index_factory.get());
+  core::MergeExecOptions top;
+  top.reopen = options_.shard_open;
+  core::MergeExecStats exec;
+  MULTIEM_RETURN_IF_ERROR(core::ExecuteMergeSubtree(
+      plan, plan.root(), slots, merger, top, pool.get(), &exec));
+  auto integrated = slots[plan.root()].Acquire();
+  if (!integrated.ok()) return integrated.status();
+  result.distrib.merge_seconds = merge_timer.ElapsedSeconds();
+
+  // Fold the workers' per-node counters and the coordinator's own into the
+  // standard per-level shape; a full plan execution reproduces the
+  // single-process HierarchicalMergeStats exactly.
+  std::vector<core::MergeNodeStats> all_nodes;
+  for (const ShardArtifact& shard : shards) {
+    all_nodes.insert(all_nodes.end(), shard.node_stats.begin(),
+                     shard.node_stats.end());
+  }
+  all_nodes.insert(all_nodes.end(), exec.nodes.begin(), exec.nodes.end());
+  result.merge_stats.levels = core::AggregateLevelStats(plan, all_nodes);
+  for (const core::MergeNodeStats& node : all_nodes) {
+    result.merge_stats.total_mutual_pairs += node.mutual_pairs;
+  }
+  result.selection = fitted->selection;
+
+  // 6. Prune and (optionally) assemble the serving session, exactly as the
+  // single-process pipeline does.
+  auto pruner = core::Pruners().Create(config_.pruner_name, config_);
+  if (!pruner.ok()) return pruner.status();
+  core::PruneContext prune_ctx;
+  prune_ctx.store = &store;
+  prune_ctx.pool = pool.get();
+  result.tuples =
+      (*pruner)->Prune(*integrated, prune_ctx, &result.prune_stats);
+
+  if (options_.build_matcher) {
+    std::vector<std::string> schema_names = tables[0].schema().names();
+    std::vector<std::string> source_names;
+    source_names.reserve(tables.size());
+    for (const table::Table& t : tables) source_names.push_back(t.name());
+    auto matcher = core::Matcher::Assemble(
+        config_, std::move(schema_names), result.selection,
+        std::move(source_names), std::move(store), std::move(*integrated),
+        fitted->encoder, index_factory, /*index=*/nullptr, pool.get());
+    if (!matcher.ok()) return matcher.status();
+    result.matcher = std::make_shared<core::Matcher>(std::move(*matcher));
+  }
+
+  result.distrib.total_seconds = total_timer.ElapsedSeconds();
+  MULTIEM_LOG(kDebug) << "distributed build finished: " << workers
+                      << " workers, " << result.tuples.size() << " tuples, "
+                      << result.distrib.retries << " retries";
+  return result;
+}
+
+}  // namespace multiem::distrib

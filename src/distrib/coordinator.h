@@ -1,0 +1,130 @@
+/// \file coordinator.h
+/// The multi-process build driver: partitions the merge plan's frontier
+/// across N forked worker processes (distrib/shard_worker.h, one shard
+/// artifact each), merges the shard roots through the same MutualTopK
+/// machinery via core::MergeSource handles, and finishes with pruning and
+/// (optionally) a serving core::Matcher — producing tuples **bitwise
+/// identical** to the single-process MultiEmPipeline::Run, because every
+/// plan node is a pure function of its children no matter which process
+/// executes it.
+///
+/// Timeline of Build():
+///   1. fork all workers (before any ThreadPool exists — see
+///      util/subprocess.h for the multithreaded-fork hazard);
+///   2. while they run, replay the deterministic encoder fit + attribute
+///      selection in-process (the coordinator needs both for the final
+///      Matcher, and uses the selection to cross-check every shard);
+///   3. reap each worker with a timeout; a worker that died, hung, or left
+///      no complete shard artifact is SIGKILLed, reaped, and retried up to
+///      `max_retries` times — failures degrade to a clean Status, never a
+///      zombie or a hang;
+///   4. open the shard artifacts (mmap-preferred), assemble the global
+///      embedding store from their base matrices, seed the plan slots with
+///      handles (resident for frontier leaves, spill handles for worker
+///      roots), and execute the remaining top of the plan;
+///   5. prune, aggregate the per-node merge stats into the standard
+///      per-level shape, and optionally assemble the Matcher.
+///
+/// Workers replay component resolution from core::Registry by config name;
+/// builder-injected component instances are not supported across processes.
+
+#ifndef MULTIEM_DISTRIB_COORDINATOR_H_
+#define MULTIEM_DISTRIB_COORDINATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attribute_selector.h"
+#include "core/config.h"
+#include "core/hierarchical_merger.h"
+#include "core/matcher.h"
+#include "core/pruner.h"
+#include "eval/tuples.h"
+#include "table/table.h"
+#include "util/io.h"
+#include "util/status.h"
+
+namespace multiem::distrib {
+
+struct CoordinatorOptions {
+  /// Worker processes to fork (>= 1; clamped to the number of frontier
+  /// nodes, i.e. at most one worker per source table).
+  size_t num_workers = 2;
+  /// Directory for shard artifacts: one `shard_<w>/` per worker. Created
+  /// if missing; left on disk for inspection (callers own cleanup).
+  std::string work_dir;
+  /// Threads inside each worker (its private pool). Keep 1 — the default —
+  /// whenever the output must be bitwise-comparable across worker counts:
+  /// parallel HNSW construction is not thread-count invariant.
+  size_t worker_threads = 1;
+  /// Per-worker reap deadline. A worker still running when it expires is
+  /// SIGKILLed and counts as a failed attempt. < 0 waits forever.
+  int64_t worker_timeout_ms = 10 * 60 * 1000;
+  /// Re-forks granted per worker after a crash/timeout/incomplete shard.
+  size_t max_retries = 1;
+  /// Assemble a serving Matcher over the integrated table (like
+  /// RunContext::build_matcher).
+  bool build_matcher = false;
+  /// How shard manifests are opened. mmap-preferred: the base matrices then
+  /// serve zero-copy from the page cache across coordinator and any other
+  /// process holding the same shard.
+  util::ArtifactOpenOptions shard_open = {
+      .mapping = util::ArtifactOpenOptions::Mapping::kPrefer,
+      .verify = util::ArtifactOpenOptions::Verify::kFull};
+
+  // --- Fault injection (tests/CI only) ---
+  /// SIGKILL this worker right after its first fork (retry must recover).
+  size_t kill_worker = static_cast<size_t>(-1);
+  /// Make this worker hang on its first attempt (timeout must reap it).
+  size_t hang_worker = static_cast<size_t>(-1);
+};
+
+/// Counters of one distributed build.
+struct DistributedBuildStats {
+  size_t workers = 0;          ///< effective worker count after clamping
+  size_t frontier_nodes = 0;   ///< plan nodes handed to workers
+  size_t retries = 0;          ///< failed worker attempts that were re-forked
+  double worker_seconds = 0.0; ///< first fork -> last successful reap
+  double merge_seconds = 0.0;  ///< coordinator-side top-of-plan merging
+  double total_seconds = 0.0;
+};
+
+/// Everything a distributed build produces; mirrors core::PipelineResult.
+struct DistributedBuildResult {
+  std::vector<eval::Tuple> tuples;
+  core::AttributeSelection selection;
+  core::HierarchicalMergeStats merge_stats;
+  core::PruneStats prune_stats;
+  /// Set only with CoordinatorOptions::build_matcher.
+  std::shared_ptr<core::Matcher> matcher;
+  DistributedBuildStats distrib;
+
+  eval::TupleSet ToTupleSet() const { return eval::TupleSet(tuples); }
+};
+
+/// Drives one multi-process build. Stateless across Build() calls apart
+/// from config/options; see the file comment for the execution timeline and
+/// the determinism contract.
+class Coordinator {
+ public:
+  Coordinator(core::MultiEmConfig config, CoordinatorOptions options)
+      : config_(std::move(config)), options_(std::move(options)) {}
+
+  /// Runs the distributed pipeline over `tables` (same input contract as
+  /// MultiEmPipeline::Run: >= 2 non-empty tables, unique names, one
+  /// schema). Fork-based — call from an effectively single-threaded
+  /// process (util/subprocess.h). POSIX only (Unimplemented elsewhere).
+  util::Result<DistributedBuildResult> Build(
+      const std::vector<table::Table>& tables) const;
+
+ private:
+  core::MultiEmConfig config_;
+  CoordinatorOptions options_;
+};
+
+}  // namespace multiem::distrib
+
+#endif  // MULTIEM_DISTRIB_COORDINATOR_H_

@@ -1,0 +1,263 @@
+#include "distrib/shard_worker.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "core/merge_source.h"
+#include "core/merge_table.h"
+#include "core/registry.h"
+#include "core/two_table_merger.h"
+#include "embed/matrix_io.h"
+#include "embed/serialize.h"
+
+namespace multiem::distrib {
+
+namespace {
+
+std::vector<uint64_t> ToU64(const std::vector<size_t>& v) {
+  return std::vector<uint64_t>(v.begin(), v.end());
+}
+
+}  // namespace
+
+std::string ShardDirName(size_t worker) {
+  return "shard_" + std::to_string(worker);
+}
+
+std::string ShardManifestName() { return "shard.mem"; }
+
+std::string MergeOutputName(size_t node) {
+  return "merge_" + std::to_string(node) + ".mem";
+}
+
+std::vector<ShardAssignment> PartitionPlan(const core::MergePlan& plan,
+                                           size_t num_workers) {
+  if (plan.num_leaves() == 0) return {};
+  size_t want =
+      std::max<size_t>(1, std::min(num_workers, plan.num_leaves()));
+  // The live-node count strictly shrinks per level, so the deepest level
+  // that still offers `want` nodes is the one whose frontier cut hands each
+  // worker the largest possible subtree.
+  size_t frontier_level = 0;
+  for (size_t l = 1; l <= plan.levels().size(); ++l) {
+    if (plan.LiveNodesAtLevel(l).size() >= want) frontier_level = l;
+  }
+  std::vector<size_t> frontier = plan.LiveNodesAtLevel(frontier_level);
+  std::vector<ShardAssignment> out(want);
+  size_t chunk = frontier.size() / want;
+  size_t rem = frontier.size() % want;
+  size_t pos = 0;
+  for (size_t w = 0; w < want; ++w) {
+    ShardAssignment& a = out[w];
+    a.worker = w;
+    size_t count = chunk + (w < rem ? 1 : 0);
+    for (size_t i = 0; i < count; ++i) {
+      size_t root = frontier[pos++];
+      a.roots.push_back(root);
+      std::vector<size_t> leaves = plan.SubtreeLeaves(root);
+      a.sources.insert(a.sources.end(), leaves.begin(), leaves.end());
+    }
+    std::sort(a.roots.begin(), a.roots.end());
+    std::sort(a.sources.begin(), a.sources.end());
+  }
+  return out;
+}
+
+util::Result<FittedRepresentation> FitRepresentation(
+    const core::MultiEmConfig& config,
+    const std::vector<table::Table>& tables, util::ThreadPool* pool) {
+  if (tables.empty()) {
+    return util::Status::InvalidArgument("no tables to fit on");
+  }
+  auto created = core::TextEncoders().Create(config.encoder_name, config);
+  if (!created.ok()) return created.status();
+  FittedRepresentation fitted;
+  fitted.encoder = std::move(*created);
+
+  // Replays the representation prefix of MultiEmPipeline::Run verbatim:
+  // full-schema corpus fit, attribute selection, then the refit on the
+  // selected-column corpus. Every step is deterministic in (tables,
+  // config), which is what lets N processes run this independently and
+  // agree bit for bit.
+  {
+    std::vector<std::string> corpus;
+    for (const table::Table& t : tables) {
+      std::vector<std::string> texts = embed::SerializeTable(t);
+      corpus.insert(corpus.end(), std::make_move_iterator(texts.begin()),
+                    std::make_move_iterator(texts.end()));
+    }
+    fitted.encoder->FitCorpus(corpus);
+  }
+  if (config.enable_attribute_selection) {
+    core::AttributeSelector selector(fitted.encoder.get(), config);
+    auto selection = selector.Run(tables, pool);
+    if (!selection.ok()) return selection.status();
+    fitted.selection = std::move(*selection);
+  } else {
+    for (size_t c = 0; c < tables[0].num_columns(); ++c) {
+      fitted.selection.selected_columns.push_back(c);
+      fitted.selection.selected_names.push_back(tables[0].schema().name(c));
+    }
+    fitted.selection.shuffle_similarity.assign(tables[0].num_columns(), 0.0);
+  }
+  {
+    std::vector<std::string> corpus;
+    for (const table::Table& t : tables) {
+      std::vector<std::string> texts =
+          embed::SerializeTable(t, fitted.selection.selected_columns);
+      corpus.insert(corpus.end(), std::make_move_iterator(texts.begin()),
+                    std::make_move_iterator(texts.end()));
+    }
+    fitted.encoder->FitCorpus(corpus);
+  }
+  return fitted;
+}
+
+util::Status RunShardWorker(const core::MultiEmConfig& config,
+                            const std::vector<table::Table>& tables,
+                            const ShardAssignment& assignment,
+                            const ShardWorkerOptions& options) {
+  MULTIEM_RETURN_IF_ERROR(config.ValidateValues());
+  if (options.shard_dir.empty()) {
+    return util::Status::InvalidArgument("shard_dir must be set");
+  }
+  if (assignment.sources.empty()) {
+    return util::Status::InvalidArgument(
+        "shard assignment covers no sources");
+  }
+  for (size_t s : assignment.sources) {
+    if (s >= tables.size()) {
+      return util::Status::OutOfRange(
+          "shard assignment names source " + std::to_string(s) + " but only " +
+          std::to_string(tables.size()) + " tables were given");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.shard_dir, ec);
+  if (ec) {
+    return util::Status::Internal("cannot create shard directory '" +
+                                  options.shard_dir + "': " + ec.message());
+  }
+
+  auto fitted = FitRepresentation(config, tables, options.pool);
+  if (!fitted.ok()) return fitted.status();
+  auto factory =
+      core::IndexFactories().Create(config.effective_index_name(), config);
+  if (!factory.ok()) return factory.status();
+
+  // Encode only the covered sources; uncovered slots get empty placeholder
+  // matrices so EntityId::source keeps indexing the store globally. The
+  // merges below only ever look up entities of covered sources.
+  const size_t dim = fitted->encoder->dim();
+  std::vector<bool> covered(tables.size(), false);
+  for (size_t s : assignment.sources) covered[s] = true;
+  core::EntityEmbeddingStore store;
+  for (size_t s = 0; s < tables.size(); ++s) {
+    if (covered[s]) {
+      std::vector<std::string> texts = embed::SerializeTable(
+          tables[s], fitted->selection.selected_columns);
+      store.AddSource(fitted->encoder->EncodeBatch(texts, options.pool));
+    } else {
+      store.AddSource(embed::EmbeddingMatrix(0, dim));
+    }
+  }
+
+  core::MergePlan plan = core::MergePlan::Build(tables.size(), config.seed);
+  std::vector<core::MergeSource> slots(plan.num_nodes());
+  for (size_t s : assignment.sources) {
+    slots[s] = core::MergeSource::FromTable(
+        core::MergeTable::FromSource(static_cast<uint32_t>(s),
+                                     store.source(s)));
+  }
+
+  core::TwoTableMerger merger(config, &store, factory->get());
+  core::MergeExecOptions exec;
+  exec.spill_outputs = true;
+  exec.spill_dir = options.shard_dir;
+  exec.name_by_node = true;
+  exec.cleanup = true;
+  core::MergeExecStats stats;
+  for (size_t root : assignment.roots) {
+    if (plan.node(root).is_leaf()) continue;  // base embeddings only
+    MULTIEM_RETURN_IF_ERROR(core::ExecuteMergeSubtree(
+        plan, root, slots, merger, exec, options.pool, &stats));
+  }
+
+  // The manifest goes last (and lands atomically): its presence certifies
+  // that every merge_<node>.mem above it is complete.
+  util::ArtifactWriter manifest(kShardMagic, kShardVersion);
+  util::ByteWriter& meta = manifest.AddSection("meta");
+  meta.WriteU64(tables.size());
+  meta.WriteU64(config.seed);
+  meta.WriteU64(dim);
+  std::vector<uint64_t> sources64 = ToU64(assignment.sources);
+  std::vector<uint64_t> roots64 = ToU64(assignment.roots);
+  std::vector<uint64_t> columns64 =
+      ToU64(fitted->selection.selected_columns);
+  meta.WriteU64Array(sources64);
+  meta.WriteU64Array(roots64);
+  meta.WriteU64Array(columns64);
+  util::ByteWriter& stats_out = manifest.AddSection("stats");
+  stats_out.WriteU64(stats.nodes.size());
+  for (const core::MergeNodeStats& node : stats.nodes) {
+    stats_out.WriteU64(node.node);
+    stats_out.WriteU64(node.mutual_pairs);
+    stats_out.WriteU64(node.merged_items);
+    stats_out.WriteU64(node.carried_items);
+  }
+  for (size_t s : assignment.sources) {
+    util::ByteWriter& base =
+        manifest.AddSection("base_" + std::to_string(s));
+    embed::WriteMatrix(base, store.source(s));
+  }
+  return manifest.WriteFile(options.shard_dir + "/" + ShardManifestName());
+}
+
+util::Result<ShardArtifact> OpenShardArtifact(
+    const std::string& shard_dir, const util::ArtifactOpenOptions& options) {
+  auto reader = util::ArtifactReader::FromFile(
+      shard_dir + "/" + ShardManifestName(), kShardMagic, kShardVersion,
+      options);
+  if (!reader.ok()) return reader.status();
+
+  ShardArtifact shard;
+  auto meta = reader->Section("meta");
+  if (!meta.ok()) return meta.status();
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&shard.total_sources));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&shard.seed));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&shard.dim));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64Array(&shard.covered_sources));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64Array(&shard.roots));
+  MULTIEM_RETURN_IF_ERROR(meta->ReadU64Array(&shard.selected_columns));
+
+  auto stats = reader->Section("stats");
+  if (!stats.ok()) return stats.status();
+  uint64_t count = 0;
+  MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&count));
+  shard.node_stats.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t node = 0, mutual = 0, merged = 0, carried = 0;
+    MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&node));
+    MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&mutual));
+    MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&merged));
+    MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&carried));
+    shard.node_stats.push_back(core::MergeNodeStats{
+        static_cast<size_t>(node), static_cast<size_t>(mutual),
+        static_cast<size_t>(merged), static_cast<size_t>(carried)});
+  }
+
+  shard.bases.reserve(shard.covered_sources.size());
+  for (uint64_t s : shard.covered_sources) {
+    auto base = reader->Section("base_" + std::to_string(s));
+    if (!base.ok()) return base.status();
+    embed::EmbeddingMatrix m;
+    MULTIEM_RETURN_IF_ERROR(embed::ReadMatrix(*base, reader->backing(), &m));
+    shard.bases.push_back(std::move(m));
+  }
+  shard.backing = reader->backing();
+  return shard;
+}
+
+}  // namespace multiem::distrib

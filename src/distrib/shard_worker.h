@@ -1,0 +1,138 @@
+/// \file shard_worker.h
+/// The per-process build unit of the multi-process pipeline
+/// (src/distrib/coordinator.h): one worker owns a contiguous slice of the
+/// merge plan's frontier, runs embed -> select -> merge for the source
+/// tables under that slice, and leaves a *shard artifact* on disk for the
+/// coordinator to pick up:
+///
+///   <shard_dir>/merge_<node>.mem   one MEMMERGT table per assigned
+///                                  non-leaf frontier root
+///   <shard_dir>/shard.mem          the MEMSHARD manifest, written LAST
+///                                  (atomically) as the completion marker
+///
+/// Correctness rests on two facts. First, every corpus-dependent decision —
+/// the encoder fit, attribute selection, the refit on the selected columns
+/// — is a deterministic function of (tables, config), so each worker
+/// replays it identically on the full corpus instead of coordinating
+/// (FitRepresentation). Second, each internal node of the MergePlan is a
+/// pure function of its two children (core/merge_plan.h), so subtrees built
+/// in different processes compose into bitwise-identical integrated tables.
+///
+/// Components are resolved from core::Registry by the config's names;
+/// builder-injected component instances cannot cross a process boundary and
+/// are not supported here.
+
+#ifndef MULTIEM_DISTRIB_SHARD_WORKER_H_
+#define MULTIEM_DISTRIB_SHARD_WORKER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/attribute_selector.h"
+#include "core/config.h"
+#include "core/merge_plan.h"
+#include "embed/embedding.h"
+#include "embed/text_encoder.h"
+#include "table/table.h"
+#include "util/io.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace multiem::distrib {
+
+/// Magic + version of the MEMSHARD shard manifest (docs/FORMATS.md).
+inline constexpr uint64_t kShardMagic = util::ArtifactMagic("MEMSHARD");
+inline constexpr uint32_t kShardVersion = 1;
+
+/// "shard_<worker>" — the shard directory name under the coordinator's
+/// work dir.
+std::string ShardDirName(size_t worker);
+
+/// "shard.mem" — the manifest file inside a shard directory.
+std::string ShardManifestName();
+
+/// "merge_<node>.mem" — a spilled merge output keyed by plan node id
+/// (MergeExecOptions::name_by_node).
+std::string MergeOutputName(size_t node);
+
+/// The slice of the merge plan one worker builds.
+struct ShardAssignment {
+  size_t worker = 0;
+  /// Frontier node ids this worker materializes, in plan order. A leaf
+  /// root contributes only its base embeddings (nothing to merge).
+  std::vector<size_t> roots;
+  /// Union of the roots' subtree leaves == the source tables this worker
+  /// encodes, ascending. Derived from `roots`; carried for convenience.
+  std::vector<size_t> sources;
+};
+
+/// Cuts the plan's frontier into `num_workers` contiguous chunks. The
+/// frontier is the deepest level whose live-node count still is >=
+/// min(num_workers, num_leaves), so every worker gets at least one node and
+/// every source lands in exactly one shard. Returns one assignment per
+/// effective worker (may be fewer than requested).
+std::vector<ShardAssignment> PartitionPlan(const core::MergePlan& plan,
+                                           size_t num_workers);
+
+/// The deterministic representation state every process replays
+/// identically: the encoder after the full-schema corpus fit, attribute
+/// selection, and the refit on the selected-column corpus.
+struct FittedRepresentation {
+  std::shared_ptr<embed::TextEncoder> encoder;
+  core::AttributeSelection selection;
+};
+
+/// Resolves the encoder by config name and replays fit -> selection ->
+/// refit over `tables` (the representation-phase prefix of
+/// MultiEmPipeline::Run). Deterministic given (tables, config).
+util::Result<FittedRepresentation> FitRepresentation(
+    const core::MultiEmConfig& config,
+    const std::vector<table::Table>& tables, util::ThreadPool* pool);
+
+struct ShardWorkerOptions {
+  /// Output directory (created if missing). Also receives the worker's
+  /// intermediate spill files, which are deleted as they are consumed.
+  std::string shard_dir;
+  /// Parallelism inside this worker. Keep null (serial) when the build
+  /// must be bitwise-comparable across worker counts: parallel HNSW
+  /// construction is not thread-count invariant.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// Runs one worker's slice end to end and writes the shard artifact.
+/// Typically called inside a forked child (util::Subprocess), but runs the
+/// same in-process (tests).
+util::Status RunShardWorker(const core::MultiEmConfig& config,
+                            const std::vector<table::Table>& tables,
+                            const ShardAssignment& assignment,
+                            const ShardWorkerOptions& options);
+
+/// A parsed shard.mem manifest plus the shard's base matrices. `backing`
+/// pins the underlying bytes; with a mapped open the matrices are zero-copy
+/// views over the file pages.
+struct ShardArtifact {
+  uint64_t total_sources = 0;
+  uint64_t seed = 0;
+  uint64_t dim = 0;
+  std::vector<uint64_t> covered_sources;
+  std::vector<uint64_t> roots;
+  std::vector<uint64_t> selected_columns;
+  /// Per-merge-node counters of the worker's subtree executions.
+  std::vector<core::MergeNodeStats> node_stats;
+  /// Base embedding matrices, parallel to `covered_sources`.
+  std::vector<embed::EmbeddingMatrix> bases;
+  std::shared_ptr<const void> backing;
+};
+
+/// Opens `<shard_dir>/shard.mem`. NotFound when the worker never completed
+/// (the manifest is written last).
+util::Result<ShardArtifact> OpenShardArtifact(
+    const std::string& shard_dir,
+    const util::ArtifactOpenOptions& options = {});
+
+}  // namespace multiem::distrib
+
+#endif  // MULTIEM_DISTRIB_SHARD_WORKER_H_

@@ -330,6 +330,27 @@ Result<ArtifactReader> ArtifactReader::FromFile(
   if (!status.ok()) {
     return Status(status.code(), "'" + path + "': " + status.message());
   }
+  if (reader.mapped_ && options.warm_pages) {
+    // Parallel first-touch page pass: fault the whole image in now, across
+    // the pool's threads, instead of one page at a time on the first
+    // queries. Reading one byte per page suffices — the kernel fills the
+    // page either way — and the running sum (published through a volatile
+    // sink) keeps the loop from being optimized away.
+    static_cast<const MmapFile*>(reader.backing_.get())->AdviseWillNeed();
+    constexpr size_t kPageBytes = 4096;
+    const std::span<const uint8_t> bytes = reader.data_;
+    const size_t pages = (bytes.size() + kPageBytes - 1) / kPageBytes;
+    std::atomic<uint64_t> sink{0};
+    ParallelFor(
+        options.verify_pool, pages,
+        [&](size_t page) {
+          sink.fetch_add(bytes[page * kPageBytes], std::memory_order_relaxed);
+        },
+        /*min_block_size=*/256);
+    static volatile uint64_t warm_sink;
+    warm_sink = sink.load(std::memory_order_relaxed);
+    (void)warm_sink;
+  }
   if (reader.mapped_) {
     static_cast<const MmapFile*>(reader.backing_.get())->AdviseRandom();
   }

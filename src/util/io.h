@@ -95,6 +95,13 @@ struct ArtifactOpenOptions {
   /// multi-hundred-MB artifacts). Loaders may also use it via
   /// ArtifactReader::load_pool() for their own validation passes.
   ThreadPool* verify_pool = nullptr;
+  /// Mapped opens only: first-touch every page of the image right after
+  /// validation (parallel on verify_pool when set), so cold-cache page
+  /// faults are paid up front by many threads instead of one by one on the
+  /// serving path. Pointless with Verify::kFull, whose checksum sweep
+  /// already reads every byte; it pays on kStructural opens of cold files,
+  /// trading a slower open for a warm first query. No-op for heap reads.
+  bool warm_pages = false;
 };
 
 /// Append-only little-endian byte buffer: the assembly surface for one

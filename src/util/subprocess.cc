@@ -1,0 +1,277 @@
+#include "util/subprocess.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MULTIEM_HAS_FORK 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace multiem::util {
+
+#ifdef MULTIEM_HAS_FORK
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget against a deadline; -1 (infinite) stays -1.
+int64_t RemainingMs(int64_t deadline_ms) {
+  if (deadline_ms < 0) return -1;
+  int64_t left = deadline_ms - NowMs();
+  return left < 0 ? 0 : left;
+}
+
+/// Reads exactly `size` bytes from `fd`, polling against the deadline.
+/// EOF mid-read is InvalidArgument (a torn frame), EOF before the first
+/// byte is NotFound.
+Status ReadFull(int fd, uint8_t* out, size_t size, int64_t deadline_ms) {
+  size_t got = 0;
+  while (got < size) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    int64_t budget = RemainingMs(deadline_ms);
+    int ready = ::poll(&pfd, 1,
+                       budget < 0 ? -1 : static_cast<int>(
+                                             budget > INT32_MAX ? INT32_MAX
+                                                                : budget));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll on child pipe failed: ") +
+                              std::strerror(errno));
+    }
+    if (ready == 0) {
+      return Status::ResourceExhausted(
+          "timed out waiting for a message from the child process");
+    }
+    ssize_t n = ::read(fd, out + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read from child pipe failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        return Status::NotFound(
+            "child process closed its message pipe (no message pending)");
+      }
+      return Status::InvalidArgument(
+          "child process closed its message pipe mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Subprocess> Subprocess::Fork(const ChildFn& fn) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::Internal(std::string("pipe() failed: ") +
+                            std::strerror(errno));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return Status::Internal(std::string("fork() failed: ") +
+                            std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: run the callback and leave without unwinding the parent's
+    // stack or running static destructors. A worker that dies on a signal
+    // (or is SIGKILLed by fault injection) simply never reaches _exit —
+    // the parent observes EOF on the pipe plus the wait status.
+    ::close(fds[0]);
+    // The default SIGPIPE action would kill a worker whose parent died
+    // first; turn the write failure into an error return instead.
+    ::signal(SIGPIPE, SIG_IGN);
+    int code = 1;
+    if (fn) code = fn(fds[1]);
+    ::close(fds[1]);
+    ::_exit(code & 0xff);
+  }
+  ::close(fds[1]);
+  Subprocess child;
+  child.pid_ = pid;
+  child.read_fd_ = fds[0];
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      read_fd_(std::exchange(other.read_fd_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = std::exchange(other.pid_, -1);
+    read_fd_ = std::exchange(other.read_fd_, -1);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0) {
+    ::kill(static_cast<pid_t>(pid_), SIGKILL);
+    int st = 0;
+    while (::waitpid(static_cast<pid_t>(pid_), &st, 0) < 0 && errno == EINTR) {
+    }
+    pid_ = -1;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+Result<ExitStatus> Subprocess::Wait(int64_t timeout_ms) {
+  if (pid_ <= 0) {
+    return Status::FailedPrecondition("child process already reaped");
+  }
+  int64_t deadline_ms = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  for (;;) {
+    int st = 0;
+    pid_t r = ::waitpid(static_cast<pid_t>(pid_), &st, WNOHANG);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("waitpid failed: ") +
+                              std::strerror(errno));
+    }
+    if (r > 0) {
+      pid_ = -1;
+      ExitStatus exit;
+      if (WIFEXITED(st)) {
+        exit.exited = true;
+        exit.exit_code = WEXITSTATUS(st);
+      } else if (WIFSIGNALED(st)) {
+        exit.signaled = true;
+        exit.term_signal = WTERMSIG(st);
+      }
+      return exit;
+    }
+    if (deadline_ms >= 0 && NowMs() >= deadline_ms) {
+      return Status::ResourceExhausted(
+          "timed out waiting for child process " + std::to_string(pid_) +
+          " to exit");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+Status Subprocess::Kill(int signum) {
+  if (pid_ <= 0) {
+    return Status::FailedPrecondition("child process already reaped");
+  }
+  if (::kill(static_cast<pid_t>(pid_), signum) != 0) {
+    return Status::Internal(std::string("kill failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> Subprocess::ReadMessage(int64_t timeout_ms) {
+  if (read_fd_ < 0) {
+    return Status::FailedPrecondition("message pipe is closed");
+  }
+  int64_t deadline_ms = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
+  uint8_t header[4];
+  MULTIEM_RETURN_IF_ERROR(ReadFull(read_fd_, header, 4, deadline_ms));
+  uint32_t size = static_cast<uint32_t>(header[0]) |
+                  (static_cast<uint32_t>(header[1]) << 8) |
+                  (static_cast<uint32_t>(header[2]) << 16) |
+                  (static_cast<uint32_t>(header[3]) << 24);
+  std::vector<uint8_t> payload(size);
+  if (size > 0) {
+    Status read = ReadFull(read_fd_, payload.data(), size, deadline_ms);
+    if (!read.ok()) {
+      // A frame that started but never finished is torn regardless of which
+      // low-level condition cut it short.
+      if (read.code() == StatusCode::kNotFound) {
+        return Status::InvalidArgument(
+            "child process closed its message pipe mid-frame");
+      }
+      return read;
+    }
+  }
+  return payload;
+}
+
+Status Subprocess::WriteMessage(int fd, const void* data, size_t size) {
+  if (size > UINT32_MAX) {
+    return Status::InvalidArgument("message exceeds the 4 GiB frame limit");
+  }
+  uint8_t header[4] = {static_cast<uint8_t>(size),
+                       static_cast<uint8_t>(size >> 8),
+                       static_cast<uint8_t>(size >> 16),
+                       static_cast<uint8_t>(size >> 24)};
+  auto write_full = [fd](const uint8_t* bytes, size_t n) -> Status {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::write(fd, bytes + done, n - done);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("write to message pipe failed: ") +
+                                std::strerror(errno));
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::Ok();
+  };
+  MULTIEM_RETURN_IF_ERROR(write_full(header, 4));
+  return write_full(static_cast<const uint8_t*>(data), size);
+}
+
+#else  // !MULTIEM_HAS_FORK
+
+Result<Subprocess> Subprocess::Fork(const ChildFn& fn) {
+  (void)fn;
+  return Status::Unimplemented("Subprocess requires a POSIX platform");
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      read_fd_(std::exchange(other.read_fd_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  pid_ = std::exchange(other.pid_, -1);
+  read_fd_ = std::exchange(other.read_fd_, -1);
+  return *this;
+}
+
+Subprocess::~Subprocess() = default;
+
+Result<ExitStatus> Subprocess::Wait(int64_t) {
+  return Status::Unimplemented("Subprocess requires a POSIX platform");
+}
+
+Status Subprocess::Kill(int) {
+  return Status::Unimplemented("Subprocess requires a POSIX platform");
+}
+
+Result<std::vector<uint8_t>> Subprocess::ReadMessage(int64_t) {
+  return Status::Unimplemented("Subprocess requires a POSIX platform");
+}
+
+Status Subprocess::WriteMessage(int, const void*, size_t) {
+  return Status::Unimplemented("Subprocess requires a POSIX platform");
+}
+
+#endif  // MULTIEM_HAS_FORK
+
+}  // namespace multiem::util

@@ -1,0 +1,106 @@
+/// \file subprocess.h
+/// Minimal fork-based child-process management for the multi-process build
+/// coordinator (src/distrib/coordinator.h): fork a worker that runs a C++
+/// callback in a copy-on-write clone of the parent's address space, stream
+/// length-framed messages back over a pipe, and reap the child with a
+/// timeout — no zombie is ever left behind, not even through the error
+/// paths (the destructor SIGKILLs and reaps an unreaped child).
+///
+/// Why fork without exec: a worker needs the parent's in-memory input
+/// tables. fork() shares them copy-on-write for free; an exec'd binary
+/// would have to re-parse them from disk. The price is the usual
+/// multithreaded-fork hazard: the child starts with only the forking
+/// thread, so any lock another parent thread holds at fork time (malloc's
+/// arena locks included) stays locked forever in the child. Callers must
+/// therefore fork while the process is effectively single-threaded — the
+/// coordinator forks every worker before creating any util::ThreadPool.
+///
+/// POSIX-only: on platforms without fork/pipe/waitpid every operation
+/// returns Status::Unimplemented.
+
+#ifndef MULTIEM_UTIL_SUBPROCESS_H_
+#define MULTIEM_UTIL_SUBPROCESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace multiem::util {
+
+/// Exit state of a reaped child process.
+struct ExitStatus {
+  /// Child called _exit / returned from its callback.
+  bool exited = false;
+  int exit_code = 0;
+  /// Child was terminated by a signal (SIGKILL after a timeout, a crash...).
+  bool signaled = false;
+  int term_signal = 0;
+
+  bool ok() const { return exited && exit_code == 0; }
+};
+
+/// One forked child process, move-only; owns the child's pid and the read
+/// end of its message pipe. All methods are for the parent side except the
+/// static WriteMessage, which the child calls on the fd its callback
+/// receives.
+class Subprocess {
+ public:
+  /// The child's body: receives the write end of the message pipe and
+  /// returns the process exit code. It runs in the forked child and must
+  /// not return control to the caller's stack — Fork _exit()s with the
+  /// returned code immediately (no atexit handlers, no static destructors,
+  /// so the parent's buffered I/O is never double-flushed).
+  using ChildFn = std::function<int(int message_fd)>;
+
+  /// Forks and runs `fn` in the child. Returns the parent-side handle.
+  /// See the file comment for the single-threaded-at-fork requirement.
+  static Result<Subprocess> Fork(const ChildFn& fn);
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// SIGKILLs and reaps the child if it has not been reaped yet.
+  ~Subprocess();
+
+  /// True until Wait() has successfully reaped the child.
+  bool running() const { return pid_ > 0; }
+
+  /// The child's pid (diagnostics); -1 after a successful Wait or a move.
+  int64_t pid() const { return pid_; }
+
+  /// Waits up to `timeout_ms` for the child to exit and reaps it. Returns
+  /// ResourceExhausted when the deadline passes with the child still alive
+  /// (the child keeps running; Kill + Wait again to dispose of it), or the
+  /// child's ExitStatus. timeout_ms < 0 waits forever.
+  Result<ExitStatus> Wait(int64_t timeout_ms);
+
+  /// Sends `signum` to the child (e.g. SIGKILL on a timeout). The child
+  /// must still be unreaped.
+  Status Kill(int signum);
+
+  /// Reads one length-framed message from the child, waiting up to
+  /// `timeout_ms` (< 0 = forever) for it to arrive completely. Returns
+  /// NotFound once the child has closed its end with no message pending
+  /// (EOF — how a crashed worker is detected), ResourceExhausted on
+  /// timeout.
+  Result<std::vector<uint8_t>> ReadMessage(int64_t timeout_ms);
+
+  /// Child-side: writes one message (u32-LE byte length + payload) to
+  /// `fd`, handling partial writes. Safe for messages up to 4 GiB.
+  static Status WriteMessage(int fd, const void* data, size_t size);
+
+ private:
+  Subprocess() = default;
+
+  int64_t pid_ = -1;
+  int read_fd_ = -1;
+};
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_SUBPROCESS_H_

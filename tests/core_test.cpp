@@ -528,7 +528,7 @@ TEST(HierarchicalMergerTest, TrivialInputs) {
   EntityEmbeddingStore store = ManySourceStore(1, 3, 8);
   MultiEmConfig config;
   HierarchicalMerger merger(config, &store);
-  EXPECT_EQ(merger.Run({}).num_items(), 0u);
+  EXPECT_EQ(merger.Run(std::vector<MergeTable>{}).num_items(), 0u);
   std::vector<MergeTable> one;
   one.push_back(MergeTable::FromSource(0, store.source(0)));
   EXPECT_EQ(merger.Run(std::move(one)).num_items(), 3u);

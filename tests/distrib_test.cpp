@@ -1,0 +1,391 @@
+// Multi-process build & serve tests: an N-process coordinator build must be
+// bitwise-identical to the single-process pipeline (tuples, merge stats,
+// saved artifact bytes); MergeSource handles must be interchangeable
+// (resident == spill == artifact dir); fault injection (SIGKILL, hang) must
+// degrade to a clean Status or recover through a retry, never a zombie or a
+// hang; and shard-routed MatchRecords must equal the union-index answers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact.h"
+#include "core/merge_plan.h"
+#include "core/merge_source.h"
+#include "core/pipeline.h"
+#include "datagen/scale.h"
+#include "distrib/coordinator.h"
+#include "distrib/shard_worker.h"
+#include "distrib/sharded_matcher.h"
+#include "util/subprocess.h"
+
+namespace multiem {
+namespace {
+
+using core::Matcher;
+using core::MergePlan;
+using core::MergeSource;
+using core::MergeTable;
+using core::MultiEmConfig;
+using core::MultiEmPipeline;
+using core::PipelineBuilder;
+using core::PipelineResult;
+using core::RunContext;
+using distrib::Coordinator;
+using distrib::CoordinatorOptions;
+using distrib::PartitionPlan;
+using distrib::ShardAssignment;
+using distrib::ShardedMatcher;
+
+std::string TempPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "multiem_distrib_" + name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+MultiEmConfig PipelineConfig() {
+  MultiEmConfig config;
+  config.sample_ratio = 0.25;
+  config.m = 0.5f;
+  config.use_exact_knn = true;  // deterministic across process/thread counts
+  config.seed = 5;
+  return config;
+}
+
+std::vector<table::Table> CorpusTables(size_t sources, size_t rows) {
+  datagen::ScaleCorpusConfig config;
+  config.seed = 17;
+  config.num_sources = sources;
+  config.rows_per_source = rows;
+  config.overlap = 0.4;
+  datagen::ScaleCorpusGenerator gen(config);
+  std::vector<table::Table> tables;
+  for (size_t s = 0; s < gen.num_sources(); ++s) {
+    tables.push_back(gen.MaterializeSource(s));
+  }
+  return tables;
+}
+
+PipelineResult RunSingleProcess(const std::vector<table::Table>& tables,
+                                bool build_matcher = false) {
+  auto pipeline = PipelineBuilder(PipelineConfig()).Build();
+  pipeline.status().CheckOk();
+  RunContext ctx;
+  ctx.build_matcher = build_matcher;
+  PipelineResult result;
+  pipeline->Run(tables, ctx, &result).CheckOk();
+  return result;
+}
+
+void ExpectTablesBitwise(const MergeTable& a, const MergeTable& b) {
+  ASSERT_EQ(a.num_items(), b.num_items());
+  ASSERT_EQ(a.dim(), b.dim());
+  for (size_t i = 0; i < a.num_items(); ++i) {
+    EXPECT_EQ(a.item(i).members, b.item(i).members) << "item " << i;
+    std::span<const float> ra = a.Row(i);
+    std::span<const float> rb = b.Row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_EQ(0, std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(float)))
+        << "item " << i;
+  }
+}
+
+std::vector<uint8_t> FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+// ----------------------------------------------------------- Subprocess --
+
+TEST(SubprocessTest, MessageRoundTripAndCleanExit) {
+  auto child = util::Subprocess::Fork([](int fd) -> int {
+    const char payload[] = "shard done";
+    util::Subprocess::WriteMessage(fd, payload, sizeof(payload) - 1)
+        .CheckOk();
+    return 0;
+  });
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  auto message = child->ReadMessage(5000);
+  ASSERT_TRUE(message.ok()) << message.status().ToString();
+  EXPECT_EQ("shard done", std::string(message->begin(), message->end()));
+  auto exit = child->Wait(5000);
+  ASSERT_TRUE(exit.ok()) << exit.status().ToString();
+  EXPECT_TRUE(exit->exited);
+  EXPECT_EQ(0, exit->exit_code);
+  EXPECT_FALSE(child->running());
+}
+
+TEST(SubprocessTest, WaitTimesOutThenKillReaps) {
+  auto child = util::Subprocess::Fork([](int) -> int {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  });
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  auto timed_out = child->Wait(100);
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(util::StatusCode::kResourceExhausted, timed_out.status().code());
+  EXPECT_TRUE(child->running());
+  child->Kill(9).CheckOk();
+  auto exit = child->Wait(-1);
+  ASSERT_TRUE(exit.ok()) << exit.status().ToString();
+  EXPECT_TRUE(exit->signaled);
+  EXPECT_EQ(9, exit->term_signal);
+}
+
+TEST(SubprocessTest, CrashedChildYieldsEofAndSignalStatus) {
+  auto child = util::Subprocess::Fork([](int) -> int {
+    std::abort();  // no message, abnormal termination
+  });
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  auto message = child->ReadMessage(5000);
+  ASSERT_FALSE(message.ok());
+  EXPECT_EQ(util::StatusCode::kNotFound, message.status().code());
+  auto exit = child->Wait(5000);
+  ASSERT_TRUE(exit.ok()) << exit.status().ToString();
+  EXPECT_FALSE(exit->ok());
+}
+
+// ------------------------------------------------------ plan partitioning --
+
+TEST(PartitionPlanTest, CoversAllSourcesExactlyOnce) {
+  for (size_t sources : {2u, 3u, 5u, 8u, 13u}) {
+    MergePlan plan = MergePlan::Build(sources, /*seed=*/5);
+    for (size_t workers : {1u, 2u, 3u, 4u, 16u}) {
+      std::vector<ShardAssignment> assignments =
+          PartitionPlan(plan, workers);
+      ASSERT_GE(assignments.size(), 1u);
+      EXPECT_LE(assignments.size(), std::min<size_t>(workers, sources));
+      std::vector<size_t> seen;
+      for (const ShardAssignment& a : assignments) {
+        EXPECT_FALSE(a.roots.empty());
+        seen.insert(seen.end(), a.sources.begin(), a.sources.end());
+      }
+      std::sort(seen.begin(), seen.end());
+      std::vector<size_t> expected(sources);
+      std::iota(expected.begin(), expected.end(), 0);
+      EXPECT_EQ(expected, seen)
+          << sources << " sources, " << workers << " workers";
+    }
+  }
+}
+
+// ------------------------------------------------- MergeSource equivalence --
+
+// The three handle kinds — resident table, MEMMERGT spill file, and full
+// pipeline artifact directory — must materialize bitwise-identical tables.
+TEST(MergeSourceTest, ResidentSpillAndArtifactDirAgree) {
+  auto tables = CorpusTables(4, 50);
+  PipelineResult run = RunSingleProcess(tables, /*build_matcher=*/true);
+  ASSERT_NE(nullptr, run.matcher);
+
+  const std::string artifact_dir = TempPath("handle_artifact");
+  run.matcher->Save(artifact_dir).CheckOk();
+
+  // Ground truth: the serving epoch's entity table.
+  auto from_dir = MergeSource::FromArtifactDir(artifact_dir);
+  auto loaded = from_dir.Materialize();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Matcher::Snapshot snapshot = run.matcher->snapshot();
+  ASSERT_EQ(snapshot.num_items(), loaded->num_items());
+  for (size_t i = 0; i < loaded->num_items(); ++i) {
+    EXPECT_EQ(snapshot.item_members(i), loaded->item(i).members);
+  }
+
+  // Resident vs spill round trip of that same table.
+  const std::string spill = TempPath("handle_spill") + ".mem";
+  loaded->Save(spill).CheckOk();
+  auto resident = MergeSource::FromTable(MergeTable(*loaded));
+  auto from_spill = MergeSource::FromSpill(spill);
+  auto resident_table = resident.Materialize();
+  auto spill_table = from_spill.Materialize();
+  ASSERT_TRUE(resident_table.ok());
+  ASSERT_TRUE(spill_table.ok());
+  ExpectTablesBitwise(*resident_table, *spill_table);
+  ExpectTablesBitwise(*resident_table, *loaded);
+
+  // Mapped artifact-dir opens serve the same bytes.
+  util::ArtifactOpenOptions mapped;
+  mapped.mapping = util::ArtifactOpenOptions::Mapping::kPrefer;
+  auto mapped_table =
+      MergeSource::FromArtifactDir(artifact_dir, mapped).Materialize();
+  ASSERT_TRUE(mapped_table.ok()) << mapped_table.status().ToString();
+  ExpectTablesBitwise(*loaded, *mapped_table);
+}
+
+// --------------------------------------------------- distributed building --
+
+// N-process builds must reproduce the single-process pipeline bit for bit:
+// same tuples, same per-level merge stats, same attribute selection.
+TEST(DistribBuildTest, MatchesSingleProcessBitwiseForOneTwoFourWorkers) {
+  auto tables = CorpusTables(6, 60);
+  PipelineResult single = RunSingleProcess(tables);
+
+  for (size_t workers : {1u, 2u, 4u}) {
+    CoordinatorOptions options;
+    options.num_workers = workers;
+    options.work_dir =
+        TempPath("build_w" + std::to_string(workers));
+    Coordinator coordinator(PipelineConfig(), options);
+    auto distributed = coordinator.Build(tables);
+    ASSERT_TRUE(distributed.ok())
+        << workers << " workers: " << distributed.status().ToString();
+
+    EXPECT_EQ(single.tuples, distributed->tuples) << workers << " workers";
+    EXPECT_EQ(single.selection.selected_columns,
+              distributed->selection.selected_columns);
+    EXPECT_EQ(single.merge_stats.total_mutual_pairs,
+              distributed->merge_stats.total_mutual_pairs);
+    ASSERT_EQ(single.merge_stats.levels.size(),
+              distributed->merge_stats.levels.size());
+    for (size_t l = 0; l < single.merge_stats.levels.size(); ++l) {
+      EXPECT_EQ(single.merge_stats.levels[l].tables_in,
+                distributed->merge_stats.levels[l].tables_in);
+      EXPECT_EQ(single.merge_stats.levels[l].pairs_merged,
+                distributed->merge_stats.levels[l].pairs_merged);
+      EXPECT_EQ(single.merge_stats.levels[l].mutual_pairs,
+                distributed->merge_stats.levels[l].mutual_pairs);
+    }
+    EXPECT_EQ(std::min<size_t>(workers, tables.size()),
+              distributed->distrib.workers);
+  }
+}
+
+// The saved serving artifact of a 2-process build must be byte-identical to
+// the single-process one — the strongest equivalence the subsystem claims
+// (and what CI gates with cmp at scale).
+TEST(DistribBuildTest, SavedArtifactBytesMatchSingleProcess) {
+  auto tables = CorpusTables(4, 50);
+  PipelineResult single = RunSingleProcess(tables, /*build_matcher=*/true);
+  const std::string single_dir = TempPath("artifact_single");
+  single.matcher->Save(single_dir).CheckOk();
+
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = TempPath("artifact_workers");
+  options.build_matcher = true;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto distributed = coordinator.Build(tables);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  ASSERT_NE(nullptr, distributed->matcher);
+  const std::string distrib_dir = TempPath("artifact_distrib");
+  distributed->matcher->Save(distrib_dir).CheckOk();
+
+  for (const char* file : {core::PipelineArtifact::kManifestFile,
+                           core::PipelineArtifact::kEncoderFile,
+                           core::PipelineArtifact::kIndexFile}) {
+    EXPECT_EQ(FileBytes(single_dir + "/" + file),
+              FileBytes(distrib_dir + "/" + file))
+        << file;
+  }
+}
+
+// SIGKILLing a worker mid-build must surface as a retry that recovers and
+// still produces the single-process answer.
+TEST(DistribBuildTest, KilledWorkerIsRetriedAndRecovered) {
+  auto tables = CorpusTables(4, 40);
+  PipelineResult single = RunSingleProcess(tables);
+
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = TempPath("kill_recover");
+  options.kill_worker = 0;
+  options.max_retries = 1;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto distributed = coordinator.Build(tables);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  EXPECT_GE(distributed->distrib.retries, 1u);
+  EXPECT_EQ(single.tuples, distributed->tuples);
+}
+
+// A hung worker must be reaped at the deadline and retried; no zombie, no
+// indefinite hang.
+TEST(DistribBuildTest, HungWorkerIsReapedAtTimeoutAndRetried) {
+  auto tables = CorpusTables(4, 40);
+  PipelineResult single = RunSingleProcess(tables);
+
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = TempPath("hang_recover");
+  options.hang_worker = 1;
+  options.worker_timeout_ms = 1500;
+  options.max_retries = 1;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto distributed = coordinator.Build(tables);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  EXPECT_GE(distributed->distrib.retries, 1u);
+  EXPECT_EQ(single.tuples, distributed->tuples);
+}
+
+// With retries exhausted the build must fail with a clean Status (and the
+// destructor sweep must leave no child behind — the test completing at all
+// is the hang check).
+TEST(DistribBuildTest, ExhaustedRetriesFailWithCleanStatus) {
+  auto tables = CorpusTables(4, 40);
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = TempPath("kill_fail");
+  options.kill_worker = 1;
+  options.max_retries = 0;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto distributed = coordinator.Build(tables);
+  ASSERT_FALSE(distributed.ok());
+  EXPECT_NE(std::string::npos,
+            distributed.status().message().find("attempt"))
+      << distributed.status().ToString();
+}
+
+// ------------------------------------------------------- sharded serving --
+
+// Under an exact index, scatter-gather answers across shards must equal the
+// union (single-index) answers hit for hit.
+TEST(ShardedMatcherTest, ShardRoutedAnswersEqualUnionIndex) {
+  auto tables = CorpusTables(5, 50);
+  PipelineResult run = RunSingleProcess(tables, /*build_matcher=*/true);
+  ASSERT_NE(nullptr, run.matcher);
+
+  const table::Table& queries = tables[2];
+  const size_t k = 3;
+  auto union_hits = run.matcher->MatchRecords(queries, k);
+  ASSERT_TRUE(union_hits.ok()) << union_hits.status().ToString();
+
+  for (size_t shards : {1u, 2u, 4u}) {
+    auto sharded = ShardedMatcher::Build(*run.matcher, shards);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+    EXPECT_EQ(std::min<size_t>(shards, sharded->num_items()),
+              sharded->num_shards());
+    EXPECT_EQ(run.matcher->snapshot().num_live_items(),
+              sharded->num_items());
+    auto routed = sharded->MatchRecords(queries, k);
+    ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+    ASSERT_EQ(union_hits->size(), routed->size());
+    for (size_t row = 0; row < union_hits->size(); ++row) {
+      EXPECT_EQ((*union_hits)[row], (*routed)[row])
+          << shards << " shards, row " << row;
+    }
+  }
+}
+
+TEST(ShardedMatcherTest, RejectsWrongSchema) {
+  auto tables = CorpusTables(3, 30);
+  PipelineResult run = RunSingleProcess(tables, /*build_matcher=*/true);
+  auto sharded = ShardedMatcher::Build(*run.matcher, 2);
+  ASSERT_TRUE(sharded.ok());
+
+  table::Table wrong("wrong", table::Schema({"only_one"}));
+  auto hits = sharded->MatchRecords(wrong, 1);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(util::StatusCode::kInvalidArgument, hits.status().code());
+}
+
+}  // namespace
+}  // namespace multiem
