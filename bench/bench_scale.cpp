@@ -35,6 +35,10 @@
 ///        --reload_repeat=3   best-of-N for both reload timings
 ///        --measure_speedup=1 also run serially for the merge speedup
 ///        --rss_budget_mb=0   fail (exit 1) if peak RSS exceeds this; 0 = off
+///        --checkpoint_budget=-1  rerun the pipeline with a checkpoint
+///            journal and record the overhead ratio; fail (exit 1) when the
+///            overhead exceeds this fraction (e.g. 0.05 = 5%). 0 = record
+///            only, negative = skip the rerun entirely
 ///        --json=PATH         output JSON path ("-" disables)
 
 #include <algorithm>
@@ -101,12 +105,14 @@ struct RunOutcome {
 
 RunOutcome RunPipeline(const core::MultiEmConfig& config,
                        const std::vector<table::Table>& sources,
-                       const std::string& spill_dir, bool build_matcher) {
+                       const std::string& spill_dir, bool build_matcher,
+                       const std::string& checkpoint_dir = {}) {
   auto pipeline = core::PipelineBuilder(config).Build();
   pipeline.status().CheckOk();
   core::RunContext ctx;
   ctx.merge_spill_dir = spill_dir;
   ctx.build_matcher = build_matcher;
+  ctx.checkpoint_dir = checkpoint_dir;
   core::PipelineResult result;
   util::WallTimer timer;
   pipeline->Run(sources, ctx, &result).CheckOk();
@@ -203,6 +209,8 @@ int Main(int argc, char** argv) {
       static_cast<int>(flags.GetDouble("reload_repeat", 3));
   const bool measure_speedup = flags.GetBool("measure_speedup", true);
   const double rss_budget_mb = flags.GetDouble("rss_budget_mb", 0.0);
+  const double checkpoint_budget =
+      flags.GetDouble("checkpoint_budget", -1.0);
   const std::string json_path = flags.Get("json", "BENCH_scale.json");
   const size_t hardware = std::thread::hardware_concurrency();
 
@@ -240,6 +248,27 @@ int Main(int argc, char** argv) {
               "%zu items\n",
               threads, parallel.pipeline_seconds, parallel.merge_seconds,
               parallel.num_tuples, parallel.num_items);
+
+  // ---- checkpointed rerun: same config and spill mode, plus the crash-safe
+  // journal (RunContext::checkpoint_dir). The delta against the plain run is
+  // the full cost of crash safety — journal appends are one fsync per merge
+  // node and pipeline phase, so it must stay in the noise.
+  double checkpointed_seconds = 0.0;
+  double checkpoint_overhead = 0.0;
+  if (checkpoint_budget >= 0.0) {
+    const std::string ckpt_dir = (work_dir / "ckpt").string();
+    RunOutcome checkpointed = RunPipeline(ScaleConfig(dim, threads), sources,
+                                          spill_dir, true, ckpt_dir);
+    checkpointed_seconds = checkpointed.pipeline_seconds;
+    checkpoint_overhead =
+        parallel.pipeline_seconds > 0.0
+            ? checkpointed_seconds / parallel.pipeline_seconds - 1.0
+            : 0.0;
+    std::printf("# checkpointed rerun: %.2fs vs %.2fs plain (overhead "
+                "%+.1f%%)\n",
+                checkpointed_seconds, parallel.pipeline_seconds,
+                checkpoint_overhead * 100.0);
+  }
 
   // ---- serial reference for the merge speedup (fig5's method, both runs
   // spilled so only the thread count differs).
@@ -360,10 +389,17 @@ int Main(int argc, char** argv) {
                  "  \"warm_pages\": {\"lazy_open_seconds\": %.6f, "
                  "\"lazy_first_query_ms\": %.4f, "
                  "\"warm_open_seconds\": %.6f, "
-                 "\"warm_first_query_ms\": %.4f}\n"
-                 "}\n",
+                 "\"warm_first_query_ms\": %.4f},\n",
                  lazy.open_seconds, lazy.first_query_ms, warm.open_seconds,
                  warm.first_query_ms);
+    std::fprintf(f,
+                 "  \"checkpoint\": {\"baseline_seconds\": %.4f, "
+                 "\"checkpointed_seconds\": %.4f, \"overhead_ratio\": %.4f, "
+                 "\"budget_ratio\": %.4f, \"measured\": %s}\n"
+                 "}\n",
+                 parallel.pipeline_seconds, checkpointed_seconds,
+                 checkpoint_overhead, checkpoint_budget,
+                 checkpoint_budget >= 0.0 ? "true" : "false");
     std::fclose(f);
     std::printf("# wrote %s\n", json_path.c_str());
   }
@@ -376,6 +412,12 @@ int Main(int argc, char** argv) {
   if (rss_budget_mb > 0.0 && peak_rss_mb > rss_budget_mb) {
     std::fprintf(stderr, "FAIL: peak RSS %.1f MB exceeds budget %.1f MB\n",
                  peak_rss_mb, rss_budget_mb);
+    return 1;
+  }
+  if (checkpoint_budget > 0.0 && checkpoint_overhead > checkpoint_budget) {
+    std::fprintf(stderr,
+                 "FAIL: checkpoint overhead %.1f%% exceeds budget %.1f%%\n",
+                 checkpoint_overhead * 100.0, checkpoint_budget * 100.0);
     return 1;
   }
   return 0;

@@ -7,6 +7,9 @@
 #include <system_error>
 #include <utility>
 
+#include "core/checkpoint.h"
+#include "util/fault.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace multiem::core {
@@ -99,6 +102,7 @@ std::vector<MergeLevelStats> AggregateLevelStats(
     MergeLevelStats& level = levels[node.level];
     ++level.pairs_merged;
     level.mutual_pairs += n.mutual_pairs;
+    level.total_attempts += n.attempts;
   }
   return levels;
 }
@@ -169,10 +173,25 @@ util::Status ExecuteNode(const MergePlan& plan, size_t id,
       spill_index = state.next_spill++;
     }
     const std::string out = SpillOutputPath(options, id, spill_index);
+    MULTIEM_FAULT_POINT("merge.node.spill");
     MULTIEM_RETURN_IF_ERROR(merged.Save(out));
     spill_bytes = FileBytes(out);
     merged = MergeTable();  // release before anything else loads
     slots[id] = MergeSource::FromSpill(out, options.reopen, options.cleanup);
+    if (options.checkpoint != nullptr) {
+      // Journal the node only once its output is durable; a crash between
+      // Save and Append recomputes the node from its (still present)
+      // inputs, overwriting the same per-node file.
+      CheckpointLog::NodeEntry entry;
+      entry.stats = node_stats;
+      entry.spill_path = out;
+      entry.file_bytes = spill_bytes;
+      auto checksum = CheckpointLog::HashFile(out);
+      if (!checksum.ok()) return checksum.status();
+      entry.file_checksum = *checksum;
+      MULTIEM_FAULT_POINT("merge.node.commit");
+      MULTIEM_RETURN_IF_ERROR(options.checkpoint->RecordNode(entry));
+    }
   } else {
     slots[id] = MergeSource::FromTable(std::move(merged));
   }
@@ -190,6 +209,91 @@ util::Status ExecuteNode(const MergePlan& plan, size_t id,
       ++state.stats->spill_files_written;
       state.stats->spill_bytes_written += spill_bytes;
     }
+  }
+  return util::Status::Ok();
+}
+
+/// Drops everything beneath a restored node: handles still occupying slots
+/// (spilled leaves, previously restored descendants) lose their backing
+/// files, and journaled descendant spills that were never re-installed are
+/// removed by path. Their bytes are already folded into the restored
+/// ancestor's table.
+void DiscardCoveredSubtree(const MergePlan& plan, size_t id,
+                           std::vector<MergeSource>& slots,
+                           const MergeExecOptions& options, ExecState& state) {
+  std::vector<size_t> stack = {id};
+  while (!stack.empty()) {
+    const size_t n = stack.back();
+    stack.pop_back();
+    if (!slots[n].empty()) {
+      if (options.cleanup) slots[n].RemoveBackingFile();
+      slots[n] = MergeSource();
+    } else if (options.checkpoint != nullptr) {
+      if (const CheckpointLog::NodeEntry* entry =
+              options.checkpoint->LookupNode(n)) {
+        if (options.cleanup) {
+          std::error_code ec;
+          std::filesystem::remove(entry->spill_path, ec);
+        }
+      }
+    }
+    const MergePlanNode& node = plan.node(n);
+    if (!node.is_leaf()) {
+      // The covered pair's counters still happened (in the attempt that
+      // journaled them) — inject them so resumed level stats match an
+      // uninterrupted run's.
+      if (options.checkpoint != nullptr && state.stats != nullptr) {
+        if (const CheckpointLog::NodeEntry* entry =
+                options.checkpoint->LookupNode(n)) {
+          std::lock_guard<std::mutex> lock(state.mu);
+          state.stats->nodes.push_back(entry->stats);
+        }
+      }
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+}
+
+/// Resume pre-pass: walking top-down from `target`, installs every journaled
+/// node whose spill artifact still validates (size + checksum) and skips its
+/// whole subtree; an invalid or missing entry recurses into the children so
+/// the deepest surviving progress is still reused. Restored nodes inject
+/// their journaled counters so level stats match an uninterrupted run.
+void RestoreJournaledSubtree(const MergePlan& plan, size_t target,
+                             std::vector<MergeSource>& slots,
+                             const MergeExecOptions& options,
+                             ExecState& state) {
+  const MergePlanNode& node = plan.node(target);
+  if (node.is_leaf() || !slots[target].empty()) return;
+  if (const CheckpointLog::NodeEntry* entry =
+          options.checkpoint->LookupNode(target)) {
+    if (CheckpointLog::ValidateSpill(*entry)) {
+      slots[target] =
+          MergeSource::FromSpill(entry->spill_path, options.reopen,
+                                 options.cleanup);
+      if (state.stats != nullptr) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.stats->nodes.push_back(entry->stats);
+      }
+      DiscardCoveredSubtree(plan, node.left, slots, options, state);
+      DiscardCoveredSubtree(plan, node.right, slots, options, state);
+      return;
+    }
+    MULTIEM_LOG(kWarning) << "checkpointed merge node " << target
+                          << ": spill '" << entry->spill_path
+                          << "' is missing or corrupt; recomputing";
+  }
+  RestoreJournaledSubtree(plan, node.left, slots, options, state);
+  RestoreJournaledSubtree(plan, node.right, slots, options, state);
+}
+
+util::Status ValidateCheckpointOptions(const MergeExecOptions& options) {
+  if (options.checkpoint == nullptr) return util::Status::Ok();
+  if (!options.spill_outputs || !options.name_by_node) {
+    return util::Status::InvalidArgument(
+        "checkpointed merge execution requires spill_outputs with "
+        "name_by_node (stable per-node spill files)");
   }
   return util::Status::Ok();
 }
@@ -217,6 +321,7 @@ util::Result<MergeTable> ExecuteMergePlan(
         "merge plan expects " + std::to_string(plan.num_leaves()) +
         " sources, got " + std::to_string(sources.size()));
   }
+  MULTIEM_RETURN_IF_ERROR(ValidateCheckpointOptions(options));
   MULTIEM_RETURN_IF_ERROR(EnsureSpillDir(options));
 
   // Slot i holds node i's handle; preallocated so parallel pairs write
@@ -231,6 +336,10 @@ util::Result<MergeTable> ExecuteMergePlan(
   ExecState state;
   state.stats = stats;
   state.next_spill = options.first_spill_index;
+
+  if (options.checkpoint != nullptr && plan.root() != MergePlanNode::kNone) {
+    RestoreJournaledSubtree(plan, plan.root(), slots, options, state);
+  }
 
   std::vector<size_t> live = plan.LiveNodesAtLevel(0);
   for (size_t l = 0; l < plan.levels().size(); ++l) {
@@ -259,6 +368,13 @@ util::Result<MergeTable> ExecuteMergePlan(
       level_group.Wait();
     } else {
       for (size_t id : pair_nodes) {
+        if (options.checkpoint != nullptr) {
+          // Restored by the pre-pass, or covered by a restored ancestor
+          // (consumed inputs) — either way this node's work already counts.
+          if (!slots[id].empty()) continue;
+          const MergePlanNode& pair = plan.node(id);
+          if (slots[pair.left].empty() || slots[pair.right].empty()) continue;
+        }
         level_status = ExecuteNode(plan, id, slots, merger, options, pool,
                                    state);
         if (!level_status.ok()) break;
@@ -286,7 +402,10 @@ util::Result<MergeTable> ExecuteMergePlan(
   MergeSource& result = slots[live.front()];
   auto table = result.Acquire();
   if (!table.ok()) return table.status();
-  result.RemoveBackingFile();
+  // Under checkpointing the root's spill is the resume point for everything
+  // after the merge phase (pruning, matcher assembly, artifact save) — keep
+  // it; the journal entry stays valid across restarts.
+  if (options.checkpoint == nullptr) result.RemoveBackingFile();
   return table;
 }
 
@@ -300,7 +419,16 @@ util::Status ExecuteMergeSubtree(const MergePlan& plan, size_t target,
     return util::Status::InvalidArgument(
         "merge subtree target/slots do not match the plan");
   }
+  MULTIEM_RETURN_IF_ERROR(ValidateCheckpointOptions(options));
   MULTIEM_RETURN_IF_ERROR(EnsureSpillDir(options));
+
+  ExecState state;
+  state.stats = stats;
+  state.next_spill = options.first_spill_index;
+  if (options.checkpoint != nullptr) {
+    // Restored slots act as pre-filled leaves for the missing-node walk.
+    RestoreJournaledSubtree(plan, target, slots, options, state);
+  }
 
   // Nodes still missing under `target`, stopping at pre-filled slots.
   std::vector<size_t> missing;
@@ -322,9 +450,6 @@ util::Status ExecuteMergeSubtree(const MergePlan& plan, size_t target,
   // a valid — and deterministic — execution order.
   std::sort(missing.begin(), missing.end());
 
-  ExecState state;
-  state.stats = stats;
-  state.next_spill = options.first_spill_index;
   for (size_t id : missing) {
     if (ctx.cancelled()) return util::Status::Cancelled("merge cancelled");
     MULTIEM_RETURN_IF_ERROR(

@@ -39,11 +39,16 @@
 
 namespace multiem::core {
 
+class CheckpointLog;  // core/checkpoint.h
+
 /// Per-hierarchy-level counters (reported by both mergers).
 struct MergeLevelStats {
   size_t tables_in = 0;
   size_t pairs_merged = 0;      ///< table pairs processed at this level
   size_t mutual_pairs = 0;      ///< sum of |P_m| across the level's merges
+  /// Sum of MergeNodeStats::attempts at this level; equals pairs_merged for
+  /// a first-try run, and exceeds it when distributed workers were retried.
+  size_t total_attempts = 0;
 };
 
 /// One node of a merge plan: a leaf (input table) or the pairwise merge of
@@ -103,6 +108,9 @@ struct MergeNodeStats {
   size_t mutual_pairs = 0;
   size_t merged_items = 0;
   size_t carried_items = 0;
+  /// Execution attempts this node's result cost (util::Retry attempt counts
+  /// for distributed workers; 1 for a first-try in-process execution).
+  size_t attempts = 1;
 };
 
 /// Counters of one executor run. `nodes` holds every pair node this call
@@ -149,6 +157,17 @@ struct MergeExecOptions {
   /// only). Each pair's inner index builds and ANN searches fan out on the
   /// same pool regardless — see TwoTableMerger::Merge.
   bool parallel_pairs = false;
+
+  /// When set (non-owning), the executor becomes crash-resumable: every
+  /// executed node is journaled (spill path + size + FNV-1a + counters,
+  /// fsynced) right after its output lands, and before executing anything a
+  /// restore pre-pass walks the plan from `target`/root downward installing
+  /// every journaled node whose spill still validates — covered subtrees
+  /// are skipped entirely, and invalid entries silently recompute. Requires
+  /// spill_outputs with name_by_node (stable per-node file names across
+  /// attempts); the root's spill file is kept, not cleaned, so a crash
+  /// after merging resumes without re-merging. See core/checkpoint.h.
+  CheckpointLog* checkpoint = nullptr;
 };
 
 /// Runs the whole plan over the leaf handles `sources` (slot i = leaf i;

@@ -6,10 +6,13 @@
 #include <utility>
 
 #include "core/artifact.h"
+#include "core/checkpoint.h"
 #include "core/merge_source.h"
 #include "core/registry.h"
 #include "core/sharded_merger.h"
 #include "embed/serialize.h"
+#include "util/fault.h"
+#include "util/io.h"
 #include "util/logging.h"
 
 namespace multiem::core {
@@ -106,6 +109,40 @@ util::Status ResolveComponents(
   return util::Status::Ok();
 }
 
+/// Checkpoint payload of the selection phase — the one phase whose output
+/// is cheap to journal whole, so resume restores it instead of re-running
+/// Algorithm 1 over the sampled corpus.
+std::string EncodeSelection(const AttributeSelection& selection) {
+  util::ByteWriter writer;
+  std::vector<uint64_t> columns(selection.selected_columns.begin(),
+                                selection.selected_columns.end());
+  writer.WriteU64Array(columns);
+  writer.WriteF64Array(selection.shuffle_similarity);
+  writer.WriteU64(selection.selected_names.size());
+  for (const std::string& name : selection.selected_names) {
+    writer.WriteString(name);
+  }
+  return std::string(reinterpret_cast<const char*>(writer.bytes().data()),
+                     writer.size());
+}
+
+util::Status DecodeSelection(const std::string& payload,
+                             AttributeSelection* out) {
+  util::ByteReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(payload.data()), payload.size()));
+  std::vector<uint64_t> columns;
+  MULTIEM_RETURN_IF_ERROR(reader.ReadU64Array(&columns));
+  out->selected_columns.assign(columns.begin(), columns.end());
+  MULTIEM_RETURN_IF_ERROR(reader.ReadF64Array(&out->shuffle_similarity));
+  uint64_t names = 0;
+  MULTIEM_RETURN_IF_ERROR(reader.ReadU64(&names));
+  out->selected_names.resize(static_cast<size_t>(names));
+  for (std::string& name : out->selected_names) {
+    MULTIEM_RETURN_IF_ERROR(reader.ReadString(&name));
+  }
+  return reader.ExpectExhausted();
+}
+
 }  // namespace
 
 util::Result<PipelineResult> MultiEmPipeline::Run(
@@ -125,6 +162,29 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
   *result = PipelineResult{};
   MULTIEM_RETURN_IF_ERROR(config_.ValidateValues());
   MULTIEM_RETURN_IF_ERROR(ValidateTables(tables));
+  if (!ctx.arm_faults.empty()) {
+    MULTIEM_RETURN_IF_ERROR(
+        util::FaultInjector::Global().ArmFromString(ctx.arm_faults));
+  }
+
+  // Crash-safe progress log (see core/checkpoint.h): replay what earlier
+  // attempts of this exact (config, inputs) run durably finished.
+  std::unique_ptr<CheckpointLog> checkpoint;
+  if (!ctx.checkpoint_dir.empty()) {
+    auto opened = CheckpointLog::Open(ctx.checkpoint_dir,
+                                      ComputeRunFingerprint(config_, tables));
+    if (!opened.ok()) return opened.status();
+    checkpoint = std::move(*opened);
+  }
+  AttributeSelection restored_selection;
+  bool have_restored_selection = false;
+  if (checkpoint != nullptr) {
+    if (const std::string* payload =
+            checkpoint->PhasePayload(kPhaseSelection)) {
+      have_restored_selection =
+          DecodeSelection(*payload, &restored_selection).ok();
+    }
+  }
 
   // Assemble the components: builder-injected instances win; otherwise
   // resolve from the registries by config name. Either way this run gets a
@@ -146,8 +206,10 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
   }
 
   // Encoder setup: fit corpus-dependent state (SIF frequencies for the
-  // hashing encoder) on the full-schema corpus.
-  {
+  // hashing encoder) on the full-schema corpus. A restored selection skips
+  // this fit entirely — its only consumer is the attribute selector (phase
+  // R refits on the selected columns regardless).
+  if (!have_restored_selection) {
     std::vector<std::string> corpus;
     for (const table::Table& t : tables) {
       std::vector<std::string> texts = embed::SerializeTable(t);
@@ -155,12 +217,18 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
                     std::make_move_iterator(texts.end()));
     }
     encoder->FitCorpus(corpus);
+    if (checkpoint != nullptr && !checkpoint->HasPhase("encoder_fit")) {
+      MULTIEM_FAULT_POINT("pipeline.phase.commit");
+      MULTIEM_RETURN_IF_ERROR(checkpoint->RecordPhase("encoder_fit"));
+    }
   }
 
   // Phase S: automated attribute selection (Algorithm 1).
   {
     ScopedPhase phase(result, ctx, kPhaseSelection);
-    if (config_.enable_attribute_selection) {
+    if (have_restored_selection) {
+      result->selection = std::move(restored_selection);
+    } else if (config_.enable_attribute_selection) {
       AttributeSelector selector(encoder.get(), config_);
       auto selection = selector.Run(tables, pool.get());
       if (!selection.ok()) return selection.status();
@@ -172,6 +240,11 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
       }
       result->selection.shuffle_similarity.assign(tables[0].num_columns(),
                                                   0.0);
+    }
+    if (checkpoint != nullptr && !checkpoint->HasPhase(kPhaseSelection)) {
+      MULTIEM_FAULT_POINT("pipeline.phase.commit");
+      MULTIEM_RETURN_IF_ERROR(checkpoint->RecordPhase(
+          kPhaseSelection, EncodeSelection(result->selection)));
     }
   }
   if (ctx.cancelled()) return CancelledAfter(kPhaseSelection);
@@ -195,6 +268,13 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
     for (const auto& texts : texts_per_source) {
       store.AddSource(encoder->EncodeBatch(texts, pool.get()));
     }
+    // Embeddings are recomputed on resume (they are deterministic and the
+    // store must be resident for merging anyway); the marker records that
+    // the phase completed at least once, for observability and tests.
+    if (checkpoint != nullptr && !checkpoint->HasPhase(kPhaseRepresentation)) {
+      MULTIEM_FAULT_POINT("pipeline.phase.commit");
+      MULTIEM_RETURN_IF_ERROR(checkpoint->RecordPhase(kPhaseRepresentation));
+    }
   }
   if (ctx.cancelled()) return CancelledAfter(kPhaseRepresentation);
 
@@ -215,11 +295,16 @@ util::Status MultiEmPipeline::Run(const std::vector<table::Table>& tables,
     }
     result->approx_peak_bytes =
         std::max(result->approx_peak_bytes, 2 * initial_bytes);
-    if (!ctx.merge_spill_dir.empty()) {
+    // Checkpointing implies disk-backed merging: resumable progress needs
+    // durable per-node outputs.
+    if (!ctx.merge_spill_dir.empty() || checkpoint != nullptr) {
       // Disk-backed merging: same schedule, bitwise-identical result, but
       // only one table pair resident at a time (core/sharded_merger.h).
       ShardedMergerOptions spill;
-      spill.spill_dir = ctx.merge_spill_dir;
+      spill.spill_dir = !ctx.merge_spill_dir.empty()
+                            ? ctx.merge_spill_dir
+                            : ctx.checkpoint_dir + "/spill";
+      spill.checkpoint = checkpoint.get();
       ShardedMerger merger(config_, &store, std::move(spill),
                            index_factory.get());
       ShardedMergeStats sharded_stats;

@@ -104,6 +104,23 @@ struct RunContext {
   /// memory budget".
   std::string merge_spill_dir;
 
+  /// When non-empty, the run is crash-resumable: a MEMJRNL journal under
+  /// this directory records completed phases and merge-plan nodes, and a
+  /// rerun with the same inputs + config skips everything whose journaled
+  /// outputs still validate (orphaned temp files are swept on open).
+  /// Implies disk-backed merging — when merge_spill_dir is empty, spills go
+  /// to "<checkpoint_dir>/spill". Resumed runs produce bitwise-identical
+  /// tuples and artifacts to uninterrupted ones. See docs/API.md "Crash
+  /// safety & resume".
+  std::string checkpoint_dir;
+
+  /// Fault points to arm before the run starts, in the MULTIEM_FAULT
+  /// format: "site:action[:hit[:delay_ms]]", comma-separated, with action
+  /// one of fail|crash|delay (util/fault.h). Empty arms nothing. The specs
+  /// are armed on the process-global injector — the run-scoped convenience
+  /// for crash harnesses and fault drills.
+  std::string arm_faults;
+
   /// True iff a token is attached and has fired.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }
 };

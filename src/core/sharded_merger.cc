@@ -5,6 +5,9 @@
 #include <system_error>
 #include <utility>
 
+#include "core/checkpoint.h"
+#include "util/journal.h"
+
 namespace multiem::core {
 
 namespace {
@@ -33,6 +36,10 @@ util::Result<MergeTable> ShardedMerger::RunSources(
     return util::Status::Internal("cannot create spill directory '" +
                                   options_.spill_dir + "': " + ec.message());
   }
+  // A crashed earlier attempt can leave half-written `<name>.mem.tmp` files
+  // behind; they are never referenced (the journal only records renamed
+  // files), so reclaim the space up front.
+  util::SweepOrphanTmpFiles(options_.spill_dir);
 
   // Spill resident handles up front, releasing each table as it lands on
   // disk — this is what keeps the resident set bounded by one pair even
@@ -56,6 +63,12 @@ util::Result<MergeTable> ShardedMerger::RunSources(
   exec_options.spill_dir = options_.spill_dir;
   exec_options.first_spill_index = next_spill_;
   exec_options.cleanup = options_.cleanup;
+  if (options_.checkpoint != nullptr) {
+    // Checkpointed outputs must keep the same file name across attempts, so
+    // name by plan node instead of by execution-order spill index.
+    exec_options.name_by_node = true;
+    exec_options.checkpoint = options_.checkpoint;
+  }
   MergeExecStats exec;
   auto merged = ExecuteMergePlan(plan, std::move(sources), merger_,
                                  exec_options, pool, &exec, ctx);

@@ -58,6 +58,13 @@ struct ShardedMergerOptions {
   /// Remove every spill file this run created once it is consumed (and the
   /// final one after it is loaded). Leave them only for debugging.
   bool cleanup = true;
+
+  /// When set (non-owning), merge execution is crash-resumable: outputs are
+  /// named by plan node ("merge_<node>.mem", stable across attempts), every
+  /// completed node is journaled with its spill checksum, and a resumed run
+  /// skips validated journaled nodes instead of re-merging. The root's
+  /// spill is kept for post-merge resume. See core/checkpoint.h.
+  CheckpointLog* checkpoint = nullptr;
 };
 
 /// Disk-backed Algorithm 2: same pairing schedule and pairwise merges as

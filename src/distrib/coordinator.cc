@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -13,7 +14,9 @@
 #include "core/registry.h"
 #include "core/two_table_merger.h"
 #include "distrib/shard_worker.h"
+#include "util/fault.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/subprocess.h"
 #include "util/timer.h"
 
@@ -126,11 +129,21 @@ util::Result<DistributedBuildResult> Coordinator::Build(
                                   options_.work_dir + "': " + ec.message());
   }
   std::vector<std::string> shard_dirs;
+  std::vector<bool> reuse_candidate(workers, false);
   for (size_t w = 0; w < workers; ++w) {
     shard_dirs.push_back(options_.work_dir + "/" + ShardDirName(w));
-    // A stale shard from an earlier run would otherwise pass the
-    // completion check below with the wrong contents.
-    std::filesystem::remove_all(shard_dirs.back(), ec);
+    if (options_.reuse_shards &&
+        std::filesystem::exists(shard_dirs.back() + "/" +
+                                ShardManifestName())) {
+      // The manifest is written last, so its presence certifies a complete
+      // shard from an earlier run. Adopt it tentatively; it is validated
+      // against this run's plan + selection below before anything trusts it.
+      reuse_candidate[w] = true;
+    } else {
+      // A stale partial shard from an earlier run would otherwise pass the
+      // completion check below with the wrong contents.
+      std::filesystem::remove_all(shard_dirs.back(), ec);
+    }
   }
 
   core::MultiEmConfig worker_config = config_;
@@ -138,19 +151,21 @@ util::Result<DistributedBuildResult> Coordinator::Build(
 
   // 1. Fork every worker before any ThreadPool exists in this process
   // (util/subprocess.h: a child forked from a multithreaded parent can
-  // inherit locked allocator state).
+  // inherit locked allocator state). Reuse candidates do not fork at all —
+  // their shard is already on disk.
   util::WallTimer worker_timer;
-  std::vector<util::Subprocess> procs;
-  procs.reserve(workers);
+  std::vector<std::optional<util::Subprocess>> procs(workers);
   std::vector<size_t> attempts(workers, 1);
   for (size_t w = 0; w < workers; ++w) {
+    if (reuse_candidate[w]) continue;
     auto proc = LaunchWorker(worker_config, tables, assignments[w],
                              shard_dirs[w], options_.hang_worker == w);
     if (!proc.ok()) return proc.status();
-    procs.push_back(std::move(*proc));
+    procs[w] = std::move(*proc);
   }
-  if (options_.kill_worker < workers) {
-    (void)procs[options_.kill_worker].Kill(kSigKill);
+  if (options_.kill_worker < workers &&
+      procs[options_.kill_worker].has_value()) {
+    (void)procs[options_.kill_worker]->Kill(kSigKill);
   }
 
   // 2. Overlap the workers with the coordinator's own deterministic
@@ -158,59 +173,143 @@ util::Result<DistributedBuildResult> Coordinator::Build(
   auto fitted = FitRepresentation(config_, tables, /*pool=*/nullptr);
   if (!fitted.ok()) return fitted.status();
 
-  // 3. Reap each worker; retry crashed/hung/incomplete ones. Any terminal
-  // failure returns through here, and the Subprocess destructors SIGKILL
-  // and reap whatever is still running — no zombies, no hangs.
-  for (size_t w = 0; w < workers; ++w) {
-    for (;;) {
-      util::Status failure;
-      auto ws = procs[w].Wait(options_.worker_timeout_ms);
-      if (!ws.ok()) {
-        if (ws.status().code() != util::StatusCode::kResourceExhausted) {
-          return ws.status();
-        }
-        (void)procs[w].Kill(kSigKill);
-        (void)procs[w].Wait(/*timeout_ms=*/-1);
-        failure = util::Status::ResourceExhausted(
-            "worker " + std::to_string(w) + " exceeded its " +
-            std::to_string(options_.worker_timeout_ms) + " ms deadline");
-      } else if (!ws->ok()) {
-        std::string detail;
-        auto message = procs[w].ReadMessage(/*timeout_ms=*/200);
-        if (message.ok()) {
-          detail = ": " + std::string(message->begin(), message->end());
-        }
-        failure = util::Status::Internal("worker " + std::to_string(w) +
-                                         " " + DescribeExit(*ws) + detail);
-      } else if (!std::filesystem::exists(shard_dirs[w] + "/" +
-                                          ShardManifestName())) {
-        failure = util::Status::Internal(
-            "worker " + std::to_string(w) +
-            " exited cleanly but left no shard manifest");
-      } else {
-        break;  // success
+  // A shard is only adopted/accepted when the worker reached the exact
+  // deterministic decisions this process just replayed, and every merge
+  // output its manifest promises is actually present.
+  auto check_shard = [&](size_t w, const ShardArtifact& shard) -> util::Status {
+    if (shard.total_sources != tables.size() || shard.seed != config_.seed ||
+        shard.dim != fitted->encoder->dim() ||
+        shard.covered_sources != ToU64(assignments[w].sources) ||
+        shard.roots != ToU64(assignments[w].roots)) {
+      return util::Status::Internal(
+          "shard " + std::to_string(w) +
+          " does not match its assignment (stale or foreign artifact?)");
+    }
+    if (shard.selected_columns != ToU64(fitted->selection.selected_columns)) {
+      return util::Status::Internal(
+          "worker " + std::to_string(w) +
+          " disagrees with the coordinator on attribute selection — the "
+          "fit is expected to be deterministic across processes");
+    }
+    for (size_t root : assignments[w].roots) {
+      if (!plan.node(root).is_leaf() &&
+          !std::filesystem::exists(shard_dirs[w] + "/" +
+                                   MergeOutputName(root))) {
+        return util::Status::Internal(
+            "shard " + std::to_string(w) + " is missing merge output '" +
+            MergeOutputName(root) + "'");
       }
+    }
+    return util::Status::Ok();
+  };
 
-      if (attempts[w] > options_.max_retries) {
-        return util::Status(failure.code(),
-                            "distributed build failed after " +
-                                std::to_string(attempts[w]) +
-                                " attempt(s): " + failure.message());
-      }
-      MULTIEM_LOG(kWarning) << "retrying worker " << w << ": "
-                            << failure.ToString();
-      ++attempts[w];
-      ++result.distrib.retries;
-      std::filesystem::remove_all(shard_dirs[w], ec);
-      // Fault injection applies to first attempts only: the retry is the
-      // recovery path under test.
-      auto proc = LaunchWorker(worker_config, tables, assignments[w],
-                               shard_dirs[w], /*hang=*/false);
-      if (!proc.ok()) return proc.status();
-      procs[w] = std::move(*proc);
+  // Validate the reuse candidates now that the fit is known. Still pre-pool:
+  // an invalid candidate is deleted and forked like any other worker, and
+  // forking must stay single-threaded.
+  std::vector<ShardArtifact> shards(workers);
+  std::vector<bool> have_shard(workers, false);
+  util::ArtifactOpenOptions serial_open = options_.shard_open;
+  serial_open.verify_pool = nullptr;
+  for (size_t w = 0; w < workers; ++w) {
+    if (!reuse_candidate[w]) continue;
+    util::Status usable;
+    auto shard = OpenShardArtifact(shard_dirs[w], serial_open);
+    if (shard.ok()) {
+      usable = check_shard(w, *shard);
+    } else {
+      usable = shard.status();
+    }
+    if (usable.ok()) {
+      shards[w] = std::move(*shard);
+      have_shard[w] = true;
+      ++result.distrib.shards_reused;
+      MULTIEM_LOG(kInfo) << "reusing completed shard " << w << " from '"
+                         << shard_dirs[w] << "'";
+      continue;
+    }
+    MULTIEM_LOG(kWarning) << "cannot reuse shard " << w << ", rebuilding: "
+                          << usable.ToString();
+    reuse_candidate[w] = false;
+    std::filesystem::remove_all(shard_dirs[w], ec);
+    auto proc = LaunchWorker(worker_config, tables, assignments[w],
+                             shard_dirs[w], /*hang=*/false);
+    if (!proc.ok()) return proc.status();
+    procs[w] = std::move(*proc);
+  }
+
+  // 3. Reap each forked worker; retry crashed/hung/incomplete ones under
+  // the policy's deterministic backoff. Any terminal failure returns
+  // through here, and the Subprocess destructors SIGKILL and reap whatever
+  // is still running — no zombies, no hangs.
+  MULTIEM_FAULT_POINT("coordinator.reap");
+  util::RetryPolicy base_policy = options_.worker_retry;
+  base_policy.max_attempts = options_.max_retries + 1;
+  for (size_t w = 0; w < workers; ++w) {
+    if (!procs[w].has_value()) continue;  // reused shard, nothing to reap
+    util::RetryPolicy policy = base_policy;
+    policy.jitter_seed ^= static_cast<uint64_t>(w);
+    util::Status last_failure;
+    size_t made = 1;
+    util::Status reaped = util::RetryWithBackoff(
+        policy,
+        [&](size_t attempt) -> util::Status {
+          if (attempt > 1) {
+            MULTIEM_LOG(kWarning)
+                << "retrying worker " << w << " (attempt " << attempt
+                << "): " << last_failure.ToString();
+            ++result.distrib.retries;
+            std::filesystem::remove_all(shard_dirs[w], ec);
+            // Fault injection applies to first attempts only: the retry is
+            // the recovery path under test.
+            auto proc = LaunchWorker(worker_config, tables, assignments[w],
+                                     shard_dirs[w], /*hang=*/false);
+            if (!proc.ok()) return last_failure = proc.status();
+            procs[w] = std::move(*proc);
+          }
+          auto ws = procs[w]->Wait(options_.worker_timeout_ms);
+          if (!ws.ok()) {
+            if (ws.status().code() != util::StatusCode::kResourceExhausted) {
+              return last_failure = ws.status();
+            }
+            (void)procs[w]->Kill(kSigKill);
+            (void)procs[w]->Wait(/*timeout_ms=*/-1);
+            return last_failure = util::Status::ResourceExhausted(
+                       "worker " + std::to_string(w) + " exceeded its " +
+                       std::to_string(options_.worker_timeout_ms) +
+                       " ms deadline");
+          }
+          if (!ws->ok()) {
+            std::string detail;
+            auto message = procs[w]->ReadMessage(/*timeout_ms=*/200);
+            if (message.ok()) {
+              detail = ": " + std::string(message->begin(), message->end());
+            }
+            return last_failure =
+                       util::Status::Internal("worker " + std::to_string(w) +
+                                              " " + DescribeExit(*ws) + detail);
+          }
+          if (!std::filesystem::exists(shard_dirs[w] + "/" +
+                                       ShardManifestName())) {
+            return last_failure = util::Status::Internal(
+                       "worker " + std::to_string(w) +
+                       " exited cleanly but left no shard manifest");
+          }
+          return util::Status::Ok();
+        },
+        /*cancelled=*/nullptr, &made);
+    attempts[w] = made;
+    if (!reaped.ok()) {
+      return util::Status(reaped.code(), "distributed build failed after " +
+                                             std::to_string(made) +
+                                             " attempt(s): " +
+                                             reaped.message());
     }
   }
   result.distrib.worker_seconds = worker_timer.ElapsedSeconds();
+
+  // Every worker finished (or was reused); a crash injected here must find
+  // all shards adoptable on the next Build() over the same work dir.
+  MULTIEM_FAULT_POINT("coordinator.assemble");
 
   // Parallelism is safe from here on: every fork already happened.
   std::unique_ptr<util::ThreadPool> pool;
@@ -220,33 +319,19 @@ util::Result<DistributedBuildResult> Coordinator::Build(
   util::ArtifactOpenOptions open = options_.shard_open;
   if (open.verify_pool == nullptr) open.verify_pool = pool.get();
 
-  // 4. Open the shards and cross-check that every worker reached the same
-  // deterministic decisions this process did.
-  std::vector<ShardArtifact> shards;
-  shards.reserve(workers);
+  // 4. Open the freshly built shards and cross-check that every worker
+  // reached the same deterministic decisions this process did (reused
+  // shards already passed the identical checks above).
   for (size_t w = 0; w < workers; ++w) {
+    if (have_shard[w]) continue;
     auto shard = OpenShardArtifact(shard_dirs[w], open);
     if (!shard.ok()) {
       return util::Status::Internal("cannot open shard " + std::to_string(w) +
                                     ": " + shard.status().ToString());
     }
-    if (shard->total_sources != tables.size() ||
-        shard->seed != config_.seed ||
-        shard->dim != fitted->encoder->dim() ||
-        shard->covered_sources != ToU64(assignments[w].sources) ||
-        shard->roots != ToU64(assignments[w].roots)) {
-      return util::Status::Internal(
-          "shard " + std::to_string(w) +
-          " does not match its assignment (stale or foreign artifact?)");
-    }
-    if (shard->selected_columns !=
-        ToU64(fitted->selection.selected_columns)) {
-      return util::Status::Internal(
-          "worker " + std::to_string(w) +
-          " disagrees with the coordinator on attribute selection — the "
-          "fit is expected to be deterministic across processes");
-    }
-    shards.push_back(std::move(*shard));
+    MULTIEM_RETURN_IF_ERROR(check_shard(w, *shard));
+    shards[w] = std::move(*shard);
+    have_shard[w] = true;
   }
 
   // Assemble the global embedding store from the shard base matrices
@@ -321,9 +406,14 @@ util::Result<DistributedBuildResult> Coordinator::Build(
   // standard per-level shape; a full plan execution reproduces the
   // single-process HierarchicalMergeStats exactly.
   std::vector<core::MergeNodeStats> all_nodes;
-  for (const ShardArtifact& shard : shards) {
-    all_nodes.insert(all_nodes.end(), shard.node_stats.begin(),
-                     shard.node_stats.end());
+  for (size_t w = 0; w < workers; ++w) {
+    for (core::MergeNodeStats node : shards[w].node_stats) {
+      // Surface what the worker's subtree actually cost: the fork-retry
+      // count of the worker that produced it (1 for a reused shard — this
+      // run spent nothing on it).
+      node.attempts = std::max(node.attempts, attempts[w]);
+      all_nodes.push_back(node);
+    }
   }
   all_nodes.insert(all_nodes.end(), exec.nodes.begin(), exec.nodes.end());
   result.merge_stats.levels = core::AggregateLevelStats(plan, all_nodes);
@@ -358,7 +448,8 @@ util::Result<DistributedBuildResult> Coordinator::Build(
   result.distrib.total_seconds = total_timer.ElapsedSeconds();
   MULTIEM_LOG(kDebug) << "distributed build finished: " << workers
                       << " workers, " << result.tuples.size() << " tuples, "
-                      << result.distrib.retries << " retries";
+                      << result.distrib.retries << " retries, "
+                      << result.distrib.shards_reused << " shards reused";
   return result;
 }
 

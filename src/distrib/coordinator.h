@@ -9,15 +9,20 @@
 /// executes it.
 ///
 /// Timeline of Build():
-///   1. fork all workers (before any ThreadPool exists — see
+///   1. scan the work dir: a shard whose manifest already exists (from an
+///      earlier coordinator process that crashed or was killed after the
+///      worker finished) is a reuse candidate and is NOT re-forked; all
+///      other workers fork now (before any ThreadPool exists — see
 ///      util/subprocess.h for the multithreaded-fork hazard);
 ///   2. while they run, replay the deterministic encoder fit + attribute
 ///      selection in-process (the coordinator needs both for the final
 ///      Matcher, and uses the selection to cross-check every shard);
+///      reuse candidates are then validated against the fresh fit — a
+///      stale or foreign shard is deleted and its worker forked after all;
 ///   3. reap each worker with a timeout; a worker that died, hung, or left
 ///      no complete shard artifact is SIGKILLed, reaped, and retried up to
-///      `max_retries` times — failures degrade to a clean Status, never a
-///      zombie or a hang;
+///      `max_retries` times under `worker_retry`'s deterministic backoff —
+///      failures degrade to a clean Status, never a zombie or a hang;
 ///   4. open the shard artifacts (mmap-preferred), assemble the global
 ///      embedding store from their base matrices, seed the plan slots with
 ///      handles (resident for frontier leaves, spill handles for worker
@@ -45,6 +50,7 @@
 #include "eval/tuples.h"
 #include "table/table.h"
 #include "util/io.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace multiem::distrib {
@@ -65,6 +71,24 @@ struct CoordinatorOptions {
   int64_t worker_timeout_ms = 10 * 60 * 1000;
   /// Re-forks granted per worker after a crash/timeout/incomplete shard.
   size_t max_retries = 1;
+  /// Backoff between a worker's failed attempt and its re-fork
+  /// (util/retry.h). `max_attempts` is ignored — `max_retries` above is the
+  /// attempt budget; the seed is mixed with the worker index so retry
+  /// timing is deterministic per worker yet decorrelated across workers.
+  util::RetryPolicy worker_retry = {.max_attempts = 1,
+                                    .initial_backoff_ms = 50,
+                                    .max_backoff_ms = 1000,
+                                    .multiplier = 2.0,
+                                    .jitter = 0.25,
+                                    .jitter_seed = 0};
+  /// Reuse a shard whose manifest already sits in the work dir instead of
+  /// rebuilding it — the crash-restart path: a coordinator process killed
+  /// after its workers finished picks their shards back up on the next
+  /// Build() over the same inputs. Every reused shard is validated against
+  /// this run's plan, assignment, and attribute selection first; anything
+  /// stale or foreign is deleted and rebuilt. Disable to force a cold
+  /// build.
+  bool reuse_shards = true;
   /// Assemble a serving Matcher over the integrated table (like
   /// RunContext::build_matcher).
   bool build_matcher = false;
@@ -77,8 +101,10 @@ struct CoordinatorOptions {
 
   // --- Fault injection (tests/CI only) ---
   /// SIGKILL this worker right after its first fork (retry must recover).
+  /// No effect when the worker's shard is reused (it never forks).
   size_t kill_worker = static_cast<size_t>(-1);
   /// Make this worker hang on its first attempt (timeout must reap it).
+  /// No effect when the worker's shard is reused.
   size_t hang_worker = static_cast<size_t>(-1);
 };
 
@@ -87,6 +113,7 @@ struct DistributedBuildStats {
   size_t workers = 0;          ///< effective worker count after clamping
   size_t frontier_nodes = 0;   ///< plan nodes handed to workers
   size_t retries = 0;          ///< failed worker attempts that were re-forked
+  size_t shards_reused = 0;    ///< completed shards adopted from a prior run
   double worker_seconds = 0.0; ///< first fork -> last successful reap
   double merge_seconds = 0.0;  ///< coordinator-side top-of-plan merging
   double total_seconds = 0.0;

@@ -206,6 +206,7 @@ util::Status RunShardWorker(const core::MultiEmConfig& config,
     stats_out.WriteU64(node.mutual_pairs);
     stats_out.WriteU64(node.merged_items);
     stats_out.WriteU64(node.carried_items);
+    stats_out.WriteU64(node.attempts);
   }
   for (size_t s : assignment.sources) {
     util::ByteWriter& base =
@@ -239,13 +240,18 @@ util::Result<ShardArtifact> OpenShardArtifact(
   shard.node_stats.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t node = 0, mutual = 0, merged = 0, carried = 0;
+    uint64_t attempts = 1;  // v1 rows have no attempts column
     MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&node));
     MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&mutual));
     MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&merged));
     MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&carried));
+    if (reader->version() >= 2) {
+      MULTIEM_RETURN_IF_ERROR(stats->ReadU64(&attempts));
+    }
     shard.node_stats.push_back(core::MergeNodeStats{
         static_cast<size_t>(node), static_cast<size_t>(mutual),
-        static_cast<size_t>(merged), static_cast<size_t>(carried)});
+        static_cast<size_t>(merged), static_cast<size_t>(carried),
+        static_cast<size_t>(attempts)});
   }
 
   shard.bases.reserve(shard.covered_sources.size());

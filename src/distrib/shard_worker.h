@@ -44,8 +44,11 @@
 namespace multiem::distrib {
 
 /// Magic + version of the MEMSHARD shard manifest (docs/FORMATS.md).
+/// v2 widened the stats rows from 4 to 5 u64 columns, adding the per-node
+/// execution attempt count (MergeNodeStats::attempts); v1 manifests still
+/// open, with attempts defaulting to 1.
 inline constexpr uint64_t kShardMagic = util::ArtifactMagic("MEMSHARD");
-inline constexpr uint32_t kShardVersion = 1;
+inline constexpr uint32_t kShardVersion = 2;
 
 /// "shard_<worker>" — the shard directory name under the coordinator's
 /// work dir.

@@ -5,8 +5,11 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/mmap.h"
 #include "util/thread_pool.h"
 
@@ -252,6 +255,9 @@ std::vector<uint8_t> ArtifactWriter::Serialize() const {
 Status ArtifactWriter::WriteFile(const std::string& path) const {
   const std::vector<uint8_t> image = Serialize();
   const std::string tmp = path + ".tmp";
+  // A crash between these two points leaves an orphaned `.tmp` (never a torn
+  // destination file); SweepOrphanTmpFiles reclaims them on the next run.
+  MULTIEM_FAULT_POINT("io.write.stage");
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::NotFound("cannot open '" + tmp + "' for writing");
@@ -263,6 +269,13 @@ Status ArtifactWriter::WriteFile(const std::string& path) const {
   if (written != image.size() || !flushed) {
     std::remove(tmp.c_str());
     return Status::Internal("short write to '" + tmp + "'");
+  }
+  {
+    Status fault = FaultInjector::Global().Hit("io.write.commit");
+    if (!fault.ok()) {
+      std::remove(tmp.c_str());
+      return fault;
+    }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -329,6 +342,21 @@ Result<ArtifactReader> ArtifactReader::FromFile(
   Status status = reader.Init(magic, max_version, options);
   if (!status.ok()) {
     return Status(status.code(), "'" + path + "': " + status.message());
+  }
+  if (reader.mapped_) {
+    // Init bounds every section extent against the *mapped* length, but the
+    // file on disk can have been truncated since the fstat inside mmap —
+    // touching a page past the new EOF would then SIGBUS instead of failing
+    // cleanly. Re-stat before handing out spans that alias the mapping.
+    std::error_code ec;
+    const auto on_disk = std::filesystem::file_size(path, ec);
+    if (ec || on_disk < reader.data_.size()) {
+      return Status::InvalidArgument(
+          "'" + path + "': file shrank to " +
+          (ec ? std::string("<unreadable>") : std::to_string(on_disk)) +
+          " bytes while opening (mapped " + std::to_string(reader.data_.size()) +
+          "); refusing to bind sections over a truncated mapping");
+    }
   }
   if (reader.mapped_ && options.warm_pages) {
     // Parallel first-touch page pass: fault the whole image in now, across

@@ -1,0 +1,74 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace multiem::util {
+
+uint64_t BackoffMs(const RetryPolicy& policy, size_t attempt) {
+  if (attempt <= 1) return 0;
+  double delay = static_cast<double>(policy.initial_backoff_ms);
+  for (size_t i = 2; i < attempt; ++i) {
+    delay *= policy.multiplier;
+    if (delay >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  delay = std::min(delay, static_cast<double>(policy.max_backoff_ms));
+  if (policy.jitter > 0.0) {
+    // Uniform in [0,1) from the stateless mixer; same seed -> same schedule.
+    double unit =
+        static_cast<double>(Mix64(policy.jitter_seed ^ attempt) >> 11) *
+        (1.0 / 9007199254740992.0);
+    delay *= 1.0 - std::clamp(policy.jitter, 0.0, 1.0) * unit;
+  }
+  return static_cast<uint64_t>(delay);
+}
+
+namespace {
+
+/// Sleeps `ms` in small slices so a cancellation raised mid-backoff is
+/// noticed within ~10ms. Returns false if cancelled.
+bool InterruptibleSleep(uint64_t ms, const std::function<bool()>& cancelled) {
+  constexpr uint64_t kSliceMs = 10;
+  uint64_t slept = 0;
+  while (slept < ms) {
+    if (cancelled && cancelled()) return false;
+    uint64_t slice = std::min(kSliceMs, ms - slept);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    slept += slice;
+  }
+  return !(cancelled && cancelled());
+}
+
+}  // namespace
+
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status(size_t)>& fn,
+                        const std::function<bool()>& cancelled,
+                        size_t* attempts_out) {
+  size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
+  Status last;
+  size_t attempts = 0;
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (cancelled && cancelled()) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return Status::Cancelled("retry cancelled before attempt " +
+                               std::to_string(attempt));
+    }
+    attempts = attempt;
+    last = fn(attempt);
+    if (last.ok() || last.code() == StatusCode::kCancelled) break;
+    if (attempt < max_attempts &&
+        !InterruptibleSleep(BackoffMs(policy, attempt + 1), cancelled)) {
+      if (attempts_out != nullptr) *attempts_out = attempts;
+      return Status::Cancelled("retry cancelled during backoff after attempt " +
+                               std::to_string(attempt));
+    }
+  }
+  if (attempts_out != nullptr) *attempts_out = attempts;
+  return last;
+}
+
+}  // namespace multiem::util

@@ -1,0 +1,46 @@
+#ifndef MULTIEM_UTIL_RETRY_H_
+#define MULTIEM_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace multiem::util {
+
+/// Capped exponential backoff with deterministic seeded jitter.
+///
+/// The delay before attempt `a` (a >= 2, 1-based) is
+///   min(initial_backoff_ms * multiplier^(a-2), max_backoff_ms)
+/// scaled by a jitter factor in [1 - jitter, 1] derived from
+/// Mix64(jitter_seed ^ a) — the same seed always produces the same schedule,
+/// so retry timing is reproducible in tests and benchmarks.
+struct RetryPolicy {
+  size_t max_attempts = 3;          ///< Total attempts, including the first.
+  uint64_t initial_backoff_ms = 50;
+  uint64_t max_backoff_ms = 2000;
+  double multiplier = 2.0;
+  double jitter = 0.25;             ///< Fraction of the delay randomized away.
+  uint64_t jitter_seed = 0;
+};
+
+/// The (jittered) delay in milliseconds before 1-based attempt `attempt`.
+/// Attempt 1 runs immediately (returns 0). Exposed for determinism tests.
+uint64_t BackoffMs(const RetryPolicy& policy, size_t attempt);
+
+/// Runs `fn(attempt)` (1-based attempt number) until it returns OK or the
+/// policy's attempt budget is exhausted; sleeps the backoff delay between
+/// attempts. `cancelled`, when non-null, is polled during backoff sleeps and
+/// before each attempt; a true return aborts with kCancelled. A kCancelled
+/// status from `fn` is returned immediately, never retried. On exhaustion the
+/// last attempt's status is returned. `attempts_out`, when non-null, receives
+/// the number of attempts actually made.
+Status RetryWithBackoff(const RetryPolicy& policy,
+                        const std::function<Status(size_t)>& fn,
+                        const std::function<bool()>& cancelled = nullptr,
+                        size_t* attempts_out = nullptr);
+
+}  // namespace multiem::util
+
+#endif  // MULTIEM_UTIL_RETRY_H_

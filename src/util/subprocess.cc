@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/fault.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define MULTIEM_HAS_FORK 1
 #include <poll.h>
@@ -80,6 +82,7 @@ Status ReadFull(int fd, uint8_t* out, size_t size, int64_t deadline_ms) {
 }  // namespace
 
 Result<Subprocess> Subprocess::Fork(const ChildFn& fn) {
+  MULTIEM_FAULT_POINT("subprocess.fork");
   int fds[2];
   if (::pipe(fds) != 0) {
     return Status::Internal(std::string("pipe() failed: ") +
@@ -213,6 +216,7 @@ Result<std::vector<uint8_t>> Subprocess::ReadMessage(int64_t timeout_ms) {
 }
 
 Status Subprocess::WriteMessage(int fd, const void* data, size_t size) {
+  MULTIEM_FAULT_POINT("subprocess.write_message");
   if (size > UINT32_MAX) {
     return Status::InvalidArgument("message exceeds the 4 GiB frame limit");
   }

@@ -26,6 +26,7 @@
 #include "distrib/coordinator.h"
 #include "distrib/shard_worker.h"
 #include "distrib/sharded_matcher.h"
+#include "util/fault.h"
 #include "util/subprocess.h"
 
 namespace multiem {
@@ -324,6 +325,100 @@ TEST(DistribBuildTest, HungWorkerIsReapedAtTimeoutAndRetried) {
   ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
   EXPECT_GE(distributed->distrib.retries, 1u);
   EXPECT_EQ(single.tuples, distributed->tuples);
+}
+
+// A worker retry must also surface in the per-level attempt counters: the
+// re-forked worker's nodes cost two attempts each.
+TEST(DistribBuildTest, RetriedWorkerAttemptsSurfaceInLevelStats) {
+  auto tables = CorpusTables(4, 40);
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = TempPath("attempts_surface");
+  options.kill_worker = 0;
+  options.max_retries = 1;
+  options.worker_retry.initial_backoff_ms = 1;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto distributed = coordinator.Build(tables);
+  ASSERT_TRUE(distributed.ok()) << distributed.status().ToString();
+  ASSERT_GE(distributed->distrib.retries, 1u);
+  size_t pairs = 0, attempts = 0;
+  for (const core::MergeLevelStats& level : distributed->merge_stats.levels) {
+    pairs += level.pairs_merged;
+    attempts += level.total_attempts;
+  }
+  EXPECT_GT(attempts, pairs) << "retried worker's extra attempts not counted";
+}
+
+// A coordinator process killed after its workers finished must adopt their
+// completed shards on the next Build over the same work dir instead of
+// re-forking anything — and still reproduce the single-process answer.
+TEST(DistribBuildTest, ReusesCompletedShardsAcrossCoordinatorRestart) {
+  auto tables = CorpusTables(4, 40);
+  PipelineResult single = RunSingleProcess(tables);
+  const std::string work_dir = TempPath("restart_reuse");
+
+  // First coordinator: crash (hard _exit in a fork) at the moment every
+  // worker has been reaped and all shard manifests are durable.
+  auto child = util::Subprocess::Fork([&](int) -> int {
+    // Drop hit counters inherited from this process's earlier builds so the
+    // armed first hit fires in the child.
+    util::FaultInjector::Global().Reset();
+    util::FaultInjector::Global().Arm(
+        util::FaultSpec{.site = "coordinator.assemble",
+                        .action = util::FaultAction::kCrash});
+    CoordinatorOptions options;
+    options.num_workers = 2;
+    options.work_dir = work_dir;
+    Coordinator coordinator(PipelineConfig(), options);
+    auto built = coordinator.Build(tables);
+    return built.ok() ? 1 : 2;  // unreachable: the crash fires first
+  });
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  auto ws = child->Wait(/*timeout_ms=*/180000);
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  ASSERT_TRUE(ws->exited);
+  ASSERT_EQ(42, ws->exit_code);  // util/fault.h's crash exit code
+
+  // Restarted coordinator, same inputs, same work dir: both shards adopted.
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = work_dir;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto rebuilt = coordinator.Build(tables);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(2u, rebuilt->distrib.shards_reused);
+  EXPECT_EQ(0u, rebuilt->distrib.retries);
+  EXPECT_EQ(single.tuples, rebuilt->tuples);
+
+  // reuse_shards=false forces a cold rebuild over the same work dir.
+  options.reuse_shards = false;
+  Coordinator cold(PipelineConfig(), options);
+  auto rebuilt_cold = cold.Build(tables);
+  ASSERT_TRUE(rebuilt_cold.ok()) << rebuilt_cold.status().ToString();
+  EXPECT_EQ(0u, rebuilt_cold->distrib.shards_reused);
+  EXPECT_EQ(single.tuples, rebuilt_cold->tuples);
+}
+
+// A stale or foreign shard manifest in the work dir must be rebuilt, never
+// trusted and never fatal.
+TEST(DistribBuildTest, StaleShardIsRebuiltNotTrusted) {
+  auto tables = CorpusTables(4, 40);
+  PipelineResult single = RunSingleProcess(tables);
+
+  const std::string work_dir = TempPath("stale_shard");
+  const std::string shard0 = work_dir + "/" + distrib::ShardDirName(0);
+  std::filesystem::create_directories(shard0);
+  std::ofstream(shard0 + "/" + distrib::ShardManifestName(), std::ios::binary)
+      << "not a MEMSHARD manifest";
+
+  CoordinatorOptions options;
+  options.num_workers = 2;
+  options.work_dir = work_dir;
+  Coordinator coordinator(PipelineConfig(), options);
+  auto built = coordinator.Build(tables);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  EXPECT_EQ(0u, built->distrib.shards_reused);
+  EXPECT_EQ(single.tuples, built->tuples);
 }
 
 // With retries exhausted the build must fail with a clean Status (and the

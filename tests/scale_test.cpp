@@ -309,6 +309,28 @@ TEST(MmapServingTest, MappedOpenRejectsBitFlipsAsStatus) {
   EXPECT_TRUE(ok.ok()) << ok.status();
 }
 
+// The sharpest truncation: everything past the 24-byte container header is
+// gone (a crashed copy, a torn download). Both mapped modes must degrade to
+// a clean Status — never bind section spans over the missing bytes.
+TEST(MmapServingTest, MappedOpenRejectsTruncationAfterHeader) {
+  const std::string dir = TempPath("header_only_artifact");
+  std::filesystem::copy(ScaleArtifactDir(), dir,
+                        std::filesystem::copy_options::recursive);
+  const std::string manifest = dir + "/manifest.mem";
+
+  for (uintmax_t keep : {uintmax_t{24}, uintmax_t{40}}) {
+    std::filesystem::resize_file(manifest, keep);
+    for (auto mapping : {util::ArtifactOpenOptions::Mapping::kPrefer,
+                         util::ArtifactOpenOptions::Mapping::kRequire}) {
+      util::ArtifactOpenOptions options;
+      options.mapping = mapping;
+      auto loaded = MultiEmPipeline::LoadArtifact(dir, options);
+      EXPECT_FALSE(loaded.ok())
+          << "accepted a manifest truncated to " << keep << " bytes";
+    }
+  }
+}
+
 TEST(MmapServingTest, MappedOpenRejectsTruncationAsStatus) {
   const std::string dir = TempPath("truncated_artifact");
   std::filesystem::copy(ScaleArtifactDir(), dir,
