@@ -12,6 +12,23 @@
 // CI gates on it: the 4-thread build must beat the 1-thread build on the
 // same corpus, and recall@10 must stay >= 0.95.
 //
+// A second section compares vector-storage quantization (--quant=int8,fp16;
+// --quant=none disables): a corpus of --quant_n vectors (default: same as
+// --n, regenerated when different) is indexed fp32, int8 and fp16 and each
+// build reports its MemoryUsage() breakdown (fp32 payload vs quantized codes
+// vs graph), single-thread QPS, and recall@10 with the fp32 rerank.
+// CI gates on this too: int8 code bytes must be <= 1/3 of the fp32 payload,
+// int8 QPS strictly higher than fp32, and recall@10 >= 0.95 for every mode.
+// The QPS gate only holds in the regime quantization targets — a corpus
+// whose fp32 payload exceeds the last-level cache, where the candidate scan
+// is DRAM-bandwidth-bound and int8 moves ~4x fewer bytes per distance. With
+// the fp32 payload cache-resident the scan is compute-bound and the
+// asymmetric int8 kernel (int8->fp32 convert feeding the FMA chain) costs
+// more uops per element than the plain fp32 dot, so small corpora show int8
+// *slower*; CI therefore passes --quant_n=300000 (460 MB fp32) to put the
+// comparison firmly past any runner's LLC while the thread-scaling section
+// keeps the quick 20k corpus.
+//
 // The corpus is clustered — duplicate groups of `cluster_size` perturbed
 // copies around random unit centers — because that is what the merging
 // phase actually searches (near-duplicate entity embeddings), and queries
@@ -28,6 +45,10 @@
 //        --cluster_size=10 --spread=0.5   duplicate-group shape
 //        --m=16 --ef_construction=200 --ef_search=128   HNSW knobs
 //        --min_search_seconds=1.0  per-run search measurement window
+//        --quant=int8,fp16  quantization modes to compare ("none" disables)
+//        --quant_n=N        corpus size for the quantization section
+//                           (default: --n; CI uses 300000, see above)
+//        --rerank_factor=4  fp32 rerank width multiplier for quantized runs
 //        --json=PATH      output JSON path ("-" disables)
 
 #include <algorithm>
@@ -40,6 +61,7 @@
 #include "ann/brute_force.h"
 #include "ann/hnsw.h"
 #include "ann/index_io.h"
+#include "ann/quant.h"
 #include "bench/bench_common.h"
 #include "util/thread_pool.h"
 
@@ -100,6 +122,58 @@ AnnCorpus MakeCorpus(size_t n, size_t dim, size_t num_queries,
                     rng);
     }
   }
+  return out;
+}
+
+/// Exact top-k ground truth via brute force (setup, not measured; a
+/// hardware-wide pool keeps the scan off the critical path).
+std::vector<std::unordered_set<size_t>> ExactTruth(
+    const embed::EmbeddingMatrix& corpus, const embed::EmbeddingMatrix& queries,
+    size_t k) {
+  std::vector<std::unordered_set<size_t>> truth(queries.num_rows());
+  util::ThreadPool setup_pool(0);
+  ann::BruteForceIndex exact(corpus.dim(), ann::Metric::kCosine);
+  exact.AddBatch(corpus, &setup_pool);
+  util::ParallelFor(&setup_pool, queries.num_rows(), [&](size_t q) {
+    for (const auto& hit : exact.Search(queries.Row(q), k)) {
+      truth[q].insert(hit.id);
+    }
+  }, /*min_block_size=*/1);
+  return truth;
+}
+
+/// Recall@k against `truth`, then single-thread QPS over the same query set
+/// until the measurement window fills. Shared by the thread-scaling runs and
+/// the quantization comparison so the two report comparable numbers.
+struct SearchEval {
+  double qps = 0.0;
+  double recall = 0.0;
+};
+
+SearchEval EvalIndex(const ann::VectorIndex& index,
+                     const embed::EmbeddingMatrix& queries, size_t k,
+                     const std::vector<std::unordered_set<size_t>>& truth,
+                     double min_search_seconds) {
+  SearchEval out;
+  const size_t num_queries = queries.num_rows();
+  size_t found = 0;
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (const auto& hit : index.Search(queries.Row(q), k)) {
+      found += truth[q].count(hit.id);
+    }
+  }
+  out.recall =
+      static_cast<double>(found) / static_cast<double>(num_queries * k);
+
+  size_t searches = 0;
+  util::WallTimer search_timer;
+  do {
+    for (size_t q = 0; q < num_queries; ++q) {
+      auto hits = index.Search(queries.Row(q), k);
+      searches += hits.empty() ? 0 : 1;
+    }
+  } while (search_timer.ElapsedSeconds() < min_search_seconds);
+  out.qps = static_cast<double>(searches) / search_timer.ElapsedSeconds();
   return out;
 }
 
@@ -167,20 +241,9 @@ int Main(int argc, char** argv) {
   const embed::EmbeddingMatrix& corpus = data.corpus;
   const embed::EmbeddingMatrix& queries = data.queries;
 
-  // Exact top-k ground truth, computed once (setup, not measured; a
-  // hardware-wide pool keeps the brute-force scan off the critical path).
   std::fprintf(stderr, "[ann] computing brute-force ground truth ...\n");
-  std::vector<std::unordered_set<size_t>> truth(num_queries);
-  {
-    util::ThreadPool setup_pool(0);
-    ann::BruteForceIndex exact(dim, ann::Metric::kCosine);
-    exact.AddBatch(corpus, &setup_pool);
-    util::ParallelFor(&setup_pool, num_queries, [&](size_t q) {
-      for (const auto& hit : exact.Search(queries.Row(q), k)) {
-        truth[q].insert(hit.id);
-      }
-    }, /*min_block_size=*/1);
-  }
+  const std::vector<std::unordered_set<size_t>> truth =
+      ExactTruth(corpus, queries, k);
 
   std::printf("%8s %12s %14s %12s %10s %10s %10s %14s\n", "threads",
               "build_s", "build_vec/s", "search_qps", "recall@10",
@@ -206,25 +269,10 @@ int Main(int argc, char** argv) {
     // Recall of this build (parallel graphs differ run to run, so measure
     // each one), then single-thread QPS over the same query set until the
     // measurement window fills.
-    size_t found = 0;
-    for (size_t q = 0; q < num_queries; ++q) {
-      for (const auto& hit : index.Search(queries.Row(q), k)) {
-        found += truth[q].count(hit.id);
-      }
-    }
-    run.recall_at10 =
-        static_cast<double>(found) / static_cast<double>(num_queries * k);
-
-    size_t searches = 0;
-    util::WallTimer search_timer;
-    do {
-      for (size_t q = 0; q < num_queries; ++q) {
-        auto hits = index.Search(queries.Row(q), k);
-        searches += hits.empty() ? 0 : 1;
-      }
-    } while (search_timer.ElapsedSeconds() < min_search_seconds);
-    run.search_qps =
-        static_cast<double>(searches) / search_timer.ElapsedSeconds();
+    const SearchEval eval =
+        EvalIndex(index, queries, k, truth, min_search_seconds);
+    run.recall_at10 = eval.recall;
+    run.search_qps = eval.qps;
 
     // Persistence: save rate, then the restart path — reload the artifact
     // and answer one query, which is the latency a redeployed server adds
@@ -289,6 +337,136 @@ int Main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // ------------------------------------------------ quantization comparison
+  // Same corpus indexed fp32 and under each requested quantization mode (at
+  // the largest requested thread count — memory and recall are what this
+  // section gates on, and the byte counts are exact regardless of build
+  // parallelism). Reports the MemoryUsage() breakdown so the fp32 payload,
+  // the quantized code plane, and the graph are visible separately;
+  // hot_bytes is what the candidate scan actually touches.
+  std::vector<ann::Quantization> quant_modes;
+  for (const std::string& raw :
+       util::Split(flags.Get("quant", "int8,fp16"), ',')) {
+    const std::string t(util::Trim(raw));
+    if (t.empty() || t == "none") continue;
+    ann::Quantization mode;
+    if (!ann::ParseQuantization(t, &mode)) {
+      std::fprintf(stderr,
+                   "[ann] bad --quant entry \"%s\" (want int8, fp16, or "
+                   "none)\n",
+                   t.c_str());
+      return 1;
+    }
+    quant_modes.push_back(mode);
+  }
+
+  struct QuantRun {
+    std::string mode;
+    double build_seconds = 0.0;
+    double search_qps = 0.0;
+    double recall_at10 = 0.0;
+    size_t fp32_bytes = 0;
+    size_t quantized_bytes = 0;
+    size_t graph_bytes = 0;
+    size_t hot_bytes = 0;
+  };
+  std::vector<QuantRun> quant_runs;
+
+  const size_t quant_n =
+      static_cast<size_t>(flags.GetDouble("quant_n", static_cast<double>(n)));
+  if (!quant_modes.empty()) {
+    const size_t rerank_factor =
+        static_cast<size_t>(flags.GetDouble("rerank_factor", 4));
+    const size_t quant_threads =
+        *std::max_element(thread_counts.begin(), thread_counts.end());
+    std::unique_ptr<util::ThreadPool> pool;
+    if (quant_threads > 1) {
+      pool = std::make_unique<util::ThreadPool>(quant_threads);
+    }
+
+    // The comparison corpus: the thread-scaling one when --quant_n matches
+    // --n, otherwise a fresh clustered corpus of quant_n vectors with its
+    // own exact ground truth (see header: the QPS gate needs the fp32
+    // payload past the LLC).
+    AnnCorpus quant_data;
+    std::vector<std::unordered_set<size_t>> quant_truth_storage;
+    const embed::EmbeddingMatrix* quant_corpus = &corpus;
+    const embed::EmbeddingMatrix* quant_queries = &queries;
+    const std::vector<std::unordered_set<size_t>>* quant_truth = &truth;
+    if (quant_n != n) {
+      std::fprintf(stderr,
+                   "[ann] generating %zu-vector quantization corpus ...\n",
+                   quant_n);
+      quant_data =
+          MakeCorpus(quant_n, dim, num_queries, cluster_size, spread, 2);
+      std::fprintf(stderr, "[ann] computing its ground truth ...\n");
+      quant_truth_storage = ExactTruth(quant_data.corpus, quant_data.queries, k);
+      quant_corpus = &quant_data.corpus;
+      quant_queries = &quant_data.queries;
+      quant_truth = &quant_truth_storage;
+    }
+
+    std::printf(
+        "\n=== quantization: fp32 vs codes, %zu vectors (simd kernels %s) "
+        "===\n",
+        quant_n, ann::QuantSimdEnabled() ? "on" : "off");
+    std::printf("%8s %12s %12s %10s %12s %12s %12s %12s\n", "mode", "build_s",
+                "search_qps", "recall@10", "fp32_MB", "quant_MB", "graph_MB",
+                "hot_MB");
+
+    std::vector<ann::Quantization> modes;
+    modes.push_back(ann::Quantization::kNone);  // the fp32 baseline row
+    modes.insert(modes.end(), quant_modes.begin(), quant_modes.end());
+    for (ann::Quantization mode : modes) {
+      ann::HnswConfig quant_config = config;
+      quant_config.quantization = mode;
+      quant_config.rerank_factor = rerank_factor;
+
+      QuantRun run;
+      run.mode = mode == ann::Quantization::kNone
+                     ? "fp32"
+                     : std::string(ann::QuantizationName(mode));
+      std::fprintf(stderr, "[ann] building %s index ...\n", run.mode.c_str());
+
+      ann::HnswIndex index(dim, ann::Metric::kCosine, quant_config);
+      util::WallTimer build_timer;
+      index.AddBatch(*quant_corpus, pool.get());
+      run.build_seconds = build_timer.ElapsedSeconds();
+
+      const SearchEval eval = EvalIndex(index, *quant_queries, k, *quant_truth,
+                                        min_search_seconds);
+      run.search_qps = eval.qps;
+      run.recall_at10 = eval.recall;
+
+      const ann::MemoryBreakdown mem = index.MemoryUsage();
+      run.fp32_bytes = mem.fp32_bytes;
+      run.quantized_bytes = mem.quantized_bytes;
+      run.graph_bytes = mem.graph_bytes;
+      run.hot_bytes = mem.hot_bytes();
+
+      constexpr double kMiB = 1024.0 * 1024.0;
+      std::printf("%8s %12.3f %12.0f %10.4f %12.2f %12.2f %12.2f %12.2f\n",
+                  run.mode.c_str(), run.build_seconds, run.search_qps,
+                  run.recall_at10, static_cast<double>(run.fp32_bytes) / kMiB,
+                  static_cast<double>(run.quantized_bytes) / kMiB,
+                  static_cast<double>(run.graph_bytes) / kMiB,
+                  static_cast<double>(run.hot_bytes) / kMiB);
+      quant_runs.push_back(std::move(run));
+    }
+
+    for (size_t i = 1; i < quant_runs.size(); ++i) {
+      std::printf(
+          "%s vs fp32: %.2fx smaller codes, %.2fx smaller hot set, "
+          "%.2fx qps\n",
+          quant_runs[i].mode.c_str(),
+          static_cast<double>(quant_runs[0].fp32_bytes) /
+              static_cast<double>(quant_runs[i].quantized_bytes),
+          static_cast<double>(quant_runs[0].hot_bytes) /
+              static_cast<double>(quant_runs[i].hot_bytes),
+          quant_runs[i].search_qps / quant_runs[0].search_qps);
+    }
+  }
+
   if (json_path != "-" && !json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
@@ -317,7 +495,28 @@ int Main(int argc, char** argv) {
                    r.reload_first_query_ms,
                    i + 1 < runs.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    if (!quant_runs.empty()) {
+      std::fprintf(f,
+                   ",\n  \"quant\": {\n    \"simd\": %s,\n    \"n\": %zu,\n"
+                   "    \"rerank_factor\": %zu,\n    \"runs\": [\n",
+                   ann::QuantSimdEnabled() ? "true" : "false", quant_n,
+                   static_cast<size_t>(flags.GetDouble("rerank_factor", 4)));
+      for (size_t i = 0; i < quant_runs.size(); ++i) {
+        const QuantRun& r = quant_runs[i];
+        std::fprintf(f,
+                     "      {\"mode\": \"%s\", \"build_seconds\": %.6f, "
+                     "\"search_qps\": %.1f, \"recall_at10\": %.4f, "
+                     "\"fp32_bytes\": %zu, \"quantized_bytes\": %zu, "
+                     "\"graph_bytes\": %zu, \"hot_bytes\": %zu}%s\n",
+                     r.mode.c_str(), r.build_seconds, r.search_qps,
+                     r.recall_at10, r.fp32_bytes, r.quantized_bytes,
+                     r.graph_bytes, r.hot_bytes,
+                     i + 1 < quant_runs.size() ? "," : "");
+      }
+      std::fprintf(f, "    ]\n  }");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("JSON written to %s\n", json_path.c_str());
   }

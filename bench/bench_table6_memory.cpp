@@ -14,6 +14,7 @@
 //  * MSCD-HAC's quadratic matrix blows up fastest ("-") as n grows;
 //  * the LM-based systems (proxied here) carry a large constant overhead.
 
+#include "ann/index.h"
 #include "bench/bench_common.h"
 
 namespace multiem::bench {
@@ -93,6 +94,38 @@ int Main(int argc, char** argv) {
   std::printf("\nLM proxies include a nominal 1G/0.75G model-state constant "
               "(see header).\nCurrent process RSS: %s\n",
               util::FormatBytes(util::CurrentRssBytes()).c_str());
+
+  // Serving-index breakdown: the piece of MultiEM's footprint that vector
+  // quantization shrinks, reported fp32 vs int8 through MemoryUsage() so
+  // the retained fp32 payload, the quantized code plane, and the graph are
+  // accounted separately instead of the old single SizeBytes() number
+  // (which silently lumped the code plane into "index bytes").
+  std::printf("\n=== serving index: fp32 vs int8 hot bytes ===\n");
+  std::printf("%-11s %10s %10s %10s %10s %7s\n", "dataset", "fp32_hot",
+              "int8_hot", "codes", "graph", "ratio");
+  for (const auto& d : datasets) {
+    auto serving_breakdown =
+        [&](const std::string& quant) -> ann::MemoryBreakdown {
+      core::MultiEmConfig config = TunedConfig(d.key);
+      config.quantization = quant;
+      auto pipeline = core::PipelineBuilder(config).Build();
+      pipeline.status().CheckOk();
+      core::RunContext ctx;
+      ctx.build_matcher = true;
+      core::PipelineResult result;
+      pipeline->Run(d.data.tables, ctx, &result).CheckOk();
+      return result.matcher->index().MemoryUsage();
+    };
+    const ann::MemoryBreakdown fp32 = serving_breakdown("none");
+    const ann::MemoryBreakdown int8 = serving_breakdown("int8");
+    std::printf("%-11s %10s %10s %10s %10s %6.2fx\n", d.data.name.c_str(),
+                util::FormatBytes(fp32.hot_bytes()).c_str(),
+                util::FormatBytes(int8.hot_bytes()).c_str(),
+                util::FormatBytes(int8.quantized_bytes).c_str(),
+                util::FormatBytes(int8.graph_bytes).c_str(),
+                static_cast<double>(fp32.hot_bytes()) /
+                    static_cast<double>(int8.hot_bytes()));
+  }
   return 0;
 }
 

@@ -9,9 +9,12 @@
 
 namespace multiem::ann {
 
-BruteForceIndex::BruteForceIndex(size_t dim, Metric metric)
-    : dim_(dim), metric_(metric) {
+BruteForceIndex::BruteForceIndex(size_t dim, Metric metric,
+                                 Quantization quantization,
+                                 size_t rerank_factor)
+    : dim_(dim), metric_(metric), rerank_factor_(rerank_factor) {
   if (dim_ == 0) std::abort();
+  quant_.Reset(quantization, dim_);
 }
 
 void BruteForceIndex::Add(std::span<const float> vec) {
@@ -20,6 +23,7 @@ void BruteForceIndex::Add(std::span<const float> vec) {
   if (metric_ == Metric::kCosine) {
     sq_norms_.push_back(embed::Dot(vec, vec));
   }
+  if (quant_.enabled()) quant_.Append(vec);
   ++num_vectors_;
 }
 
@@ -41,12 +45,65 @@ void BruteForceIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
       sq_norms_[base + i] = embed::Dot(row, row);
     }
   });
+  // Codes append in row order on the calling thread: the plane stays
+  // bit-identical to a serial build regardless of the pool.
+  if (quant_.enabled()) {
+    for (size_t i = 0; i < n; ++i) quant_.Append(vectors.Row(i));
+  }
+}
+
+float BruteForceIndex::ExactDistance(std::span<const float> query, float q_sq,
+                                     size_t i) const {
+  std::span<const float> row(data_.data() + i * dim_, dim_);
+  if (metric_ == Metric::kCosine) {
+    return 1.0f - embed::CosineSimilarityFromParts(embed::Dot(query, row),
+                                                   q_sq, sq_norms_[i]);
+  }
+  return Distance(metric_, query, row);
 }
 
 std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
                                               size_t k) const {
   std::vector<Neighbor> all;
   all.reserve(num_vectors_);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  if (quant_.enabled()) {
+    // Approximate scan over the code plane, then exact fp32 rerank of the
+    // top rerank_factor * k. The cosine path reuses the double-precision
+    // CosineSimilarityFromParts contract in the rerank, so a query bitwise-
+    // identical to a stored row still ends at distance exactly 0.
+    const QuantizedStore::QueryContext ctx = QuantizedStore::Prepare(query);
+    for (size_t i = 0; i < num_vectors_; ++i) {
+      float d;
+      switch (metric_) {
+        case Metric::kCosine:
+          d = 1.0f - embed::CosineSimilarityFromParts(
+                         quant_.DotRow(query, ctx, i), ctx.norm_sq,
+                         quant_.NormSq(i));
+          break;
+        case Metric::kEuclidean:
+          d = quant_.EuclideanRow(query, ctx, i);
+          break;
+        default:
+          d = -quant_.DotRow(query, ctx, i);
+          break;
+      }
+      all.push_back({i, d});
+    }
+    const size_t pool =
+        std::min(all.size(), std::max<size_t>(rerank_factor_, 1) * k);
+    std::partial_sort(all.begin(), all.begin() + pool, all.end(), cmp);
+    all.resize(pool);
+    const float q_sq =
+        metric_ == Metric::kCosine ? embed::Dot(query, query) : 0.0f;
+    for (Neighbor& n : all) n.distance = ExactDistance(query, q_sq, n.id);
+    std::sort(all.begin(), all.end(), cmp);
+    if (all.size() > k) all.resize(k);
+    return all;
+  }
   if (metric_ == Metric::kCosine) {
     // One Dot per row against cached squared norms. A query bitwise-identical
     // to a stored row yields similarity exactly 1 and distance exactly 0
@@ -65,10 +122,6 @@ std::vector<Neighbor> BruteForceIndex::Search(std::span<const float> query,
     }
   }
   k = std::min(k, all.size());
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.id < b.id;
-  };
   std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
   all.resize(k);
   return all;
@@ -86,22 +139,34 @@ std::vector<Neighbor> BruteForceIndex::SearchWithStats(
 }
 
 std::unique_ptr<VectorIndex> BruteForceIndex::Clone() const {
-  auto copy = std::make_unique<BruteForceIndex>(dim_, metric_);
+  auto copy = std::make_unique<BruteForceIndex>(dim_, metric_, quant_.mode(),
+                                                rerank_factor_);
   copy->num_vectors_ = num_vectors_;
   copy->data_ = data_;
   copy->sq_norms_ = sq_norms_;
+  copy->quant_ = quant_;
   return copy;
 }
 
 util::Status BruteForceIndex::Save(const std::string& path) const {
-  util::ArtifactWriter artifact(kIndexArtifactMagic, kIndexArtifactVersion);
+  // v1 byte-for-byte when unquantized (the re-save CI gates rely on it);
+  // v2 appends the quantization fields to meta plus the quant sections.
+  const bool quantized = quant_.enabled();
+  util::ArtifactWriter artifact(
+      kIndexArtifactMagic,
+      quantized ? kIndexArtifactVersion : kIndexArtifactVersionFp32);
   util::ByteWriter& meta = artifact.AddSection(kIndexMetaSection);
   meta.WriteString(kKind);
   meta.WriteU64(dim_);
   meta.WriteU8(static_cast<uint8_t>(metric_));
   meta.WriteU64(num_vectors_);
+  if (quantized) {
+    meta.WriteU8(static_cast<uint8_t>(quant_.mode()));
+    meta.WriteU64(rerank_factor_);
+  }
   artifact.AddSection("vectors").WriteF32Array(data_);
   artifact.AddSection("sq_norms").WriteF32Array(sq_norms_);
+  if (quantized) quant_.AppendSections(&artifact);
   return artifact.WriteFile(path);
 }
 
@@ -120,6 +185,22 @@ util::Result<std::unique_ptr<BruteForceIndex>> BruteForceIndex::Load(
   MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&dim));
   MULTIEM_RETURN_IF_ERROR(meta->ReadU8(&metric_byte));
   MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&num_vectors));
+  Quantization quantization = Quantization::kNone;
+  uint64_t rerank_factor = 4;
+  if (artifact.version() >= 2) {
+    // v2 exists only for quantized indexes (see Save), so kNone here means
+    // a malformed file, same as an out-of-range byte.
+    uint8_t quant_byte;
+    MULTIEM_RETURN_IF_ERROR(meta->ReadU8(&quant_byte));
+    MULTIEM_RETURN_IF_ERROR(meta->ReadU64(&rerank_factor));
+    if (quant_byte == static_cast<uint8_t>(Quantization::kNone) ||
+        quant_byte > static_cast<uint8_t>(Quantization::kFp16)) {
+      return util::Status::InvalidArgument(
+          "brute_force artifact: v2 file with invalid quantization mode " +
+          std::to_string(quant_byte));
+    }
+    quantization = static_cast<Quantization>(quant_byte);
+  }
   MULTIEM_RETURN_IF_ERROR(meta->ExpectExhausted());
   if (dim == 0 ||
       metric_byte > static_cast<uint8_t>(Metric::kInnerProduct)) {
@@ -155,10 +236,16 @@ util::Result<std::unique_ptr<BruteForceIndex>> BruteForceIndex::Load(
         std::to_string(want_norms));
   }
 
-  auto index = std::make_unique<BruteForceIndex>(dim, metric);
+  auto index = std::make_unique<BruteForceIndex>(dim, metric, quantization,
+                                                 rerank_factor);
   index->num_vectors_ = num_vectors;
   index->data_ = std::move(data);
   index->sq_norms_ = std::move(sq_norms);
+  if (quantization != Quantization::kNone) {
+    MULTIEM_RETURN_IF_ERROR(index->quant_.LoadSections(
+        artifact, quantization, dim, num_vectors,
+        artifact.mapped() ? artifact.backing() : nullptr));
+  }
   return index;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ann/index.h"
+#include "ann/quant.h"
 
 namespace multiem::util {
 class ArtifactReader;  // util/io.h; only referenced by Load's signature
@@ -28,7 +29,13 @@ namespace multiem::ann {
 class BruteForceIndex : public VectorIndex {
  public:
   /// `dim` is the vector dimensionality; all Add/Search calls must match it.
-  BruteForceIndex(size_t dim, Metric metric);
+  /// With `quantization` != kNone the linear scan runs over the quantized
+  /// codes and only the top `rerank_factor * k` candidates are re-scored
+  /// with exact fp32 distances — the scan stays exact in ranking for any
+  /// pair the approximation separates, and the rerank recovers the rest.
+  BruteForceIndex(size_t dim, Metric metric,
+                  Quantization quantization = Quantization::kNone,
+                  size_t rerank_factor = 4);
 
   void Add(std::span<const float> vec) override;
 
@@ -52,10 +59,19 @@ class BruteForceIndex : public VectorIndex {
 
   size_t size() const override { return num_vectors_; }
   size_t dim() const override { return dim_; }
-  size_t SizeBytes() const override {
-    return data_.size() * sizeof(float) + sq_norms_.size() * sizeof(float);
+  size_t SizeBytes() const override { return MemoryUsage().total(); }
+  MemoryBreakdown MemoryUsage() const override {
+    MemoryBreakdown breakdown;
+    breakdown.fp32_bytes = data_.size() * sizeof(float);
+    breakdown.quantized_bytes = quant_.CodeBytes();
+    breakdown.graph_bytes = sq_norms_.size() * sizeof(float);
+    return breakdown;
   }
   Metric metric() const override { return metric_; }
+
+  /// The quantized code plane (empty when unquantized); for tests and
+  /// memory accounting.
+  const QuantizedStore& quantized_store() const { return quant_; }
 
   /// Artifact kind tag ("brute_force") — selects the loader in index_io.h.
   static constexpr std::string_view kKind = "brute_force";
@@ -72,11 +88,18 @@ class BruteForceIndex : public VectorIndex {
       const util::ArtifactReader& artifact);
 
  private:
+  /// Exact fp32 distance to stored row `i` (the rerank and unquantized scan
+  /// path). `q_sq` is the query's squared norm (cosine only).
+  float ExactDistance(std::span<const float> query, float q_sq,
+                      size_t i) const;
+
   size_t dim_;
   Metric metric_;
+  size_t rerank_factor_;
   size_t num_vectors_ = 0;
   std::vector<float> data_;        // row-major, stored as given
   std::vector<float> sq_norms_;    // per-row squared L2 norms (cosine only)
+  QuantizedStore quant_;           // code plane (quantize-on-insert)
 };
 
 }  // namespace multiem::ann

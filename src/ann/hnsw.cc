@@ -61,6 +61,12 @@ struct HnswIndex::SearchScratch {
   std::vector<uint32_t> selected;    // forward links of the inserted node
   std::vector<uint32_t> reverse_selected;  // re-pruned neighbor links
   std::vector<uint32_t> links;  // locked-mode snapshot of one link block
+  // Quantized-search query context: when active, the traversal loops score
+  // candidates against the code plane (QueryDistance); inserts and plain
+  // fp32 searches leave it inactive. Every entry point that leases scratch
+  // sets the flag, so a recycled lease can never leak a stale context.
+  QuantizedStore::QueryContext quant_ctx;
+  bool quant_active = false;
   // Per-traversal instrumentation (SearchWithStats zeroes, then reads after
   // the descent; inserts also bump them, which is harmless — the counters
   // only mean something between that zero and that read).
@@ -97,6 +103,7 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, HnswConfig config)
     config_.ef_construction = config_.m * 2;
   }
   level_lambda_ = 1.0 / std::log(static_cast<double>(config_.m));
+  quant_.Reset(config_.quantization, dim_);
   level0_stride_ = config_.m0 + 1;
   upper_stride_ = config_.m + 1;
 }
@@ -111,6 +118,23 @@ float HnswIndex::NodeDistance(std::span<const float> query,
     return 1.0f - embed::Dot(query, v);
   }
   return Distance(metric_, query, v);
+}
+
+float HnswIndex::QueryDistance(std::span<const float> query, uint32_t node,
+                               const SearchScratch& scratch) const {
+  if (!scratch.quant_active) return NodeDistance(query, node);
+  switch (metric_) {
+    case Metric::kCosine:
+      // Stored rows were normalized before encoding and the query is
+      // normalized per call, so cosine reduces to 1 - dot, like the fp32
+      // path.
+      return 1.0f - quant_.DotRow(query, scratch.quant_ctx, node);
+    case Metric::kEuclidean:
+      return quant_.EuclideanRow(query, scratch.quant_ctx, node);
+    case Metric::kInnerProduct:
+      return -quant_.DotRow(query, scratch.quant_ctx, node);
+  }
+  return NodeDistance(query, node);
 }
 
 HnswIndex::SearchScratch* HnswIndex::AcquireScratch() const {
@@ -155,6 +179,7 @@ void HnswIndex::EnsureOwnedSlabs() {
   upper_links_.EnsureOwned();
   upper_offset_.EnsureOwned();
   node_level_.EnsureOwned();
+  quant_.EnsureOwned();
 }
 
 uint32_t HnswIndex::RegisterNode(std::span<const float> vec) {
@@ -166,6 +191,9 @@ uint32_t HnswIndex::RegisterNode(std::span<const float> vec) {
   if (metric_ == Metric::kCosine) {
     embed::L2NormalizeInPlace(std::span<float>(vectors_.data() + offset, dim_));
   }
+  // Quantize-on-insert from the stored (post-normalization) row, so the
+  // codes always decode toward what the fp32 plane actually holds.
+  if (quant_.enabled()) quant_.Append(NodeVector(node));
   const int level = DrawLevel();
   node_level_.push_back(level);
   upper_offset_.push_back(upper_links_.size());
@@ -201,7 +229,7 @@ uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
                                       uint32_t entry, int level,
                                       SearchScratch& scratch) const {
   uint32_t current = entry;
-  float current_dist = NodeDistance(query, current);
+  float current_dist = QueryDistance(query, current, scratch);
   ++scratch.distance_evals;
   bool improved = true;
   while (improved) {
@@ -212,9 +240,11 @@ uint32_t HnswIndex::GreedySearchLayer(std::span<const float> query,
                                                  &count);
     for (uint32_t j = 0; j < count; ++j) {
       if (j + 1 < count) {
-        util::PrefetchRead(vectors_.data() + size_t{ids[j + 1]} * dim_);
+        util::PrefetchRead(scratch.quant_active
+                               ? quant_.RowData(ids[j + 1])
+                               : vectors_.data() + size_t{ids[j + 1]} * dim_);
       }
-      float d = NodeDistance(query, ids[j]);
+      float d = QueryDistance(query, ids[j], scratch);
       ++scratch.distance_evals;
       if (d < current_dist) {
         current = ids[j];
@@ -242,7 +272,7 @@ void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
   candidates.clear();
   results.clear();
 
-  float entry_dist = NodeDistance(query, entry);
+  float entry_dist = QueryDistance(query, entry, scratch);
   ++scratch.distance_evals;
   candidates.push_back({entry, entry_dist});
   results.push_back({entry, entry_dist});
@@ -263,16 +293,21 @@ void HnswIndex::SearchLayer(std::span<const float> query, uint32_t entry,
     for (uint32_t j = 0; j < count; ++j) {
       if (j + 1 < count) {
         // Hide the next hop's cache misses behind this distance computation:
-        // its visited stamp and the head of its vector row.
+        // its visited stamp and the head of whichever vector plane this
+        // search reads (quantized codes or the fp32 row).
         util::PrefetchRead(&scratch.stamps[ids[j + 1]]);
-        const float* next = vectors_.data() + size_t{ids[j + 1]} * dim_;
-        util::PrefetchRead(next);
-        util::PrefetchRead(next + util::kCacheLineBytes / sizeof(float));
+        if (scratch.quant_active) {
+          util::PrefetchRead(quant_.RowData(ids[j + 1]));
+        } else {
+          const float* next = vectors_.data() + size_t{ids[j + 1]} * dim_;
+          util::PrefetchRead(next);
+          util::PrefetchRead(next + util::kCacheLineBytes / sizeof(float));
+        }
       }
       const uint32_t neighbor = ids[j];
       if (scratch.stamps[neighbor] == stamp) continue;
       scratch.stamps[neighbor] = stamp;
-      float d = NodeDistance(query, neighbor);
+      float d = QueryDistance(query, neighbor, scratch);
       ++scratch.distance_evals;
       if (results.size() < ef || d < results.front().distance) {
         candidates.push_back({neighbor, d});
@@ -455,6 +490,7 @@ void HnswIndex::Add(std::span<const float> vec) {
     return;
   }
   ScratchLease scratch(*this);
+  (*scratch).quant_active = false;  // construction always scores fp32
   InsertNode<false>(node, *scratch);
 }
 
@@ -497,6 +533,7 @@ void HnswIndex::AddBatch(const embed::EmbeddingMatrix& vectors,
       pool, n - start,
       [&](size_t i) {
         ScratchLease scratch(*this);
+        (*scratch).quant_active = false;  // construction always scores fp32
         InsertNode<true>(base + static_cast<uint32_t>(start + i), *scratch);
       },
       /*min_block_size=*/16);
@@ -532,6 +569,18 @@ std::vector<Neighbor> HnswIndex::SearchWithStats(std::span<const float> query,
     q = normalized;
   }
 
+  const bool quantized = quant_.enabled();
+  (*scratch).quant_active = quantized;
+  size_t rerank = 1;
+  if (quantized) {
+    (*scratch).quant_ctx = QuantizedStore::Prepare(q);
+    // The beam must hold the whole rerank pool, or the exact pass could
+    // only ever reorder k candidates instead of recovering ones the
+    // approximate distances mis-ranked.
+    rerank = std::max<size_t>(config_.rerank_factor, 1);
+    ef = std::max(ef, rerank * k);
+  }
+
   const uint64_t snapshot = entry_state_.load(std::memory_order_acquire);
   uint32_t current = EntryNode(snapshot);
   for (int l = EntryLevel(snapshot); l > 0; --l) {
@@ -539,6 +588,16 @@ std::vector<Neighbor> HnswIndex::SearchWithStats(std::span<const float> query,
   }
   SearchLayer<false>(q, current, ef, 0, *scratch);
   std::vector<Neighbor>& found = (*scratch).found;
+  if (quantized) {
+    // Exact rerank: re-score the top rerank * k approximate candidates
+    // against the retained fp32 originals, then keep the best k.
+    if (found.size() > rerank * k) found.resize(rerank * k);
+    for (Neighbor& n : found) {
+      n.distance = NodeDistance(q, static_cast<uint32_t>(n.id));
+    }
+    (*scratch).distance_evals += found.size();
+    std::sort(found.begin(), found.end(), AscendingDistanceThenId);
+  }
   if (found.size() > k) found.resize(k);
   if (stats != nullptr) {
     stats->visited = (*scratch).visited;
@@ -560,17 +619,23 @@ std::unique_ptr<VectorIndex> HnswIndex::Clone() const {
   copy->upper_links_ = upper_links_;
   copy->upper_offset_ = upper_offset_;
   copy->node_level_ = node_level_;
+  copy->quant_ = quant_;  // cheap view-share while mapped, deep copy if owned
   copy->entry_state_.store(entry_state_.load(std::memory_order_acquire),
                            std::memory_order_release);
   return copy;
 }
 
-size_t HnswIndex::SizeBytes() const {
-  return vectors_.size() * sizeof(float) +
-         level0_links_.size() * sizeof(uint32_t) +
-         upper_links_.size() * sizeof(uint32_t) +
-         upper_offset_.size() * sizeof(size_t) +
-         node_level_.size() * sizeof(int);
+size_t HnswIndex::SizeBytes() const { return MemoryUsage().total(); }
+
+MemoryBreakdown HnswIndex::MemoryUsage() const {
+  MemoryBreakdown breakdown;
+  breakdown.fp32_bytes = vectors_.size() * sizeof(float);
+  breakdown.quantized_bytes = quant_.CodeBytes();
+  breakdown.graph_bytes = level0_links_.size() * sizeof(uint32_t) +
+                          upper_links_.size() * sizeof(uint32_t) +
+                          upper_offset_.size() * sizeof(uint64_t) +
+                          node_level_.size() * sizeof(int32_t);
+  return breakdown;
 }
 
 // ---------------------------------------------------------------------------
@@ -581,7 +646,13 @@ static_assert(sizeof(int) == sizeof(int32_t),
               "node levels serialize as i32");
 
 util::Status HnswIndex::Save(const std::string& path) const {
-  util::ArtifactWriter artifact(kIndexArtifactMagic, kIndexArtifactVersion);
+  // Unquantized indexes keep writing the v1 layout byte-for-byte (the CI
+  // re-save gates depend on it); only a quantized index emits v2 with the
+  // extra config fields and quant sections.
+  const bool quantized = quant_.enabled();
+  util::ArtifactWriter artifact(
+      kIndexArtifactMagic,
+      quantized ? kIndexArtifactVersion : kIndexArtifactVersionFp32);
 
   util::ByteWriter& meta = artifact.AddSection(kIndexMetaSection);
   meta.WriteString(kKind);
@@ -597,6 +668,10 @@ util::Status HnswIndex::Save(const std::string& path) const {
   config.WriteU64(config_.ef_search);
   config.WriteU64(config_.seed);
   config.WriteU64(config_.parallel_batch_min);
+  if (quantized) {
+    config.WriteU64(static_cast<uint64_t>(config_.quantization));
+    config.WriteU64(config_.rerank_factor);
+  }
 
   const std::array<uint64_t, 4> rng_state = level_rng_.state();
   artifact.AddSection("rng").WriteU64Array(rng_state);
@@ -611,6 +686,8 @@ util::Status HnswIndex::Save(const std::string& path) const {
   artifact.AddSection("upper_offsets").WriteU64Array(upper_offset_.span());
   artifact.AddSection("upper_links").WriteU32Array(
       std::span<const uint32_t>(upper_links_.data(), upper_links_.size()));
+
+  if (quantized) quant_.AppendSections(&artifact);
 
   return artifact.WriteFile(path);
 }
@@ -680,6 +757,21 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
   MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&ef_search));
   MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&config.seed));
   MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&parallel_batch_min));
+  if (artifact.version() >= 2) {
+    // v2 exists only for quantized indexes; an in-range mode of kNone would
+    // mean a writer bug, so it is rejected like an out-of-range byte.
+    uint64_t quant_mode, rerank_factor;
+    MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&quant_mode));
+    MULTIEM_RETURN_IF_ERROR(config_section->ReadU64(&rerank_factor));
+    if (quant_mode == static_cast<uint64_t>(Quantization::kNone) ||
+        quant_mode > static_cast<uint64_t>(Quantization::kFp16)) {
+      return util::Status::InvalidArgument(
+          "hnsw artifact: v2 file with invalid quantization mode " +
+          std::to_string(quant_mode));
+    }
+    config.quantization = static_cast<Quantization>(quant_mode);
+    config.rerank_factor = rerank_factor;
+  }
   MULTIEM_RETURN_IF_ERROR(config_section->ExpectExhausted());
   // Degree caps: every slab-size expectation below multiplies node counts
   // by m0+1 / m+1, so absurd degrees from a crafted file must be rejected
@@ -883,6 +975,13 @@ util::Result<std::unique_ptr<HnswIndex>> HnswIndex::Load(
           ", level " + std::to_string(entry_level) +
           ") is inconsistent with the level array");
     }
+  }
+
+  // Quantized plane last: all counts above are already validated, so the
+  // store's row/dim cross-checks run against trusted values.
+  if (config.quantization != Quantization::kNone) {
+    MULTIEM_RETURN_IF_ERROR(index->quant_.LoadSections(
+        artifact, config.quantization, dim, num_nodes, keepalive));
   }
 
   index->num_nodes_ = num_nodes;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ann/index.h"
+#include "ann/quant.h"
 #include "util/memory.h"
 #include "util/rng.h"
 
@@ -36,6 +37,17 @@ struct HnswConfig {
   /// fan-out, and small builds stay serial — and therefore deterministic
   /// (see the thread-safety notes below).
   size_t parallel_batch_min = 1024;
+  /// Vector storage for the candidate scan. kNone keeps the fp32-only
+  /// behavior (and the v1 on-disk format). int8/fp16 quantize on insert and
+  /// run the beam search on the codes; construction and the final rerank
+  /// always use the retained fp32 originals, so the graph is bit-identical
+  /// to an unquantized build with the same seed.
+  Quantization quantization = Quantization::kNone;
+  /// Quantized searches re-score the top rerank_factor * k candidates with
+  /// exact fp32 distances before truncating to k (the beam width is raised
+  /// to at least rerank_factor * k). Ignored when unquantized; 0 behaves
+  /// as 1 (no widening, rerank of the top k only).
+  size_t rerank_factor = 4;
 };
 
 /// Hierarchical Navigable Small World index (Malkov & Yashunin, TPAMI 2020),
@@ -112,9 +124,15 @@ class HnswIndex : public VectorIndex {
   size_t size() const override { return num_nodes_; }
   size_t dim() const override { return dim_; }
   /// Exact bytes of payload held (flat slabs make this a size sum, not a
-  /// capacity estimate).
+  /// capacity estimate). Includes the quantized code plane when present.
   size_t SizeBytes() const override;
+  /// SizeBytes() split into fp32 payload / quantized codes / graph.
+  MemoryBreakdown MemoryUsage() const override;
   Metric metric() const override { return metric_; }
+
+  /// The quantized code plane (empty unless config().quantization != kNone);
+  /// exposed for tests and memory accounting.
+  const QuantizedStore& quantized_store() const { return quant_; }
 
   /// Highest layer currently in use (-1 when empty); exposed for tests.
   int max_level() const {
@@ -185,8 +203,15 @@ class HnswIndex : public VectorIndex {
     return const_cast<uint32_t*>(LinkBlock(node, level));
   }
 
-  /// Distance from `query` (already normalized for cosine) to stored node.
+  /// Distance from `query` (already normalized for cosine) to stored node,
+  /// always through the fp32 originals (construction and rerank path).
   float NodeDistance(std::span<const float> query, uint32_t node) const;
+
+  /// Distance the traversal loops use: the quantized approximation when the
+  /// scratch carries an active quant query context (set up by
+  /// SearchWithStats), NodeDistance otherwise (inserts always take fp32).
+  float QueryDistance(std::span<const float> query, uint32_t node,
+                      const SearchScratch& scratch) const;
 
   std::span<const float> NodeVector(uint32_t node) const {
     return std::span<const float>(vectors_.data() + size_t{node} * dim_, dim_);
@@ -273,6 +298,9 @@ class HnswIndex : public VectorIndex {
       upper_links_;  // per-node level slabs
   util::CowSlab<uint64_t> upper_offset_;  // node -> first upper_links_ block
   util::CowSlab<int32_t> node_level_;
+  /// Quantized codes of every stored vector (encoded by RegisterNode after
+  /// cosine normalization); empty when config_.quantization == kNone.
+  QuantizedStore quant_;
   std::atomic<uint64_t> entry_state_{kEmptyEntryState};
 
   mutable std::unique_ptr<std::mutex[]> link_stripes_;

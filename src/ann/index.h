@@ -40,6 +40,25 @@ struct SearchStats {
   size_t distance_evals = 0;
 };
 
+/// Byte-level split of an index's footprint, so the memory-accounting bench
+/// can report the quantized code plane separately from the retained fp32
+/// originals instead of lumping everything into one SizeBytes() number.
+struct MemoryBreakdown {
+  /// Retained fp32 vector payload (originals kept for rerank/construction).
+  size_t fp32_bytes = 0;
+  /// Quantized codes + per-vector parameters (0 when unquantized).
+  size_t quantized_bytes = 0;
+  /// Graph/auxiliary structure (links, offsets, levels, stored norms).
+  size_t graph_bytes = 0;
+
+  size_t total() const { return fp32_bytes + quantized_bytes + graph_bytes; }
+  /// Bytes the search loop actually touches per candidate: the quantized
+  /// codes when present, the fp32 payload otherwise, plus the graph.
+  size_t hot_bytes() const {
+    return (quantized_bytes > 0 ? quantized_bytes : fp32_bytes) + graph_bytes;
+  }
+};
+
 /// Common interface of the nearest-neighbor indexes (HNSW and brute force),
 /// so the merging phase can swap implementations (`index_name =
 /// "brute_force"` in MultiEmConfig selects the exact-KNN ablation; the old
@@ -110,8 +129,18 @@ class VectorIndex {
   /// table); implementations should override.
   virtual size_t dim() const { return 0; }
 
-  /// Approximate heap footprint (memory-accounting bench).
+  /// Approximate heap footprint (memory-accounting bench). Includes every
+  /// plane the index holds — fp32 payload, quantized codes, and graph — i.e.
+  /// MemoryUsage().total() for implementations that override both.
   virtual size_t SizeBytes() const = 0;
+
+  /// SizeBytes() split by plane. The default attributes everything to
+  /// fp32_bytes, which is exact for unquantized implementations.
+  virtual MemoryBreakdown MemoryUsage() const {
+    MemoryBreakdown breakdown;
+    breakdown.fp32_bytes = SizeBytes();
+    return breakdown;
+  }
 
   /// The metric this index was built with.
   virtual Metric metric() const = 0;

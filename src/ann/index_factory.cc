@@ -6,7 +6,8 @@ namespace multiem::ann {
 
 std::unique_ptr<VectorIndex> BruteForceIndexFactory::Create(
     size_t dim, Metric metric) const {
-  return std::make_unique<BruteForceIndex>(dim, metric);
+  return std::make_unique<BruteForceIndex>(dim, metric, quantization_,
+                                           rerank_factor_);
 }
 
 std::unique_ptr<VectorIndex> HnswIndexFactory::Create(size_t dim,

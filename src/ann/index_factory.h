@@ -29,11 +29,22 @@ class VectorIndexFactory {
 };
 
 /// Factory for the exact BruteForceIndex (the `index_name = "brute_force"`
-/// ablation; also what the deprecated `use_exact_knn` flag maps to).
+/// ablation; also what the deprecated `use_exact_knn` flag maps to). With a
+/// quantization mode the created scans run over codes + fp32 rerank
+/// (see BruteForceIndex).
 class BruteForceIndexFactory final : public VectorIndexFactory {
  public:
+  explicit BruteForceIndexFactory(
+      Quantization quantization = Quantization::kNone,
+      size_t rerank_factor = 4)
+      : quantization_(quantization), rerank_factor_(rerank_factor) {}
+
   std::unique_ptr<VectorIndex> Create(size_t dim,
                                       Metric metric) const override;
+
+ private:
+  Quantization quantization_;
+  size_t rerank_factor_;
 };
 
 /// Canonical HnswConfig derivation from the four user-facing knobs —

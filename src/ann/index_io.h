@@ -33,10 +33,15 @@ namespace multiem::ann {
 
 /// Magic + current format version of the MEMINDEX artifact family. Readers
 /// accept versions in [1, kIndexArtifactVersion]; newer files fail with
-/// FailedPrecondition (see util::ArtifactReader::FromFile).
+/// FailedPrecondition (see util::ArtifactReader::FromFile). Version 2 adds
+/// the quantized code plane (quant/quant_codes/quant_params sections, plus
+/// quantization fields in the index config) and is written only by
+/// quantized indexes — an unquantized save still emits the byte-identical
+/// v1 layout, so fp32 artifacts stay stable across this bump.
 inline constexpr uint64_t kIndexArtifactMagic =
     util::ArtifactMagic("MEMINDEX");
-inline constexpr uint32_t kIndexArtifactVersion = 1;
+inline constexpr uint32_t kIndexArtifactVersion = 2;
+inline constexpr uint32_t kIndexArtifactVersionFp32 = 1;
 
 /// Every index artifact's "meta" section begins with the kind tag string;
 /// the remaining meta fields are implementation-defined.

@@ -229,6 +229,18 @@ util::Status PipelineArtifact::Save(const Matcher& matcher,
     manifest.AddSection("slots").WriteU64Array(slots);
   }
 
+  // Optional "quant" section: present only when the pipeline ran with a
+  // quantized index. The config section's layout is frozen (forward-compat
+  // rule 2 in docs/FORMATS.md: new optional data goes in new sections), so
+  // the quantization knobs live here; unquantized manifests stay
+  // byte-identical to pre-quantization saves. Old readers are protected
+  // regardless — they reject the accompanying v2 index.mem first.
+  if (matcher.fixed_->config.quantization != "none") {
+    util::ByteWriter& quant = manifest.AddSection("quant");
+    quant.WriteString(matcher.fixed_->config.quantization);
+    quant.WriteU64(matcher.fixed_->config.rerank_factor);
+  }
+
   // Stage, then publish: all three files are written under staged names
   // first, so a failure partway (disk full, an index kind without Save)
   // cannot leave a directory that mixes this session's manifest with a
@@ -293,6 +305,17 @@ util::Result<Matcher> PipelineArtifact::Load(
     auto section = manifest->Section("config");
     if (!section.ok()) return section.status();
     MULTIEM_RETURN_IF_ERROR(ReadConfig(*section, &config));
+  }
+  // Optional "quant" section (absent in every unquantized manifest): the
+  // quantization knobs the AddTable rebuild factory must reproduce.
+  if (manifest->HasSection("quant")) {
+    auto section = manifest->Section("quant");
+    if (!section.ok()) return section.status();
+    uint64_t rerank_factor;
+    MULTIEM_RETURN_IF_ERROR(section->ReadString(&config.quantization));
+    MULTIEM_RETURN_IF_ERROR(section->ReadU64(&rerank_factor));
+    MULTIEM_RETURN_IF_ERROR(section->ExpectExhausted());
+    config.rerank_factor = static_cast<size_t>(rerank_factor);
   }
   MULTIEM_RETURN_IF_ERROR(config.ValidateValues());
 

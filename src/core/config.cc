@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "ann/quant.h"
 #include "core/registry.h"
 
 namespace multiem::core {
@@ -28,6 +29,16 @@ util::Status MultiEmConfig::ValidateValues() const {
   }
   if (min_pts == 0) {
     return util::Status::InvalidArgument("min_pts must be >= 1");
+  }
+  ann::Quantization quant_mode;
+  if (!ann::ParseQuantization(quantization, &quant_mode)) {
+    return util::Status::InvalidArgument(
+        "quantization must be one of none/int8/fp16, got '" + quantization +
+        "'");
+  }
+  if (quant_mode != ann::Quantization::kNone && rerank_factor == 0) {
+    return util::Status::InvalidArgument(
+        "rerank_factor must be >= 1 when quantization is enabled");
   }
   return util::Status::Ok();
 }

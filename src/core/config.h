@@ -66,6 +66,16 @@ struct MultiEmConfig {
   size_t hnsw_m = 16;
   size_t hnsw_ef_construction = 100;
   size_t hnsw_ef_search = 48;
+  /// Vector storage for the merging-phase candidate scans: "none" (fp32,
+  /// the default), "int8", or "fp16" (ann::Quantization). Quantized indexes
+  /// keep the fp32 originals for graph construction and re-score the top
+  /// `rerank_factor * k` candidates exactly, so recall stays >= 0.95 at a
+  /// fraction of the hot bytes; see docs/API.md, "Quantized vectors".
+  /// Applies to both the hnsw and brute_force built-ins.
+  std::string quantization = "none";
+  /// Exact-rerank pool multiplier for quantized searches (ignored when
+  /// quantization is "none").
+  size_t rerank_factor = 4;
 
   // --- Density-based pruning (Section III-D) ---
   /// Enables outlier pruning. Disabling reproduces "MultiEM w/o DP".

@@ -17,16 +17,29 @@ std::unique_ptr<embed::TextEncoder> MakeHashingEncoder(
   return std::make_unique<embed::HashingSentenceEncoder>(encoder_config);
 }
 
+// The quantization knob is a string at the config surface; Validate()
+// guarantees it parses, and an unparsable name here (a factory created from
+// an unvalidated config) degrades to fp32 rather than aborting.
+ann::Quantization ParseQuantizationOrNone(const MultiEmConfig& config) {
+  ann::Quantization mode = ann::Quantization::kNone;
+  ann::ParseQuantization(config.quantization, &mode);
+  return mode;
+}
+
 std::unique_ptr<ann::VectorIndexFactory> MakeHnswFactory(
     const MultiEmConfig& config) {
-  return std::make_unique<ann::HnswIndexFactory>(ann::MakeHnswConfig(
+  ann::HnswConfig hnsw_config = ann::MakeHnswConfig(
       config.hnsw_m, config.hnsw_ef_construction, config.hnsw_ef_search,
-      config.seed ^ 0x484E5357ULL /* "HNSW" */));
+      config.seed ^ 0x484E5357ULL /* "HNSW" */);
+  hnsw_config.quantization = ParseQuantizationOrNone(config);
+  hnsw_config.rerank_factor = config.rerank_factor;
+  return std::make_unique<ann::HnswIndexFactory>(hnsw_config);
 }
 
 std::unique_ptr<ann::VectorIndexFactory> MakeBruteForceFactory(
-    const MultiEmConfig&) {
-  return std::make_unique<ann::BruteForceIndexFactory>();
+    const MultiEmConfig& config) {
+  return std::make_unique<ann::BruteForceIndexFactory>(
+      ParseQuantizationOrNone(config), config.rerank_factor);
 }
 
 std::unique_ptr<Pruner> MakeDensityPruner(const MultiEmConfig& config) {

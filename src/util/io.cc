@@ -95,6 +95,19 @@ void WriteArrayImpl(ByteWriter& out, std::span<const T> values,
   }
 }
 
+void ByteWriter::WriteU8Array(std::span<const uint8_t> values) {
+  WriteArrayImpl(*this, values, [&](uint8_t v) { WriteU8(v); });
+}
+
+void ByteWriter::WriteI8Array(std::span<const int8_t> values) {
+  WriteArrayImpl(*this, values,
+                 [&](int8_t v) { WriteU8(static_cast<uint8_t>(v)); });
+}
+
+void ByteWriter::WriteU16Array(std::span<const uint16_t> values) {
+  WriteArrayImpl(*this, values, [&](uint16_t v) { WriteU16(v); });
+}
+
 void ByteWriter::WriteU32Array(std::span<const uint32_t> values) {
   WriteArrayImpl(*this, values, [&](uint32_t v) { WriteU32(v); });
 }

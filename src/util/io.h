@@ -122,6 +122,9 @@ class ByteWriter {
   void WriteBytes(const void* data, size_t size);
 
   /// Typed bulk arrays: u64 element count + the elements.
+  void WriteU8Array(std::span<const uint8_t> values);
+  void WriteI8Array(std::span<const int8_t> values);
+  void WriteU16Array(std::span<const uint16_t> values);
   void WriteU32Array(std::span<const uint32_t> values);
   void WriteU64Array(std::span<const uint64_t> values);
   void WriteI32Array(std::span<const int32_t> values);
@@ -161,13 +164,16 @@ class ByteReader {
   /// Typed bulk arrays (the ByteWriter Write*Array counterparts). The
   /// element count is validated against the remaining bytes before any
   /// allocation, so a corrupted count cannot trigger an overlarge reserve.
+  Status ReadU8Array(std::vector<uint8_t>* out) { return ReadArrayInto(out); }
+  Status ReadI8Array(std::vector<int8_t>* out) { return ReadArrayInto(out); }
+  Status ReadU16Array(std::vector<uint16_t>* out) { return ReadArrayInto(out); }
   Status ReadU32Array(std::vector<uint32_t>* out) { return ReadArrayInto(out); }
   Status ReadU64Array(std::vector<uint64_t>* out) { return ReadArrayInto(out); }
   Status ReadI32Array(std::vector<int32_t>* out) { return ReadArrayInto(out); }
   Status ReadF32Array(std::vector<float>* out) { return ReadArrayInto(out); }
   Status ReadF64Array(std::vector<double>* out) { return ReadArrayInto(out); }
 
-  /// Same, into any contiguous vector-like container of 4- or 8-byte
+  /// Same, into any contiguous vector-like container of 1/2/4/8-byte
   /// elements (util::CacheAlignedVector included) — this is the zero-
   /// temporary path big loaders use to read a slab straight into its final
   /// member: one bounds check, then (on little-endian hosts, where the wire
@@ -175,8 +181,9 @@ class ByteReader {
   template <typename Vec>
   Status ReadArrayInto(Vec* out) {
     using T = typename Vec::value_type;
-    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
-                  "arrays hold 4/8-byte elements");
+    static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                      sizeof(T) == 8,
+                  "arrays hold 1/2/4/8-byte elements");
     uint64_t count;
     MULTIEM_RETURN_IF_ERROR(ReadU64(&count));
     // Validate before allocating: a corrupt count must not drive an
@@ -203,8 +210,9 @@ class ByteReader {
   template <typename T, typename Alloc>
   Status ReadArrayCow(CowSlab<T, Alloc>* out,
                       const std::shared_ptr<const void>& keepalive) {
-    static_assert(sizeof(T) == 4 || sizeof(T) == 8,
-                  "arrays hold 4/8-byte elements");
+    static_assert(sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 ||
+                      sizeof(T) == 8,
+                  "arrays hold 1/2/4/8-byte elements");
     uint64_t count;
     MULTIEM_RETURN_IF_ERROR(ReadU64(&count));
     if (count > remaining() / sizeof(T)) {
@@ -253,7 +261,13 @@ class ByteReader {
         for (size_t b = sizeof(T); b-- > 0;) {
           bits = (bits << 8) | p[i * sizeof(T) + b];
         }
-        if constexpr (sizeof(T) == 4) {
+        if constexpr (sizeof(T) == 1) {
+          const uint8_t narrow = static_cast<uint8_t>(bits);
+          std::memcpy(&out[i], &narrow, sizeof(T));
+        } else if constexpr (sizeof(T) == 2) {
+          const uint16_t narrow = static_cast<uint16_t>(bits);
+          std::memcpy(&out[i], &narrow, sizeof(T));
+        } else if constexpr (sizeof(T) == 4) {
           const uint32_t narrow = static_cast<uint32_t>(bits);
           std::memcpy(&out[i], &narrow, sizeof(T));
         } else {

@@ -356,7 +356,7 @@ TEST(HnswPersistTest, RejectsOverflowingCounts) {
   {
     // dim near 2^63 with an empty vector payload (2 * 2^63 wraps to 0).
     util::ArtifactWriter writer(ann::kIndexArtifactMagic,
-                                ann::kIndexArtifactVersion);
+                                ann::kIndexArtifactVersionFp32);
     util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
     meta.WriteString("hnsw");
     meta.WriteU64(uint64_t{1} << 63);  // dim
@@ -380,7 +380,7 @@ TEST(HnswPersistTest, RejectsOverflowingCounts) {
   {
     // Absurd link degrees would wrap the slab-size expectations.
     util::ArtifactWriter writer(ann::kIndexArtifactMagic,
-                                ann::kIndexArtifactVersion);
+                                ann::kIndexArtifactVersionFp32);
     util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
     meta.WriteString("hnsw");
     meta.WriteU64(4);  // dim
@@ -401,7 +401,7 @@ TEST(HnswPersistTest, RejectsOverflowingCounts) {
   {
     // brute_force: num_vectors * dim wrapping to 0 over empty payloads.
     util::ArtifactWriter writer(ann::kIndexArtifactMagic,
-                                ann::kIndexArtifactVersion);
+                                ann::kIndexArtifactVersionFp32);
     util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
     meta.WriteString("brute_force");
     meta.WriteU64(uint64_t{1} << 32);  // dim
@@ -422,7 +422,7 @@ TEST(HnswPersistTest, RejectsUpperLinkToNodeBelowThatLevel) {
   // exists at level 0: following that edge at level 1 would read past the
   // target's (absent) upper slab, so Load must reject it.
   util::ArtifactWriter writer(ann::kIndexArtifactMagic,
-                              ann::kIndexArtifactVersion);
+                              ann::kIndexArtifactVersionFp32);
   util::ByteWriter& meta = writer.AddSection(ann::kIndexMetaSection);
   meta.WriteString("hnsw");
   meta.WriteU64(4);                        // dim
@@ -455,7 +455,7 @@ TEST(HnswPersistTest, RejectsUpperLinkToNodeBelowThatLevel) {
 TEST(HnswPersistTest, RejectsUnknownKind) {
   // A checksum-valid MEMINDEX artifact whose kind tag has no loader.
   util::ArtifactWriter writer(ann::kIndexArtifactMagic,
-                              ann::kIndexArtifactVersion);
+                              ann::kIndexArtifactVersionFp32);
   writer.AddSection(ann::kIndexMetaSection).WriteString("martian");
   const std::string path = TempPath("unknown_kind.mem");
   ASSERT_TRUE(writer.WriteFile(path).ok());

@@ -661,5 +661,190 @@ TEST(ServeIngestTest, EpochCountsAndSourceNamesAdvance) {
   EXPECT_EQ(matcher.epoch(), expected_epoch);
 }
 
+// --------------------------------------------------- quantized serving --
+
+MultiEmConfig QuantizedServingConfig() {
+  MultiEmConfig config = ServingConfig();
+  config.quantization = "int8";
+  config.rerank_factor = 4;
+  return config;
+}
+
+// Quantized analog of SharedArtifactDir: the same base corpus served
+// through an int8 index with exact rerank, built and saved once per run.
+const std::string& QuantizedArtifactDir() {
+  static const std::string dir = [] {
+    std::string path = TempPath("quantized_artifact");
+    auto pipeline = PipelineBuilder(QuantizedServingConfig()).Build();
+    pipeline.status().CheckOk();
+    RunContext ctx;
+    ctx.build_matcher = true;
+    PipelineResult result;
+    pipeline->Run(BaseTables(), ctx, &result).CheckOk();
+    result.matcher->Save(path).CheckOk();
+    return path;
+  }();
+  return dir;
+}
+
+Matcher LoadQuantizedSession() {
+  auto matcher = MultiEmPipeline::LoadArtifact(QuantizedArtifactDir());
+  matcher.status().CheckOk();
+  return std::move(*matcher);
+}
+
+TEST(ServeQuantizedTest, ArtifactRoundTripKeepsQuantization) {
+  // The quantization knobs survive the manifest round trip, and the
+  // reloaded quantized session answers exactly like the one that saved it.
+  Matcher matcher = LoadQuantizedSession();
+  EXPECT_EQ(matcher.config().quantization, "int8");
+  EXPECT_EQ(matcher.config().rerank_factor, 4u);
+
+  auto pipeline = PipelineBuilder(QuantizedServingConfig()).Build();
+  pipeline.status().CheckOk();
+  RunContext ctx;
+  ctx.build_matcher = true;
+  PipelineResult result;
+  pipeline->Run(BaseTables(), ctx, &result).CheckOk();
+
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+  EXPECT_EQ(AnswersOf(matcher.snapshot(), queries, options).matches,
+            AnswersOf(result.matcher->snapshot(), queries, options).matches);
+}
+
+// Counts the query rows whose resolved member sets agree between two
+// sessions — the recall measure the quantized-vs-fp32 oracle tests gate on
+// (members, not item ids, so it is robust to group renumbering).
+size_t AgreeingRows(const EpochAnswers& a, const EpochAnswers& b) {
+  EXPECT_EQ(a.members.size(), b.members.size());
+  size_t agreeing = 0;
+  for (size_t row = 0; row < a.members.size(); ++row) {
+    if (a.members[row] == b.members[row]) ++agreeing;
+  }
+  return agreeing;
+}
+
+TEST(ServeQuantizedTest, FullRebuildMatchesFp32Oracle) {
+  // One quantized Run over every table vs the fp32 oracle build of the same
+  // corpus: the exact rerank keeps the served answers aligned.
+  std::vector<Table> all_tables = BaseTables();
+  for (Table& t : IngestTables()) all_tables.push_back(std::move(t));
+
+  const auto build = [&](const MultiEmConfig& config) {
+    auto pipeline = PipelineBuilder(config).Build();
+    pipeline.status().CheckOk();
+    RunContext ctx;
+    ctx.build_matcher = true;
+    PipelineResult result;
+    pipeline->Run(all_tables, ctx, &result).CheckOk();
+    return std::move(result.matcher);
+  };
+  auto quantized = build(QuantizedServingConfig());
+  auto oracle = build(ServingConfig());
+
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+  const EpochAnswers quant_answers =
+      AnswersOf(quantized->snapshot(), queries, options);
+  const EpochAnswers oracle_answers =
+      AnswersOf(oracle->snapshot(), queries, options);
+  EXPECT_GE(AgreeingRows(quant_answers, oracle_answers),
+            (queries.num_rows() * 95 + 99) / 100);
+}
+
+TEST(ServeQuantizedTest, IncrementalAddTableMatchesFp32Oracle) {
+  // The quantize-on-insert incremental path: after every AddTable the
+  // quantized session must keep answering like the fp32 oracle session
+  // replaying the identical ingest sequence.
+  Matcher quantized = LoadQuantizedSession();
+  Matcher oracle = LoadSession();
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+  for (const Table& t : IngestTables()) {
+    ASSERT_TRUE(quantized.AddTable(t).ok());
+    ASSERT_TRUE(oracle.AddTable(t).ok());
+    const EpochAnswers quant_answers =
+        AnswersOf(quantized.snapshot(), queries, options);
+    const EpochAnswers oracle_answers =
+        AnswersOf(oracle.snapshot(), queries, options);
+    EXPECT_GE(AgreeingRows(quant_answers, oracle_answers),
+              (queries.num_rows() * 95 + 99) / 100)
+        << "diverged after ingesting " << t.name();
+  }
+  EXPECT_EQ(quantized.epoch(), IngestTables().size());
+}
+
+// Runs under TSan via the CI *Concurrent* filter: quantized readers (both
+// sequential and pool-batched MatchRecords) hammer the session while an
+// AddTable writer quantizes-on-insert through epoch swaps.
+TEST(ServeQuantizedConcurrentTest, QuantizedReadersStayConsistentUnderAddTable) {
+  const Table queries = QueryTable();
+  MatchOptions options;
+  options.k = 2;
+
+  // Serial reference replay on a second copy of the quantized session.
+  std::vector<EpochAnswers> expected;
+  {
+    Matcher reference = LoadQuantizedSession();
+    expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    for (const Table& t : IngestTables()) {
+      ASSERT_TRUE(reference.AddTable(t).ok());
+      expected.push_back(AnswersOf(reference.snapshot(), queries, options));
+    }
+  }
+
+  Matcher live = LoadQuantizedSession();
+  std::atomic<bool> done{false};
+  std::atomic<size_t> reads{0};
+  util::ThreadPool reader_pool(2);
+  const size_t kReaders = 3;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      // Odd readers batch through the shared pool, even readers go
+      // sequential; both must see exactly one published epoch.
+      MatchOptions read_options = options;
+      if (r % 2 == 1) read_options.pool = &reader_pool;
+      while (!done.load(std::memory_order_relaxed)) {
+        Matcher::Snapshot snapshot = live.snapshot();
+        const uint64_t epoch = snapshot.epoch();
+        ASSERT_LT(epoch, expected.size());
+        const EpochAnswers seen = AnswersOf(snapshot, queries, read_options);
+        EXPECT_EQ(seen.matches, expected[epoch].matches)
+            << "quantized epoch " << epoch << " answers torn (reader " << r
+            << ")";
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  util::ThreadPool writer_pool(2);
+  for (const Table& t : IngestTables()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    AddTableOptions add;
+    add.pool = &writer_pool;
+    ASSERT_TRUE(live.AddTable(t, add).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(live.epoch(), IngestTables().size());
+  EXPECT_GT(reads.load(), 0u);
+  // Batched equals sequential on the final quantized state.
+  MatchOptions batched = options;
+  batched.pool = &reader_pool;
+  auto sequential_result = live.MatchRecords(queries, options);
+  auto batched_result = live.MatchRecords(queries, batched);
+  ASSERT_TRUE(sequential_result.ok()) << sequential_result.status();
+  ASSERT_TRUE(batched_result.ok()) << batched_result.status();
+  EXPECT_EQ(*batched_result, *sequential_result);
+}
+
 }  // namespace
 }  // namespace multiem
